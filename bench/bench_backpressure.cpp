@@ -1,0 +1,155 @@
+// Ablation A2 — the feedback-full assertion threshold (DESIGN.md §3).
+//
+// The paper prints the threshold as "remaining space = 2*(N-d)", which
+// cannot be meant literally (it asserts on an empty FIFO for N >> d).
+// This ablation compares three implementable policies on the same
+// fabric:
+//   * pipeline-depth (ours): assert at remaining <= 2d+2 — the tightest
+//     safe bound; nearly the whole FIFO stays usable as burst buffer;
+//   * half-capacity: assert at remaining <= N/2 — hop-oblivious and
+//     safe, but half the buffer is permanently reserved;
+//   * literal 2*(N-d): throughput collapses (producer permanently
+//     throttled by the always-on feedback signal).
+// Measured: sustained throughput with a slow-draining consumer (where
+// usable buffer depth is what keeps the producer running), plus the
+// usable-buffer count itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "comm/module_interface.hpp"
+#include "comm/switch_fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace vapres;
+using comm::BackpressurePolicy;
+using comm::Word;
+
+struct Rig {
+  sim::Simulator sim;
+  sim::ClockDomain* clk;
+  std::unique_ptr<comm::SwitchFabric> fabric;
+  std::vector<std::unique_ptr<comm::ProducerInterface>> producers;
+  std::vector<std::unique_ptr<comm::ConsumerInterface>> consumers;
+
+  Rig(int boxes, int depth) {
+    clk = &sim.create_domain("clk", 100.0);
+    fabric = std::make_unique<comm::SwitchFabric>(
+        *clk, boxes, comm::SwitchBoxShape{2, 2, 1, 1});
+    for (int i = 0; i < boxes; ++i) {
+      producers.push_back(
+          std::make_unique<comm::ProducerInterface>("p", depth));
+      consumers.push_back(
+          std::make_unique<comm::ConsumerInterface>("c", depth));
+      clk->attach(producers.back().get());
+      clk->attach(consumers.back().get());
+      fabric->attach_producer(i, 0, producers.back().get());
+      fabric->attach_consumer(i, 0, consumers.back().get());
+    }
+  }
+  ~Rig() {
+    for (auto& p : producers) clk->detach(p.get());
+    for (auto& c : consumers) clk->detach(c.get());
+  }
+};
+
+struct Outcome {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  int usable_buffer = 0;  // consumer FIFO occupancy the policy permits
+};
+
+/// Saturated producer, consumer drained in bursts (512 words every 1024
+/// cycles — a bursty DMA-style reader).
+Outcome run_policy(BackpressurePolicy policy, int dist, int depth,
+                   int cycles) {
+  Rig rig(dist + 1, depth);
+  comm::RouteSpec spec;
+  spec.producer_box = 0;
+  spec.consumer_box = dist;
+  spec.lanes.assign(static_cast<std::size_t>(dist), 0);
+  rig.fabric->establish(spec, policy);
+  rig.producers[0]->set_read_enable(true);
+  auto& consumer = *rig.consumers[static_cast<std::size_t>(dist)];
+  consumer.set_write_enable(true);
+
+  Outcome out;
+  for (int c = 0; c < cycles; ++c) {
+    if (!rig.producers[0]->fifo().full()) {
+      rig.producers[0]->fifo().push(static_cast<Word>(c));
+    }
+    rig.sim.run_cycles(*rig.clk, 1);
+    out.usable_buffer = std::max(out.usable_buffer,
+                                 consumer.fifo().high_watermark());
+    if (c % 1024 < 2) {  // burst drain window
+      for (int k = 0; k < 256 && !consumer.fifo().empty(); ++k) {
+        consumer.fifo().pop();
+        ++out.delivered;
+      }
+    }
+  }
+  out.dropped = consumer.words_discarded();
+  return out;
+}
+
+const char* policy_name(BackpressurePolicy p) {
+  switch (p) {
+    case BackpressurePolicy::kPipelineDepth: return "pipeline-depth 2d+2";
+    case BackpressurePolicy::kHalfCapacity: return "half-capacity N/2";
+    case BackpressurePolicy::kLiteralPaper: return "literal 2*(N-d)";
+  }
+  return "?";
+}
+
+void print_table() {
+  constexpr int kCycles = 50000;
+  std::printf("\n=== A2 (ablation): feedback-full threshold policies "
+              "(DESIGN.md §3) ===\n");
+  std::printf("Saturated producer, bursty consumer (512-word drain every "
+              "1024 cycles), %d cycles,\nFIFO depth 512. Usable buffer = "
+              "highest consumer-FIFO fill the policy allowed.\n\n",
+              kCycles);
+  std::printf("%-24s %6s | %12s %10s %14s\n", "policy", "hops",
+              "delivered", "dropped", "usable buffer");
+  for (auto policy :
+       {BackpressurePolicy::kPipelineDepth,
+        BackpressurePolicy::kHalfCapacity,
+        BackpressurePolicy::kLiteralPaper}) {
+    for (int dist : {2, 6}) {
+      const auto out = run_policy(policy, dist, 512, kCycles);
+      std::printf("%-24s %6d | %12llu %10llu %11d/512\n",
+                  policy_name(policy), dist + 1,
+                  static_cast<unsigned long long>(out.delivered),
+                  static_cast<unsigned long long>(out.dropped),
+                  out.usable_buffer);
+    }
+  }
+  std::printf(
+      "\nShape: both safe policies drop nothing; pipeline-depth keeps "
+      "~the whole FIFO\nusable while half-capacity wastes half of it "
+      "(lower burst throughput). The\nliteral reading throttles the "
+      "producer permanently — near-zero delivery.\n\n");
+}
+
+void BM_Policy(benchmark::State& state) {
+  const auto policy = static_cast<BackpressurePolicy>(state.range(0));
+  Outcome out;
+  for (auto _ : state) out = run_policy(policy, 4, 512, 20000);
+  state.counters["delivered"] = static_cast<double>(out.delivered);
+  state.counters["dropped"] = static_cast<double>(out.dropped);
+}
+BENCHMARK(BM_Policy)
+    ->Arg(static_cast<int>(BackpressurePolicy::kPipelineDepth))
+    ->Arg(static_cast<int>(BackpressurePolicy::kHalfCapacity))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Experiment E5 — vapres_establish_channel (Table 2) and the Figure 7
+// flexibility-vs-resources trade-off.
+//
+// The architectural parameters kr/kl buy routing flexibility with
+// slices. This bench quantifies both sides: Monte-Carlo channel
+// request/release workloads measure the establishment success rate as a
+// function of kr=kl and RSB size, and the calibrated resource model
+// prices the same configurations — regenerating the design-space table a
+// system designer would use in the base-system specification step.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "flow/resource_model.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace vapres;
+
+struct Rig {
+  sim::Simulator sim;
+  sim::ClockDomain* clk;
+  std::unique_ptr<comm::SwitchFabric> fabric;
+  std::vector<std::unique_ptr<comm::ProducerInterface>> producers;
+  std::vector<std::unique_ptr<comm::ConsumerInterface>> consumers;
+  std::unique_ptr<core::ChannelManager> mgr;
+
+  Rig(int boxes, int lanes) {
+    clk = &sim.create_domain("clk", 100.0);
+    fabric = std::make_unique<comm::SwitchFabric>(
+        *clk, boxes, comm::SwitchBoxShape{lanes, lanes, 1, 1});
+    for (int i = 0; i < boxes; ++i) {
+      producers.push_back(
+          std::make_unique<comm::ProducerInterface>("p", 512));
+      consumers.push_back(
+          std::make_unique<comm::ConsumerInterface>("c", 512));
+      fabric->attach_producer(i, 0, producers.back().get());
+      fabric->attach_consumer(i, 0, consumers.back().get());
+    }
+    mgr = std::make_unique<core::ChannelManager>(*fabric);
+  }
+};
+
+struct WorkloadResult {
+  int attempts = 0;
+  int successes = 0;
+  double success_rate() const {
+    return attempts == 0 ? 0.0 : 100.0 * successes / attempts;
+  }
+};
+
+/// Random request/release workload: each step either requests a channel
+/// between a random *free* producer site and a random *free* consumer
+/// site (70 %), or releases a random active channel (30 %). Endpoints
+/// are pre-checked, so every failure is a routing failure — lane
+/// saturation, the resource kr/kl actually buys.
+WorkloadResult run_workload(int boxes, int lanes, int steps,
+                            std::uint64_t seed) {
+  Rig rig(boxes, lanes);
+  sim::SplitMix64 rng(seed);
+  struct Active {
+    core::ChannelId id;
+    int producer;
+    int consumer;
+  };
+  std::vector<Active> active;
+  std::vector<bool> producer_used(static_cast<std::size_t>(boxes), false);
+  std::vector<bool> consumer_used(static_cast<std::size_t>(boxes), false);
+  WorkloadResult result;
+
+  const auto pick_free = [&](const std::vector<bool>& used,
+                             int exclude) -> int {
+    std::vector<int> candidates;
+    for (int i = 0; i < boxes; ++i) {
+      if (!used[static_cast<std::size_t>(i)] && i != exclude) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) return -1;
+    return candidates[rng.next_below(candidates.size())];
+  };
+
+  for (int s = 0; s < steps; ++s) {
+    if (active.empty() || rng.chance(0.7)) {
+      const int a = pick_free(producer_used, -1);
+      const int b = pick_free(consumer_used, a);
+      if (a < 0 || b < 0) continue;  // all endpoints busy: not a routing test
+      ++result.attempts;
+      auto id = rig.mgr->establish(core::ChannelEndpoint{a, 0},
+                                   core::ChannelEndpoint{b, 0});
+      if (id) {
+        ++result.successes;
+        active.push_back({*id, a, b});
+        producer_used[static_cast<std::size_t>(a)] = true;
+        consumer_used[static_cast<std::size_t>(b)] = true;
+      }
+    } else {
+      const std::size_t idx = rng.next_below(active.size());
+      rig.mgr->release(active[idx].id);
+      producer_used[static_cast<std::size_t>(active[idx].producer)] = false;
+      consumer_used[static_cast<std::size_t>(active[idx].consumer)] = false;
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  return result;
+}
+
+void print_paper_table() {
+  std::printf("\n=== E5: channel-establishment success vs kr=kl "
+              "(Figure 7 trade-off) ===\n");
+  std::printf("Monte-Carlo workload: random establish (70%%) / release "
+              "(30%%) between free endpoints,\n2000 steps, 10 seeds; "
+              "every failure is lane saturation.\n\n");
+  std::printf("%-8s %-8s | %12s | %16s\n", "sites", "kr=kl",
+              "success [%]", "comm arch slices");
+  for (int boxes : {4, 6, 8}) {
+    for (int lanes : {1, 2, 3, 4}) {
+      WorkloadResult total;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto r = run_workload(boxes, lanes, 2000, seed);
+        total.attempts += r.attempts;
+        total.successes += r.successes;
+      }
+      core::RsbParams params;
+      params.num_prrs = boxes - 1;
+      params.num_ioms = 1;
+      params.kr = lanes;
+      params.kl = lanes;
+      std::printf("%-8d %-8d | %12.1f | %16d\n", boxes, lanes,
+                  total.success_rate(),
+                  flow::ResourceModel::comm_architecture_slices(params));
+    }
+    std::printf("\n");
+  }
+  std::printf("Shape check: routing success rises steeply from kr=1 and "
+              "saturates once lanes\nexceed the endpoint-limited channel "
+              "count, while the slice cost keeps growing\nlinearly — the "
+              "prototype's kr=kl=2 choice sits at the knee.\n");
+
+  std::printf("\n--- software cost of establishment: PRSocket DCR writes "
+              "per path ---\n");
+  std::printf("%-10s", "hops d:");
+  for (int d = 1; d <= 7; ++d) std::printf(" %6d", d + 1);
+  std::printf("\n%-10s", "writes:");
+  for (int d = 1; d <= 7; ++d) {
+    comm::RouteSpec spec;
+    spec.producer_box = 0;
+    spec.consumer_box = d;
+    spec.lanes.assign(static_cast<std::size_t>(d), 0);
+    std::printf(" %6d", core::ChannelManager::dcr_writes_for(spec));
+  }
+  std::printf("\n\n");
+}
+
+void BM_EstablishRelease(benchmark::State& state) {
+  const int boxes = static_cast<int>(state.range(0));
+  const int lanes = static_cast<int>(state.range(1));
+  Rig rig(boxes, lanes);
+  std::uint64_t established = 0;
+  for (auto _ : state) {
+    auto id = rig.mgr->establish(core::ChannelEndpoint{0, 0},
+                                 core::ChannelEndpoint{boxes - 1, 0});
+    if (id) {
+      rig.mgr->release(*id);
+      ++established;
+    }
+  }
+  state.counters["established"] = static_cast<double>(established);
+}
+BENCHMARK(BM_EstablishRelease)->Args({4, 2})->Args({8, 2})->Args({8, 4});
+
+void BM_MonteCarloWorkload(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = run_workload(8, lanes, 500, 42);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MonteCarloWorkload)->Arg(1)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_paper_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Experiment E8 — Figure 8: the prototype floorplan on the XC4VLX25,
+// and the base-system / application flow turnaround (Section IV).
+//
+// Regenerates the prototype floorplan (2 PRRs in separate local clock
+// regions, BUFR sites, slice-macro columns) as ASCII art, prints the
+// system-definition artifacts the flow emits, and times both flows —
+// including the paper's point that application builds touch only module
+// logic, so they are orders of magnitude below a base-system rebuild.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "flow/app_flow.hpp"
+#include "flow/base_system_flow.hpp"
+
+namespace {
+
+using namespace vapres;
+
+void print_paper_table() {
+  flow::BaseSystemFlow base_flow;
+  const auto base = base_flow.run(core::SystemParams::prototype());
+
+  std::printf("\n=== E8: prototype floorplan on the XC4VLX25 (Figure 8) "
+              "===\n\n");
+  std::printf("%s\n", base.floorplan.render_ascii().c_str());
+  for (std::size_t i = 0; i < base.floorplan.prrs.size(); ++i) {
+    const auto& p = base.floorplan.prrs[i];
+    std::printf("PRR %zu: %s, %d slices, BUFR at region (row %d, half %d), "
+                "slice macros at CLB column %d\n",
+                i, p.rect.to_string().c_str(), p.rect.slices(),
+                p.bufr_region.row, p.bufr_region.half, p.slice_macro_col);
+  }
+  std::printf("\nStatic region: %d slices estimated / %d slices available "
+              "outside PRRs (%.1f%% of device)\n",
+              base.resources.total(), base.floorplan.static_slices,
+              base.static_utilization());
+  std::printf("Static bitstream: %lld bytes; system definition: %zu B MHS, "
+              "%zu B MSS, %zu B UCF\n",
+              static_cast<long long>(base.static_bitstream.size_bytes),
+              base.mhs.size(), base.mss.size(), base.ucf.size());
+
+  // Application flow on top of the base system.
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  flow::ApplicationFlow app_flow(base, lib);
+  core::KpnAppSpec app;
+  app.name = "adaptive_filtering";
+  app.nodes = {{"a", "ma4"}, {"b", "ma8"}};
+  const auto build = app_flow.build(app);
+  std::printf("\nApplication flow ('%s'): %zu partial bitstreams "
+              "(%d modules x %zu PRRs), all valid: %s\n\n",
+              app.name.c_str(), build.bitstreams.size(), 2,
+              base.floorplan.prrs.size(), build.ok() ? "yes" : "no");
+}
+
+void BM_BaseSystemFlow(benchmark::State& state) {
+  const int n_prrs = static_cast<int>(state.range(0));
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].num_prrs = n_prrs;
+  // The VLX25 tops out at 2 prototype-sized PRRs (E2); larger systems
+  // target the VLX60 the paper also references.
+  if (n_prrs > 2) p.device = fabric::DeviceGeometry::xc4vlx60();
+  flow::BaseSystemFlow flow;
+  for (auto _ : state) {
+    auto result = flow.run(p);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BaseSystemFlow)->Arg(2)->Arg(6);
+
+void BM_ApplicationFlow(benchmark::State& state) {
+  flow::BaseSystemFlow base_flow;
+  const auto base = base_flow.run(core::SystemParams::prototype());
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  flow::ApplicationFlow app_flow(base, lib);
+  core::KpnAppSpec app;
+  app.name = "bench";
+  app.nodes = {{"a", "ma4"}, {"b", "fir8_lowpass"}};
+  for (auto _ : state) {
+    auto result = app_flow.build(app);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ApplicationFlow);
+
+void BM_FloorplannerScaling(benchmark::State& state) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].num_prrs = static_cast<int>(state.range(0));
+  flow::Floorplanner planner;
+  for (auto _ : state) {
+    auto plan = planner.place(p);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_FloorplannerScaling)->Arg(2)->Arg(8)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_paper_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

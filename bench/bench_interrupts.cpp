@@ -1,0 +1,130 @@
+// Ablation A3 — polling vs interrupt-driven monitoring software.
+//
+// The Figure 5 monitoring watcher (step 2) can poll the r-link every
+// quantum or block on the intc. For sparse monitoring traffic, polling
+// monopolizes MicroBlaze quanta that other software modules need, while
+// the interrupt path costs only the ISR overhead per word. Measured:
+// the useful work a compute task gets done alongside the watcher, as a
+// function of monitoring-word rate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "comm/fsl.hpp"
+#include "proc/interrupt.hpp"
+#include "proc/microblaze.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace vapres;
+using comm::Word;
+
+struct Outcome {
+  std::uint64_t compute_quanta = 0;  // useful work done by the co-task
+  std::uint64_t words_handled = 0;
+};
+
+/// A producer pushes a monitoring word every `interval` cycles for
+/// `cycles` cycles; a watcher consumes them (polling or interrupt);
+/// a compute task counts the quanta it gets.
+Outcome run_mode(bool interrupts, int interval, int cycles) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  comm::DcrBus dcr;
+  proc::Microblaze mb("mb", clk, dcr);
+  comm::FslLink rlink("r", 512);
+  proc::InterruptController intc;
+
+  Outcome out;
+
+  proc::FunctionTask compute("compute", [&](proc::Microblaze&) {
+    ++out.compute_quanta;
+    return false;
+  });
+
+  proc::FunctionTask poller("poller", [&](proc::Microblaze& core) {
+    while (auto w = rlink.try_read()) {
+      core.busy_for(1);
+      ++out.words_handled;
+    }
+    return false;
+  });
+
+  if (interrupts) {
+    const int irq =
+        intc.add_source("rlink", [&rlink] { return rlink.can_read(); });
+    intc.enable(irq);
+    mb.attach_interrupts(&intc, [&](int, proc::Microblaze& core) {
+      while (auto w = rlink.try_read()) {
+        core.busy_for(1);
+        ++out.words_handled;
+      }
+    });
+  } else {
+    mb.add_task(&poller);
+  }
+  mb.add_task(&compute);
+
+  for (int c = 0; c < cycles; ++c) {
+    if (c % interval == 0 && rlink.can_write()) rlink.write(1);
+    sim.run_cycles(clk, 1);
+  }
+  return out;
+}
+
+void print_table() {
+  constexpr int kCycles = 50000;
+  std::printf("\n=== A3 (ablation): polling vs interrupt-driven "
+              "monitoring (Fig. 5 step 2) ===\n");
+  std::printf("One watcher + one compute software module sharing the "
+              "MicroBlaze, %d cycles.\nCompute quanta = useful work the "
+              "co-scheduled module completed.\n\n",
+              kCycles);
+  std::printf("%-22s | %14s %12s | %14s %12s\n", "monitor word every",
+              "poll: compute", "handled", "intr: compute", "handled");
+  for (int interval : {16, 64, 256, 1024}) {
+    const Outcome poll = run_mode(false, interval, kCycles);
+    const Outcome intr = run_mode(true, interval, kCycles);
+    std::printf("%-5d cycles%10s | %14llu %12llu | %14llu %12llu\n",
+                interval, "",
+                static_cast<unsigned long long>(poll.compute_quanta),
+                static_cast<unsigned long long>(poll.words_handled),
+                static_cast<unsigned long long>(intr.compute_quanta),
+                static_cast<unsigned long long>(intr.words_handled));
+  }
+  std::printf("\nShape: the classic trade-off. Polling caps the compute "
+              "module at ~50%% of the core\nregardless of traffic; the "
+              "interrupt path (ISR overhead %llu cycles/word) returns\n"
+              "almost the whole core when monitoring is sparse, but loses "
+              "to polling once words\narrive faster than the ISR overhead "
+              "amortizes (the 16-cycle row).\n\n",
+              static_cast<unsigned long long>(
+                  proc::Microblaze::kIsrOverheadCycles));
+}
+
+void BM_Polling(benchmark::State& state) {
+  Outcome out;
+  for (auto _ : state) out = run_mode(false, state.range(0), 20000);
+  state.counters["compute_quanta"] =
+      static_cast<double>(out.compute_quanta);
+}
+BENCHMARK(BM_Polling)->Arg(64)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_InterruptDriven(benchmark::State& state) {
+  Outcome out;
+  for (auto _ : state) out = run_mode(true, state.range(0), 20000);
+  state.counters["compute_quanta"] =
+      static_cast<double>(out.compute_quanta);
+}
+BENCHMARK(BM_InterruptDriven)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Experiment E2 — Section V.B resource utilization + Figure 7 parameter
+// space.
+//
+// Paper-reported values (prototype: 1 RSB, 2 PRRs, 1 IOM, kr=kl=2,
+// ki=ko=1, w=32 on the XC4VLX25):
+//   static region              : 9,421 slices (~86 % of the VLX25)
+//   inter-module comm arch     : 1,020 slices
+//
+// The sweep shows how the communication architecture scales with the
+// Figure 7 architectural parameters (N, w, kr/kl, ki/ko) — the
+// "resource utilization vs communication flexibility" balance of
+// Section IV.A.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "flow/resource_model.hpp"
+#include "sim/check.hpp"
+
+namespace {
+
+using namespace vapres;
+
+void print_paper_table() {
+  const core::SystemParams proto = core::SystemParams::prototype();
+  const auto report = flow::ResourceModel::static_region(proto);
+
+  std::printf("\n=== E2: resource utilization (paper Section V.B) ===\n\n");
+  std::printf("%-28s %14s %14s\n", "metric", "paper", "model");
+  std::printf("%-28s %14s %14d\n", "static region [slices]", "9421",
+              report.total());
+  std::printf("%-28s %14s %14.1f\n", "VLX25 utilization [%]", "~86",
+              report.utilization(proto.device.total_slices()));
+  std::printf("%-28s %14s %14d\n", "comm architecture [slices]", "1020",
+              flow::ResourceModel::comm_architecture_slices(proto.rsbs[0]));
+
+  std::printf("\n--- static-region breakdown (model) ---\n");
+  for (const auto& item : report.items) {
+    std::printf("  %-26s %6d slices\n", item.name.c_str(), item.slices);
+  }
+
+  std::printf("\n--- Figure 7 parameter sweep: comm-architecture slices ---\n");
+  std::printf("%-6s", "N\\w");
+  for (int w : {8, 16, 32}) std::printf("  w=%-2d kr=1  w=%-2d kr=2", w, w);
+  std::printf("\n");
+  for (int n = 2; n <= 8; n += 2) {
+    std::printf("N=%-4d", n);
+    for (int w : {8, 16, 32}) {
+      for (int k : {1, 2}) {
+        core::RsbParams p = proto.rsbs[0];
+        p.num_prrs = n;
+        p.width_bits = w;
+        p.kr = k;
+        p.kl = k;
+        std::printf(" %10d",
+                    flow::ResourceModel::comm_architecture_slices(p));
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- ki/ko sweep (N=4, w=32, kr=kl=2) ---\n");
+  for (int kio = 1; kio <= 3; ++kio) {
+    core::RsbParams p = proto.rsbs[0];
+    p.num_prrs = 4;
+    p.ki = kio;
+    p.ko = kio;
+    std::printf("  ki=ko=%d : %5d slices\n", kio,
+                flow::ResourceModel::comm_architecture_slices(p));
+  }
+
+  std::printf("\n--- device fit: largest N per device (16x10-CLB PRRs, "
+              "prototype static region) ---\n");
+  for (const auto& dev : {fabric::DeviceGeometry::xc4vlx25(),
+                          fabric::DeviceGeometry::xc4vlx60()}) {
+    int max_n = 0;
+    for (int n = 1; n <= 16; ++n) {
+      core::SystemParams p = proto;
+      p.device = dev;
+      p.rsbs[0].num_prrs = n;
+      try {
+        p.validate();
+        const auto r = flow::ResourceModel::static_region(p);
+        const int prr_slices = n * 640;
+        if (r.total() + prr_slices > dev.total_slices()) break;
+        if (n > 2 * dev.clock_region_count()) break;
+        max_n = n;
+      } catch (const ModelError&) {
+        break;
+      }
+    }
+    std::printf("  %-10s : up to %d PRRs\n", dev.name().c_str(), max_n);
+  }
+  std::printf("\n");
+}
+
+void BM_StaticRegionEstimate(benchmark::State& state) {
+  const core::SystemParams proto = core::SystemParams::prototype();
+  for (auto _ : state) {
+    auto report = flow::ResourceModel::static_region(proto);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_StaticRegionEstimate);
+
+void BM_CommArchSweepPoint(benchmark::State& state) {
+  core::RsbParams p = core::SystemParams::prototype().rsbs[0];
+  p.num_prrs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow::ResourceModel::comm_architecture_slices(p));
+  }
+}
+BENCHMARK(BM_CommArchSweepPoint)->Arg(2)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_paper_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

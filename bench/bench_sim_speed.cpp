@@ -1,0 +1,80 @@
+// Tooling benchmark — simulator throughput.
+//
+// Not a paper experiment: measures how fast the discrete-event model
+// itself runs (simulated cycles per wall-clock second) as the system
+// grows, so users can budget experiment runtimes (e.g. a full-prototype
+// cf2icap at 104 M cycles). Reported per configuration via counters.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+
+#include "core/system.hpp"
+
+namespace {
+
+using namespace vapres;
+using comm::Word;
+
+std::unique_ptr<core::VapresSystem> make_system(int prrs) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.device = fabric::DeviceGeometry::xc4vlx60();
+  p.rsbs[0].num_prrs = prrs;
+  p.rsbs[0].prr_width_clbs = 2;
+  auto sys = std::make_unique<core::VapresSystem>(std::move(p));
+  sys->bring_up_all_sites();
+  return sys;
+}
+
+void BM_IdleSystemCycles(benchmark::State& state) {
+  auto sys = make_system(static_cast<int>(state.range(0)));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sys->run_system_cycles(10000);
+    cycles += 10000;
+  }
+  state.counters["Mcycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IdleSystemCycles)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamingSystemCycles(benchmark::State& state) {
+  auto sys = make_system(static_cast<int>(state.range(0)));
+  const int prrs = static_cast<int>(state.range(0));
+  core::Rsb& rsb = sys->rsb();
+  for (int p = 0; p < prrs; ++p) {
+    sys->reconfigure_now(0, p, "passthrough");
+  }
+  // One measured chain through PRR 0.
+  sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  rsb.iom(0).set_source_generator(
+      [n = 0]() mutable -> std::optional<Word> {
+        return static_cast<Word>(n++);
+      });
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sys->run_system_cycles(10000);
+    cycles += 10000;
+    rsb.iom(0).take_received();  // keep memory flat
+  }
+  state.counters["Mcycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StreamingSystemCycles)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReconfigurationSimulated(benchmark::State& state) {
+  auto sys = make_system(2);
+  bool toggle = false;
+  for (auto _ : state) {
+    sys->reconfigure_now(0, 0, toggle ? "passthrough" : "offset_100");
+    toggle = !toggle;
+  }
+}
+BENCHMARK(BM_ReconfigurationSimulated)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

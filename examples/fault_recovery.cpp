@@ -1,0 +1,98 @@
+// Fault tolerance via module relocation (an enabling use case the paper
+// cites in its introduction, ref [5]).
+//
+// A checksum module streams data in PRR 0. A fault is detected in PRR
+// 0's fabric (here: injected by the test harness); the recovery software
+// relocates the module to the spare PRR 1 using the standard switching
+// methodology — the module's running 64-bit checksum state survives the
+// relocation, the faulty PRR is isolated and clock-gated, and the stream
+// continues without interruption.
+#include <cstdio>
+#include <optional>
+
+#include "core/switching.hpp"
+#include "core/system.hpp"
+#include "hwmodule/modules.hpp"
+
+using namespace vapres;
+using comm::Word;
+
+int main() {
+  core::SystemParams params = core::SystemParams::prototype();
+  params.rsbs[0].prr_width_clbs = 4;
+  core::VapresSystem sys(std::move(params));
+  sys.bring_up_all_sites();
+
+  sys.reconfigure_now(0, 0, "checksum");
+  sys.preload_sdram("checksum", 0, 1);  // golden copy for the spare PRR
+
+  core::Rsb& rsb = sys.rsb();
+  const auto up = *sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  const auto down =
+      *sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+
+  int n = 0;
+  rsb.iom(0).set_source_generator(
+      [&n]() -> std::optional<Word> { return static_cast<Word>(n++); },
+      /*interval=*/4);
+  sys.run_system_cycles(4000);
+  std::printf("streaming through PRR0 (checksum module), %zu words so "
+              "far\n",
+              rsb.iom(0).received().size());
+
+  // ---- fault detected in PRR 0 -----------------------------------------
+  std::printf("\n!! fault reported in PRR0's fabric -> relocating module "
+              "to spare PRR1\n\n");
+  rsb.iom(0).reset_gap_stats();
+
+  core::SwitchRequest req;
+  req.src_prr = 0;
+  req.dst_prr = 1;
+  req.new_module_id = "checksum";
+  req.upstream = up;
+  req.downstream = down;
+  core::ModuleSwitcher relocator(sys, req);
+  relocator.begin();
+  sys.sim().run_until([&] { return relocator.done(); },
+                      sim::kPsPerSecond * 10);
+  sys.run_system_cycles(4000);
+
+  const auto& t = relocator.timeline();
+  std::printf("relocation complete in %llu MicroBlaze cycles (%.2f ms, "
+              "dominated by PR of the spare)\n",
+              static_cast<unsigned long long>(t.completed - t.started),
+              static_cast<double>(t.completed - t.started) / 100e3);
+  std::printf("checksum state carried over: %zu words %s\n",
+              relocator.collected_state().size(),
+              relocator.collected_state().size() == 2
+                  ? "(64-bit running sum)"
+                  : "");
+  std::printf("max output gap during relocation: %llu cycles\n",
+              static_cast<unsigned long long>(rsb.iom(0).max_output_gap()));
+
+  // The faulty PRR is fenced off: isolated and clock-gated.
+  const auto sock = sys.dcr().read(rsb.prr_socket_address(0));
+  std::printf("faulty PRR0 fenced: SM_en=%d CLK_en=%d\n",
+              (sock & core::PrSocket::kSmEn) != 0,
+              (sock & core::PrSocket::kClkEn) != 0);
+
+  // Verify the checksum is the sum of *all* words the IOM injected and
+  // delivered (nothing lost across the relocation).
+  auto* cs = dynamic_cast<hwmodule::Checksum*>(
+      rsb.prr(1).wrapper().behavior());
+  std::uint64_t expected = 0;
+  for (Word w : rsb.iom(0).received()) expected += w;
+  std::printf("\ndelivered %zu words; checksum in relocated module covers "
+              "%s the delivered stream\n",
+              rsb.iom(0).received().size(),
+              cs != nullptr && cs->sum() >= expected ? "at least" : "NOT");
+  std::printf("stream intact: %s\n",
+              [&] {
+                const auto& rx = rsb.iom(0).received();
+                for (std::size_t i = 0; i < rx.size(); ++i) {
+                  if (rx[i] != static_cast<Word>(i)) return "NO";
+                }
+                return "yes (0..n in order, no loss)";
+              }());
+  return 0;
+}

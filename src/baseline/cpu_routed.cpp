@@ -1,0 +1,25 @@
+#include "baseline/cpu_routed.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::baseline {
+
+CpuRoutedLink::CpuRoutedLink(std::string name, comm::FslLink& from,
+                             comm::FslLink& to, int cycles_per_word)
+    : name_(std::move(name)),
+      from_(from),
+      to_(to),
+      cycles_per_word_(cycles_per_word) {
+  VAPRES_REQUIRE(cycles_per_word_ >= 1, name_ + ": cost must be >= 1");
+}
+
+bool CpuRoutedLink::step(proc::Microblaze& mb) {
+  if (from_.can_read() && to_.can_write()) {
+    to_.write(from_.read());
+    ++words_;
+    mb.busy_for(static_cast<sim::Cycles>(cycles_per_word_));
+  }
+  return false;  // routes forever; remove via Microblaze::remove_task
+}
+
+}  // namespace vapres::baseline

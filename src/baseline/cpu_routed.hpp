@@ -1,0 +1,42 @@
+// Processor-routed communication baseline (Ullmann et al., paper
+// Section II): "the communication architecture required all communication
+// between PRRs to be routed through the Microblaze".
+//
+// A CpuRoutedLink is a software task that shovels stream words from one
+// module's r-link to another module's t-link. Each word costs the
+// FSL-get / FSL-put instruction pair plus loop overhead on the processor,
+// and the processor is a single shared resource — with L links active,
+// per-link throughput is clock / (L * cycles_per_word), far below a
+// dedicated switch-box channel's word per cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/fsl.hpp"
+#include "proc/microblaze.hpp"
+
+namespace vapres::baseline {
+
+class CpuRoutedLink final : public proc::SoftwareTask {
+ public:
+  /// Default per-word software cost: fsl get + fsl put + branch/loop.
+  static constexpr int kDefaultCyclesPerWord = 6;
+
+  CpuRoutedLink(std::string name, comm::FslLink& from, comm::FslLink& to,
+                int cycles_per_word = kDefaultCyclesPerWord);
+
+  bool step(proc::Microblaze& mb) override;
+  std::string task_name() const override { return name_; }
+
+  std::uint64_t words_routed() const { return words_; }
+
+ private:
+  std::string name_;
+  comm::FslLink& from_;
+  comm::FslLink& to_;
+  int cycles_per_word_;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace vapres::baseline

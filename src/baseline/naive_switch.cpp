@@ -1,0 +1,124 @@
+#include "baseline/naive_switch.hpp"
+
+#include "bitstream/bitgen.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::baseline {
+
+namespace ctrl = hwmodule::ctrl;
+using core::PrSocket;
+
+NaiveSwitcher::NaiveSwitcher(core::VapresSystem& sys, NaiveSwitchRequest req)
+    : sys_(sys), req_(std::move(req)) {
+  VAPRES_REQUIRE(sys_.library().contains(req_.new_module_id),
+                 "unknown module: " + req_.new_module_id);
+}
+
+void NaiveSwitcher::begin() {
+  VAPRES_REQUIRE(state_ == State::kIdle, "switcher already started");
+  core::Rsb& r = rsb();
+  VAPRES_REQUIRE(r.channels().active(req_.upstream) &&
+                     r.channels().active(req_.downstream),
+                 "request channels are not active");
+  timeline_.started = sys_.mb().cycle();
+
+  // Halt the stream: stop the upstream producer feeding this module.
+  const auto& up = r.channels().spec(req_.upstream);
+  sys_.socket_set_bits(r.socket_address(up.producer_box),
+                       PrSocket::kFifoRen, false);
+  // Ask the module to drain whatever it already has and emit its state.
+  comm::FslLink& t = r.prr(req_.prr).fsl_from_mb();
+  t.write(ctrl::kCmdFlush);
+  saw_header_ = false;
+  expected_words_ = -1;
+  state_ = State::kCollectState;
+  sys_.mb().add_task(this);
+}
+
+bool NaiveSwitcher::step(proc::Microblaze& mb) {
+  core::Rsb& r = rsb();
+  switch (state_) {
+    case State::kIdle:
+    case State::kQuiesce:
+      return false;
+
+    case State::kCollectState: {
+      comm::FslLink& rl = r.prr(req_.prr).fsl_to_mb();
+      while (auto w = rl.try_read()) {
+        mb.busy_for(1);
+        if (!saw_header_) {
+          if (*w == ctrl::kStateHeader) saw_header_ = true;
+        } else if (expected_words_ < 0) {
+          expected_words_ = static_cast<int>(*w);
+        } else {
+          collected_state_.push_back(*w);
+        }
+        if (saw_header_ && expected_words_ >= 0 &&
+            static_cast<int>(collected_state_.size()) == expected_words_) {
+          timeline_.halted = mb.cycle();
+          // Isolate and gate the PRR, then reconfigure it in place. The
+          // stream is dead from here until kRestore completes.
+          const comm::DcrAddress sock = r.prr_socket_address(req_.prr);
+          mb.dcr_write(sock, (mb.dcr_read(sock) | PrSocket::kPrrReset) &
+                                 ~(PrSocket::kSmEn | PrSocket::kClkEn));
+          reconfig_complete_ = false;
+          auto on_done = [this] { reconfig_complete_ = true; };
+          if (req_.source == core::ReconfigSource::kSdramArray) {
+            sys_.reconfig().array2icap(
+                req_.new_module_id + "@" + r.prr(req_.prr).name(), on_done);
+          } else {
+            sys_.reconfig().cf2icap(
+                bitstream::bitstream_filename(req_.new_module_id,
+                                              r.prr(req_.prr).name()),
+                on_done);
+          }
+          state_ = State::kReconfigure;
+          return false;
+        }
+      }
+      return false;
+    }
+
+    case State::kReconfigure: {
+      if (!reconfig_complete_) return false;
+      timeline_.reconfig_done = mb.cycle();
+      // Bring the site back up with the module held in reset, queue the
+      // state restore, then release reset and the upstream producer.
+      const comm::DcrAddress sock = r.prr_socket_address(req_.prr);
+      mb.dcr_write(sock, mb.dcr_read(sock) | PrSocket::kSmEn |
+                             PrSocket::kClkEn | PrSocket::kFifoWen |
+                             PrSocket::kPrrReset);
+      comm::FslLink& t = r.prr(req_.prr).fsl_from_mb();
+      t.write(ctrl::kCmdLoadState);
+      t.write(static_cast<comm::Word>(collected_state_.size()));
+      for (comm::Word w : collected_state_) t.write(w);
+      mb.busy_for(static_cast<sim::Cycles>(collected_state_.size()) + 2);
+      state_ = State::kRestore;
+      return false;
+    }
+
+    case State::kRestore: {
+      core::Rsb& rb = rsb();
+      const comm::DcrAddress sock = rb.prr_socket_address(req_.prr);
+      mb.dcr_write(sock, (mb.dcr_read(sock) & ~PrSocket::kPrrReset) |
+                             PrSocket::kFifoRen);
+      const auto& up = rb.channels().spec(req_.upstream);
+      sys_.socket_set_bits(rb.socket_address(up.producer_box),
+                           PrSocket::kFifoRen, true);
+      timeline_.resumed = mb.cycle();
+      state_ = State::kDone;
+      return true;
+    }
+
+    case State::kDone:
+      return true;
+  }
+  return false;
+}
+
+double NaiveSwitcher::predicted_gap_cycles(double reconfig_cycles,
+                                           double protocol_overhead_cycles) {
+  return reconfig_cycles + protocol_overhead_cycles;
+}
+
+}  // namespace vapres::baseline

@@ -1,0 +1,80 @@
+// Halt-and-reconfigure switching baseline (paper Section III.B.3's
+// problem statement: "PR imposes stream processing interruption because
+// the reconfigured PRR must halt operation as the new hardware module is
+// loaded").
+//
+// The NaiveSwitcher replaces the module *in place*: it quiesces the
+// stream, saves state, isolates and reconfigures the same PRR, restores
+// state and resumes. The output stream gaps for (at least) the whole
+// reconfiguration; upstream FIFOs can only absorb fifo_depth words.
+// Benchmarked head-to-head against core::ModuleSwitcher in
+// bench_switching (experiment E3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/switching.hpp"
+#include "core/system.hpp"
+#include "proc/microblaze.hpp"
+
+namespace vapres::baseline {
+
+struct NaiveSwitchRequest {
+  int rsb_index = 0;
+  int prr = 0;  ///< the module is replaced in this same PRR
+  std::string new_module_id;
+  core::ChannelId upstream = 0;
+  core::ChannelId downstream = 0;
+  core::ReconfigSource source = core::ReconfigSource::kSdramArray;
+};
+
+class NaiveSwitcher final : public proc::SoftwareTask {
+ public:
+  NaiveSwitcher(core::VapresSystem& sys, NaiveSwitchRequest req);
+
+  enum class State {
+    kIdle,
+    kQuiesce,       // stop upstream, drain the module
+    kCollectState,  // save state registers
+    kReconfigure,   // PR of the same PRR (stream halted!)
+    kRestore,       // load state, resume
+    kDone,
+  };
+
+  void begin();
+  bool step(proc::Microblaze& mb) override;
+  std::string task_name() const override { return "naive_switcher"; }
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kDone; }
+
+  struct Timeline {
+    sim::Cycles started = 0;
+    sim::Cycles halted = 0;        ///< stream stopped flowing
+    sim::Cycles reconfig_done = 0;
+    sim::Cycles resumed = 0;       ///< stream flowing again
+  };
+  const Timeline& timeline() const { return timeline_; }
+
+  /// Analytic model: output-gap cycles for a halt-and-reconfigure switch.
+  /// The gap is the drain+save+restore overhead plus the full
+  /// reconfiguration; upstream FIFO capacity does not help the *output*
+  /// side because the module producing output is the one being replaced.
+  static double predicted_gap_cycles(double reconfig_cycles,
+                                     double protocol_overhead_cycles = 100.0);
+
+ private:
+  core::Rsb& rsb() { return sys_.rsb(req_.rsb_index); }
+
+  core::VapresSystem& sys_;
+  NaiveSwitchRequest req_;
+  State state_ = State::kIdle;
+  Timeline timeline_;
+  bool reconfig_complete_ = false;
+  bool saw_header_ = false;
+  int expected_words_ = -1;
+  std::vector<comm::Word> collected_state_;
+};
+
+}  // namespace vapres::baseline

@@ -1,0 +1,58 @@
+#include "baseline/shared_bus.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::baseline {
+
+SharedBus::SharedBus(std::string name, sim::ClockDomain& bus_domain)
+    : name_(std::move(name)), domain_(bus_domain) {
+  domain_.attach(this);
+}
+
+SharedBus::~SharedBus() { domain_.detach(this); }
+
+int SharedBus::add_channel(comm::Fifo* src, comm::Fifo* dst) {
+  VAPRES_REQUIRE(src != nullptr && dst != nullptr,
+                 name_ + ": bus channel needs both FIFOs");
+  slots_.push_back(Slot{src, dst, 0, true});
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+void SharedBus::remove_channel(int slot) {
+  VAPRES_REQUIRE(slot >= 0 && slot < static_cast<int>(slots_.size()),
+                 name_ + ": bad bus slot");
+  slots_[static_cast<std::size_t>(slot)].active = false;
+}
+
+int SharedBus::active_channels() const {
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.active) ++n;
+  }
+  return n;
+}
+
+std::uint64_t SharedBus::words_transferred(int slot) const {
+  VAPRES_REQUIRE(slot >= 0 && slot < static_cast<int>(slots_.size()),
+                 name_ + ": bad bus slot");
+  return slots_[static_cast<std::size_t>(slot)].words;
+}
+
+void SharedBus::commit() {
+  if (slots_.empty()) return;
+  // One bus cycle = one slot's turn (TDM). The slot transfers one word if
+  // it can; an idle slot's turn is wasted, as on the real bus.
+  for (std::size_t tried = 0; tried < slots_.size(); ++tried) {
+    Slot& slot = slots_[next_slot_];
+    next_slot_ = (next_slot_ + 1) % slots_.size();
+    if (!slot.active) continue;  // de-allocated slots are reclaimed
+    if (!slot.src->empty() && !slot.dst->full()) {
+      slot.dst->push(slot.src->pop());
+      ++slot.words;
+      ++total_words_;
+    }
+    return;  // exactly one slot serviced per bus cycle
+  }
+}
+
+}  // namespace vapres::baseline

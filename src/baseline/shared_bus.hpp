@@ -1,0 +1,63 @@
+// Shared time-multiplexed bus baseline (Sonic-on-a-Chip, Sedcole et al.,
+// paper Section II).
+//
+// The comparison architecture establishes channels by allocating slots on
+// one time-multiplexed bus shared by all module pairs; long bus routing
+// limited its clock to 50 MHz where VAPRES' pipelined switch boxes run at
+// 100 MHz. The model: one transfer per bus cycle, slots round-robin over
+// the registered channels, so per-channel throughput is
+// bus_clock / active_channels — the crossover bench_comm_throughput
+// reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/fifo.hpp"
+#include "sim/clock.hpp"
+#include "sim/component.hpp"
+
+namespace vapres::baseline {
+
+class SharedBus final : public sim::Clocked {
+ public:
+  /// The reported Sonic-on-a-Chip bus clock.
+  static constexpr double kDefaultBusClockMhz = 50.0;
+
+  SharedBus(std::string name, sim::ClockDomain& bus_domain);
+  ~SharedBus() override;
+
+  SharedBus(const SharedBus&) = delete;
+  SharedBus& operator=(const SharedBus&) = delete;
+
+  std::string name() const override { return name_; }
+
+  /// Registers a channel moving words from `src` to `dst`. Returns the
+  /// slot id. FIFOs are not owned.
+  int add_channel(comm::Fifo* src, comm::Fifo* dst);
+  void remove_channel(int slot);
+
+  int active_channels() const;
+  std::uint64_t words_transferred(int slot) const;
+  std::uint64_t total_words() const { return total_words_; }
+
+  void eval() override {}
+  void commit() override;
+
+ private:
+  struct Slot {
+    comm::Fifo* src = nullptr;
+    comm::Fifo* dst = nullptr;
+    std::uint64_t words = 0;
+    bool active = false;
+  };
+
+  std::string name_;
+  sim::ClockDomain& domain_;
+  std::vector<Slot> slots_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t total_words_ = 0;
+};
+
+}  // namespace vapres::baseline

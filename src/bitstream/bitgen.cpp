@@ -1,0 +1,24 @@
+#include "bitstream/bitgen.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::bitstream {
+
+PartialBitstream generate_partial_bitstream(
+    const std::string& module_id, const fabric::ResourceVector& required,
+    const std::string& prr_name, const fabric::ClbRect& region) {
+  const fabric::ResourceVector available = region.resources();
+  VAPRES_REQUIRE(required.fits_in(available),
+                 "module " + module_id + " needs " +
+                     std::to_string(required.slices) +
+                     " slices but PRR " + prr_name + " provides " +
+                     std::to_string(available.slices));
+  return PartialBitstream::create(module_id, prr_name, region);
+}
+
+std::string bitstream_filename(const std::string& module_id,
+                               const std::string& prr_name) {
+  return module_id + "_" + prr_name + ".bit";
+}
+
+}  // namespace vapres::bitstream

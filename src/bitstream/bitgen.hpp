@@ -1,0 +1,29 @@
+// Bitstream generation ("bitgen") for the application flow.
+//
+// In the real flow, each hardware module is synthesized and
+// placed-and-routed once per PRR it may occupy, producing one partial
+// bitstream per (module, PRR) pair (Section IV.B). The model checks that
+// the module's resource requirement fits the PRR rectangle and emits the
+// geometry-sized bitstream record.
+#pragma once
+
+#include <string>
+
+#include "bitstream/bitstream.hpp"
+#include "fabric/resources.hpp"
+
+namespace vapres::bitstream {
+
+/// Generates the partial bitstream implementing module `module_id` (which
+/// requires `required` resources) inside PRR `prr_name` at `region`.
+/// Throws ModelError if the module does not fit the PRR.
+PartialBitstream generate_partial_bitstream(
+    const std::string& module_id, const fabric::ResourceVector& required,
+    const std::string& prr_name, const fabric::ClbRect& region);
+
+/// Canonical CF filename for a (module, PRR) bitstream: "<mod>_<prr>.bit"
+/// truncated to the 8.3 convention is not enforced; the name is stable.
+std::string bitstream_filename(const std::string& module_id,
+                               const std::string& prr_name);
+
+}  // namespace vapres::bitstream

@@ -1,0 +1,71 @@
+#include "bitstream/bitstream.hpp"
+
+#include "fabric/frame.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::bitstream {
+
+namespace {
+
+void fnv_mix(std::uint32_t& h, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (value >> (8 * i)) & 0xffU;
+    h *= 16777619U;
+  }
+}
+
+void fnv_mix(std::uint32_t& h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 16777619U;
+  }
+  fnv_mix(h, 0xfeU);  // field separator
+}
+
+}  // namespace
+
+std::uint32_t bitstream_tag(const std::string& module_id,
+                            const std::string& target_prr,
+                            const fabric::ClbRect& region,
+                            std::int64_t size_bytes) {
+  std::uint32_t h = 2166136261U;
+  fnv_mix(h, module_id);
+  fnv_mix(h, target_prr);
+  fnv_mix(h, static_cast<std::uint32_t>(region.row));
+  fnv_mix(h, static_cast<std::uint32_t>(region.col));
+  fnv_mix(h, static_cast<std::uint32_t>(region.height));
+  fnv_mix(h, static_cast<std::uint32_t>(region.width));
+  fnv_mix(h, static_cast<std::uint32_t>(size_bytes));
+  return h;
+}
+
+PartialBitstream PartialBitstream::create(std::string module_id,
+                                          std::string target_prr,
+                                          const fabric::ClbRect& region) {
+  VAPRES_REQUIRE(!module_id.empty(), "bitstream needs a module id");
+  VAPRES_REQUIRE(!target_prr.empty(), "bitstream needs a target PRR");
+  PartialBitstream bs;
+  bs.module_id = std::move(module_id);
+  bs.target_prr = std::move(target_prr);
+  bs.region = region;
+  bs.size_bytes = fabric::partial_bitstream_bytes(region);
+  bs.tag = bitstream_tag(bs.module_id, bs.target_prr, bs.region,
+                         bs.size_bytes);
+  return bs;
+}
+
+bool PartialBitstream::valid() const {
+  return tag == bitstream_tag(module_id, target_prr, region, size_bytes);
+}
+
+StaticBitstream StaticBitstream::create(std::string system_name,
+                                        const fabric::DeviceGeometry& dev) {
+  StaticBitstream bs;
+  bs.system_name = std::move(system_name);
+  bs.device_name = dev.name();
+  const fabric::ClbRect whole{0, 0, dev.clb_rows(), dev.clb_cols()};
+  bs.size_bytes = fabric::partial_bitstream_bytes(whole);
+  return bs;
+}
+
+}  // namespace vapres::bitstream

@@ -1,0 +1,74 @@
+#include "bitstream/relocation.hpp"
+
+#include "fabric/frame.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::bitstream {
+
+bool relocatable(const fabric::ClbRect& from, const fabric::ClbRect& to) {
+  if (from.height != to.height || from.width != to.width) return false;
+  const int region_rows = fabric::DeviceGeometry::kClockRegionRows;
+  return from.row % region_rows == to.row % region_rows;
+}
+
+std::string footprint_class(const fabric::ClbRect& rect) {
+  const int region_rows = fabric::DeviceGeometry::kClockRegionRows;
+  return "h" + std::to_string(rect.height) + "w" +
+         std::to_string(rect.width) + "o" +
+         std::to_string(rect.row % region_rows);
+}
+
+PartialBitstream relocate(const PartialBitstream& bs,
+                          const std::string& new_prr,
+                          const fabric::ClbRect& new_rect) {
+  VAPRES_REQUIRE(bs.valid(), "refusing to relocate corrupt bitstream");
+  VAPRES_REQUIRE(relocatable(bs.region, new_rect),
+                 "bitstream for " + bs.region.to_string() +
+                     " is not relocatable to " + new_rect.to_string() +
+                     " (footprints differ)");
+  // The FAR rewrite changes only frame addresses: the size is identical
+  // by construction (same frame count), and the tag is recomputed over
+  // the new placement.
+  PartialBitstream out = bs;
+  out.target_prr = new_prr;
+  out.region = new_rect;
+  out.tag = bitstream_tag(out.module_id, out.target_prr, out.region,
+                          out.size_bytes);
+  VAPRES_REQUIRE(out.size_bytes == fabric::partial_bitstream_bytes(new_rect),
+                 "relocation changed the frame count (model bug)");
+  return out;
+}
+
+double relocation_cycles(std::int64_t bytes) {
+  VAPRES_REQUIRE(bytes >= 0, "negative bitstream size");
+  return 2.0 * static_cast<double>(bytes);
+}
+
+void RelocatingStore::add_master(const PartialBitstream& bs) {
+  VAPRES_REQUIRE(bs.valid(), "refusing to store corrupt bitstream");
+  const std::string key = bs.module_id + "@" + footprint_class(bs.region);
+  masters_.emplace(key, bs);  // keep the first master for the class
+}
+
+bool RelocatingStore::has_master(const std::string& module_id,
+                                 const fabric::ClbRect& rect) const {
+  return masters_.count(module_id + "@" + footprint_class(rect)) > 0;
+}
+
+PartialBitstream RelocatingStore::materialize(
+    const std::string& module_id, const std::string& prr_name,
+    const fabric::ClbRect& rect) const {
+  auto it = masters_.find(module_id + "@" + footprint_class(rect));
+  VAPRES_REQUIRE(it != masters_.end(),
+                 "no master bitstream for " + module_id +
+                     " with footprint " + footprint_class(rect));
+  return relocate(it->second, prr_name, rect);
+}
+
+std::int64_t RelocatingStore::stored_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [key, bs] : masters_) total += bs.size_bytes;
+  return total;
+}
+
+}  // namespace vapres::bitstream

@@ -1,0 +1,84 @@
+// Partial-bitstream relocation (hardware module *reuse*).
+//
+// The VAPRES authors' follow-on work ("Hardware Module Reuse and Runtime
+// Assembly for Dynamic Management of Reconfigurable Resources",
+// Jara-Berrocal & Gordon-Ross) removes the one-bitstream-per-(module,
+// PRR) blow-up of the EAPR flow: when two PRRs have identical footprints,
+// a module's bitstream can be *relocated* between them by rewriting the
+// frame addresses (FAR) while streaming it to the ICAP, so CompactFlash
+// holds one bitstream per module per footprint class.
+//
+// Relocatability on Virtex-4-class fabric requires:
+//   * identical rectangle dimensions (same frame count per column),
+//   * the same row offset within the clock region (frames span whole
+//     regions; a vertical shift by non-multiples of 16 CLBs changes the
+//     word layout inside frames),
+//   * the same resource column structure — in this model, rectangles
+//     carry CLB fabric only, so equal width suffices.
+//
+// The rewrite is a single streaming pass over the bitstream on the
+// MicroBlaze; RelocatingStore models the storage saving and prices the
+// rewrite cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+
+namespace vapres::bitstream {
+
+/// True if a bitstream placed for `from` can be relocated into `to`.
+bool relocatable(const fabric::ClbRect& from, const fabric::ClbRect& to);
+
+/// Canonical footprint-class key ("h16w10o0": height, width, row offset
+/// within the clock region). Bitstreams relocate freely within a class.
+std::string footprint_class(const fabric::ClbRect& rect);
+
+/// Rewrites `bs` to target `new_prr` at `new_rect`. Throws ModelError if
+/// the rectangles are not relocation-compatible.
+PartialBitstream relocate(const PartialBitstream& bs,
+                          const std::string& new_prr,
+                          const fabric::ClbRect& new_rect);
+
+/// MicroBlaze cycles for the streaming FAR rewrite of `bytes` (one pass,
+/// word-at-a-time, ~2 cycles/byte — negligible next to the ICAP write).
+double relocation_cycles(std::int64_t bytes);
+
+/// A bitstream store that keeps ONE master bitstream per (module,
+/// footprint class) and materializes per-PRR copies by relocation —
+/// versus the EAPR baseline of one stored bitstream per (module, PRR).
+class RelocatingStore {
+ public:
+  /// Registers the master copy for its footprint class. Re-registering
+  /// the same (module, class) is a no-op (the master already covers it).
+  void add_master(const PartialBitstream& bs);
+
+  bool has_master(const std::string& module_id,
+                  const fabric::ClbRect& rect) const;
+
+  /// Materializes the bitstream for (module, prr at rect), relocating
+  /// the master. Throws if no master covers the footprint class.
+  PartialBitstream materialize(const std::string& module_id,
+                               const std::string& prr_name,
+                               const fabric::ClbRect& rect) const;
+
+  /// Total bytes held (the storage the CF card actually needs).
+  std::int64_t stored_bytes() const;
+  std::size_t master_count() const { return masters_.size(); }
+
+  /// Bytes the EAPR baseline would store for the same coverage:
+  /// one bitstream per (module, PRR) over `prrs_per_class` PRRs.
+  static std::int64_t baseline_bytes(std::int64_t master_bytes,
+                                     int prrs_per_class) {
+    return master_bytes * prrs_per_class;
+  }
+
+ private:
+  // key: module_id + '@' + footprint_class
+  std::map<std::string, PartialBitstream> masters_;
+};
+
+}  // namespace vapres::bitstream

@@ -1,0 +1,69 @@
+#include "bitstream/storage.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::bitstream {
+
+void CompactFlash::store(const std::string& filename, PartialBitstream bs) {
+  VAPRES_REQUIRE(!filename.empty(), "CF filename must be non-empty");
+  VAPRES_REQUIRE(bs.valid(), "refusing to store corrupt bitstream");
+  files_[filename] = std::move(bs);
+}
+
+bool CompactFlash::contains(const std::string& filename) const {
+  return files_.count(filename) > 0;
+}
+
+const PartialBitstream& CompactFlash::read(const std::string& filename) const {
+  auto it = files_.find(filename);
+  VAPRES_REQUIRE(it != files_.end(),
+                 "CF file not found: " + filename);
+  return it->second;
+}
+
+std::vector<std::string> CompactFlash::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, bs] : files_) names.push_back(name);
+  return names;
+}
+
+Sdram::Sdram(std::int64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  VAPRES_REQUIRE(capacity_bytes > 0, "SDRAM capacity must be positive");
+}
+
+void Sdram::store(const std::string& key, PartialBitstream bs) {
+  VAPRES_REQUIRE(!key.empty(), "SDRAM array key must be non-empty");
+  VAPRES_REQUIRE(!contains(key), "SDRAM array already staged: " + key);
+  VAPRES_REQUIRE(bs.valid(), "refusing to stage corrupt bitstream");
+  VAPRES_REQUIRE(bs.size_bytes <= free_bytes(),
+                 "SDRAM capacity exceeded staging " + key);
+  used_bytes_ += bs.size_bytes;
+  arrays_[key] = std::move(bs);
+}
+
+void Sdram::erase(const std::string& key) {
+  auto it = arrays_.find(key);
+  VAPRES_REQUIRE(it != arrays_.end(), "SDRAM array not staged: " + key);
+  used_bytes_ -= it->second.size_bytes;
+  arrays_.erase(it);
+}
+
+bool Sdram::contains(const std::string& key) const {
+  return arrays_.count(key) > 0;
+}
+
+const PartialBitstream& Sdram::read(const std::string& key) const {
+  auto it = arrays_.find(key);
+  VAPRES_REQUIRE(it != arrays_.end(), "SDRAM array not staged: " + key);
+  return it->second;
+}
+
+std::vector<std::string> Sdram::list() const {
+  std::vector<std::string> names;
+  names.reserve(arrays_.size());
+  for (const auto& [name, bs] : arrays_) names.push_back(name);
+  return names;
+}
+
+}  // namespace vapres::bitstream

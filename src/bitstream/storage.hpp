@@ -1,0 +1,83 @@
+// External storage models: CompactFlash (SystemACE) and SDRAM.
+//
+// The paper stores partial bitstreams as files in CompactFlash and,
+// optionally, pre-stages them as arrays in SDRAM at system startup
+// (vapres_cf2array); the two reconfiguration paths differ by ~14.5x in
+// time (Section V.B). These classes model the namespace (files / arrays)
+// and per-byte access costs; the reconfiguration manager turns costs into
+// simulated time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "bitstream/calibration.hpp"
+#include "sim/time.hpp"
+
+namespace vapres::bitstream {
+
+/// CompactFlash card holding partial-bitstream files, read through a
+/// SystemACE-style byte interface.
+class CompactFlash {
+ public:
+  /// Stores `bs` under `filename` (8.3-style names, as on the real card).
+  void store(const std::string& filename, PartialBitstream bs);
+
+  bool contains(const std::string& filename) const;
+
+  /// Returns the file. Throws ModelError if absent.
+  const PartialBitstream& read(const std::string& filename) const;
+
+  std::vector<std::string> list() const;
+
+  /// Cycles (at the system clock) for the MicroBlaze to read `bytes` from
+  /// the card into on-chip memory.
+  static double read_cycles(std::int64_t bytes) {
+    return Calibration::kCallOverheadCycles +
+           static_cast<double>(bytes) * Calibration::kCfReadCyclesPerByte;
+  }
+
+ private:
+  std::map<std::string, PartialBitstream> files_;
+};
+
+/// External SDRAM used to pre-stage bitstream arrays.
+class Sdram {
+ public:
+  explicit Sdram(std::int64_t capacity_bytes);
+
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  std::int64_t used_bytes() const { return used_bytes_; }
+  std::int64_t free_bytes() const { return capacity_bytes_ - used_bytes_; }
+
+  /// Stores `bs` as the array named `key`. Throws if capacity is exceeded
+  /// or the key exists.
+  void store(const std::string& key, PartialBitstream bs);
+
+  /// Removes a staged array, reclaiming its space.
+  void erase(const std::string& key);
+
+  bool contains(const std::string& key) const;
+  const PartialBitstream& read(const std::string& key) const;
+  std::vector<std::string> list() const;
+
+  /// Cycles to stream `bytes` out of SDRAM on the PLB.
+  static double read_cycles(std::int64_t bytes) {
+    return static_cast<double>(bytes) * Calibration::kSdramReadCyclesPerByte;
+  }
+  /// Cycles to stream `bytes` into SDRAM on the PLB.
+  static double write_cycles(std::int64_t bytes) {
+    return static_cast<double>(bytes) * Calibration::kSdramWriteCyclesPerByte;
+  }
+
+ private:
+  std::int64_t capacity_bytes_;
+  std::int64_t used_bytes_ = 0;
+  std::map<std::string, PartialBitstream> arrays_;
+};
+
+}  // namespace vapres::bitstream

@@ -1,0 +1,36 @@
+#include "comm/dcr.hpp"
+
+namespace vapres::comm {
+
+void DcrBus::map(DcrAddress address, DcrSlave* slave) {
+  VAPRES_REQUIRE(slave != nullptr, "cannot map null DCR slave");
+  VAPRES_REQUIRE(slaves_.count(address) == 0,
+                 "DCR address already mapped: " + std::to_string(address));
+  slaves_[address] = slave;
+}
+
+void DcrBus::unmap(DcrAddress address) {
+  VAPRES_REQUIRE(slaves_.erase(address) > 0,
+                 "DCR address not mapped: " + std::to_string(address));
+}
+
+DcrSlave* DcrBus::find(DcrAddress address) const {
+  auto it = slaves_.find(address);
+  VAPRES_REQUIRE(it != slaves_.end(),
+                 "DCR access to unmapped address " + std::to_string(address));
+  return it->second;
+}
+
+DcrValue DcrBus::read(DcrAddress address) const {
+  DcrSlave* slave = find(address);
+  ++accesses_;
+  return slave->dcr_read();
+}
+
+void DcrBus::write(DcrAddress address, DcrValue value) {
+  DcrSlave* slave = find(address);
+  ++accesses_;
+  slave->dcr_write(value);
+}
+
+}  // namespace vapres::comm

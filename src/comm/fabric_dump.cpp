@@ -1,0 +1,50 @@
+#include "comm/fabric_dump.hpp"
+
+#include <sstream>
+
+#include "sim/check.hpp"
+
+namespace vapres::comm {
+
+std::string input_port_name(const SwitchBox& box, int port) {
+  const SwitchBoxShape& s = box.shape();
+  VAPRES_REQUIRE(port >= 0 && port < s.num_inputs(),
+                 "input port out of range");
+  if (port < s.kr) return "R" + std::to_string(port);
+  if (port < s.kr + s.kl) return "L" + std::to_string(port - s.kr);
+  return "P" + std::to_string(port - s.kr - s.kl);
+}
+
+std::string output_port_name(const SwitchBox& box, int port) {
+  const SwitchBoxShape& s = box.shape();
+  VAPRES_REQUIRE(port >= 0 && port < s.num_outputs(),
+                 "output port out of range");
+  if (port < s.kr) return "R" + std::to_string(port);
+  if (port < s.kr + s.kl) return "L" + std::to_string(port - s.kr);
+  return "C" + std::to_string(port - s.kr - s.kl);
+}
+
+std::string dump_fabric(const SwitchFabric& fabric) {
+  std::ostringstream os;
+  os << "fabric: " << fabric.num_boxes() << " switch boxes, kr="
+     << fabric.shape().kr << " kl=" << fabric.shape().kl << " ki="
+     << fabric.shape().ki << " ko=" << fabric.shape().ko << ", "
+     << fabric.active_routes() << " active route(s)\n";
+  for (int b = 0; b < fabric.num_boxes(); ++b) {
+    const SwitchBox& box = fabric.box(b);
+    os << "  " << box.name() << ":";
+    bool any = false;
+    for (int p = 0; p < box.shape().num_outputs(); ++p) {
+      const int sel = box.selected(p);
+      if (sel < 0) continue;
+      os << " " << output_port_name(box, p) << "<-"
+         << input_port_name(box, sel);
+      any = true;
+    }
+    if (!any) os << " (all outputs parked)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vapres::comm

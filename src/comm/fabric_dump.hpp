@@ -1,0 +1,24 @@
+// Switch-fabric introspection: renders the current mux configuration of
+// every switch box as text, with symbolic port names — the debugging
+// view of "which PRSocket MUX_sel bits are set right now".
+#pragma once
+
+#include <string>
+
+#include "comm/switch_fabric.hpp"
+
+namespace vapres::comm {
+
+/// Symbolic name of an input port of `box` ("R0" = rightward lane 0 in,
+/// "L1" = leftward lane 1 in, "P0" = producer channel 0).
+std::string input_port_name(const SwitchBox& box, int port);
+
+/// Symbolic name of an output port ("R0" out, "L0" out, "C0" consumer).
+std::string output_port_name(const SwitchBox& box, int port);
+
+/// One line per switch box listing each driven output and its source,
+/// e.g. "sw1: R0<-P0 C0<-R1"; parked outputs are omitted. Active-route
+/// and lane-occupancy summary at the end.
+std::string dump_fabric(const SwitchFabric& fabric);
+
+}  // namespace vapres::comm

@@ -1,0 +1,34 @@
+#include "comm/fifo.hpp"
+
+#include <algorithm>
+
+namespace vapres::comm {
+
+Fifo::Fifo(std::string name, int capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  VAPRES_REQUIRE(capacity_ > 0, "FIFO capacity must be positive: " + name_);
+}
+
+void Fifo::push(Word w) {
+  VAPRES_REQUIRE(!full(), "FIFO overflow: " + name_);
+  words_.push_back(w);
+  ++pushed_;
+  high_watermark_ = std::max(high_watermark_, size());
+}
+
+Word Fifo::pop() {
+  VAPRES_REQUIRE(!empty(), "FIFO underflow: " + name_);
+  const Word w = words_.front();
+  words_.pop_front();
+  ++popped_;
+  return w;
+}
+
+Word Fifo::front() const {
+  VAPRES_REQUIRE(!empty(), "FIFO front() on empty FIFO: " + name_);
+  return words_.front();
+}
+
+void Fifo::reset() { words_.clear(); }
+
+}  // namespace vapres::comm

@@ -1,0 +1,65 @@
+// Asynchronous FIFO model.
+//
+// Module interfaces and FSLs use BlockRAM-based asynchronous FIFOs to
+// cross between the static-region clock domain and each PRR's local clock
+// domain (Section III.B.2). In the discrete-event model, cross-domain
+// accesses are totally ordered by simulation time, so a plain bounded
+// queue is an exact behavioural model; the "asynchronous" property shows
+// up as the two sides being clocked by different domains.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "comm/flit.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::comm {
+
+class Fifo {
+ public:
+  /// Default depth: one RAMB16 configured 512 x 32 (the prototype's
+  /// module-interface and FSL FIFOs).
+  static constexpr int kDefaultDepth = 512;
+
+  explicit Fifo(std::string name, int capacity = kDefaultDepth);
+
+  const std::string& name() const { return name_; }
+  int capacity() const { return capacity_; }
+
+  bool empty() const { return words_.empty(); }
+  bool full() const { return size() >= capacity_; }
+  int size() const { return static_cast<int>(words_.size()); }
+  int remaining() const { return capacity_ - size(); }
+
+  /// Pushes a word. Throws on overflow — hardware FIFOs silently drop, but
+  /// every writer in the model checks full()/backpressure first, so an
+  /// overflow here is a protocol bug we want loud. (The consumer-interface
+  /// drop path of Section III.B is modelled in ConsumerInterface, which
+  /// counts discards explicitly.)
+  void push(Word w);
+
+  /// Pops and returns the oldest word. Throws on underflow.
+  Word pop();
+
+  /// Oldest word without removing it. Throws if empty.
+  Word front() const;
+
+  /// Clears contents (PRSocket FIFO_reset / FSL_reset).
+  void reset();
+
+  std::uint64_t total_pushed() const { return pushed_; }
+  std::uint64_t total_popped() const { return popped_; }
+  int high_watermark() const { return high_watermark_; }
+
+ private:
+  std::string name_;
+  int capacity_;
+  std::deque<Word> words_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+  int high_watermark_ = 0;
+};
+
+}  // namespace vapres::comm

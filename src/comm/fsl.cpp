@@ -1,0 +1,13 @@
+#include "comm/fsl.hpp"
+
+namespace vapres::comm {
+
+FslLink::FslLink(std::string name, int depth)
+    : name_(std::move(name)), fifo_(name_ + ".fifo", depth) {}
+
+std::optional<Word> FslLink::try_read() {
+  if (!can_read()) return std::nullopt;
+  return fifo_.pop();
+}
+
+}  // namespace vapres::comm

@@ -1,0 +1,139 @@
+// Producer and consumer module interfaces (paper Figure 2).
+//
+// Every PRR/IOM pairs with a switch box through FIFO-based module
+// interfaces. The *producer* interface holds a FIFO written by the
+// hardware module (in the module's local clock domain) and drained onto
+// the switch-box fabric (in the static-region domain) when the PRSocket
+// FIFO_ren bit is set and the pipelined feedback-full signal is clear.
+// The *consumer* interface receives flits from the fabric, writes valid
+// words into its FIFO when FIFO_wen is set, and asserts the feedback-full
+// signal early enough to absorb every word still in the pipeline.
+//
+// Backpressure threshold: the paper states the signal asserts when the
+// consumer FIFO's remaining space is "2*(N-d)" (N = FIFO capacity, d =
+// switch-box hops). That expression is dimensionally inconsistent for
+// N >> d (see DESIGN.md); the in-flight bound after assertion is the
+// forward + backward pipeline depth, ~2d+2 words. The default policy
+// asserts at remaining <= 2d+2 and is property-tested to never drop a
+// word; the literal paper policy is also implemented so its behaviour can
+// be demonstrated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/fifo.hpp"
+#include "comm/flit.hpp"
+#include "sim/component.hpp"
+
+namespace vapres::comm {
+
+enum class BackpressurePolicy {
+  kPipelineDepth,  ///< assert when remaining <= 2*d + 2 (default, safe)
+  kHalfCapacity,   ///< assert when remaining <= N/2 (safe, conservative)
+  kLiteralPaper,   ///< assert when remaining <= 2*(N - d) (as printed)
+};
+
+/// Producer interface: module-side FIFO -> fabric flit output.
+/// Clocked in the static-region domain.
+class ProducerInterface final : public sim::Clocked {
+ public:
+  explicit ProducerInterface(std::string name,
+                             int fifo_capacity = Fifo::kDefaultDepth,
+                             int width_bits = 32);
+
+  std::string name() const override { return name_; }
+
+  /// Module-side access (called from the module's clock domain).
+  Fifo& fifo() { return fifo_; }
+  const Fifo& fifo() const { return fifo_; }
+
+  /// PRSocket FIFO_ren bit: enables draining the FIFO onto the fabric.
+  void set_read_enable(bool enable) { read_enable_ = enable; }
+  bool read_enable() const { return read_enable_; }
+
+  /// Wires the pipelined feedback-full signal (owned by the fabric's
+  /// feedback pipeline). Null means "never full".
+  void set_feedback_full_source(const bool* src) { feedback_full_ = src; }
+
+  /// Fabric-side output register (read by the paired switch box's input
+  /// register during its eval).
+  const Flit* output_signal() const { return &output_; }
+
+  /// PRSocket FIFO_reset bit.
+  void reset();
+
+  std::uint64_t words_sent() const { return words_sent_; }
+
+  void eval() override;
+  void commit() override;
+
+  /// Payload width of the attached channel (w in the paper's Figure 7).
+  int width_bits() const { return width_bits_; }
+
+ private:
+  std::string name_;
+  Fifo fifo_;
+  int width_bits_;
+  bool read_enable_ = false;
+  const bool* feedback_full_ = nullptr;
+  Flit output_{};
+  Flit next_output_{};
+  bool pop_pending_ = false;
+  std::uint64_t words_sent_ = 0;
+};
+
+/// Consumer interface: fabric flit input -> module-side FIFO.
+/// Clocked in the static-region domain.
+class ConsumerInterface final : public sim::Clocked {
+ public:
+  explicit ConsumerInterface(std::string name, int fifo_capacity = Fifo::kDefaultDepth);
+
+  std::string name() const override { return name_; }
+
+  Fifo& fifo() { return fifo_; }
+  const Fifo& fifo() const { return fifo_; }
+
+  /// PRSocket FIFO_wen bit: enables writing received words into the FIFO.
+  void set_write_enable(bool enable) { write_enable_ = enable; }
+  bool write_enable() const { return write_enable_; }
+
+  /// Wires the fabric-side input (the paired switch box's consumer-channel
+  /// output slot). Null reads as idle.
+  void set_input_signal(const Flit* src) { input_ = src; }
+
+  /// Configures backpressure for an established channel crossing `hops`
+  /// switch boxes.
+  void configure_backpressure(int hops, BackpressurePolicy policy);
+
+  /// The registered feedback-full output (entry of the feedback pipeline).
+  const bool* full_feedback_signal() const { return &full_feedback_; }
+
+  void reset();
+
+  std::uint64_t words_received() const { return words_received_; }
+  /// Words discarded because the FIFO was full when they arrived
+  /// (Section III.B: "when a consumer interface FIFO becomes full, all
+  /// subsequent data words are discarded").
+  std::uint64_t words_discarded() const { return words_discarded_; }
+
+  void eval() override;
+  void commit() override;
+
+ private:
+  bool threshold_reached() const;
+
+  std::string name_;
+  Fifo fifo_;
+  bool write_enable_ = false;
+  const Flit* input_ = nullptr;
+  int hops_ = 0;
+  BackpressurePolicy policy_ = BackpressurePolicy::kPipelineDepth;
+  bool full_feedback_ = false;
+  bool next_full_feedback_ = false;
+  Flit pending_{};
+  std::uint64_t words_received_ = 0;
+  std::uint64_t words_discarded_ = 0;
+};
+
+}  // namespace vapres::comm

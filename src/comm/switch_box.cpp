@@ -1,0 +1,101 @@
+#include "comm/switch_box.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::comm {
+
+SwitchBox::SwitchBox(std::string name, SwitchBoxShape shape)
+    : name_(std::move(name)), shape_(shape) {
+  VAPRES_REQUIRE(shape_.kr >= 0 && shape_.kl >= 0 && shape_.ki >= 0 &&
+                     shape_.ko >= 0,
+                 "switch box lane counts must be non-negative");
+  VAPRES_REQUIRE(shape_.kr + shape_.kl > 0,
+                 "switch box needs at least one inter-box lane");
+  sources_.assign(static_cast<std::size_t>(shape_.num_inputs()), nullptr);
+  regs_.assign(sources_.size(), kIdleFlit);
+  regs_next_.assign(sources_.size(), kIdleFlit);
+  selects_.assign(static_cast<std::size_t>(shape_.num_outputs()), -1);
+  outputs_.assign(selects_.size(), kIdleFlit);
+}
+
+void SwitchBox::check_input(int port) const {
+  VAPRES_REQUIRE(port >= 0 && port < shape_.num_inputs(),
+                 name_ + ": input port out of range");
+}
+
+void SwitchBox::check_output(int port) const {
+  VAPRES_REQUIRE(port >= 0 && port < shape_.num_outputs(),
+                 name_ + ": output port out of range");
+}
+
+int SwitchBox::input_right_lane(int lane) const {
+  VAPRES_REQUIRE(lane >= 0 && lane < shape_.kr, name_ + ": bad right lane");
+  return lane;
+}
+int SwitchBox::input_left_lane(int lane) const {
+  VAPRES_REQUIRE(lane >= 0 && lane < shape_.kl, name_ + ": bad left lane");
+  return shape_.kr + lane;
+}
+int SwitchBox::input_producer(int channel) const {
+  VAPRES_REQUIRE(channel >= 0 && channel < shape_.ko,
+                 name_ + ": bad producer channel");
+  return shape_.kr + shape_.kl + channel;
+}
+int SwitchBox::output_right_lane(int lane) const {
+  VAPRES_REQUIRE(lane >= 0 && lane < shape_.kr, name_ + ": bad right lane");
+  return lane;
+}
+int SwitchBox::output_left_lane(int lane) const {
+  VAPRES_REQUIRE(lane >= 0 && lane < shape_.kl, name_ + ": bad left lane");
+  return shape_.kr + lane;
+}
+int SwitchBox::output_consumer(int channel) const {
+  VAPRES_REQUIRE(channel >= 0 && channel < shape_.ki,
+                 name_ + ": bad consumer channel");
+  return shape_.kr + shape_.kl + channel;
+}
+
+void SwitchBox::connect_input(int port, const Flit* source) {
+  check_input(port);
+  sources_[static_cast<std::size_t>(port)] = source;
+}
+
+const Flit* SwitchBox::output_signal(int port) const {
+  check_output(port);
+  return &outputs_[static_cast<std::size_t>(port)];
+}
+
+void SwitchBox::select(int output_port, int input_port) {
+  check_output(output_port);
+  if (input_port >= 0) check_input(input_port);
+  selects_[static_cast<std::size_t>(output_port)] = input_port;
+}
+
+int SwitchBox::selected(int output_port) const {
+  check_output(output_port);
+  return selects_[static_cast<std::size_t>(output_port)];
+}
+
+void SwitchBox::park_all_outputs() {
+  for (auto& s : selects_) s = -1;
+}
+
+void SwitchBox::eval() {
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    regs_next_[i] = sources_[i] != nullptr ? *sources_[i] : kIdleFlit;
+  }
+}
+
+void SwitchBox::commit() {
+  regs_ = regs_next_;
+  // Output muxes are combinational over the (just latched) input
+  // registers; materialize them so downstream eval() reads this cycle's
+  // values next cycle — one register of latency per box, as in the RTL.
+  for (std::size_t p = 0; p < outputs_.size(); ++p) {
+    const int sel = selects_[p];
+    outputs_[p] =
+        sel >= 0 ? regs_[static_cast<std::size_t>(sel)] : kIdleFlit;
+  }
+}
+
+}  // namespace vapres::comm

@@ -1,0 +1,86 @@
+// Switch box (paper Section III.B, Figure 3).
+//
+// Each PRR/IOM pairs with one switch box in a linear array. Internally a
+// switch box is "a set of multiplexers and one register connected to each
+// switch box input port": every input port latches its source each
+// static-region cycle, and every output port combinationally selects one
+// registered input via a multiplexer whose select lines are the MUX_sel
+// bits of the paired PRSocket's DCR. Data therefore advances one switch
+// box per cycle — the pipelining that lets the fabric close timing at
+// 100 MHz where a long shared bus reached only 50 MHz (Section II).
+//
+// Port layout for a box with parameters (kr, kl, ki, ko):
+//   inputs : [0, kr)            rightward lanes arriving from the left
+//            [kr, kr+kl)        leftward  lanes arriving from the right
+//            [kr+kl, kr+kl+ko)  producer channels of the paired module
+//   outputs: [0, kr)            rightward lanes departing to the right
+//            [kr, kr+kl)        leftward  lanes departing to the left
+//            [kr+kl, kr+kl+ki)  consumer channels of the paired module
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/flit.hpp"
+#include "sim/component.hpp"
+
+namespace vapres::comm {
+
+/// Lane-count parameters of one switch box.
+struct SwitchBoxShape {
+  int kr = 2;  ///< rightward-flowing inter-box lanes
+  int kl = 2;  ///< leftward-flowing inter-box lanes
+  int ki = 1;  ///< consumer channels into the paired module
+  int ko = 1;  ///< producer channels out of the paired module
+
+  int num_inputs() const { return kr + kl + ko; }
+  int num_outputs() const { return kr + kl + ki; }
+};
+
+class SwitchBox final : public sim::Clocked {
+ public:
+  SwitchBox(std::string name, SwitchBoxShape shape);
+
+  std::string name() const override { return name_; }
+  const SwitchBoxShape& shape() const { return shape_; }
+
+  // -- Port index helpers ---------------------------------------------
+  int input_right_lane(int lane) const;
+  int input_left_lane(int lane) const;
+  int input_producer(int channel) const;
+  int output_right_lane(int lane) const;
+  int output_left_lane(int lane) const;
+  int output_consumer(int channel) const;
+
+  // -- Wiring (done once by the fabric) --------------------------------
+  /// Connects input port `port` to read from `source` each cycle. A null
+  /// source reads as idle (array-boundary lanes).
+  void connect_input(int port, const Flit* source);
+
+  /// Signal slot readers attach to (stable for the box's lifetime).
+  const Flit* output_signal(int port) const;
+
+  // -- Runtime configuration (PRSocket MUX_sel bits) --------------------
+  /// Routes output `port` from registered input `input_port`; -1 parks the
+  /// output (drives idle flits).
+  void select(int output_port, int input_port);
+  int selected(int output_port) const;
+  void park_all_outputs();
+
+  void eval() override;
+  void commit() override;
+
+ private:
+  void check_input(int port) const;
+  void check_output(int port) const;
+
+  std::string name_;
+  SwitchBoxShape shape_;
+  std::vector<const Flit*> sources_;
+  std::vector<Flit> regs_;       ///< registered input ports (current)
+  std::vector<Flit> regs_next_;  ///< registered input ports (next)
+  std::vector<int> selects_;     ///< per-output mux select, -1 = parked
+  std::vector<Flit> outputs_;    ///< materialized output values
+};
+
+}  // namespace vapres::comm

@@ -1,0 +1,118 @@
+#include "core/api.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::core::api {
+
+std::pair<int, int> resolve_prr(const VapresSystem& sys, int num) {
+  VAPRES_REQUIRE(num >= 0, "PRR number must be >= 0");
+  int base = 0;
+  for (std::size_t r = 0; r < sys.params().rsbs.size(); ++r) {
+    const int n = sys.params().rsbs[r].num_prrs;
+    if (num < base + n) return {static_cast<int>(r), num - base};
+    base += n;
+  }
+  throw ModelError("PRR number out of range: " + std::to_string(num));
+}
+
+int vapres_cf2icap(VapresSystem& sys, const std::string& filename) {
+  if (!sys.compact_flash().contains(filename)) return 0;
+  bool done = false;
+  try {
+    sys.reconfig().cf2icap(filename, [&done] { done = true; });
+  } catch (const ModelError&) {
+    return 0;
+  }
+  return sys.sim().run_until([&done] { return done; },
+                             sim::kPsPerSecond * 60)
+             ? 1
+             : 0;
+}
+
+int vapres_array2icap(VapresSystem& sys, const std::string& key) {
+  if (!sys.sdram().contains(key)) return 0;
+  bool done = false;
+  try {
+    sys.reconfig().array2icap(key, [&done] { done = true; });
+  } catch (const ModelError&) {
+    return 0;
+  }
+  return sys.sim().run_until([&done] { return done; },
+                             sim::kPsPerSecond * 60)
+             ? 1
+             : 0;
+}
+
+int vapres_cf2array(VapresSystem& sys, const std::string& filename,
+                    const std::string& key, int* size) {
+  if (!sys.compact_flash().contains(filename)) return 0;
+  bool done = false;
+  try {
+    sys.reconfig().cf2array(filename, key, [&done] { done = true; });
+  } catch (const ModelError&) {
+    return 0;
+  }
+  if (!sys.sim().run_until([&done] { return done; }, sim::kPsPerSecond * 60)) {
+    return 0;
+  }
+  if (size != nullptr) {
+    *size = static_cast<int>(sys.sdram().read(key).size_bytes);
+  }
+  return 1;
+}
+
+int vapres_module_clock(VapresSystem& sys, int num, bool enable) {
+  const auto [r, p] = resolve_prr(sys, num);
+  sys.socket_set_bits(sys.rsb(r).prr_socket_address(p), PrSocket::kClkEn,
+                      enable);
+  return 1;
+}
+
+int vapres_module_reset(VapresSystem& sys, int num, bool assert_reset) {
+  const auto [r, p] = resolve_prr(sys, num);
+  sys.socket_set_bits(sys.rsb(r).prr_socket_address(p), PrSocket::kPrrReset,
+                      assert_reset);
+  return 1;
+}
+
+int vapres_module_write(VapresSystem& sys, int num, std::uint32_t value) {
+  const auto [r, p] = resolve_prr(sys, num);
+  comm::FslLink& t = sys.rsb(r).prr(p).fsl_from_mb();
+  if (!t.can_write()) return 0;
+  t.write(value);
+  return 1;
+}
+
+int vapres_module_read(VapresSystem& sys, int num, std::uint32_t* value) {
+  const auto [r, p] = resolve_prr(sys, num);
+  comm::FslLink& rl = sys.rsb(r).prr(p).fsl_to_mb();
+  auto w = rl.try_read();
+  if (!w) return 0;
+  if (value != nullptr) *value = *w;
+  return 1;
+}
+
+int vapres_establish_channel(VapresSystem& sys, CommState* current_state,
+                             std::uint8_t prr_x, std::uint8_t prr_y) {
+  VAPRES_REQUIRE(current_state != nullptr,
+                 "vapres_establish_channel: null comm state");
+  // The paper's signature addresses PRRs within one RSB; the comm state
+  // identifies which RSB. PRR numbers here are indices within that RSB.
+  Rsb* owner = nullptr;
+  for (int r = 0; r < sys.num_rsbs(); ++r) {
+    if (&sys.rsb(r).channels() == current_state) {
+      owner = &sys.rsb(r);
+      break;
+    }
+  }
+  VAPRES_REQUIRE(owner != nullptr,
+                 "comm state does not belong to this system");
+  const int x = static_cast<int>(prr_x);
+  const int y = static_cast<int>(prr_y);
+  if (x >= owner->num_prrs() || y >= owner->num_prrs()) return 0;
+  auto id = current_state->establish(owner->prr_producer(x),
+                                     owner->prr_consumer(y));
+  return id.has_value() ? 1 : 0;
+}
+
+}  // namespace vapres::core::api

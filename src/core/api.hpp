@@ -1,0 +1,57 @@
+// Table-2 API surface.
+//
+// The paper exposes low-level system functionality to software-module
+// authors as C-style functions (Table 2). These wrappers provide the same
+// names and return conventions (1 = success, 0 = failure) over the C++
+// system object, with blocking semantics: a call returns after the
+// simulated operation completed, exactly as the real driver call returns
+// after the hardware finished. `num` identifies a PRR by global index in
+// RSB-major order, matching vapres_module_* in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/channel.hpp"
+#include "core/system.hpp"
+
+namespace vapres::core::api {
+
+/// The paper's comm_state: the routing state threaded through
+/// vapres_establish_channel. One per RSB, owned by the Rsb.
+using CommState = ChannelManager;
+
+/// Transfers a partial bitstream stored as a CF file to the ICAP port.
+int vapres_cf2icap(VapresSystem& sys, const std::string& filename);
+
+/// Transfers a partial bitstream staged as an SDRAM array to the ICAP.
+int vapres_array2icap(VapresSystem& sys, const std::string& key);
+
+/// Transfers a partial bitstream file from CF memory to an SDRAM array.
+/// The array size in bytes is returned through `size`.
+int vapres_cf2array(VapresSystem& sys, const std::string& filename,
+                    const std::string& key, int* size);
+
+/// Enables/disables the regional clock buffer (BUFR) of PRR `num`.
+int vapres_module_clock(VapresSystem& sys, int num, bool enable);
+
+/// Asserts/deasserts reset of the module in PRR `num`.
+int vapres_module_reset(VapresSystem& sys, int num, bool assert_reset);
+
+/// Writes `value` to the module's t-link (MicroBlaze -> module FSL).
+int vapres_module_write(VapresSystem& sys, int num, std::uint32_t value);
+
+/// Reads a word from the module's r-link into `value` (0 if empty).
+int vapres_module_read(VapresSystem& sys, int num, std::uint32_t* value);
+
+/// Establishes a streaming channel from PRR X's producer to PRR Y's
+/// consumer using `current_state`. Returns 1 and updates the state on
+/// success, 0 otherwise (Table 2 semantics).
+int vapres_establish_channel(VapresSystem& sys, CommState* current_state,
+                             std::uint8_t prr_x, std::uint8_t prr_y);
+
+/// Maps a global PRR number to (rsb index, prr index). Throws on a bad
+/// number; exposed for tests.
+std::pair<int, int> resolve_prr(const VapresSystem& sys, int num);
+
+}  // namespace vapres::core::api

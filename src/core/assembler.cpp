@@ -1,0 +1,129 @@
+#include "core/assembler.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace vapres::core {
+
+namespace {
+
+bool is_iom(const std::string& endpoint) {
+  return endpoint.rfind("iom:", 0) == 0;
+}
+
+int iom_index(const std::string& endpoint) {
+  return std::stoi(endpoint.substr(4));
+}
+
+}  // namespace
+
+RuntimeAssembler::RuntimeAssembler(VapresSystem& sys, int rsb_index)
+    : sys_(sys), rsb_index_(rsb_index) {
+  sys_.rsb(rsb_index_);  // range check
+}
+
+ChannelEndpoint RuntimeAssembler::resolve_producer(
+    const std::string& endpoint, int port,
+    const std::map<std::string, int>& placement) {
+  Rsb& r = sys_.rsb(rsb_index_);
+  if (is_iom(endpoint)) {
+    VAPRES_REQUIRE(port >= 0 && port < r.params().ko,
+                   "IOM producer channel out of range");
+    return r.iom_producer(iom_index(endpoint), port);
+  }
+  auto it = placement.find(endpoint);
+  VAPRES_REQUIRE(it != placement.end(), "edge names unknown node " + endpoint);
+  return r.prr_producer(it->second, port);
+}
+
+ChannelEndpoint RuntimeAssembler::resolve_consumer(
+    const std::string& endpoint, int port,
+    const std::map<std::string, int>& placement) {
+  Rsb& r = sys_.rsb(rsb_index_);
+  if (is_iom(endpoint)) {
+    VAPRES_REQUIRE(port >= 0 && port < r.params().ki,
+                   "IOM consumer channel out of range");
+    return r.iom_consumer(iom_index(endpoint), port);
+  }
+  auto it = placement.find(endpoint);
+  VAPRES_REQUIRE(it != placement.end(), "edge names unknown node " + endpoint);
+  return r.prr_consumer(it->second, port);
+}
+
+RuntimeAssembler::Assembly RuntimeAssembler::assemble(const KpnAppSpec& app,
+                                                      ReconfigSource source) {
+  Rsb& r = sys_.rsb(rsb_index_);
+  const RsbParams& params = r.params();
+  const auto& lib = sys_.library();
+
+  // ---- Validate against the base system's architectural parameters ----
+  VAPRES_REQUIRE(static_cast<int>(app.nodes.size()) <= params.num_prrs,
+                 app.name + ": more nodes than PRRs");
+  for (const KpnNodeSpec& node : app.nodes) {
+    VAPRES_REQUIRE(lib.contains(node.module_id),
+                   app.name + ": unknown module " + node.module_id);
+    const auto& info = lib.info(node.module_id);
+    VAPRES_REQUIRE(info.num_inputs <= params.ki,
+                   node.name + ": needs more input channels than ki");
+    VAPRES_REQUIRE(info.num_outputs <= params.ko,
+                   node.name + ": needs more output channels than ko");
+  }
+
+  // ---- Place: first-fit into free PRRs by resource footprint ----------
+  Assembly assembly;
+  std::vector<bool> prr_used(static_cast<std::size_t>(params.num_prrs),
+                             false);
+  for (int p = 0; p < params.num_prrs; ++p) {
+    prr_used[static_cast<std::size_t>(p)] = r.prr(p).occupied();
+  }
+  for (const KpnNodeSpec& node : app.nodes) {
+    const auto& need = lib.info(node.module_id).resources;
+    int chosen = -1;
+    for (int p = 0; p < params.num_prrs; ++p) {
+      if (!prr_used[static_cast<std::size_t>(p)] &&
+          need.fits_in(r.prr(p).capacity())) {
+        chosen = p;
+        break;
+      }
+    }
+    VAPRES_REQUIRE(chosen >= 0,
+                   app.name + ": no free PRR fits node " + node.name);
+    prr_used[static_cast<std::size_t>(chosen)] = true;
+    assembly.placement[node.name] = chosen;
+  }
+
+  // ---- Reconfigure each placed PRR (timed) -----------------------------
+  for (const KpnNodeSpec& node : app.nodes) {
+    assembly.reconfig_cycles += sys_.reconfigure_now(
+        rsb_index_, assembly.placement[node.name], node.module_id, source);
+  }
+
+  // ---- Bring up sockets and route every edge ----------------------------
+  for (const auto& [name, prr_index] : assembly.placement) {
+    sys_.socket_set_bits(r.prr_socket_address(prr_index),
+                         PrSocket::kSmEn | PrSocket::kClkEn |
+                             PrSocket::kFifoWen,
+                         true);
+  }
+  for (const KpnEdgeSpec& edge : app.edges) {
+    const ChannelEndpoint producer =
+        resolve_producer(edge.from, edge.from_port, assembly.placement);
+    const ChannelEndpoint consumer =
+        resolve_consumer(edge.to, edge.to_port, assembly.placement);
+    auto id = sys_.connect(rsb_index_, producer, consumer);
+    VAPRES_REQUIRE(id.has_value(), app.name + ": no channel capacity for " +
+                                       edge.from + " -> " + edge.to);
+    assembly.channels.push_back(*id);
+  }
+  return assembly;
+}
+
+void RuntimeAssembler::disassemble(const Assembly& assembly) {
+  for (auto it = assembly.channels.rbegin(); it != assembly.channels.rend();
+       ++it) {
+    sys_.disconnect(rsb_index_, *it);
+  }
+}
+
+}  // namespace vapres::core

@@ -1,0 +1,69 @@
+// RSPS runtime assembly (paper Section III.B.1, Figure 4).
+//
+// A reconfigurable stream-processing system approximates a Kahn process
+// network: hardware modules are KPN nodes, module-interface FIFOs and
+// FSLs are the stream buffers. The RuntimeAssembler takes a KPN
+// application spec, places each node into a free PRR (first-fit by
+// resource footprint), reconfigures the PRRs (timed, through the real
+// reconfiguration paths), and establishes the streaming channels for
+// every edge.
+//
+// Edge endpoints name either a node or an IOM ("iom:<index>").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace vapres::core {
+
+struct KpnNodeSpec {
+  std::string name;
+  std::string module_id;
+};
+
+struct KpnEdgeSpec {
+  std::string from;   ///< node name or "iom:<index>"
+  std::string to;     ///< node name or "iom:<index>"
+  int from_port = 0;  ///< producer channel at `from`
+  int to_port = 0;    ///< consumer channel at `to`
+};
+
+struct KpnAppSpec {
+  std::string name;
+  std::vector<KpnNodeSpec> nodes;
+  std::vector<KpnEdgeSpec> edges;
+};
+
+class RuntimeAssembler {
+ public:
+  explicit RuntimeAssembler(VapresSystem& sys, int rsb_index = 0);
+
+  struct Assembly {
+    std::map<std::string, int> placement;  ///< node name -> PRR index
+    std::vector<ChannelId> channels;
+    sim::Cycles reconfig_cycles = 0;  ///< MicroBlaze cycles spent in PR
+  };
+
+  /// Validates the app against the base system's architectural
+  /// parameters, places, reconfigures, routes, and enables everything.
+  /// Throws ModelError when the app cannot be mapped.
+  Assembly assemble(const KpnAppSpec& app,
+                    ReconfigSource source = ReconfigSource::kSdramArray);
+
+  /// Tears an assembly down: quiesces and releases all channels.
+  void disassemble(const Assembly& assembly);
+
+ private:
+  ChannelEndpoint resolve_producer(const std::string& endpoint, int port,
+                                   const std::map<std::string, int>& placement);
+  ChannelEndpoint resolve_consumer(const std::string& endpoint, int port,
+                                   const std::map<std::string, int>& placement);
+
+  VapresSystem& sys_;
+  int rsb_index_;
+};
+
+}  // namespace vapres::core

@@ -1,0 +1,124 @@
+// I/O module (IOM).
+//
+// IOMs live in the static region and bridge external pins/peripherals
+// (ADCs, DACs) to the RSB fabric (Section III.B). An IOM exposes the
+// full ko producer / ki consumer channels of its switch box (Figure 7):
+// each producer channel has a *source* half injecting words at a
+// configurable rate (an external input stream), each consumer channel a
+// *sink* half draining words (an external output). Sinks detect the
+// end-of-stream word at channel width and inform the MicroBlaze over the
+// r-link (Figure 5, step 8), and keep arrival-gap statistics — the
+// measurement behind the "no stream-processing interruption" claim.
+//
+// EOS is in-band by design (as in the paper): an application data word
+// of all ones is indistinguishable from the end-of-stream marker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/fsl.hpp"
+#include "comm/module_interface.hpp"
+#include "core/params.hpp"
+#include "core/prsocket.hpp"
+#include "sim/clock.hpp"
+#include "sim/component.hpp"
+
+namespace vapres::core {
+
+/// Message the IOM writes on its r-link when it sees the end-of-stream
+/// word (Figure 5, step 8).
+inline constexpr comm::Word kIomEosDetected = 0xC0DE0005u;
+
+class Iom final : public sim::Clocked {
+ public:
+  Iom(std::string name, const RsbParams& params,
+      sim::ClockDomain& static_domain, comm::SwitchBox* box);
+
+  Iom(const Iom&) = delete;
+  Iom& operator=(const Iom&) = delete;
+  ~Iom() override;
+
+  std::string name() const override { return name_; }
+
+  int num_producers() const { return static_cast<int>(sources_.size()); }
+  int num_consumers() const { return static_cast<int>(sinks_.size()); }
+  comm::ProducerInterface& producer(int channel = 0);
+  comm::ConsumerInterface& consumer(int channel = 0);
+  comm::FslLink& fsl_to_mb() { return *fsl_to_mb_; }
+  comm::FslLink& fsl_from_mb() { return *fsl_from_mb_; }
+  PrSocket& socket() { return *socket_; }
+
+  // ---- Source halves (external input streams), per producer channel --
+
+  /// Feeds the words of `data` one per `interval_cycles`, then stops.
+  void set_source_data(std::vector<comm::Word> data, int interval_cycles = 1,
+                       int channel = 0);
+
+  /// Feeds generator output one word per `interval_cycles` until the
+  /// generator returns nullopt.
+  void set_source_generator(std::function<std::optional<comm::Word>()> gen,
+                            int interval_cycles = 1, int channel = 0);
+
+  void stop_source(int channel = 0);
+  bool source_active(int channel = 0) const;
+
+  std::uint64_t words_emitted(int channel = 0) const;
+  /// Cycles where the source had a word ready but the producer FIFO was
+  /// full — ingress backpressure / stream interruption at the input.
+  std::uint64_t source_stall_cycles(int channel = 0) const;
+
+  // ---- Sink halves (external output streams), per consumer channel ---
+
+  const std::vector<comm::Word>& received(int channel = 0) const;
+  std::vector<comm::Word> take_received(int channel = 0);
+  std::uint64_t eos_seen(int channel = 0) const;
+
+  /// Largest gap (in static-domain cycles) between consecutive output
+  /// words since the last reset_gap_stats(). The output-stream
+  /// interruption metric of experiment E3.
+  sim::Cycles max_output_gap(int channel = 0) const;
+  void reset_gap_stats();
+
+  void eval() override {}
+  void commit() override;
+
+ private:
+  struct Source {
+    std::unique_ptr<comm::ProducerInterface> interface;
+    std::function<std::optional<comm::Word>()> generator;
+    std::optional<comm::Word> pending;
+    int interval_cycles = 1;
+    sim::Cycles next_emit_cycle = 0;
+    std::uint64_t words_emitted = 0;
+    std::uint64_t stalls = 0;
+  };
+  struct Sink {
+    std::unique_ptr<comm::ConsumerInterface> interface;
+    std::vector<comm::Word> received;
+    std::uint64_t eos_seen = 0;
+    bool have_last_arrival = false;
+    sim::Cycles last_arrival = 0;
+    sim::Cycles max_gap = 0;
+  };
+
+  Source& source(int channel);
+  const Source& source(int channel) const;
+  Sink& sink(int channel);
+  const Sink& sink(int channel) const;
+
+  std::string name_;
+  sim::ClockDomain& domain_;
+  int width_bits_ = 32;
+  std::vector<Source> sources_;
+  std::vector<Sink> sinks_;
+  std::unique_ptr<comm::FslLink> fsl_to_mb_;
+  std::unique_ptr<comm::FslLink> fsl_from_mb_;
+  std::unique_ptr<PrSocket> socket_;
+};
+
+}  // namespace vapres::core

@@ -1,0 +1,74 @@
+#include "core/monitor.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::core {
+
+ThresholdTrigger::ThresholdTrigger(comm::Word high, comm::Word low,
+                                   int persistence)
+    : high_(high), low_(low), persistence_(persistence) {
+  VAPRES_REQUIRE(low <= high, "hysteresis band inverted");
+  VAPRES_REQUIRE(persistence >= 1, "persistence must be >= 1");
+}
+
+bool ThresholdTrigger::operator()(comm::Word sample) {
+  if (sample >= high_) {
+    below_count_ = 0;
+    if (++above_count_ >= persistence_ && armed_) {
+      armed_ = false;
+      return true;
+    }
+    return false;
+  }
+  above_count_ = 0;
+  if (sample <= low_) {
+    if (++below_count_ >= persistence_) armed_ = true;
+  } else {
+    below_count_ = 0;
+  }
+  return false;
+}
+
+StreamMonitor::StreamMonitor(std::string name, comm::FslLink& rlink,
+                             Trigger trigger, Action action)
+    : name_(std::move(name)),
+      rlink_(rlink),
+      trigger_(std::move(trigger)),
+      action_(std::move(action)) {
+  VAPRES_REQUIRE(trigger_ != nullptr && action_ != nullptr,
+                 name_ + ": monitor needs trigger and action");
+}
+
+void StreamMonitor::start_polling(proc::Microblaze& mb) {
+  mb.add_task(this);
+}
+
+int StreamMonitor::register_interrupt(proc::InterruptController& intc) {
+  const int irq = intc.add_source(
+      name_, [this] { return rlink_.can_read(); });
+  intc.enable(irq);
+  return irq;
+}
+
+bool StreamMonitor::service(proc::Microblaze& mb) {
+  bool fired_now = false;
+  while (auto w = rlink_.try_read()) {
+    mb.busy_for(1);
+    if ((*w & 0xFFFF0000u) == 0xC0DE0000u) continue;  // protocol words
+    ++words_seen_;
+    if (!fired_ && trigger_(*w)) {
+      fired_ = true;
+      fired_now = true;
+      action_();
+    }
+  }
+  return fired_now;
+}
+
+bool StreamMonitor::step(proc::Microblaze& mb) {
+  service(mb);
+  // One-shot: deschedule after firing.
+  return fired_;
+}
+
+}  // namespace vapres::core

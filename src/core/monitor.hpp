@@ -1,0 +1,86 @@
+// Stream-monitoring framework (Figure 5, step 2).
+//
+// "While filter A processes data, filter A periodically sends monitoring
+// information about input data characteristics through r1 to the
+// Microblaze processor. The Microblaze evaluates this monitoring
+// information to determine if filter B would better meet the design
+// constraints." StreamMonitor is that software module, factored out of
+// application code: it drains a module's r-link (polling as a task, or
+// interrupt-driven through the intc), feeds each monitoring word to a
+// trigger predicate, and fires a one-shot action when the predicate
+// trips. ThresholdTrigger provides the standard predicate: level
+// crossing with hysteresis and a minimum-persistence count, so noise
+// does not cause spurious module switches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "comm/fsl.hpp"
+#include "proc/interrupt.hpp"
+#include "proc/microblaze.hpp"
+
+namespace vapres::core {
+
+/// Level-crossing trigger with hysteresis and persistence: fires after
+/// `persistence` consecutive samples >= `high`; re-arms after
+/// `persistence` consecutive samples <= `low`.
+class ThresholdTrigger {
+ public:
+  ThresholdTrigger(comm::Word high, comm::Word low, int persistence = 1);
+
+  /// Returns true exactly once per excursion above the threshold.
+  bool operator()(comm::Word sample);
+
+  bool armed() const { return armed_; }
+
+ private:
+  comm::Word high_;
+  comm::Word low_;
+  int persistence_;
+  int above_count_ = 0;
+  int below_count_ = 0;
+  bool armed_ = true;
+};
+
+/// Watches one r-link for monitoring words and fires `action` when
+/// `trigger` returns true. Control-range words (0xC0DExxxx) are ignored
+/// — they belong to the wrapper protocol, not to monitoring.
+class StreamMonitor final : public proc::SoftwareTask {
+ public:
+  using Trigger = std::function<bool(comm::Word)>;
+  using Action = std::function<void()>;
+
+  StreamMonitor(std::string name, comm::FslLink& rlink, Trigger trigger,
+                Action action);
+
+  /// Registers as a polling task on `mb` (one quantum per idle cycle).
+  void start_polling(proc::Microblaze& mb);
+
+  /// Registers interrupt-driven: the monitor's FSL level becomes an intc
+  /// source and words are handled from the ISR — no polling quanta.
+  /// Requires mb.attach_interrupts to have been wired to `intc` with a
+  /// handler that calls `service()` for this monitor's irq.
+  int register_interrupt(proc::InterruptController& intc);
+
+  /// Drains available words, evaluating the trigger; used by both modes.
+  /// Returns true if the action fired.
+  bool service(proc::Microblaze& mb);
+
+  bool step(proc::Microblaze& mb) override;
+  std::string task_name() const override { return name_; }
+
+  bool fired() const { return fired_; }
+  std::uint64_t words_seen() const { return words_seen_; }
+
+ private:
+  std::string name_;
+  comm::FslLink& rlink_;
+  Trigger trigger_;
+  Action action_;
+  bool fired_ = false;
+  std::uint64_t words_seen_ = 0;
+};
+
+}  // namespace vapres::core

@@ -1,0 +1,91 @@
+#include "core/params.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::core {
+
+int RsbParams::box_of_iom(int iom_index) const {
+  VAPRES_REQUIRE(iom_index >= 0 && iom_index < num_ioms,
+                 "IOM index out of range");
+  return iom_index;
+}
+
+int RsbParams::box_of_prr(int prr_index) const {
+  VAPRES_REQUIRE(prr_index >= 0 && prr_index < num_prrs,
+                 "PRR index out of range");
+  return num_ioms + prr_index;
+}
+
+void RsbParams::validate() const {
+  VAPRES_REQUIRE(num_prrs >= 1, "an RSB needs at least one PRR");
+  VAPRES_REQUIRE(num_ioms >= 0, "negative IOM count");
+  VAPRES_REQUIRE(width_bits >= 1 && width_bits <= 32,
+                 "channel width must be 1..32 bits");
+  VAPRES_REQUIRE(kr >= 0 && kl >= 0, "negative inter-box channel count");
+  VAPRES_REQUIRE(kr + kl >= 1, "RSB needs at least one inter-box channel");
+  VAPRES_REQUIRE(ki >= 1 && ko >= 1,
+                 "each module needs at least one input and output channel");
+  VAPRES_REQUIRE(fifo_depth >= 4, "FIFO depth must be at least 4 words");
+  VAPRES_REQUIRE(prr_height_clbs >= 1 && prr_width_clbs >= 1,
+                 "PRR dimensions must be positive");
+  VAPRES_REQUIRE(prr_height_clbs <= 3 * fabric::DeviceGeometry::kClockRegionRows,
+                 "PRR taller than the 48-CLB BUFR reach");
+}
+
+void SystemParams::validate() const {
+  VAPRES_REQUIRE(!name.empty(), "system needs a name");
+  VAPRES_REQUIRE(system_clock_mhz > 0.0, "system clock must be positive");
+  VAPRES_REQUIRE(prr_clock_a_mhz > 0.0 && prr_clock_b_mhz > 0.0,
+                 "PRR clock options must be positive");
+  VAPRES_REQUIRE(!rsbs.empty(), "system needs at least one RSB");
+  for (const RsbParams& rsb : rsbs) rsb.validate();
+  VAPRES_REQUIRE(sdram_bytes > 0, "SDRAM capacity must be positive");
+  if (!prr_rects.empty()) {
+    VAPRES_REQUIRE(static_cast<int>(prr_rects.size()) == total_prrs(),
+                   "floorplan must cover every PRR exactly once");
+    for (std::size_t i = 0; i < prr_rects.size(); ++i) {
+      const std::string violation =
+          fabric::prr_legality_violation(prr_rects[i], device);
+      VAPRES_REQUIRE(violation.empty(), violation);
+      for (std::size_t j = 0; j < i; ++j) {
+        VAPRES_REQUIRE(!prr_rects[i].overlaps(prr_rects[j]),
+                       "PRR rectangles overlap");
+        // Clock regions used by different PRRs may not intersect
+        // (Section III.B.2).
+        for (const auto& ri : regions_spanned(prr_rects[i], device)) {
+          for (const auto& rj : regions_spanned(prr_rects[j], device)) {
+            VAPRES_REQUIRE(!(ri == rj),
+                           "PRRs share a local clock region");
+          }
+        }
+      }
+    }
+  }
+}
+
+int SystemParams::total_prrs() const {
+  int n = 0;
+  for (const RsbParams& rsb : rsbs) n += rsb.num_prrs;
+  return n;
+}
+
+SystemParams SystemParams::prototype() {
+  SystemParams p;
+  p.name = "vapres_ml401_prototype";
+  p.device = fabric::DeviceGeometry::xc4vlx25();
+  p.system_clock_mhz = 100.0;
+  RsbParams rsb;
+  rsb.num_prrs = 2;
+  rsb.num_ioms = 1;
+  rsb.width_bits = 32;
+  rsb.kr = 2;
+  rsb.kl = 2;
+  rsb.ki = 1;
+  rsb.ko = 1;
+  rsb.prr_height_clbs = 16;
+  rsb.prr_width_clbs = 10;
+  p.rsbs = {rsb};
+  return p;
+}
+
+}  // namespace vapres::core

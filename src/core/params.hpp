@@ -1,0 +1,70 @@
+// VAPRES architectural parameters (paper Figure 7 / Section IV.A).
+//
+// The data-processing region of an RSB is specialized by: the number of
+// PRRs (N), the communication channel width (w bits), the number of
+// one-way inter-switch-box channels (kr rightward, kl leftward), and the
+// channels between each PRR/IOM and its switch box (ki in, ko out). A
+// base system fixes these at design time; applications are validated
+// against them by the application flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/clock_region.hpp"
+#include "fabric/device.hpp"
+
+namespace vapres::core {
+
+struct RsbParams {
+  int num_prrs = 2;   ///< N
+  int num_ioms = 1;
+  int width_bits = 32;  ///< w (payload bits per channel, <= 32)
+  int kr = 2;  ///< rightward inter-box channels
+  int kl = 2;  ///< leftward inter-box channels
+  int ki = 1;  ///< input channels per module (switch box -> module)
+  int ko = 1;  ///< output channels per module (module -> switch box)
+  int fifo_depth = 512;  ///< module-interface / FSL FIFO words (1 RAMB16)
+
+  /// Uniform PRR rectangle size; the prototype uses 16 x 10 CLBs = 640
+  /// slices within one clock region (Section V.A).
+  int prr_height_clbs = 16;
+  int prr_width_clbs = 10;
+
+  /// Switch boxes / attachments: IOMs occupy the first boxes, then PRRs.
+  int num_attachments() const { return num_prrs + num_ioms; }
+  int box_of_iom(int iom_index) const;
+  int box_of_prr(int prr_index) const;
+
+  /// Throws ModelError on inconsistent parameters.
+  void validate() const;
+};
+
+struct SystemParams {
+  std::string name = "vapres";
+  fabric::DeviceGeometry device = fabric::DeviceGeometry::xc4vlx25();
+  double system_clock_mhz = 100.0;  ///< MicroBlaze + switch boxes + IOMs
+
+  /// The two PRR clock frequencies selectable per-PRR through the
+  /// BUFGMUX (PRSocket CLK_sel): input 0 and input 1.
+  double prr_clock_a_mhz = 100.0;
+  double prr_clock_b_mhz = 50.0;
+
+  std::vector<RsbParams> rsbs{RsbParams{}};
+
+  std::int64_t sdram_bytes = 64 * 1024 * 1024;
+
+  /// Optional explicit PRR floorplan, one rect per PRR in RSB-major
+  /// order. Empty = auto-stack PRRs into separate clock regions.
+  std::vector<fabric::ClbRect> prr_rects;
+
+  void validate() const;
+
+  int total_prrs() const;
+
+  /// The ML401/XC4VLX25 prototype of Section V.A: one RSB, two PRRs of
+  /// 640 slices each, one IOM, kr = kl = 2, w = 32, ki = ko = 1.
+  static SystemParams prototype();
+};
+
+}  // namespace vapres::core

@@ -1,0 +1,109 @@
+#include "core/peripherals.hpp"
+
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "sim/check.hpp"
+
+namespace vapres::core::peripherals {
+
+namespace {
+
+/// Quarter-wave table, computed once. Index 0..256 covers 0..pi/2.
+const std::array<std::int32_t, 257>& quarter_wave() {
+  static const auto table = [] {
+    std::array<std::int32_t, 257> t{};
+    for (int i = 0; i <= 256; ++i) {
+      t[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+          std::lround(std::sin(3.14159265358979323846 * i / 512.0) *
+                      32767.0));
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Full-wave lookup over 1024 phase steps using quarter-wave symmetry.
+std::int32_t sine_q15(int phase1024) {
+  const int p = phase1024 & 1023;
+  if (p < 256) return quarter_wave()[static_cast<std::size_t>(p)];
+  if (p < 512) return quarter_wave()[static_cast<std::size_t>(512 - p)];
+  if (p < 768) return -quarter_wave()[static_cast<std::size_t>(p - 512)];
+  return -quarter_wave()[static_cast<std::size_t>(1024 - p)];
+}
+
+}  // namespace
+
+std::int32_t sine_table(int i) {
+  VAPRES_REQUIRE(i >= 0 && i <= 256, "sine table index out of range");
+  return quarter_wave()[static_cast<std::size_t>(i)];
+}
+
+Generator sine_source(std::int32_t amplitude, std::int32_t offset,
+                      int period, std::int64_t total_samples) {
+  VAPRES_REQUIRE(amplitude >= 0, "amplitude must be >= 0");
+  VAPRES_REQUIRE(period >= 2, "sine period must be >= 2 samples");
+  auto n = std::make_shared<std::int64_t>(0);
+  return [amplitude, offset, period, total_samples,
+          n]() -> std::optional<comm::Word> {
+    if (total_samples > 0 && *n >= total_samples) return std::nullopt;
+    const int phase = static_cast<int>((*n % period) * 1024 / period);
+    ++*n;
+    const std::int64_t v =
+        offset + static_cast<std::int64_t>(amplitude) * sine_q15(phase) /
+                     32767;
+    return static_cast<comm::Word>(v);
+  };
+}
+
+Generator noise_source(std::int32_t amplitude, std::int32_t offset,
+                       std::uint64_t seed, std::int64_t total_samples) {
+  VAPRES_REQUIRE(amplitude >= 0, "amplitude must be >= 0");
+  auto rng = std::make_shared<sim::SplitMix64>(seed);
+  auto n = std::make_shared<std::int64_t>(0);
+  return [amplitude, offset, total_samples, rng,
+          n]() -> std::optional<comm::Word> {
+    if (total_samples > 0 && *n >= total_samples) return std::nullopt;
+    ++*n;
+    const auto span = static_cast<std::uint64_t>(2 * amplitude + 1);
+    const auto jitter =
+        static_cast<std::int32_t>(rng->next_below(span)) - amplitude;
+    return static_cast<comm::Word>(offset + jitter);
+  };
+}
+
+Generator square_source(comm::Word low, comm::Word high, int half_period,
+                        std::int64_t total_samples) {
+  VAPRES_REQUIRE(half_period >= 1, "half period must be >= 1");
+  auto n = std::make_shared<std::int64_t>(0);
+  return [low, high, half_period, total_samples,
+          n]() -> std::optional<comm::Word> {
+    if (total_samples > 0 && *n >= total_samples) return std::nullopt;
+    const bool hi = (*n / half_period) % 2 == 1;
+    ++*n;
+    return hi ? high : low;
+  };
+}
+
+Generator ramp_source(comm::Word increment, std::int64_t total_samples) {
+  auto n = std::make_shared<std::int64_t>(0);
+  return [increment, total_samples, n]() -> std::optional<comm::Word> {
+    if (total_samples > 0 && *n >= total_samples) return std::nullopt;
+    const auto v = static_cast<comm::Word>(*n) * increment;
+    ++*n;
+    return v;
+  };
+}
+
+Generator mix(Generator a, Generator b) {
+  VAPRES_REQUIRE(a != nullptr && b != nullptr, "mix needs two generators");
+  return [a = std::move(a), b = std::move(b)]() -> std::optional<comm::Word> {
+    const auto va = a();
+    const auto vb = b();
+    if (!va || !vb) return std::nullopt;
+    return *va + *vb;
+  };
+}
+
+}  // namespace vapres::core::peripherals

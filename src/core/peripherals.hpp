@@ -1,0 +1,46 @@
+// External-peripheral signal sources for IOMs.
+//
+// IOMs "directly interface to external I/O pins or peripherals (i.e.
+// ADCs, DACs, etc.)" (Section III.B). These factories build the
+// generator callables Iom::set_source_generator consumes: fixed-point
+// ADC-style waveforms (sine, chirp, noise, steps) with deterministic
+// arithmetic, so tests and benches get reproducible "analog" inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "comm/flit.hpp"
+#include "sim/random.hpp"
+
+namespace vapres::core::peripherals {
+
+using Generator = std::function<std::optional<comm::Word>()>;
+
+/// Sine wave, amplitude in counts around `offset`, `period` samples per
+/// cycle, quantized via a 256-entry quarter-wave integer table (as an
+/// ADC front-end DDS would). Infinite unless `total_samples` > 0.
+Generator sine_source(std::int32_t amplitude, std::int32_t offset,
+                      int period, std::int64_t total_samples = 0);
+
+/// Uniform noise in [offset - amplitude, offset + amplitude].
+Generator noise_source(std::int32_t amplitude, std::int32_t offset,
+                       std::uint64_t seed, std::int64_t total_samples = 0);
+
+/// Step pattern: `low` for `half_period` samples, then `high`, repeating.
+Generator square_source(comm::Word low, comm::Word high, int half_period,
+                        std::int64_t total_samples = 0);
+
+/// Ramp: counts up from 0 by `increment` per sample (wrap-around).
+Generator ramp_source(comm::Word increment,
+                      std::int64_t total_samples = 0);
+
+/// Sums two generators sample-wise; ends when either ends.
+Generator mix(Generator a, Generator b);
+
+/// The integer quarter-wave sine table entry (exposed for golden models
+/// in tests): round(sin(pi/2 * i / 256) * 32767) for i in [0, 256].
+std::int32_t sine_table(int i);
+
+}  // namespace vapres::core::peripherals

@@ -1,0 +1,87 @@
+// Partially reconfigurable region (PRR) site.
+//
+// One PRR bundles everything at its slot of the RSB: the reconfigurable
+// rectangle on the fabric, its local clock domain and BUFR/BUFGMUX clock
+// tree, its module-interface FIFOs, the asynchronous FSL pair to the
+// MicroBlaze, the module wrapper hosting the currently loaded hardware
+// module, and the PRSocket that lets software control all of it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "comm/fsl.hpp"
+#include "comm/module_interface.hpp"
+#include "core/params.hpp"
+#include "core/prsocket.hpp"
+#include "fabric/clocking.hpp"
+#include "hwmodule/library.hpp"
+#include "hwmodule/wrapper.hpp"
+#include "sim/simulator.hpp"
+
+namespace vapres::core {
+
+class Prr {
+ public:
+  /// `box` is the paired switch box (for the socket); interfaces are
+  /// created here and attached to fabric/domains by the owning RSB.
+  Prr(std::string name, int index, const fabric::ClbRect& rect,
+      const RsbParams& params, const fabric::DeviceGeometry& device,
+      sim::Simulator& sim, sim::ClockDomain& static_domain,
+      double clock_a_mhz, double clock_b_mhz, comm::SwitchBox* box);
+
+  Prr(const Prr&) = delete;
+  Prr& operator=(const Prr&) = delete;
+  ~Prr();
+
+  const std::string& name() const { return name_; }
+  int index() const { return index_; }
+  const fabric::ClbRect& rect() const { return rect_; }
+  fabric::ResourceVector capacity() const { return rect_.resources(); }
+
+  sim::ClockDomain& clock_domain() { return *domain_; }
+  fabric::PrrClockTree& clock_tree() { return *clock_tree_; }
+
+  comm::ConsumerInterface& consumer(int channel);
+  comm::ProducerInterface& producer(int channel);
+  int num_consumers() const { return static_cast<int>(consumers_.size()); }
+  int num_producers() const { return static_cast<int>(producers_.size()); }
+
+  comm::FslLink& fsl_to_mb() { return *fsl_to_mb_; }
+  comm::FslLink& fsl_from_mb() { return *fsl_from_mb_; }
+
+  hwmodule::ModuleWrapper& wrapper() { return *wrapper_; }
+  PrSocket& socket() { return *socket_; }
+
+  /// Applies a partial bitstream: validates it targets this PRR (name,
+  /// rectangle, integrity tag) and instantiates the module from the
+  /// library into the wrapper. This is the configuration *effect*; the
+  /// reconfiguration *time* is charged by core::ReconfigManager.
+  void apply_bitstream(const bitstream::PartialBitstream& bs,
+                       const hwmodule::ModuleLibrary& library);
+
+  const std::string& loaded_module() const { return loaded_module_; }
+  bool occupied() const { return wrapper_->loaded(); }
+  int reconfiguration_count() const { return reconfigurations_; }
+
+ private:
+  std::string name_;
+  int index_;
+  fabric::ClbRect rect_;
+  sim::ClockDomain* domain_;  // owned by the Simulator
+  std::unique_ptr<fabric::PrrClockTree> clock_tree_;
+  std::vector<std::unique_ptr<comm::ConsumerInterface>> consumers_;
+  std::vector<std::unique_ptr<comm::ProducerInterface>> producers_;
+  std::unique_ptr<comm::FslLink> fsl_to_mb_;
+  std::unique_ptr<comm::FslLink> fsl_from_mb_;
+  std::unique_ptr<hwmodule::ModuleWrapper> wrapper_;
+  std::unique_ptr<PrSocket> socket_;
+  sim::ClockDomain* static_domain_;
+  std::string loaded_module_;
+  int reconfigurations_ = 0;
+};
+
+}  // namespace vapres::core

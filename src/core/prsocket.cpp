@@ -1,0 +1,114 @@
+#include "core/prsocket.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::core {
+
+namespace {
+
+int bits_for(int values) {
+  int bits = 1;
+  while ((1 << bits) < values) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+PrSocket::PrSocket(std::string name, comm::SwitchBox* box,
+                   std::vector<comm::ProducerInterface*> producers,
+                   std::vector<comm::ConsumerInterface*> consumers,
+                   comm::FslLink* fsl_to_mb, comm::FslLink* fsl_from_mb,
+                   hwmodule::ModuleWrapper* wrapper,
+                   fabric::PrrClockTree* clock)
+    : name_(std::move(name)),
+      box_(box),
+      producers_(std::move(producers)),
+      consumers_(std::move(consumers)),
+      fsl_to_mb_(fsl_to_mb),
+      fsl_from_mb_(fsl_from_mb),
+      wrapper_(wrapper),
+      clock_(clock) {
+  VAPRES_REQUIRE(box_ != nullptr, name_ + ": socket needs a switch box");
+  // Field value range: inputs + 1 (the park value 0).
+  sel_bits_ = bits_for(box_->shape().num_inputs() + 1);
+  VAPRES_REQUIRE(
+      kMuxSelBase + box_->shape().num_outputs() * sel_bits_ <= 32,
+      name_ + ": MUX_sel fields do not fit a 32-bit DCR");
+  // Power-on state: everything disabled/isolated until software brings the
+  // site up (value_ = 0: SM_en clear, clock gated, wen/ren clear).
+  apply(~comm::DcrValue{0}, 0);
+}
+
+comm::DcrValue PrSocket::with_mux_sel(comm::DcrValue current, int output_port,
+                                      int input) const {
+  VAPRES_REQUIRE(output_port >= 0 &&
+                     output_port < box_->shape().num_outputs(),
+                 name_ + ": MUX_sel output port out of range");
+  VAPRES_REQUIRE(input >= -1 && input < box_->shape().num_inputs(),
+                 name_ + ": MUX_sel input out of range");
+  const int shift = kMuxSelBase + output_port * sel_bits_;
+  const comm::DcrValue mask = ((1u << sel_bits_) - 1u) << shift;
+  const comm::DcrValue field = static_cast<comm::DcrValue>(input + 1)
+                               << shift;
+  return (current & ~mask) | field;
+}
+
+void PrSocket::dcr_write(comm::DcrValue value) {
+  const comm::DcrValue old = value_;
+  value_ = value;
+  apply(old, value);
+}
+
+void PrSocket::apply(comm::DcrValue old_value, comm::DcrValue new_value) {
+  const auto changed = old_value ^ new_value;
+
+  if ((changed & kSmEn) != 0 && wrapper_ != nullptr) {
+    wrapper_->set_isolated((new_value & kSmEn) == 0);
+  }
+  if ((changed & kPrrReset) != 0 && wrapper_ != nullptr) {
+    const bool asserted = (new_value & kPrrReset) != 0;
+    if (asserted && wrapper_->loaded()) wrapper_->reset();
+    wrapper_->set_reset(asserted);
+  }
+  if ((new_value & kFifoReset) != 0 && (changed & kFifoReset) != 0) {
+    for (auto* p : producers_) p->reset();
+    for (auto* c : consumers_) c->reset();
+  }
+  if ((new_value & kFslReset) != 0 && (changed & kFslReset) != 0) {
+    if (fsl_to_mb_ != nullptr) fsl_to_mb_->reset();
+    if (fsl_from_mb_ != nullptr) fsl_from_mb_->reset();
+  }
+  if ((changed & kFifoWen) != 0) {
+    for (auto* c : consumers_) {
+      c->set_write_enable((new_value & kFifoWen) != 0);
+    }
+  }
+  if ((changed & kFifoRen) != 0) {
+    for (auto* p : producers_) {
+      p->set_read_enable((new_value & kFifoRen) != 0);
+    }
+  }
+  if ((changed & kClkEn) != 0 && clock_ != nullptr) {
+    clock_->set_enabled((new_value & kClkEn) != 0);
+  }
+  if ((changed & kClkSel) != 0 && clock_ != nullptr) {
+    clock_->select((new_value & kClkSel) != 0 ? 1 : 0);
+  }
+
+  // MUX_sel fields.
+  const int outputs = box_->shape().num_outputs();
+  for (int p = 0; p < outputs; ++p) {
+    const int shift = kMuxSelBase + p * sel_bits_;
+    const comm::DcrValue mask = (1u << sel_bits_) - 1u;
+    const comm::DcrValue old_field = (old_value >> shift) & mask;
+    const comm::DcrValue new_field = (new_value >> shift) & mask;
+    if (old_field != new_field) {
+      const int input = static_cast<int>(new_field) - 1;
+      VAPRES_REQUIRE(input < box_->shape().num_inputs(),
+                     name_ + ": MUX_sel selects nonexistent input");
+      box_->select(p, input);
+    }
+  }
+}
+
+}  // namespace vapres::core

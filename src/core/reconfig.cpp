@@ -1,0 +1,110 @@
+#include "core/reconfig.hpp"
+
+#include <cmath>
+
+#include "bitstream/calibration.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::core {
+
+using bitstream::Calibration;
+
+ReconfigManager::ReconfigManager(sim::Simulator& sim, proc::Microblaze& mb,
+                                 fabric::IcapPort& icap,
+                                 bitstream::CompactFlash& cf,
+                                 bitstream::Sdram& sdram)
+    : sim_(sim), mb_(mb), icap_(icap), cf_(cf), sdram_(sdram) {}
+
+void ReconfigManager::register_target(
+    const std::string& prr_name,
+    std::function<void(const bitstream::PartialBitstream&)> apply) {
+  VAPRES_REQUIRE(apply != nullptr, "null configuration target");
+  VAPRES_REQUIRE(targets_.count(prr_name) == 0,
+                 "target already registered: " + prr_name);
+  targets_[prr_name] = std::move(apply);
+}
+
+ReconfigBreakdown ReconfigManager::estimate_cf2icap(std::int64_t bytes) {
+  ReconfigBreakdown b;
+  b.storage_cycles = bitstream::CompactFlash::read_cycles(bytes);
+  b.icap_cycles =
+      static_cast<double>(bytes) * Calibration::kIcapWriteCyclesPerByte;
+  return b;
+}
+
+ReconfigBreakdown ReconfigManager::estimate_array2icap(std::int64_t bytes) {
+  ReconfigBreakdown b;
+  b.storage_cycles = bitstream::Sdram::read_cycles(bytes);
+  b.icap_cycles =
+      static_cast<double>(bytes) * Calibration::kIcapWriteCyclesPerByte;
+  return b;
+}
+
+double ReconfigManager::estimate_cf2array_cycles(std::int64_t bytes) {
+  return bitstream::CompactFlash::read_cycles(bytes) +
+         bitstream::Sdram::write_cycles(bytes);
+}
+
+sim::Cycles ReconfigManager::start(const bitstream::PartialBitstream& bs,
+                                   const ReconfigBreakdown& base_cost,
+                                   std::function<void()> on_done) {
+  VAPRES_REQUIRE(!busy_, "reconfiguration already in flight");
+  auto target_it = targets_.find(bs.target_prr);
+  VAPRES_REQUIRE(target_it != targets_.end(),
+                 "no configuration target registered for " + bs.target_prr);
+
+  ReconfigBreakdown cost = base_cost;
+  if (verify_) cost.icap_cycles *= 2.0;  // readback + compare pass
+
+  const auto cycles =
+      static_cast<sim::Cycles>(std::llround(cost.total_cycles()));
+  busy_ = true;
+  last_ = cost;
+  icap_.begin_transfer(bs.size_bytes);
+
+  // Copy the bitstream: storage contents may change while in flight.
+  auto bs_copy = bs;
+  auto apply = target_it->second;
+  mb_.busy_for(cycles, [this, bs_copy = std::move(bs_copy),
+                        apply = std::move(apply),
+                        on_done = std::move(on_done)]() {
+    icap_.end_transfer();
+    busy_ = false;
+    ++completed_;
+    apply(bs_copy);
+    if (on_done) on_done();
+  });
+  return cycles;
+}
+
+sim::Cycles ReconfigManager::cf2icap(const std::string& filename,
+                                     std::function<void()> on_done) {
+  const auto& bs = cf_.read(filename);
+  return start(bs, estimate_cf2icap(bs.size_bytes), std::move(on_done));
+}
+
+sim::Cycles ReconfigManager::array2icap(const std::string& key,
+                                        std::function<void()> on_done) {
+  const auto& bs = sdram_.read(key);
+  return start(bs, estimate_array2icap(bs.size_bytes), std::move(on_done));
+}
+
+sim::Cycles ReconfigManager::cf2array(const std::string& filename,
+                                      const std::string& key,
+                                      std::function<void()> on_done) {
+  VAPRES_REQUIRE(!busy_, "reconfiguration path busy");
+  const auto& bs = cf_.read(filename);
+  const auto cycles = static_cast<sim::Cycles>(
+      std::llround(estimate_cf2array_cycles(bs.size_bytes)));
+  busy_ = true;
+  auto bs_copy = bs;
+  mb_.busy_for(cycles, [this, key, bs_copy = std::move(bs_copy),
+                        on_done = std::move(on_done)]() {
+    busy_ = false;
+    if (!sdram_.contains(key)) sdram_.store(key, bs_copy);
+    if (on_done) on_done();
+  });
+  return cycles;
+}
+
+}  // namespace vapres::core

@@ -1,0 +1,99 @@
+// Reconfiguration manager: the vapres_cf2icap / vapres_array2icap /
+// vapres_cf2array driver paths (Table 2, evaluated in Section V.B).
+//
+// Each path is a blocking software driver on the MicroBlaze: the manager
+// computes the path's cycle cost from the calibrated storage/ICAP models
+// (bitstream/calibration.hpp), marks the processor busy for that long,
+// holds the ICAP port for the duration, and applies the configuration
+// effect (loading the module into the target PRR) at completion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "bitstream/storage.hpp"
+#include "fabric/icap.hpp"
+#include "proc/microblaze.hpp"
+#include "sim/simulator.hpp"
+
+namespace vapres::core {
+
+/// Cycle decomposition of one reconfiguration call, matching the paper's
+/// reporting (storage transfer vs. ICAP write percentages).
+struct ReconfigBreakdown {
+  double storage_cycles = 0;  ///< CF or SDRAM transfer
+  double icap_cycles = 0;     ///< software-driven ICAP write
+
+  double total_cycles() const { return storage_cycles + icap_cycles; }
+  double storage_fraction() const {
+    return total_cycles() > 0 ? storage_cycles / total_cycles() : 0.0;
+  }
+  double seconds_at(double clock_mhz) const {
+    return total_cycles() / (clock_mhz * 1e6);
+  }
+};
+
+class ReconfigManager {
+ public:
+  ReconfigManager(sim::Simulator& sim, proc::Microblaze& mb,
+                  fabric::IcapPort& icap, bitstream::CompactFlash& cf,
+                  bitstream::Sdram& sdram);
+
+  /// Registers the configuration effect for a PRR (by instance name).
+  void register_target(
+      const std::string& prr_name,
+      std::function<void(const bitstream::PartialBitstream&)> apply);
+
+  // ---- Analytic estimates (benches assert the simulation matches) ------
+  static ReconfigBreakdown estimate_cf2icap(std::int64_t bytes);
+  static ReconfigBreakdown estimate_array2icap(std::int64_t bytes);
+  static double estimate_cf2array_cycles(std::int64_t bytes);
+
+  // ---- Timed operations -------------------------------------------------
+  // Each returns the cycle cost charged to the MicroBlaze and invokes
+  // `on_done` when the transfer completes and the PRR is configured.
+  // Throws if a reconfiguration is already in flight (the ICAP and the
+  // blocking driver serialize all paths).
+
+  sim::Cycles cf2icap(const std::string& filename,
+                      std::function<void()> on_done = {});
+  sim::Cycles array2icap(const std::string& key,
+                         std::function<void()> on_done = {});
+  /// Stages a CF file into SDRAM under `key` (system-startup staging).
+  sim::Cycles cf2array(const std::string& filename, const std::string& key,
+                       std::function<void()> on_done = {});
+
+  bool busy() const { return busy_; }
+  const ReconfigBreakdown& last_breakdown() const { return last_; }
+  int completed() const { return completed_; }
+
+  /// Readback verification: after writing, read the configuration back
+  /// through the ICAP and compare (standard EAPR-era hardening against
+  /// configuration upsets). Doubles the ICAP share of every subsequent
+  /// timed transfer; the bitstream's integrity tag is checked at apply
+  /// time either way.
+  void set_verify_after_write(bool verify) { verify_ = verify; }
+  bool verify_after_write() const { return verify_; }
+
+ private:
+  sim::Cycles start(const bitstream::PartialBitstream& bs,
+                    const ReconfigBreakdown& cost,
+                    std::function<void()> on_done);
+
+  sim::Simulator& sim_;
+  proc::Microblaze& mb_;
+  fabric::IcapPort& icap_;
+  bitstream::CompactFlash& cf_;
+  bitstream::Sdram& sdram_;
+  std::map<std::string,
+           std::function<void(const bitstream::PartialBitstream&)>>
+      targets_;
+  bool busy_ = false;
+  bool verify_ = false;
+  ReconfigBreakdown last_;
+  int completed_ = 0;
+};
+
+}  // namespace vapres::core

@@ -1,0 +1,70 @@
+// Reconfigurable streaming block (RSB, paper Figure 1).
+//
+// An RSB assembles one linear switch-box fabric with its attached sites:
+// IOMs on the first boxes, PRRs on the rest (the Figure 5 layout:
+// SW0-IOM, SW1-PRR0, SW2-PRR1, ...). Every site's PRSocket is mapped on
+// the DCR bus at a consecutive address, and a ChannelManager provides the
+// routing layer over the fabric.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/dcr.hpp"
+#include "comm/switch_fabric.hpp"
+#include "core/channel.hpp"
+#include "core/iom.hpp"
+#include "core/params.hpp"
+#include "core/prr.hpp"
+
+namespace vapres::core {
+
+class Rsb {
+ public:
+  Rsb(std::string name, const RsbParams& params,
+      const fabric::DeviceGeometry& device, sim::Simulator& sim,
+      sim::ClockDomain& static_domain, comm::DcrBus& dcr,
+      double prr_clock_a_mhz, double prr_clock_b_mhz,
+      std::vector<fabric::ClbRect> prr_rects, comm::DcrAddress dcr_base);
+
+  Rsb(const Rsb&) = delete;
+  Rsb& operator=(const Rsb&) = delete;
+  ~Rsb();
+
+  const std::string& name() const { return name_; }
+  const RsbParams& params() const { return params_; }
+
+  comm::SwitchFabric& fabric() { return *fabric_; }
+  ChannelManager& channels() { return *channels_; }
+
+  int num_prrs() const { return static_cast<int>(prrs_.size()); }
+  int num_ioms() const { return static_cast<int>(ioms_.size()); }
+  Prr& prr(int index);
+  const Prr& prr(int index) const;
+  Iom& iom(int index);
+
+  /// DCR address of the PRSocket paired with switch box `box_index`.
+  comm::DcrAddress socket_address(int box_index) const;
+  /// DCR address of PRR / IOM sockets by site index.
+  comm::DcrAddress prr_socket_address(int prr_index) const;
+  comm::DcrAddress iom_socket_address(int iom_index) const;
+
+  /// Channel endpoints of module ports, for ChannelManager::establish.
+  ChannelEndpoint prr_producer(int prr_index, int channel = 0) const;
+  ChannelEndpoint prr_consumer(int prr_index, int channel = 0) const;
+  ChannelEndpoint iom_producer(int iom_index, int channel = 0) const;
+  ChannelEndpoint iom_consumer(int iom_index, int channel = 0) const;
+
+ private:
+  std::string name_;
+  RsbParams params_;
+  comm::DcrBus& dcr_;
+  comm::DcrAddress dcr_base_;
+  std::unique_ptr<comm::SwitchFabric> fabric_;
+  std::unique_ptr<ChannelManager> channels_;
+  std::vector<std::unique_ptr<Iom>> ioms_;
+  std::vector<std::unique_ptr<Prr>> prrs_;
+};
+
+}  // namespace vapres::core

@@ -1,0 +1,105 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+namespace vapres::core {
+
+std::uint64_t SystemStats::total_discarded() const {
+  std::uint64_t n = 0;
+  for (const SiteStats& s : sites) n += s.words_discarded;
+  return n;
+}
+
+double SystemStats::mb_utilization() const {
+  return system_cycles == 0
+             ? 0.0
+             : static_cast<double>(mb_busy_cycles) /
+                   static_cast<double>(system_cycles);
+}
+
+std::string SystemStats::to_string() const {
+  std::ostringstream os;
+  os << "=== system statistics @ cycle " << system_cycles << " ===\n";
+  os << "MicroBlaze busy: " << mb_busy_cycles << " cycles ("
+     << static_cast<int>(100.0 * mb_utilization()) << "%), DCR accesses: "
+     << dcr_accesses << "\n";
+  os << "ICAP: " << reconfigurations << " reconfigurations, " << icap_bytes
+     << " bytes configured\n";
+  os << "active channels: " << active_channels << ", words discarded: "
+     << total_discarded() << "\n";
+  for (const SiteStats& s : sites) {
+    os << "  " << s.name;
+    if (s.is_prr) {
+      os << " [" << (s.loaded_module.empty() ? "empty" : s.loaded_module)
+         << ", " << s.reconfigurations << " PRs]";
+    }
+    os << ": in " << s.words_in << ", out " << s.words_out;
+    if (s.words_discarded > 0) os << ", DISCARDED " << s.words_discarded;
+    os << "\n";
+  }
+  for (const FifoStats& f : fifos) {
+    if (f.pushed == 0) continue;
+    os << "  fifo " << f.name << ": " << f.pushed << " pushed, watermark "
+       << f.high_watermark << "/" << f.capacity << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+FifoStats fifo_stats(const comm::Fifo& f) {
+  return FifoStats{f.name(), f.total_pushed(), f.total_popped(),
+                   f.high_watermark(), f.capacity()};
+}
+
+}  // namespace
+
+SystemStats collect_stats(VapresSystem& sys) {
+  SystemStats stats;
+  stats.system_cycles = sys.system_clock().cycle_count();
+  stats.mb_busy_cycles = sys.mb().total_busy_cycles();
+  stats.dcr_accesses = sys.dcr().total_accesses();
+  stats.icap_bytes = sys.icap().total_bytes_configured();
+  stats.reconfigurations = sys.icap().completed_transfers();
+
+  for (int r = 0; r < sys.num_rsbs(); ++r) {
+    Rsb& rsb = sys.rsb(r);
+    stats.active_channels += rsb.channels().active_count();
+    for (int i = 0; i < rsb.num_ioms(); ++i) {
+      Iom& iom = rsb.iom(i);
+      SiteStats site;
+      site.name = iom.name();
+      for (int c = 0; c < iom.num_consumers(); ++c) {
+        site.words_in += iom.consumer(c).words_received();
+        site.words_discarded += iom.consumer(c).words_discarded();
+        stats.fifos.push_back(fifo_stats(iom.consumer(c).fifo()));
+      }
+      for (int c = 0; c < iom.num_producers(); ++c) {
+        site.words_out += iom.producer(c).words_sent();
+        stats.fifos.push_back(fifo_stats(iom.producer(c).fifo()));
+      }
+      stats.sites.push_back(site);
+    }
+    for (int p = 0; p < rsb.num_prrs(); ++p) {
+      Prr& prr = rsb.prr(p);
+      SiteStats site;
+      site.name = prr.name();
+      site.is_prr = true;
+      site.loaded_module = prr.loaded_module();
+      site.reconfigurations = prr.reconfiguration_count();
+      for (int c = 0; c < prr.num_consumers(); ++c) {
+        site.words_in += prr.consumer(c).words_received();
+        site.words_discarded += prr.consumer(c).words_discarded();
+        stats.fifos.push_back(fifo_stats(prr.consumer(c).fifo()));
+      }
+      for (int c = 0; c < prr.num_producers(); ++c) {
+        site.words_out += prr.producer(c).words_sent();
+        stats.fifos.push_back(fifo_stats(prr.producer(c).fifo()));
+      }
+      stats.sites.push_back(site);
+    }
+  }
+  return stats;
+}
+
+}  // namespace vapres::core

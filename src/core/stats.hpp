@@ -1,0 +1,55 @@
+// System telemetry: a one-call snapshot of every counter the model keeps
+// (FIFO traffic and watermarks, channel activity, PRR status, processor
+// utilization), rendered as a human-readable report. Used by examples
+// for post-run inspection and by tests to assert on system-wide
+// invariants (e.g. "no consumer interface ever discarded a word").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace vapres::core {
+
+struct FifoStats {
+  std::string name;
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  int high_watermark = 0;
+  int capacity = 0;
+};
+
+struct SiteStats {
+  std::string name;
+  bool is_prr = false;
+  std::string loaded_module;  // PRRs only
+  int reconfigurations = 0;   // PRRs only
+  std::uint64_t words_in = 0;   // consumer interfaces, received
+  std::uint64_t words_out = 0;  // producer interfaces, sent
+  std::uint64_t words_discarded = 0;
+};
+
+struct SystemStats {
+  std::vector<SiteStats> sites;
+  std::vector<FifoStats> fifos;
+  std::size_t active_channels = 0;
+  std::uint64_t dcr_accesses = 0;
+  std::uint64_t mb_busy_cycles = 0;
+  sim::Cycles system_cycles = 0;
+  std::int64_t icap_bytes = 0;
+  int reconfigurations = 0;
+
+  /// Total words dropped anywhere in the system (0 on a healthy run).
+  std::uint64_t total_discarded() const;
+  /// Fraction of system cycles the MicroBlaze was busy.
+  double mb_utilization() const;
+
+  std::string to_string() const;
+};
+
+/// Snapshots every counter in `sys`.
+SystemStats collect_stats(VapresSystem& sys);
+
+}  // namespace vapres::core

@@ -1,0 +1,232 @@
+#include "core/switching.hpp"
+
+#include "bitstream/bitgen.hpp"
+#include "sim/check.hpp"
+#include "sim/trace.hpp"
+
+namespace vapres::core {
+
+namespace ctrl = hwmodule::ctrl;
+
+ModuleSwitcher::ModuleSwitcher(VapresSystem& sys, SwitchRequest req)
+    : sys_(sys), req_(std::move(req)) {
+  VAPRES_REQUIRE(req_.src_prr != req_.dst_prr,
+                 "switching needs a spare PRR distinct from the source");
+  VAPRES_REQUIRE(sys_.library().contains(req_.new_module_id),
+                 "unknown module: " + req_.new_module_id);
+}
+
+namespace {
+
+void trace_step(VapresSystem& sys, const std::string& message) {
+  auto& hub = sim::Trace::instance();
+  if (hub.enabled(sim::TraceLevel::kInfo)) {
+    hub.emit(sys.sim().now(), "switcher", message);
+  }
+}
+
+}  // namespace
+
+void ModuleSwitcher::begin() {
+  VAPRES_REQUIRE(state_ == State::kIdle, "switcher already started");
+  Rsb& r = rsb();
+  VAPRES_REQUIRE(r.channels().active(req_.upstream) &&
+                     r.channels().active(req_.downstream),
+                 "switch request channels are not active");
+
+  timeline_.started = sys_.mb().cycle();
+  reconfig_complete_ = false;
+
+  // Step 3: reconfigure the spare PRR while the stream keeps flowing.
+  auto on_done = [this] { reconfig_complete_ = true; };
+  if (req_.source == ReconfigSource::kSdramArray) {
+    const std::string key =
+        req_.new_module_id + "@" + r.prr(req_.dst_prr).name();
+    sys_.reconfig().array2icap(key, on_done);
+  } else {
+    const std::string filename = bitstream::bitstream_filename(
+        req_.new_module_id, r.prr(req_.dst_prr).name());
+    sys_.reconfig().cf2icap(filename, on_done);
+  }
+  state_ = State::kReconfiguring;
+  sys_.mb().add_task(this);
+  trace_step(sys_, "step 3: reconfiguring spare PRR with " +
+                        req_.new_module_id);
+}
+
+void ModuleSwitcher::reroute(ChannelId old_channel,
+                             ChannelEndpoint new_producer,
+                             ChannelEndpoint new_consumer, ChannelId& out,
+                             proc::Microblaze& mb, bool enable_producer) {
+  Rsb& r = rsb();
+  r.channels().release(old_channel);
+  auto id = r.channels().establish(new_producer, new_consumer);
+  VAPRES_REQUIRE(id.has_value(),
+                 "re-route failed: no free lanes for the new channel");
+  out = *id;
+  // Charge the PRSocket writes software performs to program the path.
+  const auto& spec = r.channels().spec(out);
+  mb.busy_for(static_cast<sim::Cycles>(
+      ChannelManager::dcr_writes_for(spec) * comm::DcrBus::kBridgeAccessCycles));
+  sys_.socket_set_bits(r.socket_address(new_consumer.box),
+                       PrSocket::kFifoWen, true);
+  if (enable_producer) {
+    sys_.socket_set_bits(r.socket_address(new_producer.box),
+                         PrSocket::kFifoRen, true);
+  }
+}
+
+bool ModuleSwitcher::step(proc::Microblaze& mb) {
+  Rsb& r = rsb();
+  switch (state_) {
+    case State::kIdle:
+      return false;
+
+    case State::kReconfiguring: {
+      if (!reconfig_complete_) return false;
+      timeline_.reconfig_done = mb.cycle();
+      trace_step(sys_, "step 3 done: PR complete, bringing up dst site");
+      // Bring up the dst site with the module held in reset: slice macros
+      // on, clock on, consumer writes accepted, PRR_reset asserted.
+      const comm::DcrAddress dst = r.prr_socket_address(req_.dst_prr);
+      mb.dcr_write(dst, mb.dcr_read(dst) | PrSocket::kSmEn |
+                            PrSocket::kClkEn | PrSocket::kFifoWen |
+                            PrSocket::kPrrReset);
+      // Step 4 begins: stop the upstream producer draining so in-flight
+      // words land before the muxes change.
+      const auto& up = r.channels().spec(req_.upstream);
+      const comm::DcrAddress up_sock = r.socket_address(up.producer_box);
+      mb.dcr_write(up_sock, mb.dcr_read(up_sock) & ~PrSocket::kFifoRen);
+      mb.busy_for(static_cast<sim::Cycles>(up.hops()) + 4);
+      state_ = State::kQuiesceUpstream;
+      return false;
+    }
+
+    case State::kQuiesceUpstream: {
+      // Pipeline is flushed (the busy_for above elapsed).
+      state_ = State::kRerouteUpstream;
+      return false;
+    }
+
+    case State::kRerouteUpstream: {
+      const comm::RouteSpec up = r.channels().spec(req_.upstream);
+      reroute(req_.upstream,
+              ChannelEndpoint{up.producer_box, up.producer_channel},
+              r.prr_consumer(req_.dst_prr), new_upstream_, mb,
+              /*enable_producer=*/true);
+      timeline_.input_rerouted = mb.cycle();
+      trace_step(sys_, "step 4: input re-routed to the new module");
+      state_ = State::kSendFlush;
+      return false;
+    }
+
+    case State::kSendFlush: {
+      // Step 5: tell the old module to drain and emit the EOS word.
+      comm::FslLink& t = r.prr(req_.src_prr).fsl_from_mb();
+      if (!t.can_write()) return false;
+      t.write(ctrl::kCmdFlush);
+      mb.busy_for(1);
+      saw_header_ = false;
+      expected_words_ = -1;
+      state_ = State::kCollectState;
+      return false;
+    }
+
+    case State::kCollectState: {
+      // Step 6: read the [STATE_HEADER, count, words...] frame, skipping
+      // monitoring words that were already queued on the r-link.
+      comm::FslLink& rl = r.prr(req_.src_prr).fsl_to_mb();
+      while (auto w = rl.try_read()) {
+        mb.busy_for(1);
+        if (!saw_header_) {
+          if (*w == ctrl::kStateHeader) {
+            saw_header_ = true;
+          } else if (*w != ctrl::kEosSentNote) {
+            monitoring_.push_back(*w);
+          }
+        } else if (expected_words_ < 0) {
+          expected_words_ = static_cast<int>(*w);
+        } else {
+          collected_state_.push_back(*w);
+        }
+        if (saw_header_ && expected_words_ >= 0 &&
+            static_cast<int>(collected_state_.size()) == expected_words_) {
+          timeline_.state_collected = mb.cycle();
+          trace_step(sys_, "step 6: " +
+                               std::to_string(collected_state_.size()) +
+                               " state words collected");
+          state_ = State::kInitNewModule;
+          return false;
+        }
+      }
+      return false;
+    }
+
+    case State::kInitNewModule: {
+      // Step 7: queue the LOAD_STATE frame, then release the reset. The
+      // wrapper reads the frame before letting the module fire, so the
+      // module never processes data with pre-restore state.
+      comm::FslLink& t = r.prr(req_.dst_prr).fsl_from_mb();
+      VAPRES_REQUIRE(t.capacity() - t.occupancy() >=
+                         static_cast<int>(collected_state_.size()) + 2,
+                     "dst t-link cannot hold the state frame");
+      t.write(ctrl::kCmdLoadState);
+      t.write(static_cast<comm::Word>(collected_state_.size()));
+      for (comm::Word w : collected_state_) t.write(w);
+      mb.busy_for(static_cast<sim::Cycles>(collected_state_.size()) + 2);
+      const comm::DcrAddress dst = r.prr_socket_address(req_.dst_prr);
+      mb.dcr_write(dst, mb.dcr_read(dst) & ~PrSocket::kPrrReset);
+      timeline_.module_initialized = mb.cycle();
+      trace_step(sys_, "step 7: new module initialized");
+      state_ = State::kWaitIomEos;
+      return false;
+    }
+
+    case State::kWaitIomEos: {
+      // Step 8: the IOM reports the EOS word on its r-link.
+      comm::FslLink& rl = r.iom(req_.eos_iom).fsl_to_mb();
+      while (auto w = rl.try_read()) {
+        mb.busy_for(1);
+        if (*w == kIomEosDetected) {
+          timeline_.iom_eos_seen = mb.cycle();
+          // Step 9 begins: quiesce the old module's producer.
+          const auto& down = r.channels().spec(req_.downstream);
+          const comm::DcrAddress src_sock =
+              r.socket_address(down.producer_box);
+          mb.dcr_write(src_sock,
+                       mb.dcr_read(src_sock) & ~PrSocket::kFifoRen);
+          mb.busy_for(static_cast<sim::Cycles>(down.hops()) + 4);
+          state_ = State::kQuiesceSrc;
+          return false;
+        }
+      }
+      return false;
+    }
+
+    case State::kQuiesceSrc:
+      state_ = State::kRerouteDownstream;
+      return false;
+
+    case State::kRerouteDownstream: {
+      const comm::RouteSpec down = r.channels().spec(req_.downstream);
+      reroute(req_.downstream, r.prr_producer(req_.dst_prr),
+              ChannelEndpoint{down.consumer_box, down.consumer_channel},
+              new_downstream_, mb, /*enable_producer=*/true);
+      // Shut the old module's site down: isolate and gate its clock.
+      const comm::DcrAddress src = r.prr_socket_address(req_.src_prr);
+      mb.dcr_write(src, mb.dcr_read(src) &
+                            ~(PrSocket::kSmEn | PrSocket::kClkEn |
+                              PrSocket::kFifoWen | PrSocket::kFifoRen));
+      timeline_.completed = mb.cycle();
+      trace_step(sys_, "step 9: output re-routed; switch complete");
+      state_ = State::kDone;
+      return true;  // task finished; MicroBlaze descheduules it
+    }
+
+    case State::kDone:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace vapres::core

@@ -1,0 +1,70 @@
+#include "fabric/clock_region.hpp"
+
+#include <sstream>
+
+#include "sim/check.hpp"
+
+namespace vapres::fabric {
+
+std::string ClbRect::to_string() const {
+  std::ostringstream os;
+  os << "CLB[" << row << ".." << row + height - 1 << "][" << col << ".."
+     << col + width - 1 << "]";
+  return os.str();
+}
+
+std::vector<ClockRegionId> regions_spanned(const ClbRect& rect,
+                                           const DeviceGeometry& dev) {
+  VAPRES_REQUIRE(rect.inside_device(dev),
+                 "rectangle " + rect.to_string() + " outside device " +
+                     dev.name());
+  const int rows = DeviceGeometry::kClockRegionRows;
+  const int first_row = rect.row / rows;
+  const int last_row = (rect.row + rect.height - 1) / rows;
+  const int half_cols = dev.clock_region_width_clbs();
+  const int first_half = rect.col / half_cols;
+  const int last_half = (rect.col + rect.width - 1) / half_cols;
+
+  std::vector<ClockRegionId> out;
+  for (int r = first_row; r <= last_row; ++r) {
+    for (int h = first_half; h <= last_half; ++h) {
+      out.push_back(ClockRegionId{r, h});
+    }
+  }
+  return out;
+}
+
+bool within_one_half(const ClbRect& rect, const DeviceGeometry& dev) {
+  const int half_cols = dev.clock_region_width_clbs();
+  return rect.col / half_cols ==
+         (rect.col + rect.width - 1) / half_cols;
+}
+
+int vertical_region_span(const ClbRect& rect) {
+  const int rows = DeviceGeometry::kClockRegionRows;
+  return (rect.row + rect.height - 1) / rows - rect.row / rows + 1;
+}
+
+std::string prr_legality_violation(const ClbRect& rect,
+                                   const DeviceGeometry& dev) {
+  if (!rect.inside_device(dev)) {
+    return "PRR " + rect.to_string() + " does not fit device " + dev.name();
+  }
+  if (!within_one_half(rect, dev)) {
+    return "PRR " + rect.to_string() +
+           " straddles the clock-region centre line";
+  }
+  // BUFR reach: own region plus the two vertically adjacent regions, so at
+  // most three regions and at most 48 CLB rows (Section III.B.2).
+  const int span = vertical_region_span(rect);
+  if (span > 3) {
+    return "PRR " + rect.to_string() + " spans " + std::to_string(span) +
+           " clock regions; BUFR reach allows at most 3";
+  }
+  if (rect.height > 3 * DeviceGeometry::kClockRegionRows) {
+    return "PRR " + rect.to_string() + " taller than 48 CLBs";
+  }
+  return {};
+}
+
+}  // namespace vapres::fabric

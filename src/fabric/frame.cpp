@@ -1,0 +1,24 @@
+#include "fabric/frame.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::fabric {
+
+int frames_for_rect(const ClbRect& rect) {
+  VAPRES_REQUIRE(rect.height > 0 && rect.width > 0,
+                 "frame count of an empty rectangle");
+  // A frame spans a full clock region vertically, so a PRR pays for every
+  // region it touches even if it covers the region only partially.
+  const int rows = DeviceGeometry::kClockRegionRows;
+  const int regions =
+      (rect.row + rect.height - 1) / rows - rect.row / rows + 1;
+  return rect.width * regions * FrameGeometry::kFramesPerClbColumn;
+}
+
+std::int64_t partial_bitstream_bytes(const ClbRect& rect) {
+  return static_cast<std::int64_t>(frames_for_rect(rect)) *
+             FrameGeometry::bytes_per_frame() +
+         FrameGeometry::kOverheadBytes;
+}
+
+}  // namespace vapres::fabric

@@ -1,0 +1,39 @@
+// Configuration-frame geometry.
+//
+// Virtex-4 configuration memory is addressed in frames of 41 32-bit words;
+// one CLB column within one clock region occupies 22 frames. A partial
+// bitstream for a PRR therefore scales with the PRR's width in CLB columns
+// and the number of clock regions it spans — which is what makes the
+// paper's fragmentation-vs-reconfiguration-time trade-off (Section VI)
+// quantifiable in the model.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/clock_region.hpp"
+
+namespace vapres::fabric {
+
+struct FrameGeometry {
+  /// Words per configuration frame (Virtex-4: 41 x 32-bit words).
+  static constexpr int kWordsPerFrame = 41;
+  static constexpr int kBytesPerWord = 4;
+  /// Configuration frames per CLB column per clock region (Virtex-4: 22).
+  static constexpr int kFramesPerClbColumn = 22;
+  /// Fixed command header/footer bytes of a partial bitstream (sync word,
+  /// FAR/CRC command sequences). One flash sector in the model.
+  static constexpr int kOverheadBytes = 1024;
+
+  static constexpr int bytes_per_frame() {
+    return kWordsPerFrame * kBytesPerWord;
+  }
+};
+
+/// Number of configuration frames covering `rect` (CLB resources only; the
+/// model charges BRAM/DSP columns to the static region).
+int frames_for_rect(const ClbRect& rect);
+
+/// Size in bytes of a partial bitstream reconfiguring `rect`.
+std::int64_t partial_bitstream_bytes(const ClbRect& rect);
+
+}  // namespace vapres::fabric

@@ -1,0 +1,31 @@
+#include "fabric/icap.hpp"
+
+namespace vapres::fabric {
+
+IcapPort::IcapPort(double port_clock_mhz) : port_clock_mhz_(port_clock_mhz) {
+  VAPRES_REQUIRE(port_clock_mhz > 0.0, "ICAP clock must be positive");
+}
+
+void IcapPort::begin_transfer(std::int64_t bytes) {
+  VAPRES_REQUIRE(!busy_, "ICAP port is busy; configuration is serialized");
+  VAPRES_REQUIRE(bytes > 0, "ICAP transfer must move at least one byte");
+  busy_ = true;
+  inflight_bytes_ = bytes;
+}
+
+void IcapPort::end_transfer() {
+  VAPRES_REQUIRE(busy_, "no ICAP transfer in flight");
+  busy_ = false;
+  total_bytes_ += inflight_bytes_;
+  inflight_bytes_ = 0;
+  ++transfers_;
+}
+
+sim::Picoseconds IcapPort::min_transfer_time_ps(std::int64_t bytes) const {
+  VAPRES_REQUIRE(bytes >= 0, "negative transfer size");
+  const auto words =
+      static_cast<std::uint64_t>((bytes + 3) / 4);  // 32-bit port
+  return words * sim::period_ps_from_mhz(port_clock_mhz_);
+}
+
+}  // namespace vapres::fabric

@@ -1,0 +1,48 @@
+// ICAP (Internal Configuration Access Port) model.
+//
+// The Virtex-4 ICAP accepts one 32-bit configuration word per port-clock
+// cycle. This class models the *hardware* port: occupancy, byte counters,
+// and the physical lower bound on transfer time. The (much larger)
+// software-driver overhead measured in the paper — the XHwICAP-style
+// per-frame processing that dominates vapres_array2icap — is modelled by
+// the reconfiguration manager in src/core/reconfig using calibrated costs.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/check.hpp"
+#include "sim/time.hpp"
+
+namespace vapres::fabric {
+
+class IcapPort {
+ public:
+  explicit IcapPort(double port_clock_mhz = 100.0);
+
+  double port_clock_mhz() const { return port_clock_mhz_; }
+
+  bool busy() const { return busy_; }
+
+  /// Marks the port busy for a transfer of `bytes`. Throws if already busy
+  /// (the EAPR flow serializes all ICAP access through one controller).
+  void begin_transfer(std::int64_t bytes);
+
+  /// Completes the in-flight transfer.
+  void end_transfer();
+
+  /// Physical lower bound on the time to clock `bytes` through the port
+  /// (one 32-bit word per port cycle).
+  sim::Picoseconds min_transfer_time_ps(std::int64_t bytes) const;
+
+  std::int64_t total_bytes_configured() const { return total_bytes_; }
+  int completed_transfers() const { return transfers_; }
+
+ private:
+  double port_clock_mhz_;
+  bool busy_ = false;
+  std::int64_t inflight_bytes_ = 0;
+  std::int64_t total_bytes_ = 0;
+  int transfers_ = 0;
+};
+
+}  // namespace vapres::fabric

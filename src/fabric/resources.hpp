@@ -1,0 +1,58 @@
+// FPGA resource accounting.
+//
+// The paper evaluates VAPRES by slice counts on a Virtex-4 (Section V.B);
+// ResourceVector is the unit of that accounting, also carrying BlockRAM and
+// DSP counts for the module library and fragmentation experiments.
+#pragma once
+
+#include <ostream>
+
+namespace vapres::fabric {
+
+struct ResourceVector {
+  int slices = 0;  ///< Virtex-4 slices (2 4-LUTs + 2 FFs each).
+  int brams = 0;   ///< RAMB16 blocks.
+  int dsps = 0;    ///< DSP48 blocks.
+
+  constexpr ResourceVector& operator+=(const ResourceVector& o) {
+    slices += o.slices;
+    brams += o.brams;
+    dsps += o.dsps;
+    return *this;
+  }
+  constexpr ResourceVector& operator-=(const ResourceVector& o) {
+    slices -= o.slices;
+    brams -= o.brams;
+    dsps -= o.dsps;
+    return *this;
+  }
+  friend constexpr ResourceVector operator+(ResourceVector a,
+                                            const ResourceVector& b) {
+    return a += b;
+  }
+  friend constexpr ResourceVector operator-(ResourceVector a,
+                                            const ResourceVector& b) {
+    return a -= b;
+  }
+  friend constexpr ResourceVector operator*(int n, ResourceVector v) {
+    v.slices *= n;
+    v.brams *= n;
+    v.dsps *= n;
+    return v;
+  }
+  friend constexpr bool operator==(const ResourceVector&,
+                                   const ResourceVector&) = default;
+
+  /// True if every component of this vector fits within `budget`.
+  constexpr bool fits_in(const ResourceVector& budget) const {
+    return slices <= budget.slices && brams <= budget.brams &&
+           dsps <= budget.dsps;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const ResourceVector& v) {
+    return os << "{slices=" << v.slices << ", brams=" << v.brams
+              << ", dsps=" << v.dsps << '}';
+  }
+};
+
+}  // namespace vapres::fabric

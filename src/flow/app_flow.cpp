@@ -1,0 +1,77 @@
+#include "flow/app_flow.hpp"
+
+#include <set>
+
+#include "bitstream/bitgen.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::flow {
+
+ApplicationFlow::ApplicationFlow(const BaseSystemResult& base,
+                                 const hwmodule::ModuleLibrary& library)
+    : base_(base), library_(library) {}
+
+AppBuildResult ApplicationFlow::build(const core::KpnAppSpec& app) const {
+  AppBuildResult result;
+  result.app_name = app.name;
+
+  // Port-signature validation against the base system (Section IV.B: the
+  // designer must match number, width, and type of ports).
+  std::set<std::string> module_ids;
+  for (const core::KpnNodeSpec& node : app.nodes) {
+    VAPRES_REQUIRE(library_.contains(node.module_id),
+                   app.name + ": unknown module " + node.module_id);
+    const auto& info = library_.info(node.module_id);
+    bool fits_some_rsb = false;
+    for (const core::RsbParams& rsb : base_.params.rsbs) {
+      if (info.num_inputs <= rsb.ki && info.num_outputs <= rsb.ko) {
+        fits_some_rsb = true;
+      }
+    }
+    VAPRES_REQUIRE(fits_some_rsb,
+                   node.name + ": port signature (" +
+                       std::to_string(info.num_inputs) + " in, " +
+                       std::to_string(info.num_outputs) +
+                       " out) exceeds every RSB's ki/ko");
+    module_ids.insert(node.module_id);
+  }
+
+  // Synthesize each distinct module for every PRR it fits.
+  for (const std::string& module_id : module_ids) {
+    const auto& info = library_.info(module_id);
+    bool placed_somewhere = false;
+    for (const PlacedPrr& prr : base_.floorplan.prrs) {
+      if (!info.resources.fits_in(prr.rect.resources())) continue;
+      result.bitstreams.push_back(bitstream::generate_partial_bitstream(
+          module_id, info.resources, prr.name, prr.rect));
+      placed_somewhere = true;
+    }
+    if (!placed_somewhere) result.unplaceable_modules.push_back(module_id);
+  }
+  return result;
+}
+
+bitstream::RelocatingStore ApplicationFlow::build_relocating(
+    const core::KpnAppSpec& app) const {
+  // Same module set as build(); one master per footprint class.
+  const AppBuildResult full = build(app);
+  bitstream::RelocatingStore store;
+  for (const auto& bs : full.bitstreams) {
+    store.add_master(bs);
+  }
+  return store;
+}
+
+std::vector<std::string> ApplicationFlow::install(
+    const AppBuildResult& result, bitstream::CompactFlash& cf) {
+  std::vector<std::string> filenames;
+  for (const bitstream::PartialBitstream& bs : result.bitstreams) {
+    const std::string filename =
+        bitstream::bitstream_filename(bs.module_id, bs.target_prr);
+    if (!cf.contains(filename)) cf.store(filename, bs);
+    filenames.push_back(filename);
+  }
+  return filenames;
+}
+
+}  // namespace vapres::flow

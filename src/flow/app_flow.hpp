@@ -1,0 +1,65 @@
+// Application flow (paper Figure 6, left side; Section IV.B).
+//
+// Against a finished base system, the application designer decomposes the
+// application into hardware and software modules. The hardware-module
+// flow here: validate each module's port signature against the base
+// system's architectural parameters (w, ki, ko), "synthesize" the module
+// once per PRR it can occupy (bitgen: one partial bitstream per
+// (module, PRR) pair), and install the bitstreams as CF files. Only
+// module logic is built — the base design is untouched, the isolation
+// that keeps application turnaround fast (Section IV.B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "bitstream/relocation.hpp"
+#include "bitstream/storage.hpp"
+#include "core/assembler.hpp"
+#include "flow/base_system_flow.hpp"
+#include "hwmodule/library.hpp"
+
+namespace vapres::flow {
+
+struct AppBuildResult {
+  std::string app_name;
+  /// One partial bitstream per (module, PRR) pair where the module fits.
+  std::vector<bitstream::PartialBitstream> bitstreams;
+  /// Modules that fit no PRR at all (build failure unless empty).
+  std::vector<std::string> unplaceable_modules;
+
+  bool ok() const { return unplaceable_modules.empty(); }
+};
+
+class ApplicationFlow {
+ public:
+  ApplicationFlow(const BaseSystemResult& base,
+                  const hwmodule::ModuleLibrary& library);
+
+  /// Validates the app against the base system and synthesizes partial
+  /// bitstreams for every (module, PRR) pairing that fits. Throws
+  /// ModelError on port-signature mismatches (designer error); modules
+  /// that fit no PRR are reported in the result.
+  AppBuildResult build(const core::KpnAppSpec& app) const;
+
+  /// Stores every generated bitstream as a CF file
+  /// (<module>_<prr>.bit). Returns the filenames.
+  static std::vector<std::string> install(const AppBuildResult& result,
+                                          bitstream::CompactFlash& cf);
+
+  /// Relocation-aware build (hardware module reuse): synthesizes ONE
+  /// master bitstream per (module, PRR-footprint class) instead of one
+  /// per (module, PRR); per-PRR bitstreams are materialized at runtime
+  /// by the FAR-rewriting relocation pass. Coverage is identical to
+  /// build() whenever all PRRs sharing a footprint class are relocation
+  /// targets.
+  bitstream::RelocatingStore build_relocating(
+      const core::KpnAppSpec& app) const;
+
+ private:
+  const BaseSystemResult& base_;
+  const hwmodule::ModuleLibrary& library_;
+};
+
+}  // namespace vapres::flow

@@ -1,0 +1,73 @@
+#include "flow/base_system_flow.hpp"
+
+#include "flow/sysdef.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::flow {
+
+BaseSystemResult BaseSystemFlow::run(core::SystemParams params) const {
+  // Step 1: base-system specification.
+  params.validate();
+
+  BaseSystemResult result;
+
+  // Step 2: base-system design — floorplan + system definition files.
+  Floorplanner planner;
+  if (params.prr_rects.empty()) {
+    result.floorplan = planner.place(params);
+    params.prr_rects = result.floorplan.rects();
+  } else {
+    const std::string violation =
+        Floorplanner::check(params.prr_rects, params.device);
+    VAPRES_REQUIRE(violation.empty(), violation);
+    result.floorplan.device = params.device;
+    // Names must match the core's RSB-major PRR instance names.
+    std::vector<std::string> names;
+    for (std::size_t r = 0; r < params.rsbs.size(); ++r) {
+      for (int p = 0; p < params.rsbs[r].num_prrs; ++p) {
+        names.push_back(params.name + ".rsb" + std::to_string(r) + ".prr" +
+                        std::to_string(p));
+      }
+    }
+    for (std::size_t i = 0; i < params.prr_rects.size(); ++i) {
+      PlacedPrr placed;
+      placed.name = names[i];
+      placed.rect = params.prr_rects[i];
+      placed.bufr_region =
+          fabric::regions_spanned(placed.rect, params.device).front();
+      placed.slice_macro_col = placed.rect.col > 0
+                                   ? placed.rect.col - 1
+                                   : placed.rect.col + placed.rect.width;
+      result.floorplan.prrs.push_back(placed);
+    }
+    int prr_slices = 0;
+    for (const auto& r : params.prr_rects) prr_slices += r.slices();
+    result.floorplan.static_slices =
+        params.device.total_slices() - prr_slices;
+  }
+
+  // Step 3: "synthesis & implementation" — resource estimate and static
+  // bitstream. The static region must fit outside the PRRs.
+  result.resources = ResourceModel::static_region(params);
+  VAPRES_REQUIRE(
+      result.resources.total() <= result.floorplan.static_slices,
+      params.name + ": static region (" +
+          std::to_string(result.resources.total()) +
+          " slices) exceeds the fabric left by the floorplan (" +
+          std::to_string(result.floorplan.static_slices) + ")");
+
+  result.static_bitstream =
+      bitstream::StaticBitstream::create(params.name, params.device);
+  result.mhs = emit_mhs(params);
+  result.mss = emit_mss(params);
+  result.ucf = emit_ucf(params, result.floorplan);
+  result.params = std::move(params);
+  return result;
+}
+
+void BaseSystemFlow::write_files(const BaseSystemResult& result,
+                                 const std::string& directory) {
+  write_system_definition(result.params, result.floorplan, directory);
+}
+
+}  // namespace vapres::flow

@@ -1,0 +1,51 @@
+// Base-system flow (paper Figure 6, right side).
+//
+// Steps, as in Section IV.A:
+//   1. base-system specification — the designer specializes the VAPRES
+//      architectural parameters (SystemParams);
+//   2. base-system design — floorplan the PRRs and create the system
+//      definition files (MHS / MSS / UCF);
+//   3. synthesis & implementation — produce the static bitstream and the
+//      resource report.
+// The result carries everything needed to construct a matching
+// core::VapresSystem and to run the application flow against it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bitstream/bitstream.hpp"
+#include "core/params.hpp"
+#include "flow/floorplan.hpp"
+#include "flow/resource_model.hpp"
+
+namespace vapres::flow {
+
+struct BaseSystemResult {
+  core::SystemParams params;  ///< validated, floorplan filled in
+  Floorplan floorplan;
+  ResourceReport resources;
+  bitstream::StaticBitstream static_bitstream;
+  std::string mhs;
+  std::string mss;
+  std::string ucf;
+
+  /// Slice utilization of the static region on the target device (%).
+  double static_utilization() const {
+    return resources.utilization(params.device.total_slices());
+  }
+};
+
+class BaseSystemFlow {
+ public:
+  /// Runs specification -> design -> synthesis. Throws ModelError when
+  /// the specification is infeasible (bad parameters, floorplan does not
+  /// fit, static region over budget).
+  BaseSystemResult run(core::SystemParams params) const;
+
+  /// Writes the system-definition files into `directory`.
+  static void write_files(const BaseSystemResult& result,
+                          const std::string& directory);
+};
+
+}  // namespace vapres::flow

@@ -1,0 +1,110 @@
+#include "flow/explorer.hpp"
+
+#include <algorithm>
+
+#include "core/reconfig.hpp"
+#include "fabric/frame.hpp"
+#include "flow/floorplan.hpp"
+#include "flow/resource_model.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::flow {
+
+const Candidate& ExplorationResult::best() const {
+  VAPRES_REQUIRE(!candidates.empty(), "no feasible design point");
+  return candidates.front();
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(
+    const hwmodule::ModuleLibrary& library)
+    : library_(library) {}
+
+ExplorationResult DesignSpaceExplorer::explore(
+    const ExplorationGoal& goal) const {
+  VAPRES_REQUIRE(!goal.required_modules.empty(),
+                 "exploration needs at least one required module");
+  VAPRES_REQUIRE(goal.num_prrs >= 1 && goal.num_ioms >= 0,
+                 "bad site counts");
+  VAPRES_REQUIRE(goal.min_lanes >= 1 && goal.max_lanes >= goal.min_lanes,
+                 "bad lane range");
+
+  int max_module_slices = 0;
+  for (const std::string& id : goal.required_modules) {
+    VAPRES_REQUIRE(library_.contains(id), "unknown module: " + id);
+    max_module_slices =
+        std::max(max_module_slices, library_.info(id).resources.slices);
+  }
+
+  ExplorationResult result;
+  const int half_cols = goal.device.clock_region_width_clbs();
+  const Floorplanner planner;
+
+  for (int height : {16, 32, 48}) {
+    for (int width = 2; width <= half_cols; width += 2) {
+      const fabric::ClbRect rect{0, 0, height, width};
+      const std::string point = std::to_string(height) + "x" +
+                                std::to_string(width) + " CLBs";
+      // Every required module must fit a PRR of this size.
+      if (max_module_slices > rect.slices()) {
+        result.rejections.push_back(
+            point + ": largest module (" +
+            std::to_string(max_module_slices) + " slices) does not fit");
+        continue;
+      }
+      for (int lanes = goal.min_lanes; lanes <= goal.max_lanes; ++lanes) {
+        core::SystemParams params;
+        params.name = "explored";
+        params.device = goal.device;
+        core::RsbParams rsb;
+        rsb.num_prrs = goal.num_prrs;
+        rsb.num_ioms = goal.num_ioms;
+        rsb.width_bits = goal.width_bits;
+        rsb.kr = lanes;
+        rsb.kl = lanes;
+        rsb.prr_height_clbs = height;
+        rsb.prr_width_clbs = width;
+        params.rsbs = {rsb};
+
+        const std::string lane_point =
+            point + ", kr=kl=" + std::to_string(lanes);
+        try {
+          params.validate();
+          const Floorplan plan = planner.place(params);
+          const ResourceReport report = ResourceModel::static_region(params);
+          if (report.total() > plan.static_slices) {
+            result.rejections.push_back(
+                lane_point + ": static region (" +
+                std::to_string(report.total()) +
+                " slices) exceeds remaining fabric (" +
+                std::to_string(plan.static_slices) + ")");
+            continue;
+          }
+          Candidate c;
+          c.params = params;
+          c.params.prr_rects = plan.rects();
+          c.static_slices = report.total();
+          c.prr_slices_total = goal.num_prrs * rect.slices();
+          c.reconfig_ms = core::ReconfigManager::estimate_array2icap(
+                              fabric::partial_bitstream_bytes(rect))
+                              .seconds_at(100.0) *
+                          1e3;
+          c.max_module_slices = max_module_slices;
+          result.candidates.push_back(std::move(c));
+        } catch (const ModelError& e) {
+          result.rejections.push_back(lane_point + ": " + e.what());
+        }
+      }
+    }
+  }
+
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.total_slices() != b.total_slices()) {
+                return a.total_slices() < b.total_slices();
+              }
+              return a.reconfig_ms < b.reconfig_ms;
+            });
+  return result;
+}
+
+}  // namespace vapres::flow

@@ -1,0 +1,74 @@
+// Base-system design-space exploration.
+//
+// Section IV.A: "architectural specialization supports a wide variety of
+// hardware module and application requirements and enables system
+// designers to balance resource utilization with communication
+// flexibility". The explorer mechanizes that balancing act: given a
+// device, the set of modules the system must host, the number of
+// concurrently placed modules and IOMs, and a stream-rate target, it
+// enumerates (PRR size, kr/kl) candidates, filters by hard feasibility
+// (floorplan fits, static region fits, every module fits some PRR,
+// clock ladder satisfies the rate analysis), and ranks survivors by
+// total slice cost, breaking ties toward faster reconfiguration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "flow/rate_analyzer.hpp"
+#include "hwmodule/library.hpp"
+
+namespace vapres::flow {
+
+struct ExplorationGoal {
+  fabric::DeviceGeometry device = fabric::DeviceGeometry::xc4vlx25();
+  /// Modules the base system must be able to host (each must fit at
+  /// least one PRR).
+  std::vector<std::string> required_modules;
+  /// PRRs (= concurrently placed modules) and IOMs.
+  int num_prrs = 2;
+  int num_ioms = 1;
+  /// Channels the application needs to route concurrently; kr=kl
+  /// candidates below this are not offered.
+  int min_lanes = 1;
+  int max_lanes = 4;
+  int width_bits = 32;
+};
+
+struct Candidate {
+  core::SystemParams params;
+  int static_slices = 0;       ///< resource-model estimate
+  int prr_slices_total = 0;    ///< PRR area
+  double reconfig_ms = 0.0;    ///< array2icap per PRR
+  int max_module_slices = 0;   ///< largest required module
+
+  int total_slices() const { return static_slices + prr_slices_total; }
+};
+
+struct ExplorationResult {
+  /// Feasible candidates, best (fewest total slices, then fastest
+  /// reconfiguration) first.
+  std::vector<Candidate> candidates;
+  /// Human-readable reasons infeasible points were discarded (one entry
+  /// per (size, lanes) candidate).
+  std::vector<std::string> rejections;
+
+  bool feasible() const { return !candidates.empty(); }
+  const Candidate& best() const;
+};
+
+class DesignSpaceExplorer {
+ public:
+  explicit DesignSpaceExplorer(const hwmodule::ModuleLibrary& library);
+
+  /// Explores PRR heights {16, 32, 48} x widths {2..half} x lanes
+  /// {min..max}. Throws ModelError on malformed goals (unknown modules).
+  ExplorationResult explore(const ExplorationGoal& goal) const;
+
+ private:
+  const hwmodule::ModuleLibrary& library_;
+};
+
+}  // namespace vapres::flow

@@ -1,0 +1,165 @@
+#include "flow/floorplan.hpp"
+
+#include <sstream>
+
+#include "sim/check.hpp"
+
+namespace vapres::flow {
+
+std::vector<fabric::ClbRect> Floorplan::rects() const {
+  std::vector<fabric::ClbRect> out;
+  out.reserve(prrs.size());
+  for (const PlacedPrr& p : prrs) out.push_back(p.rect);
+  return out;
+}
+
+std::string Floorplan::render_ascii() const {
+  const int cell = 2;  // CLBs per character cell
+  const int rows = device.clb_rows() / cell;
+  const int cols = device.clb_cols() / cell;
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols),
+                                            '.'));
+  for (std::size_t i = 0; i < prrs.size(); ++i) {
+    const PlacedPrr& p = prrs[i];
+    const char mark =
+        static_cast<char>('0' + static_cast<int>(i % 10));
+    for (int r = p.rect.row; r < p.rect.row + p.rect.height; ++r) {
+      for (int c = p.rect.col; c < p.rect.col + p.rect.width; ++c) {
+        grid[static_cast<std::size_t>(r / cell)]
+            [static_cast<std::size_t>(c / cell)] = mark;
+      }
+    }
+    // Slice-macro column.
+    for (int r = p.rect.row; r < p.rect.row + p.rect.height; ++r) {
+      const int c = p.slice_macro_col;
+      if (c >= 0 && c < device.clb_cols()) {
+        grid[static_cast<std::size_t>(r / cell)]
+            [static_cast<std::size_t>(c / cell)] = 'm';
+      }
+    }
+    // BUFR site: centre column of its clock region, bottom row.
+    const int bufr_row =
+        p.bufr_region.row * fabric::DeviceGeometry::kClockRegionRows;
+    const int bufr_col = p.bufr_region.half == 0
+                             ? device.clock_region_width_clbs() - 1
+                             : device.clock_region_width_clbs();
+    grid[static_cast<std::size_t>(bufr_row / cell)]
+        [static_cast<std::size_t>(bufr_col / cell)] = 'B';
+  }
+
+  std::ostringstream os;
+  os << "Floorplan (" << device.name() << ", " << device.clb_rows() << "x"
+     << device.clb_cols() << " CLBs; '.'=static, digits=PRRs, B=BUFR, "
+        "m=slice macros)\n";
+  // Top row of the device first (row indices grow upward).
+  for (int r = rows - 1; r >= 0; --r) {
+    os << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  return os.str();
+}
+
+Floorplan Floorplanner::place(const core::SystemParams& params) const {
+  params.validate();
+  Floorplan plan;
+  plan.device = params.device;
+
+  const int region_rows = fabric::DeviceGeometry::kClockRegionRows;
+  const int regions_per_half = params.device.clock_region_rows();
+  const int half_cols = params.device.clock_region_width_clbs();
+
+  // Region occupancy per half.
+  std::vector<std::vector<bool>> used(
+      2, std::vector<bool>(static_cast<std::size_t>(regions_per_half),
+                           false));
+
+  int prr_counter = 0;
+  for (std::size_t r = 0; r < params.rsbs.size(); ++r) {
+    const core::RsbParams& rp = params.rsbs[r];
+    VAPRES_REQUIRE(rp.prr_width_clbs <= half_cols,
+                   "PRR wider than a clock-region half");
+    const int span = (rp.prr_height_clbs + region_rows - 1) / region_rows;
+    VAPRES_REQUIRE(span <= 3, "PRR spans more than 3 clock regions");
+
+    for (int p = 0; p < rp.num_prrs; ++p) {
+      // First-fit: find `span` adjacent free regions in either half,
+      // preferring the left half bottom-up (the prototype places PRRs in
+      // the lower-left of the device, Figure 8).
+      int found_half = -1;
+      int found_region = -1;
+      for (int half = 0; half < 2 && found_half < 0; ++half) {
+        for (int region = 0; region + span <= regions_per_half; ++region) {
+          bool free = true;
+          for (int s = 0; s < span; ++s) {
+            if (used[static_cast<std::size_t>(half)]
+                    [static_cast<std::size_t>(region + s)]) {
+              free = false;
+              break;
+            }
+          }
+          if (free) {
+            found_half = half;
+            found_region = region;
+            break;
+          }
+        }
+      }
+      VAPRES_REQUIRE(found_half >= 0,
+                     "floorplan: out of clock regions on " +
+                         params.device.name());
+      for (int s = 0; s < span; ++s) {
+        used[static_cast<std::size_t>(found_half)]
+            [static_cast<std::size_t>(found_region + s)] = true;
+      }
+
+      PlacedPrr placed;
+      placed.name = params.name + ".rsb" + std::to_string(r) + ".prr" +
+                    std::to_string(p);
+      // Anchor at the region boundary; left half abuts the centre line so
+      // the slice-macro column faces the static fabric on the left.
+      const int col = found_half == 0
+                          ? half_cols - rp.prr_width_clbs
+                          : half_cols;
+      placed.rect = fabric::ClbRect{found_region * region_rows, col,
+                                    rp.prr_height_clbs, rp.prr_width_clbs};
+      placed.bufr_region = fabric::ClockRegionId{found_region, found_half};
+      placed.slice_macro_col =
+          found_half == 0 ? col - 1 : col + rp.prr_width_clbs;
+      plan.prrs.push_back(placed);
+      ++prr_counter;
+    }
+  }
+
+  const std::string violation = check(plan.rects(), params.device);
+  VAPRES_REQUIRE(violation.empty(), violation);
+
+  int prr_slices = 0;
+  for (const PlacedPrr& p : plan.prrs) prr_slices += p.rect.slices();
+  plan.static_slices = params.device.total_slices() - prr_slices;
+  return plan;
+}
+
+std::string Floorplanner::check(const std::vector<fabric::ClbRect>& rects,
+                                const fabric::DeviceGeometry& device) {
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const std::string v = fabric::prr_legality_violation(rects[i], device);
+    if (!v.empty()) return v;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rects[i].overlaps(rects[j])) {
+        return "PRRs " + std::to_string(j) + " and " + std::to_string(i) +
+               " overlap";
+      }
+      for (const auto& ri : regions_spanned(rects[i], device)) {
+        for (const auto& rj : regions_spanned(rects[j], device)) {
+          if (ri == rj) {
+            return "PRRs " + std::to_string(j) + " and " +
+                   std::to_string(i) + " share a local clock region";
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace vapres::flow

@@ -1,0 +1,52 @@
+// Floorplanner (base-system flow, Section IV.A; prototype layout Fig. 8).
+//
+// Places PRRs onto local clock-region slots subject to the paper's rules
+// (each PRR inside 1-3 vertically adjacent regions, no two PRRs sharing a
+// region, nothing straddling the centre line), sites the BUFR for each
+// PRR, marks the slice-macro columns at the PRR's static-region boundary,
+// and reports what is left for the static region. Also renders the
+// floorplan as ASCII art (the model's Figure 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "fabric/clock_region.hpp"
+
+namespace vapres::flow {
+
+struct PlacedPrr {
+  std::string name;
+  fabric::ClbRect rect;
+  fabric::ClockRegionId bufr_region;
+  /// CLB column just outside the PRR where the slice macros anchor.
+  int slice_macro_col = 0;
+};
+
+struct Floorplan {
+  fabric::DeviceGeometry device = fabric::DeviceGeometry::xc4vlx25();
+  std::vector<PlacedPrr> prrs;
+  int static_slices = 0;  ///< slices left outside all PRRs
+
+  /// Rects only, in placement order (feed to SystemParams::prr_rects).
+  std::vector<fabric::ClbRect> rects() const;
+
+  /// ASCII rendering: one character cell per 2x2 CLBs, PRRs as digits,
+  /// 'B' at BUFR sites, 'm' on slice-macro columns, '.' static fabric.
+  std::string render_ascii() const;
+};
+
+class Floorplanner {
+ public:
+  /// Places all PRRs of `params` and verifies global legality.
+  /// Throws ModelError when the device cannot host the request.
+  Floorplan place(const core::SystemParams& params) const;
+
+  /// Checks an existing floorplan (e.g. hand-written) for legality.
+  /// Returns an empty string if legal, else the first violation.
+  static std::string check(const std::vector<fabric::ClbRect>& rects,
+                           const fabric::DeviceGeometry& device);
+};
+
+}  // namespace vapres::flow

@@ -1,0 +1,140 @@
+#include "flow/rate_analyzer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "sim/check.hpp"
+
+namespace vapres::flow {
+
+namespace {
+
+bool is_iom(const std::string& endpoint) {
+  return endpoint.rfind("iom:", 0) == 0;
+}
+
+}  // namespace
+
+Rational Rational::of(std::int64_t n, std::int64_t d) {
+  VAPRES_REQUIRE(d != 0 && n >= 0 && d > 0,
+                 "rates must be non-negative rationals");
+  const std::int64_t g = std::gcd(n, d);
+  return Rational{g == 0 ? 0 : n / g, g == 0 ? 1 : d / g};
+}
+
+Rational Rational::times(std::int64_t n, std::int64_t d) const {
+  return Rational::of(num * n, den * d);
+}
+
+double RateReport::required_mhz(const std::string& node,
+                                double source_mwords_per_s) const {
+  auto it = nodes.find(node);
+  VAPRES_REQUIRE(it != nodes.end(), "unknown node: " + node);
+  return it->second.min_clock_factor.value() * source_mwords_per_s;
+}
+
+std::map<std::string, double> RateReport::assign_clocks(
+    double source_mwords_per_s,
+    const std::vector<double>& ladder_mhz) const {
+  std::vector<double> ladder = ladder_mhz;
+  std::sort(ladder.begin(), ladder.end());
+  std::map<std::string, double> chosen;
+  for (const auto& [name, rate] : nodes) {
+    const double need = rate.min_clock_factor.value() * source_mwords_per_s;
+    double pick = -1.0;
+    for (double mhz : ladder) {
+      if (mhz + 1e-9 >= need) {
+        pick = mhz;
+        break;
+      }
+    }
+    VAPRES_REQUIRE(pick > 0.0,
+                   "node " + name + " needs " + std::to_string(need) +
+                       " MHz, above the fastest ladder frequency");
+    chosen[name] = pick;
+  }
+  return chosen;
+}
+
+RateAnalyzer::RateAnalyzer(const hwmodule::ModuleLibrary& library)
+    : library_(library) {}
+
+RateReport RateAnalyzer::analyze(const core::KpnAppSpec& app) const {
+  // Node lookup + per-node module info.
+  std::map<std::string, const hwmodule::NetlistInfo*> info;
+  for (const core::KpnNodeSpec& node : app.nodes) {
+    VAPRES_REQUIRE(library_.contains(node.module_id),
+                   app.name + ": unknown module " + node.module_id);
+    VAPRES_REQUIRE(info.emplace(node.name, &library_.info(node.module_id))
+                       .second,
+                   app.name + ": duplicate node " + node.name);
+  }
+
+  RateReport report;
+  // Edge work-list: (consumer endpoint, rate on the edge). Source IOMs
+  // emit 1 word per unit.
+  std::map<std::string, Rational> pending_input;  // node -> input rate
+  std::deque<std::string> ready;
+
+  // Seed: edges leaving IOMs.
+  for (const core::KpnEdgeSpec& edge : app.edges) {
+    if (!is_iom(edge.from)) continue;
+    if (is_iom(edge.to)) {
+      report.sink_rates[edge.to] = Rational::of(1);
+      continue;
+    }
+    auto [it, fresh] = pending_input.emplace(edge.to, Rational::of(1));
+    VAPRES_REQUIRE(fresh || it->second == Rational::of(1),
+                   app.name + ": join rate mismatch at " + edge.to);
+    if (fresh) ready.push_back(edge.to);
+  }
+
+  // Propagate in topological order (KPN apps are routed acyclically by
+  // the assembler; a cycle would starve here and be reported below).
+  std::size_t resolved = 0;
+  while (!ready.empty()) {
+    const std::string node = ready.front();
+    ready.pop_front();
+    ++resolved;
+
+    const hwmodule::NetlistInfo& ni = *info.at(node);
+    const Rational in_rate = pending_input.at(node);
+    const Rational out_rate = in_rate.times(ni.rate_out, ni.rate_in);
+
+    NodeRate rate;
+    rate.input_rate = in_rate;
+    rate.output_rate = out_rate;
+    rate.min_clock_factor =
+        in_rate.value() >= out_rate.value() ? in_rate : out_rate;
+    report.nodes[node] = rate;
+
+    for (const core::KpnEdgeSpec& edge : app.edges) {
+      if (edge.from != node) continue;
+      if (is_iom(edge.to)) {
+        report.sink_rates[edge.to] = out_rate;
+        continue;
+      }
+      VAPRES_REQUIRE(info.count(edge.to) > 0,
+                     app.name + ": edge names unknown node " + edge.to);
+      auto [it, fresh] = pending_input.emplace(edge.to, out_rate);
+      if (fresh) {
+        ready.push_back(edge.to);
+      } else {
+        // A join: every input must arrive at the same rate, or the
+        // slower side's FIFO grows without bound.
+        VAPRES_REQUIRE(it->second == out_rate,
+                       app.name + ": join rate mismatch at " + edge.to +
+                           " (" + std::to_string(it->second.value()) +
+                           " vs " + std::to_string(out_rate.value()) + ")");
+      }
+    }
+  }
+
+  VAPRES_REQUIRE(resolved == app.nodes.size(),
+                 app.name + ": unreachable or cyclic nodes in the KPN "
+                            "(rates cannot be derived)");
+  return report;
+}
+
+}  // namespace vapres::flow

@@ -1,0 +1,76 @@
+// KPN stream-rate analysis and local-clock-domain assignment.
+//
+// Section III.B.2 motivates local clock domains with "a system with a
+// series of digital filter hardware modules and a fixed processing
+// throughput requirement [where] some hardware modules may require more
+// processing cycles, and thus a higher clock frequency". This analyzer
+// automates that reasoning: given a KPN application and the module
+// library's SDF rate signatures, it propagates stream rates from the
+// sources through the graph (exact rational arithmetic), checks rate
+// consistency (a mismatched join would deadlock or overflow), derives
+// each node's minimum clock (one port operation per cycle), and picks
+// the cheapest frequency from the DCM/PMCD ladder.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/assembler.hpp"
+#include "hwmodule/library.hpp"
+
+namespace vapres::flow {
+
+/// Exact non-negative rational (rates are ratios of small integers).
+struct Rational {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  static Rational of(std::int64_t n, std::int64_t d = 1);
+  Rational times(std::int64_t n, std::int64_t d) const;
+  double value() const { return static_cast<double>(num) / den; }
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num == b.num && a.den == b.den;  // both reduced
+  }
+};
+
+struct NodeRate {
+  Rational input_rate;   ///< words in per source word
+  Rational output_rate;  ///< words out per source word
+  /// Minimum clock as a multiple of the source word rate: the module
+  /// performs one port operation per cycle, so it needs
+  /// max(input, output) cycles per source word.
+  Rational min_clock_factor;
+};
+
+struct RateReport {
+  std::map<std::string, NodeRate> nodes;
+  /// Stream rate arriving back at each sink IOM (per source word).
+  std::map<std::string, Rational> sink_rates;
+
+  /// Minimum clock in MHz for `node` at `source_mwords_per_s`.
+  double required_mhz(const std::string& node,
+                      double source_mwords_per_s) const;
+
+  /// Picks, per node, the slowest ladder frequency that still meets the
+  /// requirement. Throws ModelError if some node cannot be satisfied.
+  std::map<std::string, double> assign_clocks(
+      double source_mwords_per_s,
+      const std::vector<double>& ladder_mhz) const;
+};
+
+class RateAnalyzer {
+ public:
+  explicit RateAnalyzer(const hwmodule::ModuleLibrary& library);
+
+  /// Analyzes `app` with every source IOM producing one word per unit.
+  /// Throws ModelError on disconnected nodes, rate-inconsistent joins,
+  /// or unknown modules.
+  RateReport analyze(const core::KpnAppSpec& app) const;
+
+ private:
+  const hwmodule::ModuleLibrary& library_;
+};
+
+}  // namespace vapres::flow

@@ -1,0 +1,109 @@
+#include "flow/resource_model.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::flow {
+
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+int ResourceReport::total() const {
+  int sum = 0;
+  for (const ResourceItem& item : items) sum += item.slices;
+  return sum;
+}
+
+double ResourceReport::utilization(int device_slices) const {
+  VAPRES_REQUIRE(device_slices > 0, "device has no slices");
+  return 100.0 * total() / device_slices;
+}
+
+int ResourceModel::switch_box_slices(const comm::SwitchBoxShape& shape,
+                                     int width_bits) {
+  const int w1 = width_bits + 1;  // payload + valid extension bit
+  // Registers: one (w+1)-bit register per input port, 2 FFs per slice.
+  // Muxes: priced for the connectivity the routing layer uses —
+  // rightward outputs select among {rightward lanes, producers},
+  // leftward outputs among {leftward lanes, producers}, consumer outputs
+  // among the inter-box lanes. An n-to-1 mux per bit is a tree of (n-1)
+  // 2:1 LUTs, 2 LUTs per slice.
+  const int reg_half_slices = shape.num_inputs() * w1;  // in half-slices
+  const int right_mux = shape.kr * (shape.kr + shape.ko - 1);
+  const int left_mux = shape.kl * (shape.kl + shape.ko - 1);
+  const int consumer_mux = shape.ki * (shape.kr + shape.kl - 1);
+  const int mux_half_slices = (right_mux + left_mux + consumer_mux) * w1;
+  return ceil_div(reg_half_slices + mux_half_slices, 2);
+}
+
+int ResourceModel::module_interface_slices(int width_bits) {
+  const int w1 = width_bits + 1;
+  // FIFO control (addresses, flags; data in BlockRAM) plus the
+  // bit-extension / feedback-threshold datapath: 3 LUT/FF pairs per 4
+  // extended bits, plus a 7-slice control base.
+  return 7 + ceil_div(3 * w1, 4);
+}
+
+int ResourceModel::prsocket_slices(const comm::SwitchBoxShape& shape) {
+  int sel_bits = 1;
+  while ((1 << sel_bits) < shape.num_inputs() + 1) ++sel_bits;
+  // 32-bit DCR register (8 slices of FF pairs) plus select-field decode.
+  return 8 + ceil_div(shape.num_outputs() * sel_bits, 4);
+}
+
+int ResourceModel::comm_architecture_slices(const core::RsbParams& params) {
+  params.validate();
+  const comm::SwitchBoxShape shape{params.kr, params.kl, params.ki,
+                                   params.ko};
+  const int sites = params.num_attachments();
+  // Per PRR: ki consumers + ko producers; per IOM: 1 producer + 1 consumer.
+  const int interfaces =
+      params.num_prrs * (params.ki + params.ko) + params.num_ioms * 2;
+  return sites * switch_box_slices(shape, params.width_bits) +
+         interfaces * module_interface_slices(params.width_bits) +
+         sites * prsocket_slices(shape);
+}
+
+int ResourceModel::slice_macros_per_prr(const core::RsbParams& params) {
+  const int w1 = params.width_bits + 1;
+  // Stream channels crossing the boundary ((ki+ko) x (w+1) bits at 2 bits
+  // per slice) plus two 32-bit FSL crossings.
+  return ceil_div((params.ki + params.ko) * w1, 2) + 2 * 32;
+}
+
+ResourceReport ResourceModel::static_region(
+    const core::SystemParams& params) {
+  params.validate();
+  ResourceReport report;
+  report.items.push_back({"microblaze", kMicroblazeSlices});
+  report.items.push_back({"plb_bus", kPlbBusSlices});
+  report.items.push_back({"plb2dcr_bridge", kPlb2DcrBridgeSlices});
+  report.items.push_back({"icap_controller", kIcapControllerSlices});
+  report.items.push_back({"sysace_cf", kSysAceSlices});
+  report.items.push_back({"sdram_controller", kSdramControllerSlices});
+  report.items.push_back({"clock_generation", kClockGenSlices});
+  report.items.push_back({"xps_timer", kTimerSlices});
+  report.items.push_back({"uart", kUartSlices});
+  report.items.push_back({"intc", kIntcSlices});
+
+  int comm = 0;
+  int fsl = 0;
+  int macros = 0;
+  int iom_pins = 0;
+  for (const core::RsbParams& rsb : params.rsbs) {
+    comm += comm_architecture_slices(rsb);
+    fsl += rsb.num_attachments() * kFslPairPerSiteSlices;
+    macros += rsb.num_prrs * slice_macros_per_prr(rsb);
+    iom_pins += rsb.num_ioms * kIomPinInterfaceSlices;
+  }
+  report.items.push_back({"comm_architecture", comm});
+  report.items.push_back({"fsl_links", fsl});
+  report.items.push_back({"slice_macros", macros});
+  report.items.push_back({"iom_pin_interfaces", iom_pins});
+  report.items.push_back({"glue_and_reset", kGlueSlices});
+  return report;
+}
+
+}  // namespace vapres::flow

@@ -1,0 +1,83 @@
+// Calibrated slice-cost model (paper Section V.B).
+//
+// The paper reports, for the ML401 prototype (1 RSB, 2 PRRs, 1 IOM,
+// kr = kl = 2, ki = ko = 1, w = 32):
+//   * inter-module communication architecture: 1,020 slices;
+//   * whole static region (incl. MicroBlaze):  9,421 slices (~86-88 % of
+//     the XC4VLX25's 10,752).
+//
+// The model prices each communication component from its structure
+// (registers at 2 FFs/slice, 2:1 mux trees at 2 LUTs/slice over the
+// (w+1)-bit extended word) and each static peripheral at a representative
+// Virtex-4 figure, with a final glue term calibrated so the prototype
+// reproduces both totals exactly. Every constant is named below; the
+// parameter sweep of bench_resource_util exercises the structural terms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/switch_box.hpp"
+#include "core/params.hpp"
+
+namespace vapres::flow {
+
+struct ResourceItem {
+  std::string name;
+  int slices = 0;
+};
+
+struct ResourceReport {
+  std::vector<ResourceItem> items;
+  int total() const;
+  /// Percentage of `device_slices`.
+  double utilization(int device_slices) const;
+};
+
+class ResourceModel {
+ public:
+  // ---- Structural communication-architecture costs --------------------
+
+  /// One switch box: (w+1)-bit registers on every input port plus an
+  /// every-input mux tree on every output port.
+  static int switch_box_slices(const comm::SwitchBoxShape& shape,
+                               int width_bits);
+
+  /// One producer or consumer module interface: FIFO control (data lives
+  /// in BlockRAM) plus bit-extension / threshold logic.
+  static int module_interface_slices(int width_bits);
+
+  /// One PRSocket: the 32-bit DCR register plus select-field decode.
+  static int prsocket_slices(const comm::SwitchBoxShape& shape);
+
+  /// The whole inter-module communication architecture of one RSB:
+  /// boxes + module interfaces + PRSockets.
+  static int comm_architecture_slices(const core::RsbParams& params);
+
+  /// Slice macros anchoring the PRR boundary crossings: stream channels
+  /// plus the two FSLs.
+  static int slice_macros_per_prr(const core::RsbParams& params);
+
+  // ---- Static peripherals (representative Virtex-4 figures) ------------
+
+  static constexpr int kMicroblazeSlices = 2350;
+  static constexpr int kPlbBusSlices = 420;
+  static constexpr int kPlb2DcrBridgeSlices = 160;
+  static constexpr int kIcapControllerSlices = 390;
+  static constexpr int kSysAceSlices = 430;
+  static constexpr int kSdramControllerSlices = 1850;
+  static constexpr int kClockGenSlices = 240;  // DCM + PMCD + BUFGMUX
+  static constexpr int kTimerSlices = 190;
+  static constexpr int kUartSlices = 160;
+  static constexpr int kIntcSlices = 210;
+  static constexpr int kFslPairPerSiteSlices = 120;
+  static constexpr int kIomPinInterfaceSlices = 460;
+  /// Reset infrastructure, PLB interface logic, glue: calibrated so the
+  /// prototype static region totals the paper's 9,421 slices.
+  static constexpr int kGlueSlices = 987;
+
+  /// Itemized static-region report for a whole system.
+  static ResourceReport static_region(const core::SystemParams& params);
+};
+
+}  // namespace vapres::flow

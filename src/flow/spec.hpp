@@ -1,0 +1,48 @@
+// System-specification files (paper Section VI, future work: "additional
+// design support in the form of scripting tools for system floorplan
+// definition and system definition file creation").
+//
+// A small line-oriented text format captures a complete SystemParams so
+// base systems are defined in files rather than code:
+//
+//     # comment
+//     system vapres_quad
+//     device xc4vlx25            # or: device custom <rows> <cols>
+//     clock 100
+//     prr_clocks 100 50
+//     sdram 67108864
+//     rsb
+//       prrs 4
+//       ioms 2
+//       width 32
+//       lanes 2 2                # kr kl
+//       ports 1 1                # ki ko
+//       fifo_depth 512
+//       prr_size 16 10           # CLB rows, CLB cols
+//     end
+//     floorplan                  # optional explicit floorplan
+//       prr 0 0 16 10            # row col height width
+//       prr 16 0 16 10
+//     end
+//
+// parse_system_spec() -> SystemParams (validated);
+// emit_system_spec() round-trips a SystemParams back to text.
+#pragma once
+
+#include <string>
+
+#include "core/params.hpp"
+
+namespace vapres::flow {
+
+/// Parses the spec text. Throws ModelError with a line number on any
+/// syntax or semantic error; the result is validate()d.
+core::SystemParams parse_system_spec(const std::string& text);
+
+/// Reads and parses a spec file from disk.
+core::SystemParams load_system_spec(const std::string& path);
+
+/// Emits `params` in the spec format (round-trips through the parser).
+std::string emit_system_spec(const core::SystemParams& params);
+
+}  // namespace vapres::flow

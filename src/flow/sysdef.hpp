@@ -1,0 +1,37 @@
+// System-definition file emitters (base-system flow, Section IV.A).
+//
+// The real flow produces an MHS file (system structure, for platgen), an
+// MSS file (software platform, for libgen), and a UCF (floorplan
+// constraints). The model emits files with the same structure and intent
+// so the base-system flow's output is inspectable; the syntax follows the
+// EDK 9.x conventions the paper's toolchain used.
+#pragma once
+
+#include <string>
+
+#include "core/params.hpp"
+#include "flow/floorplan.hpp"
+
+namespace vapres::flow {
+
+/// Microprocessor Hardware Specification: MicroBlaze, PLB, bridges,
+/// ICAP/SysACE/SDRAM peripherals, one PRSocket DCR slave per site, and
+/// the RSB parameterization as a custom pcore instance.
+std::string emit_mhs(const core::SystemParams& params);
+
+/// Microprocessor Software Specification: OS, drivers, and the VAPRES
+/// API library (Table 2).
+std::string emit_mss(const core::SystemParams& params);
+
+/// User Constraints File: AREA_GROUP RANGE constraints per PRR, BUFR
+/// LOCs, and MODE constraints for the reconfigurable regions.
+std::string emit_ucf(const core::SystemParams& params,
+                     const Floorplan& floorplan);
+
+/// Writes the three files ("system.mhs", "system.mss", "system.ucf") into
+/// `directory`, creating it if needed. Returns the directory path.
+std::string write_system_definition(const core::SystemParams& params,
+                                    const Floorplan& floorplan,
+                                    const std::string& directory);
+
+}  // namespace vapres::flow

@@ -1,0 +1,138 @@
+#include "hwmodule/composite.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::hwmodule {
+
+class CompositeBehavior::StagePorts final : public ModulePorts {
+ public:
+  StagePorts(ModulePorts& outer, std::deque<Word>* in,
+             std::deque<Word>* out)
+      : outer_(outer), in_(in), out_(out) {}
+
+  int num_inputs() const override { return 1; }
+  int num_outputs() const override { return 1; }
+
+  bool can_read(int) const override {
+    return in_ != nullptr ? !in_->empty() : outer_.can_read(0);
+  }
+  Word read(int) override {
+    if (in_ == nullptr) return outer_.read(0);
+    const Word w = in_->front();
+    in_->pop_front();
+    return w;
+  }
+  bool can_write(int) const override {
+    return out_ != nullptr
+               ? static_cast<int>(out_->size()) < kBufferDepth
+               : outer_.can_write(0);
+  }
+  void write(int, Word w) override {
+    if (out_ == nullptr) {
+      outer_.write(0, w);
+    } else {
+      out_->push_back(w);
+    }
+  }
+  bool fsl_can_write() const override { return outer_.fsl_can_write(); }
+  void fsl_write(Word w) override { outer_.fsl_write(w); }
+  std::optional<Word> fsl_try_read() override {
+    // FSL input is not demultiplexed across stages; composites receive
+    // module-directed data at the composite level only.
+    return std::nullopt;
+  }
+
+ private:
+  ModulePorts& outer_;
+  std::deque<Word>* in_;
+  std::deque<Word>* out_;
+};
+
+CompositeBehavior::CompositeBehavior(
+    std::string type_id, std::vector<std::unique_ptr<ModuleBehavior>> stages)
+    : type_id_(std::move(type_id)), stages_(std::move(stages)) {
+  VAPRES_REQUIRE(!stages_.empty(), type_id_ + ": composite needs stages");
+  for (const auto& s : stages_) {
+    VAPRES_REQUIRE(s != nullptr, type_id_ + ": null stage");
+  }
+  buffers_.resize(stages_.size() - 1);
+}
+
+const ModuleBehavior& CompositeBehavior::stage(int index) const {
+  VAPRES_REQUIRE(index >= 0 && index < num_stages(),
+                 type_id_ + ": stage index out of range");
+  return *stages_[static_cast<std::size_t>(index)];
+}
+
+void CompositeBehavior::on_cycle(ModulePorts& ports) {
+  // Back to front: downstream stages drain their input buffers first,
+  // making room for upstream stages in the same cycle — one-word-per-
+  // cycle steady-state throughput, like the fused pipeline's registers.
+  for (int i = num_stages() - 1; i >= 0; --i) {
+    std::deque<Word>* in =
+        i == 0 ? nullptr : &buffers_[static_cast<std::size_t>(i - 1)];
+    std::deque<Word>* out = i == num_stages() - 1
+                                ? nullptr
+                                : &buffers_[static_cast<std::size_t>(i)];
+    StagePorts stage_ports(ports, in, out);
+    stages_[static_cast<std::size_t>(i)]->on_cycle(stage_ports);
+  }
+}
+
+bool CompositeBehavior::pipeline_empty() const {
+  for (const auto& b : buffers_) {
+    if (!b.empty()) return false;
+  }
+  for (const auto& s : stages_) {
+    if (!s->pipeline_empty()) return false;
+  }
+  return true;
+}
+
+std::vector<Word> CompositeBehavior::save_state() const {
+  // Frame: per stage [len, words...], then per buffer [len, words...].
+  std::vector<Word> out;
+  for (const auto& s : stages_) {
+    const auto st = s->save_state();
+    out.push_back(static_cast<Word>(st.size()));
+    out.insert(out.end(), st.begin(), st.end());
+  }
+  for (const auto& b : buffers_) {
+    out.push_back(static_cast<Word>(b.size()));
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+void CompositeBehavior::restore_state(std::span<const Word> state) {
+  std::size_t cursor = 0;
+  const auto take_frame = [&](const char* what) {
+    VAPRES_REQUIRE(cursor < state.size(),
+                   type_id_ + ": truncated composite state (" + what + ")");
+    const std::size_t len = state[cursor++];
+    VAPRES_REQUIRE(cursor + len <= state.size(),
+                   type_id_ + ": truncated composite state (" + what + ")");
+    const auto frame = state.subspan(cursor, len);
+    cursor += len;
+    return frame;
+  };
+  for (auto& s : stages_) {
+    const auto frame = take_frame("stage");
+    if (!frame.empty() || !s->save_state().empty()) {
+      s->restore_state(frame);
+    }
+  }
+  for (auto& b : buffers_) {
+    const auto frame = take_frame("buffer");
+    b.assign(frame.begin(), frame.end());
+  }
+  VAPRES_REQUIRE(cursor == state.size(),
+                 type_id_ + ": trailing words in composite state");
+}
+
+void CompositeBehavior::reset() {
+  for (auto& s : stages_) s->reset();
+  for (auto& b : buffers_) b.clear();
+}
+
+}  // namespace vapres::hwmodule

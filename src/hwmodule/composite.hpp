@@ -1,0 +1,52 @@
+// Composite hardware module: several behaviours fused into one PRR.
+//
+// Application designers commonly fuse a short chain of simple operators
+// into one module to save PRRs (the alternative to giving every KPN node
+// its own region). CompositeBehavior chains 1-in/1-out stages through
+// small internal buffers, fires the stages back-to-front each cycle (so
+// a word advances one stage per cycle, like the fused RTL's pipeline
+// registers), and frames the concatenated stage states + buffer contents
+// as its own state registers — so composites participate fully in the
+// Figure 5 switching methodology.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwmodule/hw_module.hpp"
+
+namespace vapres::hwmodule {
+
+class CompositeBehavior final : public ModuleBehavior {
+ public:
+  /// Internal inter-stage buffer depth (pipeline register pairs).
+  static constexpr int kBufferDepth = 4;
+
+  /// All stages must be 1-in/1-out behaviours.
+  CompositeBehavior(std::string type_id,
+                    std::vector<std::unique_ptr<ModuleBehavior>> stages);
+
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  bool pipeline_empty() const override;
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override;
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const ModuleBehavior& stage(int index) const;
+
+ private:
+  // Adapts one stage's view: input from buffer i (or the real input
+  // port), output to buffer i+1 (or the real output port).
+  class StagePorts;
+
+  std::string type_id_;
+  std::vector<std::unique_ptr<ModuleBehavior>> stages_;
+  // buffers_[i] feeds stage i's output into stage i+1; size = stages-1.
+  std::vector<std::deque<Word>> buffers_;
+};
+
+}  // namespace vapres::hwmodule

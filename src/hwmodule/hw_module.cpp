@@ -1,0 +1,12 @@
+#include "hwmodule/hw_module.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::hwmodule {
+
+void ModuleBehavior::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.empty(),
+                 type_id() + " does not accept state registers");
+}
+
+}  // namespace vapres::hwmodule

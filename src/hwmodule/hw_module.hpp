@@ -1,0 +1,76 @@
+// Hardware-module behaviour interface.
+//
+// Application designers develop hardware modules against FIFO-based ports
+// and are insulated from the VAPRES architecture (Section III.B.1 / IV.B):
+// a module sees consumer ports (stream in), producer ports (stream out),
+// and an FSL pair to/from the MicroBlaze. Blocking-read / blocking-write
+// KPN semantics fall out of the modules checking FIFO empty/full before
+// acting. A behaviour executes one on_cycle() per edge of its PRR's local
+// clock domain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/flit.hpp"
+
+namespace vapres::hwmodule {
+
+using comm::Word;
+
+/// The port surface a module behaviour programs against. Implemented by
+/// the module wrapper, which binds real interfaces behind it.
+class ModulePorts {
+ public:
+  virtual ~ModulePorts() = default;
+
+  virtual int num_inputs() const = 0;
+  virtual int num_outputs() const = 0;
+
+  /// Consumer port: words streamed *to* the module.
+  virtual bool can_read(int port) const = 0;
+  virtual Word read(int port) = 0;
+
+  /// Producer port: words streamed *from* the module.
+  virtual bool can_write(int port) const = 0;
+  virtual void write(int port, Word w) = 0;
+
+  /// FSL master towards the MicroBlaze (monitoring, state).
+  virtual bool fsl_can_write() const = 0;
+  virtual void fsl_write(Word w) = 0;
+
+  /// FSL slave from the MicroBlaze (module-directed data; control words
+  /// are intercepted by the wrapper before reaching the behaviour).
+  virtual std::optional<Word> fsl_try_read() = 0;
+};
+
+/// One hardware module's behaviour. Implementations must be deterministic
+/// functions of their inputs and internal state.
+class ModuleBehavior {
+ public:
+  virtual ~ModuleBehavior() = default;
+
+  /// Stable identifier matching the module-library netlist entry.
+  virtual std::string type_id() const = 0;
+
+  /// One local-clock cycle. KPN discipline: only consume an input word
+  /// when the outputs it produces can be written this cycle.
+  virtual void on_cycle(ModulePorts& ports) = 0;
+
+  /// True when no partially processed data is held inside the module.
+  /// The wrapper uses this during the drain step of module switching.
+  virtual bool pipeline_empty() const { return true; }
+
+  /// State registers (Section III.B.3): captured from the replaced module
+  /// and restored into its replacement.
+  virtual std::vector<Word> save_state() const { return {}; }
+  virtual void restore_state(std::span<const Word> state);
+
+  /// PRR_reset: return to the power-on state.
+  virtual void reset() {}
+};
+
+}  // namespace vapres::hwmodule

@@ -1,0 +1,55 @@
+// Module library: the application flow's netlist registry.
+//
+// During the application flow (Section IV.B), each hardware module is
+// synthesized once per PRR it may occupy; the library is the model's
+// synthesis result store: per module, a resource footprint, the port
+// signature (number of consumer/producer channels the wrapper must bind),
+// and a factory producing the behaviour. The resource footprints are used
+// by bitgen (does the module fit the PRR?) and by the fragmentation
+// experiment (wasted slices per PRR).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/resources.hpp"
+#include "hwmodule/hw_module.hpp"
+
+namespace vapres::hwmodule {
+
+struct NetlistInfo {
+  std::string type_id;
+  std::string description;
+  fabric::ResourceVector resources;
+  int num_inputs = 1;   ///< consumer ports required (<= RSB ki)
+  int num_outputs = 1;  ///< producer ports required (<= RSB ko)
+  std::function<std::unique_ptr<ModuleBehavior>()> factory;
+  /// SDF-style rate signature: the module emits `rate_out` words per
+  /// `rate_in` words consumed (per input port). 1:1 for plain filters,
+  /// M:1 for decimators, 1:M for upsamplers. Used by flow::RateAnalyzer
+  /// to derive per-PRR local-clock requirements.
+  int rate_in = 1;
+  int rate_out = 1;
+};
+
+class ModuleLibrary {
+ public:
+  ModuleLibrary() = default;
+
+  /// A library pre-populated with the built-in behaviours of modules.hpp.
+  static ModuleLibrary standard();
+
+  void register_module(NetlistInfo info);
+  bool contains(const std::string& type_id) const;
+  const NetlistInfo& info(const std::string& type_id) const;
+  std::unique_ptr<ModuleBehavior> instantiate(const std::string& type_id) const;
+  std::vector<std::string> list() const;
+
+ private:
+  std::map<std::string, NetlistInfo> netlists_;
+};
+
+}  // namespace vapres::hwmodule

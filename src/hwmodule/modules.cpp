@@ -1,0 +1,387 @@
+#include "hwmodule/modules.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::hwmodule {
+
+namespace {
+
+/// Standard 1-in-1-out firing rule: consume only when the output can be
+/// written this cycle (KPN blocking write).
+bool fire_ready(const ModulePorts& ports) {
+  return ports.can_read(0) && ports.can_write(0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Passthrough
+
+void Passthrough::on_cycle(ModulePorts& ports) {
+  if (fire_ready(ports)) ports.write(0, ports.read(0));
+}
+
+// ----------------------------------------------------------------------- Gain
+
+Gain::Gain(std::string type_id, Word multiplier, int shift)
+    : type_id_(std::move(type_id)), multiplier_(multiplier), shift_(shift) {
+  VAPRES_REQUIRE(shift_ >= 0 && shift_ < 64, "gain shift out of range");
+}
+
+void Gain::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  const std::uint64_t product =
+      static_cast<std::uint64_t>(ports.read(0)) * multiplier_;
+  ports.write(0, static_cast<Word>(product >> shift_));
+}
+
+void Gain::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 1, type_id_ + ": expected 1 state word");
+  multiplier_ = state[0];
+}
+
+// ------------------------------------------------------------------ AddOffset
+
+AddOffset::AddOffset(std::string type_id, Word offset)
+    : type_id_(std::move(type_id)), offset_(offset) {}
+
+void AddOffset::on_cycle(ModulePorts& ports) {
+  if (fire_ready(ports)) ports.write(0, ports.read(0) + offset_);
+}
+
+void AddOffset::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 1, type_id_ + ": expected 1 state word");
+  offset_ = state[0];
+}
+
+// -------------------------------------------------------------- MovingAverage
+
+MovingAverage::MovingAverage(std::string type_id, int window_log2,
+                             int monitor_interval)
+    : type_id_(std::move(type_id)),
+      window_log2_(window_log2),
+      monitor_interval_(monitor_interval) {
+  VAPRES_REQUIRE(window_log2_ >= 0 && window_log2_ <= 10,
+                 type_id_ + ": window must be 2^0..2^10");
+  VAPRES_REQUIRE(monitor_interval_ >= 0, "monitor interval must be >= 0");
+  reset();
+}
+
+void MovingAverage::reset() {
+  line_.assign(static_cast<std::size_t>(window()), 0);
+  sum_ = 0;
+  samples_ = 0;
+}
+
+Word MovingAverage::current_average() const {
+  return static_cast<Word>(sum_ >> window_log2_);
+}
+
+void MovingAverage::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  const Word in = ports.read(0);
+  sum_ -= line_.front();
+  line_.pop_front();
+  line_.push_back(in);
+  sum_ += in;
+  ++samples_;
+  ports.write(0, current_average());
+  if (monitor_interval_ > 0 &&
+      samples_ % static_cast<std::uint64_t>(monitor_interval_) == 0 &&
+      ports.fsl_can_write()) {
+    ports.fsl_write(current_average());
+  }
+}
+
+std::vector<Word> MovingAverage::save_state() const {
+  return std::vector<Word>(line_.begin(), line_.end());
+}
+
+void MovingAverage::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(static_cast<int>(state.size()) == window(),
+                 type_id_ + ": state size must equal window length");
+  line_.assign(state.begin(), state.end());
+  sum_ = 0;
+  for (Word w : line_) sum_ += w;
+}
+
+// ------------------------------------------------------------------ FirFilter
+
+FirFilter::FirFilter(std::string type_id, std::vector<std::int32_t> taps_q15)
+    : type_id_(std::move(type_id)), taps_(std::move(taps_q15)) {
+  VAPRES_REQUIRE(!taps_.empty(), type_id_ + ": FIR needs at least one tap");
+  reset();
+}
+
+void FirFilter::reset() {
+  line_.assign(taps_.size(), 0);
+}
+
+void FirFilter::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  // Shift in the new sample (newest first).
+  for (std::size_t i = line_.size() - 1; i > 0; --i) line_[i] = line_[i - 1];
+  line_[0] = ports.read(0);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    acc += static_cast<std::int64_t>(taps_[i]) *
+           static_cast<std::int32_t>(line_[i]);
+  }
+  ports.write(0, static_cast<Word>(static_cast<std::uint64_t>(acc) >> 15));
+}
+
+std::vector<Word> FirFilter::save_state() const { return line_; }
+
+void FirFilter::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == taps_.size(),
+                 type_id_ + ": state size must equal tap count");
+  line_.assign(state.begin(), state.end());
+}
+
+// ------------------------------------------------------------------ Decimator
+
+Decimator::Decimator(std::string type_id, int factor)
+    : type_id_(std::move(type_id)), factor_(factor) {
+  VAPRES_REQUIRE(factor_ >= 1, type_id_ + ": decimation factor must be >= 1");
+}
+
+void Decimator::on_cycle(ModulePorts& ports) {
+  // Emitting cycles need output space; dropping cycles do not.
+  if (!ports.can_read(0)) return;
+  if (phase_ == 0 && !ports.can_write(0)) return;
+  const Word in = ports.read(0);
+  if (phase_ == 0) ports.write(0, in);
+  phase_ = (phase_ + 1) % static_cast<Word>(factor_);
+}
+
+void Decimator::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 1, type_id_ + ": expected 1 state word");
+  VAPRES_REQUIRE(state[0] < static_cast<Word>(factor_),
+                 type_id_ + ": phase out of range");
+  phase_ = state[0];
+}
+
+// ------------------------------------------------------------------ Upsampler
+
+Upsampler::Upsampler(std::string type_id, int factor)
+    : type_id_(std::move(type_id)), factor_(factor) {
+  VAPRES_REQUIRE(factor_ >= 1, type_id_ + ": upsample factor must be >= 1");
+}
+
+void Upsampler::on_cycle(ModulePorts& ports) {
+  if (pending_ > 0) {
+    if (ports.can_write(0)) {
+      ports.write(0, held_);
+      --pending_;
+    }
+    return;
+  }
+  if (fire_ready(ports)) {
+    held_ = ports.read(0);
+    ports.write(0, held_);
+    pending_ = factor_ - 1;
+  }
+}
+
+std::vector<Word> Upsampler::save_state() const {
+  return {held_, static_cast<Word>(pending_)};
+}
+
+void Upsampler::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 2, type_id_ + ": expected 2 state words");
+  held_ = state[0];
+  pending_ = static_cast<int>(state[1]);
+  VAPRES_REQUIRE(pending_ >= 0 && pending_ < factor_,
+                 type_id_ + ": pending count out of range");
+}
+
+void Upsampler::reset() {
+  held_ = 0;
+  pending_ = 0;
+}
+
+// ------------------------------------------------------------------ DelayLine
+
+DelayLine::DelayLine(std::string type_id, int depth)
+    : type_id_(std::move(type_id)), depth_(depth) {
+  VAPRES_REQUIRE(depth_ >= 1, type_id_ + ": delay depth must be >= 1");
+  reset();
+}
+
+void DelayLine::reset() {
+  buffer_.assign(static_cast<std::size_t>(depth_), 0);
+}
+
+void DelayLine::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  buffer_.push_back(ports.read(0));
+  ports.write(0, buffer_.front());
+  buffer_.pop_front();
+}
+
+std::vector<Word> DelayLine::save_state() const {
+  return std::vector<Word>(buffer_.begin(), buffer_.end());
+}
+
+void DelayLine::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(static_cast<int>(state.size()) == depth_,
+                 type_id_ + ": state size must equal delay depth");
+  buffer_.assign(state.begin(), state.end());
+}
+
+// ------------------------------------------------------------------- Checksum
+
+Checksum::Checksum(std::string type_id) : type_id_(std::move(type_id)) {}
+
+void Checksum::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  const Word in = ports.read(0);
+  sum_ += in;
+  ports.write(0, in);
+}
+
+std::vector<Word> Checksum::save_state() const {
+  return {static_cast<Word>(sum_ & 0xFFFFFFFFu),
+          static_cast<Word>(sum_ >> 32)};
+}
+
+void Checksum::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 2, type_id_ + ": expected 2 state words");
+  sum_ = (static_cast<std::uint64_t>(state[1]) << 32) | state[0];
+}
+
+// --------------------------------------------------------------------- Adder2
+
+void Adder2::on_cycle(ModulePorts& ports) {
+  if (ports.can_read(0) && ports.can_read(1) && ports.can_write(0)) {
+    ports.write(0, ports.read(0) + ports.read(1));
+  }
+}
+
+// ------------------------------------------------------------------ Splitter2
+
+void Splitter2::on_cycle(ModulePorts& ports) {
+  if (ports.can_read(0) && ports.can_write(0) && ports.can_write(1)) {
+    const Word in = ports.read(0);
+    ports.write(0, in);
+    ports.write(1, in);
+  }
+}
+
+// ------------------------------------------------------------------ Threshold
+
+Threshold::Threshold(std::string type_id, Word threshold)
+    : type_id_(std::move(type_id)), threshold_(threshold) {}
+
+void Threshold::on_cycle(ModulePorts& ports) {
+  if (!ports.can_read(0) || !ports.can_write(0)) return;
+  const Word in = ports.read(0);
+  if ((in & 0x7FFFFFFFu) >= threshold_) {
+    ports.write(0, in);
+    ++passed_;
+  } else {
+    ++suppressed_;
+  }
+}
+
+std::vector<Word> Threshold::save_state() const {
+  return {passed_, suppressed_};
+}
+
+void Threshold::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 2, type_id_ + ": expected 2 state words");
+  passed_ = state[0];
+  suppressed_ = state[1];
+}
+
+void Threshold::reset() {
+  passed_ = 0;
+  suppressed_ = 0;
+}
+
+// ------------------------------------------------------------------ IirBiquad
+
+IirBiquad::IirBiquad(std::string type_id, Coefficients coeffs)
+    : type_id_(std::move(type_id)), coeffs_(coeffs) {}
+
+void IirBiquad::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  const auto x0 = static_cast<std::int32_t>(ports.read(0));
+  std::int64_t acc = 0;
+  acc += static_cast<std::int64_t>(coeffs_.b0) * x0;
+  acc += static_cast<std::int64_t>(coeffs_.b1) * x1_;
+  acc += static_cast<std::int64_t>(coeffs_.b2) * x2_;
+  acc -= static_cast<std::int64_t>(coeffs_.a1) * y1_;
+  acc -= static_cast<std::int64_t>(coeffs_.a2) * y2_;
+  const auto y0 = static_cast<std::int32_t>(
+      static_cast<std::uint64_t>(acc) >> 14);
+  x2_ = x1_;
+  x1_ = x0;
+  y2_ = y1_;
+  y1_ = y0;
+  ports.write(0, static_cast<Word>(y0));
+}
+
+std::vector<Word> IirBiquad::save_state() const {
+  return {static_cast<Word>(x1_), static_cast<Word>(x2_),
+          static_cast<Word>(y1_), static_cast<Word>(y2_)};
+}
+
+void IirBiquad::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 4, type_id_ + ": expected 4 state words");
+  x1_ = static_cast<std::int32_t>(state[0]);
+  x2_ = static_cast<std::int32_t>(state[1]);
+  y1_ = static_cast<std::int32_t>(state[2]);
+  y2_ = static_cast<std::int32_t>(state[3]);
+}
+
+void IirBiquad::reset() {
+  x1_ = x2_ = y1_ = y2_ = 0;
+}
+
+// ------------------------------------------------------------------- Saturate
+
+Saturate::Saturate(std::string type_id, std::int32_t limit)
+    : type_id_(std::move(type_id)), limit_(limit) {
+  VAPRES_REQUIRE(limit_ > 0, type_id_ + ": limit must be positive");
+}
+
+void Saturate::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  auto v = static_cast<std::int32_t>(ports.read(0));
+  if (v > limit_) v = limit_;
+  if (v < -limit_) v = -limit_;
+  ports.write(0, static_cast<Word>(v));
+}
+
+// ------------------------------------------------------------------- PeakHold
+
+PeakHold::PeakHold(std::string type_id) : type_id_(std::move(type_id)) {}
+
+void PeakHold::on_cycle(ModulePorts& ports) {
+  if (!fire_ready(ports)) return;
+  const Word in = ports.read(0);
+  if (in > peak_) peak_ = in;
+  ports.write(0, peak_);
+}
+
+void PeakHold::restore_state(std::span<const Word> state) {
+  VAPRES_REQUIRE(state.size() == 1, type_id_ + ": expected 1 state word");
+  peak_ = state[0];
+}
+
+// ---------------------------------------------------------------- FSL bridges
+
+void FslBridgeOut::on_cycle(ModulePorts& ports) {
+  if (ports.can_read(0) && ports.fsl_can_write()) {
+    ports.fsl_write(ports.read(0));
+  }
+}
+
+void FslBridgeIn::on_cycle(ModulePorts& ports) {
+  if (!ports.can_write(0)) return;
+  if (auto w = ports.fsl_try_read()) {
+    ports.write(0, *w);
+  }
+}
+
+}  // namespace vapres::hwmodule

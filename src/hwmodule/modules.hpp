@@ -1,0 +1,281 @@
+// Built-in hardware-module behaviours.
+//
+// A small signal-processing library in the spirit of the paper's digital
+// filter examples (Figure 5) and KPN nodes (Figure 4). Arithmetic is
+// integer/fixed-point with wrap-around semantics so behaviour is exactly
+// reproducible; each class documents its transfer function, state
+// registers, and KPN firing rule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hwmodule/hw_module.hpp"
+
+namespace vapres::hwmodule {
+
+/// out[n] = in[n]. No state.
+class Passthrough final : public ModuleBehavior {
+ public:
+  std::string type_id() const override { return "passthrough"; }
+  void on_cycle(ModulePorts& ports) override;
+};
+
+/// out[n] = (in[n] * multiplier) >> shift, wrap-around.
+/// State registers: {multiplier}.
+class Gain final : public ModuleBehavior {
+ public:
+  Gain(std::string type_id, Word multiplier, int shift);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override { return {multiplier_}; }
+  void restore_state(std::span<const Word> state) override;
+  void reset() override {}
+
+  Word multiplier() const { return multiplier_; }
+
+ private:
+  std::string type_id_;
+  Word multiplier_;
+  int shift_;
+};
+
+/// out[n] = in[n] + offset, wrap-around. State registers: {offset}.
+class AddOffset final : public ModuleBehavior {
+ public:
+  AddOffset(std::string type_id, Word offset);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override { return {offset_}; }
+  void restore_state(std::span<const Word> state) override;
+
+ private:
+  std::string type_id_;
+  Word offset_;
+};
+
+/// Moving average over a power-of-two window (zero-initialized delay
+/// line): out[n] = (sum of the last W inputs) >> log2(W).
+/// State registers: the delay line, oldest first — restoring them into a
+/// different window length is rejected.
+/// Optionally emits a monitoring word (the current average) to the
+/// MicroBlaze every `monitor_interval` samples (0 = never), as the
+/// filters in Figure 5 do (step 2).
+class MovingAverage final : public ModuleBehavior {
+ public:
+  MovingAverage(std::string type_id, int window_log2,
+                int monitor_interval = 0);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override;
+
+  int window() const { return 1 << window_log2_; }
+
+ private:
+  Word current_average() const;
+
+  std::string type_id_;
+  int window_log2_;
+  int monitor_interval_;
+  std::deque<Word> line_;
+  std::uint64_t sum_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Direct-form FIR with Q15 coefficients:
+/// out[n] = (sum_i taps[i] * in[n-i]) >> 15, wrap-around, zero-initial
+/// delay line. State registers: the delay line, newest first.
+class FirFilter final : public ModuleBehavior {
+ public:
+  FirFilter(std::string type_id, std::vector<std::int32_t> taps_q15);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override;
+
+  const std::vector<std::int32_t>& taps() const { return taps_; }
+
+ private:
+  std::string type_id_;
+  std::vector<std::int32_t> taps_;
+  std::vector<Word> line_;  // newest first
+};
+
+/// Keeps one input word of every `factor`. State registers: {phase}.
+class Decimator final : public ModuleBehavior {
+ public:
+  Decimator(std::string type_id, int factor);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override { return {phase_}; }
+  void restore_state(std::span<const Word> state) override;
+  void reset() override { phase_ = 0; }
+
+ private:
+  std::string type_id_;
+  int factor_;
+  Word phase_ = 0;
+};
+
+/// Repeats each input word `factor` times. Holds a word while repeating,
+/// so pipeline_empty() is false mid-burst.
+class Upsampler final : public ModuleBehavior {
+ public:
+  Upsampler(std::string type_id, int factor);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  bool pipeline_empty() const override { return pending_ == 0; }
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override;
+
+ private:
+  std::string type_id_;
+  int factor_;
+  Word held_ = 0;
+  int pending_ = 0;
+};
+
+/// out[n] = in[n - depth] (zeros before). State: the buffer, oldest first.
+class DelayLine final : public ModuleBehavior {
+ public:
+  DelayLine(std::string type_id, int depth);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override;
+
+ private:
+  std::string type_id_;
+  int depth_;
+  std::deque<Word> buffer_;
+};
+
+/// Passes data through while accumulating a wrap-around sum.
+/// State registers: {checksum_low, checksum_high}.
+class Checksum final : public ModuleBehavior {
+ public:
+  explicit Checksum(std::string type_id = "checksum");
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override { sum_ = 0; }
+
+  std::uint64_t sum() const { return sum_; }
+
+ private:
+  std::string type_id_;
+  std::uint64_t sum_ = 0;
+};
+
+/// Two-input adder: out[n] = a[n] + b[n] (wrap). Fires only when both
+/// inputs have data (KPN blocking read on both ports).
+class Adder2 final : public ModuleBehavior {
+ public:
+  std::string type_id() const override { return "adder2"; }
+  void on_cycle(ModulePorts& ports) override;
+};
+
+/// One-input, two-output splitter: copies each word to both outputs.
+class Splitter2 final : public ModuleBehavior {
+ public:
+  std::string type_id() const override { return "splitter2"; }
+  void on_cycle(ModulePorts& ports) override;
+};
+
+/// Emits only words whose low 31 bits (as magnitude) reach `threshold`;
+/// counts passed/suppressed words. State: {passed, suppressed}.
+class Threshold final : public ModuleBehavior {
+ public:
+  Threshold(std::string type_id, Word threshold);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override;
+
+ private:
+  std::string type_id_;
+  Word threshold_;
+  Word passed_ = 0;
+  Word suppressed_ = 0;
+};
+
+/// Direct-form-I IIR biquad with Q14 coefficients:
+/// y[n] = (b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]) >> 14
+/// (wrap-around, signed arithmetic). State registers: {x1, x2, y1, y2}.
+class IirBiquad final : public ModuleBehavior {
+ public:
+  struct Coefficients {
+    std::int32_t b0, b1, b2, a1, a2;  // Q14
+  };
+
+  IirBiquad(std::string type_id, Coefficients coeffs);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override;
+  void restore_state(std::span<const Word> state) override;
+  void reset() override;
+
+  const Coefficients& coefficients() const { return coeffs_; }
+
+ private:
+  std::string type_id_;
+  Coefficients coeffs_;
+  std::int32_t x1_ = 0, x2_ = 0, y1_ = 0, y2_ = 0;
+};
+
+/// Clamps samples (as signed 32-bit) into [-limit, +limit]. Stateless.
+class Saturate final : public ModuleBehavior {
+ public:
+  Saturate(std::string type_id, std::int32_t limit);
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+
+ private:
+  std::string type_id_;
+  std::int32_t limit_;
+};
+
+/// Emits the running maximum of the input (unsigned compare).
+/// State registers: {peak}.
+class PeakHold final : public ModuleBehavior {
+ public:
+  explicit PeakHold(std::string type_id = "peak_hold");
+  std::string type_id() const override { return type_id_; }
+  void on_cycle(ModulePorts& ports) override;
+  std::vector<Word> save_state() const override { return {peak_}; }
+  void restore_state(std::span<const Word> state) override;
+  void reset() override { peak_ = 0; }
+
+ private:
+  std::string type_id_;
+  Word peak_ = 0;
+};
+
+/// Stream -> MicroBlaze bridge: forwards consumer-port words onto the
+/// r-link FSL. The hardware half of a *software* KPN node (Figure 4 shows
+/// KPN nodes running on the MicroBlaze connected through FSLs).
+class FslBridgeOut final : public ModuleBehavior {
+ public:
+  std::string type_id() const override { return "fsl_bridge_out"; }
+  void on_cycle(ModulePorts& ports) override;
+};
+
+/// MicroBlaze -> stream bridge: forwards t-link FSL words (non-control
+/// range) onto producer port 0. The other half of a software KPN node.
+class FslBridgeIn final : public ModuleBehavior {
+ public:
+  std::string type_id() const override { return "fsl_bridge_in"; }
+  void on_cycle(ModulePorts& ports) override;
+};
+
+}  // namespace vapres::hwmodule

@@ -1,0 +1,107 @@
+#include "proc/microblaze.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace vapres::proc {
+
+Microblaze::Microblaze(std::string name, sim::ClockDomain& domain,
+                       comm::DcrBus& dcr)
+    : name_(std::move(name)), domain_(domain), dcr_(dcr) {
+  domain_.attach(this);
+}
+
+Microblaze::~Microblaze() { domain_.detach(this); }
+
+void Microblaze::add_task(SoftwareTask* task) {
+  VAPRES_REQUIRE(task != nullptr, "cannot schedule null task");
+  tasks_.push_back(task);
+}
+
+void Microblaze::remove_task(SoftwareTask* task) {
+  auto it = std::find(tasks_.begin(), tasks_.end(), task);
+  if (it == tasks_.end()) return;
+  const auto idx = static_cast<std::size_t>(it - tasks_.begin());
+  tasks_.erase(it);
+  if (next_task_ > idx) --next_task_;
+  if (!tasks_.empty()) next_task_ %= tasks_.size();
+}
+
+void Microblaze::dcr_write(comm::DcrAddress addr, comm::DcrValue value) {
+  dcr_.write(addr, value);
+  busy_for(comm::DcrBus::kBridgeAccessCycles);
+}
+
+comm::DcrValue Microblaze::dcr_read(comm::DcrAddress addr) {
+  const comm::DcrValue v = dcr_.read(addr);
+  busy_for(comm::DcrBus::kBridgeAccessCycles);
+  return v;
+}
+
+void Microblaze::busy_for(sim::Cycles n) {
+  busy_remaining_ += n;
+  total_busy_cycles_ += n;
+}
+
+void Microblaze::busy_for(sim::Cycles n, std::function<void()> on_complete) {
+  VAPRES_REQUIRE(on_idle_ == nullptr,
+                 name_ + ": a completion is already pending");
+  busy_for(n);
+  on_idle_ = std::move(on_complete);
+}
+
+void Microblaze::attach_interrupts(InterruptController* intc,
+                                   InterruptHandler handler) {
+  VAPRES_REQUIRE(intc != nullptr && handler != nullptr,
+                 name_ + ": interrupt wiring needs intc and handler");
+  intc_ = intc;
+  interrupt_handler_ = std::move(handler);
+}
+
+void Microblaze::commit() {
+  // The intc samples its sources every cycle, even while the core is
+  // busy — pending interrupts latch and wait.
+  if (intc_ != nullptr) intc_->sample();
+
+  if (busy_remaining_ > 0) {
+    --busy_remaining_;
+    if (busy_remaining_ == 0 && on_idle_) {
+      auto fn = std::move(on_idle_);
+      on_idle_ = nullptr;
+      fn();
+    }
+    return;
+  }
+
+  // Interrupts preempt the task round-robin.
+  if (intc_ != nullptr) {
+    const int irq = intc_->next_pending();
+    if (irq >= 0) {
+      busy_for(kIsrOverheadCycles);
+      interrupt_handler_(irq, *this);
+      intc_->acknowledge(irq);
+      ++interrupts_serviced_;
+      return;
+    }
+  }
+
+  if (tasks_.empty()) return;
+
+  // Round-robin: one task quantum per idle cycle.
+  next_task_ %= tasks_.size();
+  SoftwareTask* task = tasks_[next_task_];
+  const bool done = task->step(*this);
+  // The task may have been removed (or others added) during step().
+  if (done) {
+    remove_task(task);
+  } else {
+    auto it = std::find(tasks_.begin(), tasks_.end(), task);
+    if (it != tasks_.end()) {
+      next_task_ = (static_cast<std::size_t>(it - tasks_.begin()) + 1) %
+                   tasks_.size();
+    }
+  }
+}
+
+}  // namespace vapres::proc

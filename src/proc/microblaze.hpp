@@ -1,0 +1,121 @@
+// MicroBlaze-class controller model.
+//
+// The VAPRES controlling region runs software modules on a soft-core
+// MicroBlaze (Section III.A). The evaluation never depends on the ISA —
+// it depends on *what the software does to the system and how many cycles
+// it spends doing it*. So the model executes cooperative SoftwareTasks,
+// one step per processor cycle when the core is idle, and charges cycle
+// costs for bus accesses and long-running driver calls (reconfiguration)
+// through an explicit busy counter. This substitution is documented in
+// DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/dcr.hpp"
+#include "proc/interrupt.hpp"
+#include "sim/clock.hpp"
+#include "sim/component.hpp"
+
+namespace vapres::proc {
+
+class Microblaze;
+
+/// A software module: cooperative task stepped once per idle processor
+/// cycle. Long operations charge time via Microblaze::busy_for().
+class SoftwareTask {
+ public:
+  virtual ~SoftwareTask() = default;
+  /// One scheduling quantum. Return true when the task is finished and
+  /// should be descheduled.
+  virtual bool step(Microblaze& mb) = 0;
+  virtual std::string task_name() const { return "<task>"; }
+};
+
+/// Adapts a callable to SoftwareTask.
+class FunctionTask final : public SoftwareTask {
+ public:
+  using Fn = std::function<bool(Microblaze&)>;
+  explicit FunctionTask(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  bool step(Microblaze& mb) override { return fn_(mb); }
+  std::string task_name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+class Microblaze final : public sim::Clocked {
+ public:
+  Microblaze(std::string name, sim::ClockDomain& domain, comm::DcrBus& dcr);
+  ~Microblaze() override;
+
+  Microblaze(const Microblaze&) = delete;
+  Microblaze& operator=(const Microblaze&) = delete;
+
+  std::string name() const override { return name_; }
+  sim::ClockDomain& domain() { return domain_; }
+  comm::DcrBus& dcr_bus() { return dcr_; }
+
+  /// Registers a task (not owned). Tasks are stepped round-robin, one per
+  /// idle cycle. Finished tasks are removed automatically.
+  void add_task(SoftwareTask* task);
+  void remove_task(SoftwareTask* task);
+  std::size_t task_count() const { return tasks_.size(); }
+
+  // ---- Software-visible operations (call from task steps) -------------
+
+  /// PRSocket DCR access through the PLB-to-DCR bridge: immediate effect,
+  /// charges the bridge latency.
+  void dcr_write(comm::DcrAddress addr, comm::DcrValue value);
+  comm::DcrValue dcr_read(comm::DcrAddress addr);
+
+  /// Marks the core busy for `n` cycles (a blocking driver call).
+  void busy_for(sim::Cycles n);
+
+  /// Busy for `n` cycles, then run `on_complete` (still on this core).
+  void busy_for(sim::Cycles n, std::function<void()> on_complete);
+
+  bool busy() const { return busy_remaining_ > 0; }
+
+  // ---- Interrupts ------------------------------------------------------
+
+  /// Cycles charged per ISR dispatch (context save/restore).
+  static constexpr sim::Cycles kIsrOverheadCycles = 12;
+
+  /// Attaches an interrupt controller and the handler invoked for each
+  /// pending interrupt. The handler runs between task quanta when the
+  /// core is idle; the interrupt is acknowledged after it returns.
+  using InterruptHandler = std::function<void(int irq, Microblaze&)>;
+  void attach_interrupts(InterruptController* intc,
+                         InterruptHandler handler);
+  InterruptController* intc() { return intc_; }
+  std::uint64_t interrupts_serviced() const { return interrupts_serviced_; }
+
+  /// Current processor cycle count.
+  sim::Cycles cycle() const { return domain_.cycle_count(); }
+
+  std::uint64_t total_busy_cycles() const { return total_busy_cycles_; }
+
+  void eval() override {}
+  void commit() override;
+
+ private:
+  std::string name_;
+  sim::ClockDomain& domain_;
+  comm::DcrBus& dcr_;
+  std::vector<SoftwareTask*> tasks_;
+  std::size_t next_task_ = 0;
+  sim::Cycles busy_remaining_ = 0;
+  std::uint64_t total_busy_cycles_ = 0;
+  std::function<void()> on_idle_;
+  InterruptController* intc_ = nullptr;
+  InterruptHandler interrupt_handler_;
+  std::uint64_t interrupts_serviced_ = 0;
+};
+
+}  // namespace vapres::proc

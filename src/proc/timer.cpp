@@ -1,0 +1,3 @@
+#include "proc/timer.hpp"
+
+// XpsTimer is header-only; this translation unit anchors the target.

@@ -1,0 +1,50 @@
+// xps_timer model.
+//
+// Section V.B measures reconfiguration time with the MicroBlaze xps_timer
+// peripheral: a free-running counter of system-clock cycles. The model
+// reads the clock domain's cycle counter, so timed intervals are exact.
+#pragma once
+
+#include <string>
+
+#include "sim/clock.hpp"
+
+namespace vapres::proc {
+
+class XpsTimer {
+ public:
+  explicit XpsTimer(const sim::ClockDomain& domain) : domain_(domain) {}
+
+  /// Captures the current cycle count as the interval start.
+  void start() {
+    start_cycle_ = domain_.cycle_count();
+    running_ = true;
+  }
+
+  /// Stops and returns the elapsed cycles since start().
+  sim::Cycles stop() {
+    VAPRES_REQUIRE(running_, "xps_timer stopped without start");
+    running_ = false;
+    stopped_elapsed_ = domain_.cycle_count() - start_cycle_;
+    return stopped_elapsed_;
+  }
+
+  /// Elapsed cycles: live value while running, captured value after stop.
+  sim::Cycles elapsed_cycles() const {
+    return running_ ? domain_.cycle_count() - start_cycle_ : stopped_elapsed_;
+  }
+
+  /// Elapsed time in seconds at the domain's current frequency.
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_cycles()) /
+           (domain_.frequency_mhz() * 1e6);
+  }
+
+ private:
+  const sim::ClockDomain& domain_;
+  sim::Cycles start_cycle_ = 0;
+  sim::Cycles stopped_elapsed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace vapres::proc

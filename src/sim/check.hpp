@@ -1,0 +1,42 @@
+// Lightweight precondition / invariant checking for the VAPRES model.
+//
+// Model-construction errors (bad parameters, illegal wiring, misuse of the
+// Table-2 API) throw vapres::ModelError so tests can assert on them;
+// internal invariant violations abort via the same path.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vapres {
+
+/// Error thrown on any violated precondition or invariant in the model.
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "VAPRES check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " - " << msg;
+  }
+  throw ModelError(os.str());
+}
+
+}  // namespace detail
+}  // namespace vapres
+
+/// Precondition / invariant check; throws vapres::ModelError on failure.
+#define VAPRES_REQUIRE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::vapres::detail::raise_check_failure(#cond, __FILE__, __LINE__,     \
+                                            (msg));                        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,58 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace vapres::sim {
+
+ClockDomain::ClockDomain(std::string name, double frequency_mhz)
+    : name_(std::move(name)), period_ps_(period_ps_from_mhz(frequency_mhz)) {}
+
+void ClockDomain::reanchor() {
+  VAPRES_REQUIRE(now_ != nullptr,
+                 "clock domain must be owned by a Simulator before use");
+  anchor_ps_ = *now_;
+}
+
+void ClockDomain::set_frequency_mhz(double mhz) {
+  period_ps_ = period_ps_from_mhz(mhz);
+  // Next edge is one new period from the moment of the change, which is how
+  // a glitch-free BUFGMUX switchover behaves to first order.
+  reanchor();
+}
+
+void ClockDomain::set_enabled(bool enabled) {
+  if (enabled && !enabled_) {
+    reanchor();
+  }
+  enabled_ = enabled;
+}
+
+void ClockDomain::attach(Clocked* component) {
+  VAPRES_REQUIRE(component != nullptr, "cannot attach null component");
+  if (components_.empty() && now_ != nullptr) {
+    // A domain with no components is not scheduled; restart its edge
+    // schedule from the present so the first edge is not in the past.
+    reanchor();
+  }
+  components_.push_back(component);
+}
+
+void ClockDomain::detach(Clocked* component) {
+  components_.erase(
+      std::remove(components_.begin(), components_.end(), component),
+      components_.end());
+}
+
+Picoseconds ClockDomain::next_edge(Picoseconds /*now*/) const {
+  return anchor_ps_ + period_ps_;
+}
+
+void ClockDomain::tick() {
+  for (Clocked* c : components_) c->eval();
+  for (Clocked* c : components_) c->commit();
+  ++cycle_count_;
+}
+
+}  // namespace vapres::sim

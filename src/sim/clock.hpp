@@ -1,0 +1,76 @@
+// Clock domains.
+//
+// VAPRES clocks the static region and each PRR independently (local clock
+// domains, Section III.B.2). A ClockDomain owns a period, a gating enable
+// (PRSocket CLK_en bit), and the list of components clocked by it. The
+// period can be changed at runtime — the model of the MicroBlaze driving
+// the BUFGMUX select through the PRSocket CLK_sel bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/time.hpp"
+
+namespace vapres::sim {
+
+class ClockDomain {
+ public:
+  ClockDomain(std::string name, double frequency_mhz);
+
+  const std::string& name() const { return name_; }
+
+  double frequency_mhz() const { return mhz_from_period_ps(period_ps_); }
+  Picoseconds period_ps() const { return period_ps_; }
+
+  /// Changes the clock frequency. Takes effect from the next edge: the next
+  /// rising edge occurs one *new* period after the moment of the change,
+  /// which is how a BUFGMUX glitch-free switchover behaves to first order.
+  void set_frequency_mhz(double mhz);
+
+  /// Gates the clock on/off (PRSocket CLK_en). While disabled, no edges are
+  /// delivered and the cycle counter does not advance. Re-enabling delivers
+  /// the first edge one period after the enable.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  /// Registers a component. The domain does not own the component; the
+  /// owner must outlive the domain's use. Components are clocked in
+  /// registration order (eval pass then commit pass).
+  void attach(Clocked* component);
+  void detach(Clocked* component);
+
+  Cycles cycle_count() const { return cycle_count_; }
+
+  /// Converts a duration in this domain's cycles to picoseconds at the
+  /// current frequency.
+  Picoseconds cycles_to_ps(Cycles n) const { return n * period_ps_; }
+
+ private:
+  friend class Simulator;
+
+  /// Absolute time of the next rising edge, given current time `now`.
+  Picoseconds next_edge(Picoseconds now) const;
+
+  /// Delivers one rising edge: eval pass, then commit pass.
+  void tick();
+
+  /// Re-anchors the edge schedule to the current simulation time (set by
+  /// the owning Simulator; valid for the domain's whole lifetime).
+  void reanchor();
+
+  std::string name_;
+  Picoseconds period_ps_;
+  bool enabled_ = true;
+  Cycles cycle_count_ = 0;
+  // Time of the most recent edge (or frequency-change anchor).
+  Picoseconds anchor_ps_ = 0;
+  // Simulation clock of the owning simulator; used to re-anchor on
+  // frequency changes and clock-enable events.
+  const Picoseconds* now_ = nullptr;
+  std::vector<Clocked*> components_;
+};
+
+}  // namespace vapres::sim

@@ -1,0 +1,30 @@
+// Two-phase clocked component interface.
+//
+// The VAPRES communication architecture is a register pipeline (one register
+// per switch-box input port, Section III.B). To model register semantics
+// without ordering artifacts, every component in a clock domain first
+// evaluates its next state from the *current* outputs of its neighbours
+// (eval), then all components latch simultaneously (commit). This is the
+// standard two-phase simulation of synchronous logic.
+#pragma once
+
+#include <string>
+
+namespace vapres::sim {
+
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+
+  /// Phase 1: compute next state from currently visible outputs.
+  virtual void eval() = 0;
+
+  /// Phase 2: latch the state computed in eval(). After commit, the
+  /// component's outputs reflect the new cycle.
+  virtual void commit() = 0;
+
+  /// Human-readable instance name for traces and error messages.
+  virtual std::string name() const { return "<clocked>"; }
+};
+
+}  // namespace vapres::sim

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::sim {
+
+EventQueue::EventId EventQueue::schedule_at(Picoseconds when, Callback cb) {
+  VAPRES_REQUIRE(cb != nullptr, "event callback must be callable");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  // Cancelled entries stay in the heap until they surface; pending_ids_ is
+  // the source of truth. const_cast is confined to this lazy cleanup.
+  auto& heap = const_cast<EventQueue*>(this)->heap_;
+  while (!heap.empty() && !pending_ids_.contains(heap.top().id)) {
+    heap.pop();
+  }
+}
+
+Picoseconds EventQueue::next_time() const {
+  drop_cancelled_head();
+  VAPRES_REQUIRE(!heap_.empty(), "next_time() on empty event queue");
+  return heap_.top().when;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_ids_.erase(id) > 0; }
+
+void EventQueue::run_due(Picoseconds now) {
+  for (;;) {
+    drop_cancelled_head();
+    if (heap_.empty() || heap_.top().when > now) return;
+    Entry entry = heap_.top();
+    heap_.pop();
+    pending_ids_.erase(entry.id);
+    entry.cb();
+  }
+}
+
+}  // namespace vapres::sim

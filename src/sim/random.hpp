@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for workloads and
+// property-test sweeps. SplitMix64: tiny, fast, and identical on every
+// platform, so benchmark workloads are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace vapres::sim {
+
+/// SplitMix64 PRNG (public-domain algorithm by Sebastiano Vigna).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vapres::sim

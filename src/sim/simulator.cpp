@@ -1,0 +1,68 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+
+#include "sim/check.hpp"
+
+namespace vapres::sim {
+
+ClockDomain& Simulator::create_domain(std::string name, double frequency_mhz) {
+  auto domain = std::make_unique<ClockDomain>(std::move(name), frequency_mhz);
+  domain->now_ = &now_;
+  domain->anchor_ps_ = now_;
+  domains_.push_back(std::move(domain));
+  return *domains_.back();
+}
+
+bool Simulator::step() {
+  constexpr auto kNever = std::numeric_limits<Picoseconds>::max();
+
+  Picoseconds next = kNever;
+  for (const auto& d : domains_) {
+    if (!d->enabled() || d->components_.empty()) continue;
+    next = std::min(next, d->next_edge(now_));
+  }
+  if (!events_.empty()) {
+    next = std::min(next, events_.next_time());
+  }
+  if (next == kNever) return false;
+
+  VAPRES_REQUIRE(next >= now_, "simulation time cannot go backwards");
+  now_ = next;
+
+  // Control events first: a PRSocket write scheduled for this instant takes
+  // effect before the clock edge it gates.
+  events_.run_due(now_);
+
+  // Tick every enabled domain whose edge falls exactly at `now_`. Domains
+  // that re-anchored during the events above naturally skip this instant.
+  for (const auto& d : domains_) {
+    if (!d->enabled() || d->components_.empty()) continue;
+    if (d->next_edge(now_) == now_) {
+      d->tick();
+      d->anchor_ps_ = now_;
+    }
+  }
+
+  // Events scheduled *during* the edge for "now" (zero-delay callbacks)
+  // fire before time advances further.
+  events_.run_due(now_);
+  return true;
+}
+
+void Simulator::run_for(Picoseconds duration) {
+  const Picoseconds deadline = now_ + duration;
+  while (now_ < deadline) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_cycles(const ClockDomain& domain, Cycles n) {
+  VAPRES_REQUIRE(domain.enabled(), "run_cycles on a gated clock domain");
+  const Cycles target = domain.cycle_count() + n;
+  while (domain.cycle_count() < target) {
+    VAPRES_REQUIRE(step(), "simulation ran dry before requested cycle count");
+  }
+}
+
+}  // namespace vapres::sim

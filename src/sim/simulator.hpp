@@ -1,0 +1,84 @@
+// The simulation driver.
+//
+// A Simulator owns a set of clock domains and a one-shot event queue and
+// advances global picosecond time to the next edge or event. At a given
+// timestamp, due events run first (control actions precede the clock edge
+// they gate), then every coincident domain ticks (eval pass across all
+// coincident domains' components, then commit pass per domain).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace vapres::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Domains are addressed by reference; the simulator owns them.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Creates a new clock domain clocked at `frequency_mhz`.
+  ClockDomain& create_domain(std::string name, double frequency_mhz);
+
+  Picoseconds now() const { return now_; }
+
+  /// Schedules a one-shot callback `delay` picoseconds from now.
+  EventQueue::EventId schedule_after(Picoseconds delay,
+                                     EventQueue::Callback cb) {
+    return events_.schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules a one-shot callback `cycles` edges of `domain` from now
+  /// (at the domain's current frequency).
+  EventQueue::EventId schedule_after_cycles(const ClockDomain& domain,
+                                            Cycles cycles,
+                                            EventQueue::Callback cb) {
+    return events_.schedule_at(now_ + domain.cycles_to_ps(cycles),
+                               std::move(cb));
+  }
+
+  bool cancel(EventQueue::EventId id) { return events_.cancel(id); }
+
+  /// Advances to the next edge/event and processes it. Returns false if
+  /// nothing remains to simulate (no enabled domain, no pending event).
+  bool step();
+
+  /// Runs for `duration` picoseconds of simulated time.
+  void run_for(Picoseconds duration);
+
+  /// Runs until `domain` has advanced by `n` cycles. Other domains tick as
+  /// time passes. Requires the domain to be enabled.
+  void run_cycles(const ClockDomain& domain, Cycles n);
+
+  /// Runs until `pred()` is true, checking after every step, or until
+  /// `max_duration` simulated picoseconds elapse. Returns true if the
+  /// predicate fired.
+  template <typename Pred>
+  bool run_until(Pred pred, Picoseconds max_duration) {
+    const Picoseconds deadline = now_ + max_duration;
+    while (!pred()) {
+      if (now_ >= deadline) return false;
+      if (!step()) return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::unique_ptr<ClockDomain>>& domains() const {
+    return domains_;
+  }
+
+ private:
+  Picoseconds now_ = 0;
+  EventQueue events_;
+  std::vector<std::unique_ptr<ClockDomain>> domains_;
+};
+
+}  // namespace vapres::sim

@@ -1,0 +1,47 @@
+// Simulation time base.
+//
+// All simulation time is kept in integer picoseconds so that clock domains
+// with unrelated frequencies (the paper's local clock domains, Section
+// III.B.2) stay exactly ordered with no floating-point drift.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/check.hpp"
+
+namespace vapres::sim {
+
+/// Absolute simulation time or duration, in picoseconds.
+using Picoseconds = std::uint64_t;
+
+/// A count of clock cycles in some clock domain.
+using Cycles = std::uint64_t;
+
+inline constexpr Picoseconds kPsPerSecond = 1'000'000'000'000ULL;
+
+/// Converts a frequency in MHz to a clock period in integer picoseconds.
+/// 100 MHz -> 10'000 ps. The frequency must divide evenly enough that the
+/// period is at least 1 ps.
+inline Picoseconds period_ps_from_mhz(double mhz) {
+  VAPRES_REQUIRE(mhz > 0.0, "clock frequency must be positive");
+  const double period = 1e6 / mhz;  // ps
+  const auto ps = static_cast<Picoseconds>(period + 0.5);
+  VAPRES_REQUIRE(ps >= 1, "clock frequency too high for ps resolution");
+  return ps;
+}
+
+/// Converts a period in picoseconds back to a frequency in MHz.
+inline double mhz_from_period_ps(Picoseconds ps) {
+  VAPRES_REQUIRE(ps > 0, "period must be positive");
+  return 1e6 / static_cast<double>(ps);
+}
+
+/// Converts picoseconds to seconds (for reporting only).
+inline double seconds(Picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerSecond);
+}
+
+/// Converts picoseconds to milliseconds (for reporting only).
+inline double milliseconds(Picoseconds ps) { return seconds(ps) * 1e3; }
+
+}  // namespace vapres::sim

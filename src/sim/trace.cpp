@@ -1,0 +1,16 @@
+#include "sim/trace.hpp"
+
+namespace vapres::sim {
+
+Trace& Trace::instance() {
+  static Trace trace;
+  return trace;
+}
+
+void Trace::emit(Picoseconds time_ps, std::string tag, std::string message) {
+  if (sink_) {
+    sink_(TraceRecord{time_ps, std::move(tag), std::move(message)});
+  }
+}
+
+}  // namespace vapres::sim

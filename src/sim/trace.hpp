@@ -1,0 +1,47 @@
+// Minimal tracing facility. Components emit trace records tagged with the
+// current simulation time; tests and examples can subscribe a sink. Tracing
+// is off by default and costs one branch per call when disabled.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace vapres::sim {
+
+enum class TraceLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+/// A trace record: time, subsystem tag, and message.
+struct TraceRecord {
+  Picoseconds time_ps = 0;
+  std::string tag;
+  std::string message;
+};
+
+/// Process-wide trace hub. Deliberately simple: one sink, one level.
+class Trace {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  static Trace& instance();
+
+  void set_level(TraceLevel level) { level_ = level; }
+  TraceLevel level() const { return level_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void clear_sink() { sink_ = nullptr; }
+
+  bool enabled(TraceLevel level) const {
+    return sink_ && static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  void emit(Picoseconds time_ps, std::string tag, std::string message);
+
+ private:
+  Trace() = default;
+  TraceLevel level_ = TraceLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace vapres::sim

@@ -1,0 +1,103 @@
+#include "sim/vcd.hpp"
+
+#include <bitset>
+
+#include "sim/check.hpp"
+
+namespace vapres::sim {
+
+VcdWriter::VcdWriter(std::ostream& out, Picoseconds timescale_ps)
+    : out_(out), timescale_ps_(timescale_ps) {
+  VAPRES_REQUIRE(timescale_ps_ >= 1, "VCD timescale must be >= 1 ps");
+}
+
+std::string VcdWriter::next_id() {
+  // Printable identifier codes: ! .. ~ then two-character codes.
+  std::string id;
+  int n = id_counter_++;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n = n / 94 - 1;
+  } while (n >= 0);
+  return id;
+}
+
+void VcdWriter::add_bool(const std::string& name, const bool* signal) {
+  VAPRES_REQUIRE(signal != nullptr, "null VCD signal: " + name);
+  VAPRES_REQUIRE(!header_written_, "VCD signals must precede the header");
+  Signal s;
+  s.name = name;
+  s.id = next_id();
+  s.width = 1;
+  s.read = [signal] { return *signal ? 1u : 0u; };
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::add_word(const std::string& name,
+                         const std::uint32_t* signal) {
+  VAPRES_REQUIRE(signal != nullptr, "null VCD signal: " + name);
+  VAPRES_REQUIRE(!header_written_, "VCD signals must precede the header");
+  Signal s;
+  s.name = name;
+  s.id = next_id();
+  s.width = 32;
+  s.read = [signal] { return *signal; };
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::add_probe(const std::string& name,
+                          std::function<std::uint32_t()> probe) {
+  VAPRES_REQUIRE(probe != nullptr, "null VCD probe: " + name);
+  VAPRES_REQUIRE(!header_written_, "VCD signals must precede the header");
+  Signal s;
+  s.name = name;
+  s.id = next_id();
+  s.width = 32;
+  s.read = std::move(probe);
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::write_header() {
+  if (header_written_) return;
+  header_written_ = true;
+  out_ << "$date vapres simulation $end\n"
+       << "$version vapres VcdWriter $end\n"
+       << "$timescale " << timescale_ps_ << " ps $end\n"
+       << "$scope module vapres $end\n";
+  for (const Signal& s : signals_) {
+    out_ << "$var " << (s.width == 1 ? "wire" : "reg") << " " << s.width
+         << " " << s.id << " " << s.name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::emit_value(const Signal& s, std::uint32_t value) {
+  if (s.width == 1) {
+    out_ << (value ? '1' : '0') << s.id << '\n';
+  } else {
+    out_ << 'b' << std::bitset<32>(value).to_string() << ' ' << s.id
+         << '\n';
+  }
+}
+
+void VcdWriter::sample(Picoseconds now) {
+  write_header();
+  bool time_emitted = false;
+  for (Signal& s : signals_) {
+    const std::uint32_t v = s.read();
+    if (s.has_last && v == s.last) continue;
+    if (!time_emitted) {
+      VAPRES_REQUIRE(!have_time_ || now >= last_time_,
+                     "VCD samples must be time-ordered");
+      out_ << '#' << now / timescale_ps_ << '\n';
+      last_time_ = now;
+      have_time_ = true;
+      time_emitted = true;
+    }
+    emit_value(s, v);
+    s.last = v;
+    s.has_last = true;
+  }
+}
+
+}  // namespace vapres::sim

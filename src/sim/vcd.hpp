@@ -1,0 +1,72 @@
+// VCD (value-change-dump) waveform writer.
+//
+// Debugging aid for the simulation model: register boolean and word
+// signals (stable pointers — interface outputs, feedback wires, FIFO
+// occupancies via probes) and sample them each time sample() is called;
+// the writer emits a standard IEEE-1364 VCD file that any waveform
+// viewer opens. Sampling is pull-based so tests and examples decide the
+// observation cadence (typically once per system-clock cycle).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vapres::sim {
+
+class VcdWriter {
+ public:
+  /// `timescale_ps` is the VCD time unit (default 1 ps, matching the
+  /// simulator's time base).
+  explicit VcdWriter(std::ostream& out, Picoseconds timescale_ps = 1);
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Registers a 1-bit signal. The pointer must stay valid for the
+  /// writer's lifetime. Call before the first sample().
+  void add_bool(const std::string& name, const bool* signal);
+
+  /// Registers a 32-bit vector signal.
+  void add_word(const std::string& name, const std::uint32_t* signal);
+
+  /// Registers a computed signal (e.g. a FIFO's occupancy).
+  void add_probe(const std::string& name,
+                 std::function<std::uint32_t()> probe);
+
+  /// Writes the header (module scope + var declarations) and the initial
+  /// dump. Called automatically by the first sample().
+  void write_header();
+
+  /// Samples every signal at absolute time `now`; emits changes only.
+  void sample(Picoseconds now);
+
+  std::size_t signal_count() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    std::string id;  // VCD identifier code
+    int width = 1;
+    std::function<std::uint32_t()> read;
+    std::uint32_t last = 0;
+    bool has_last = false;
+  };
+
+  std::string next_id();
+  void emit_value(const Signal& s, std::uint32_t value);
+
+  std::ostream& out_;
+  Picoseconds timescale_ps_;
+  std::vector<Signal> signals_;
+  int id_counter_ = 0;
+  bool header_written_ = false;
+  bool have_time_ = false;
+  Picoseconds last_time_ = 0;
+};
+
+}  // namespace vapres::sim

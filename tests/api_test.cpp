@@ -1,0 +1,105 @@
+// Table-2 API tests: paper-named functions with paper return conventions.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "core/system.hpp"
+
+namespace vapres::core::api {
+namespace {
+
+SystemParams small_params() {
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 1;  // tiny bitstreams: timed calls are fast
+  return p;
+}
+
+TEST(Api, ResolvePrrGlobalNumbering) {
+  SystemParams p = small_params();
+  RsbParams second = p.rsbs[0];
+  second.num_prrs = 3;
+  p.rsbs.push_back(second);
+  VapresSystem sys(std::move(p));
+  EXPECT_EQ(resolve_prr(sys, 0), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(resolve_prr(sys, 1), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(resolve_prr(sys, 2), (std::pair<int, int>{1, 0}));
+  EXPECT_EQ(resolve_prr(sys, 4), (std::pair<int, int>{1, 2}));
+  EXPECT_THROW(resolve_prr(sys, 5), ModelError);
+}
+
+TEST(Api, Cf2IcapSuccessAndFailure) {
+  VapresSystem sys(small_params());
+  const std::string file = sys.synthesize_to_cf("passthrough", 0, 0);
+  EXPECT_EQ(vapres_cf2icap(sys, "missing.bit"), 0);
+  EXPECT_EQ(vapres_cf2icap(sys, file), 1);
+  EXPECT_EQ(sys.rsb().prr(0).loaded_module(), "passthrough");
+}
+
+TEST(Api, Cf2ArrayThenArray2Icap) {
+  VapresSystem sys(small_params());
+  const std::string file = sys.synthesize_to_cf("passthrough", 0, 1);
+  int size = 0;
+  EXPECT_EQ(vapres_cf2array(sys, file, "pt_arr", &size), 1);
+  EXPECT_EQ(size, 4632);
+  EXPECT_EQ(vapres_array2icap(sys, "pt_arr"), 1);
+  EXPECT_EQ(sys.rsb().prr(1).loaded_module(), "passthrough");
+  EXPECT_EQ(vapres_array2icap(sys, "missing"), 0);
+}
+
+TEST(Api, ModuleClockAndReset) {
+  VapresSystem sys(small_params());
+  sys.bring_up_all_sites();
+  EXPECT_EQ(vapres_module_clock(sys, 0, false), 1);
+  EXPECT_FALSE(sys.rsb().prr(0).clock_domain().enabled());
+  EXPECT_EQ(vapres_module_clock(sys, 0, true), 1);
+  EXPECT_TRUE(sys.rsb().prr(0).clock_domain().enabled());
+
+  EXPECT_EQ(vapres_module_reset(sys, 1, true), 1);
+  EXPECT_TRUE(sys.rsb().prr(1).wrapper().in_reset());
+  EXPECT_EQ(vapres_module_reset(sys, 1, false), 1);
+  EXPECT_FALSE(sys.rsb().prr(1).wrapper().in_reset());
+}
+
+TEST(Api, ModuleReadWriteOverFsl) {
+  VapresSystem sys(small_params());
+  EXPECT_EQ(vapres_module_write(sys, 0, 123), 1);
+  EXPECT_EQ(sys.rsb().prr(0).fsl_from_mb().read(), 123u);
+
+  std::uint32_t value = 0;
+  EXPECT_EQ(vapres_module_read(sys, 0, &value), 0);  // empty
+  sys.rsb().prr(0).fsl_to_mb().write(9);
+  EXPECT_EQ(vapres_module_read(sys, 0, &value), 1);
+  EXPECT_EQ(value, 9u);
+}
+
+TEST(Api, EstablishChannelPaperSemantics) {
+  // Table 2: returns 1 and updates current_state on success, 0 otherwise.
+  SystemParams p = small_params();
+  p.rsbs[0].num_prrs = 3;
+  p.rsbs[0].kr = 1;
+  p.rsbs[0].kl = 1;
+  VapresSystem sys(std::move(p));
+  CommState* state = &sys.rsb().channels();
+
+  EXPECT_EQ(vapres_establish_channel(sys, state, 0, 2), 1);
+  EXPECT_EQ(state->active_count(), 1u);
+  // Producer 0 already used.
+  EXPECT_EQ(vapres_establish_channel(sys, state, 0, 1), 0);
+  // Lane saturated between PRR1 and PRR2 (kr = 1).
+  EXPECT_EQ(vapres_establish_channel(sys, state, 1, 2), 0);
+  // Leftward direction still free.
+  EXPECT_EQ(vapres_establish_channel(sys, state, 2, 0), 1);
+  // Out-of-range PRR number.
+  EXPECT_EQ(vapres_establish_channel(sys, state, 7, 0), 0);
+}
+
+TEST(Api, EstablishChannelRejectsForeignState) {
+  VapresSystem sys(small_params());
+  VapresSystem other(small_params());
+  EXPECT_THROW(
+      vapres_establish_channel(sys, &other.rsb().channels(), 0, 1),
+      ModelError);
+  EXPECT_THROW(vapres_establish_channel(sys, nullptr, 0, 1), ModelError);
+}
+
+}  // namespace
+}  // namespace vapres::core::api

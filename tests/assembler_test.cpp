@@ -1,0 +1,243 @@
+// Runtime-assembly tests (Section III.B.1 / Figure 4): KPN applications
+// mapped onto RSBs, validated against a software golden KPN executor.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/assembler.hpp"
+#include "core/system.hpp"
+#include "sim/random.hpp"
+
+namespace vapres::core {
+namespace {
+
+using comm::Word;
+
+SystemParams params_with_prrs(int n_prrs, int ki = 1, int ko = 1,
+                               int width_clbs = 4) {
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].num_prrs = n_prrs;
+  p.rsbs[0].ki = ki;
+  p.rsbs[0].ko = ko;
+  p.rsbs[0].prr_width_clbs = width_clbs;  // narrow PRRs: fast reconfig
+  return p;
+}
+
+TEST(Assembler, LinearPipelinePlacesRoutesAndRuns) {
+  VapresSystem sys(params_with_prrs(3));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+
+  KpnAppSpec app;
+  app.name = "chain";
+  app.nodes = {{"g", "gain_x2"}, {"o", "offset_100"}};
+  app.edges = {{"iom:0", "g", 0, 0},
+               {"g", "o", 0, 0},
+               {"o", "iom:0", 0, 0}};
+  const auto assembly = assembler.assemble(app);
+  EXPECT_EQ(assembly.placement.size(), 2u);
+  EXPECT_EQ(assembly.channels.size(), 3u);
+  EXPECT_GT(assembly.reconfig_cycles, 0u);
+
+  sys.rsb().iom(0).set_source_data({1, 2, 3});
+  sys.run_system_cycles(300);
+  EXPECT_EQ(sys.rsb().iom(0).received(),
+            (std::vector<Word>{102, 104, 106}));
+
+  assembler.disassemble(assembly);
+  EXPECT_EQ(sys.rsb().channels().active_count(), 0u);
+}
+
+TEST(Assembler, SplitterAdderDiamond) {
+  // iom -> splitter -> (gain_x2, delay-free passthrough) -> adder -> iom:
+  // out[n] = 2*x[n] + x[n] = 3*x[n].
+  VapresSystem sys(params_with_prrs(4, /*ki=*/2, /*ko=*/2));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+
+  KpnAppSpec app;
+  app.name = "diamond";
+  app.nodes = {{"split", "splitter2"},
+               {"a", "gain_x2"},
+               {"b", "passthrough"},
+               {"sum", "adder2"}};
+  app.edges = {{"iom:0", "split", 0, 0},
+               {"split", "a", 0, 0},
+               {"split", "b", 1, 0},
+               {"a", "sum", 0, 0},
+               {"b", "sum", 0, 1},
+               {"sum", "iom:0", 0, 0}};
+  assembler.assemble(app);
+
+  sys.rsb().iom(0).set_source_data({1, 10, 7});
+  sys.run_system_cycles(500);
+  EXPECT_EQ(sys.rsb().iom(0).received(), (std::vector<Word>{3, 30, 21}));
+}
+
+TEST(Assembler, SoftwareNodeViaFslBridges) {
+  // Figure 4 includes KPN nodes on the MicroBlaze: hw bridge-out -> MB
+  // software transform -> hw bridge-in.
+  VapresSystem sys(params_with_prrs(2));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+
+  KpnAppSpec app;
+  app.name = "sw_node";
+  app.nodes = {{"to_mb", "fsl_bridge_out"}, {"from_mb", "fsl_bridge_in"}};
+  app.edges = {{"iom:0", "to_mb", 0, 0}, {"from_mb", "iom:0", 0, 0}};
+  const auto assembly = assembler.assemble(app);
+
+  // The software module: read from to_mb's r-link, add 7, write to
+  // from_mb's t-link.
+  Rsb& rsb = sys.rsb();
+  comm::FslLink& rx = rsb.prr(assembly.placement.at("to_mb")).fsl_to_mb();
+  comm::FslLink& tx =
+      rsb.prr(assembly.placement.at("from_mb")).fsl_from_mb();
+  proc::FunctionTask sw_task("add7", [&](proc::Microblaze& mb) {
+    if (rx.can_read() && tx.can_write()) {
+      tx.write(rx.read() + 7);
+      mb.busy_for(2);
+    }
+    return false;
+  });
+  sys.mb().add_task(&sw_task);
+
+  sys.rsb().iom(0).set_source_data({1, 2, 3});
+  sys.run_system_cycles(500);
+  EXPECT_EQ(sys.rsb().iom(0).received(), (std::vector<Word>{8, 9, 10}));
+  sys.mb().remove_task(&sw_task);
+}
+
+TEST(Assembler, RejectsMoreNodesThanPrrs) {
+  VapresSystem sys(params_with_prrs(1));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+  KpnAppSpec app;
+  app.name = "too_big";
+  app.nodes = {{"a", "passthrough"}, {"b", "passthrough"}};
+  EXPECT_THROW(assembler.assemble(app), ModelError);
+}
+
+TEST(Assembler, RejectsPortSignatureOverflow) {
+  VapresSystem sys(params_with_prrs(2, /*ki=*/1, /*ko=*/1));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+  KpnAppSpec app;
+  app.name = "needs_ki2";
+  app.nodes = {{"sum", "adder2"}};  // needs ki = 2
+  EXPECT_THROW(assembler.assemble(app), ModelError);
+}
+
+TEST(Assembler, RejectsUnknownModuleAndNode) {
+  VapresSystem sys(params_with_prrs(2));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+  KpnAppSpec app;
+  app.name = "bad";
+  app.nodes = {{"a", "no_such"}};
+  EXPECT_THROW(assembler.assemble(app), ModelError);
+  app.nodes = {{"a", "passthrough"}};
+  app.edges = {{"a", "ghost", 0, 0}};
+  EXPECT_THROW(assembler.assemble(app), ModelError);
+}
+
+TEST(Assembler, PlacementSkipsOccupiedPrrs) {
+  VapresSystem sys(params_with_prrs(2));
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "checksum");  // PRR0 occupied
+  RuntimeAssembler assembler(sys);
+  KpnAppSpec app;
+  app.name = "one";
+  app.nodes = {{"a", "passthrough"}};
+  const auto assembly = assembler.assemble(app);
+  EXPECT_EQ(assembly.placement.at("a"), 1);
+}
+
+TEST(Assembler, PlacementRespectsResourceFootprints) {
+  // fir16_sharp (1200 slices) only fits the big PRR.
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].num_prrs = 2;
+  p.prr_rects = {fabric::ClbRect{0, 0, 16, 4},     // 256 slices
+                 fabric::ClbRect{16, 0, 32, 12}};  // 1536 slices
+  VapresSystem sys(std::move(p));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+  KpnAppSpec app;
+  app.name = "big_filter";
+  app.nodes = {{"f", "fir16_sharp"}};
+  const auto assembly = assembler.assemble(app);
+  EXPECT_EQ(assembly.placement.at("f"), 1);
+}
+
+// Property: random linear pipelines of library modules produce the same
+// output as a direct software execution of the same module chain.
+class RandomPipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPipelineSweep, MatchesSoftwareExecution) {
+  sim::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  const std::vector<std::string> pool{"passthrough", "gain_x2",
+                                      "offset_100", "checksum", "gain_half"};
+  const int depth = 1 + static_cast<int>(rng.next_below(3));
+
+  VapresSystem sys(params_with_prrs(depth, 1, 1, /*width_clbs=*/2));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+
+  KpnAppSpec app;
+  app.name = "random_chain";
+  std::vector<std::string> chain;
+  for (int i = 0; i < depth; ++i) {
+    chain.push_back(pool[rng.next_below(pool.size())]);
+    app.nodes.push_back({"n" + std::to_string(i), chain.back()});
+  }
+  app.edges.push_back({"iom:0", "n0", 0, 0});
+  for (int i = 0; i + 1 < depth; ++i) {
+    app.edges.push_back(
+        {"n" + std::to_string(i), "n" + std::to_string(i + 1), 0, 0});
+  }
+  app.edges.push_back({"n" + std::to_string(depth - 1), "iom:0", 0, 0});
+  assembler.assemble(app);
+
+  std::vector<Word> input;
+  for (int i = 0; i < 50; ++i) input.push_back(static_cast<Word>(rng.next()));
+  sys.rsb().iom(0).set_source_data(input);
+  sys.run_system_cycles(2000);
+
+  // Software execution of the same chain.
+  std::vector<Word> expected = input;
+  const auto& lib = sys.library();
+  for (const auto& id : chain) {
+    auto m = lib.instantiate(id);
+    std::vector<Word> next;
+    for (Word w : expected) {
+      // All pool modules are 1-in-1-out, same-rate.
+      struct OneShot final : hwmodule::ModulePorts {
+        Word in = 0;
+        bool has_in = true;
+        std::vector<Word> out;
+        int num_inputs() const override { return 1; }
+        int num_outputs() const override { return 1; }
+        bool can_read(int) const override { return has_in; }
+        Word read(int) override {
+          has_in = false;
+          return in;
+        }
+        bool can_write(int) const override { return true; }
+        void write(int, Word w2) override { out.push_back(w2); }
+        bool fsl_can_write() const override { return true; }
+        void fsl_write(Word) override {}
+        std::optional<Word> fsl_try_read() override { return std::nullopt; }
+      } ports;
+      ports.in = w;
+      m->on_cycle(ports);
+      next.insert(next.end(), ports.out.begin(), ports.out.end());
+    }
+    expected = std::move(next);
+  }
+  EXPECT_EQ(sys.rsb().iom(0).received(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace vapres::core

@@ -1,0 +1,128 @@
+// Baseline-architecture tests: shared time-multiplexed bus (Sedcole) and
+// processor-routed communication (Ullmann) — the comparison points of
+// Section II and bench_comm_throughput.
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_routed.hpp"
+#include "baseline/shared_bus.hpp"
+#include "comm/fifo.hpp"
+#include "proc/microblaze.hpp"
+#include "sim/simulator.hpp"
+
+namespace vapres::baseline {
+namespace {
+
+using comm::Word;
+
+TEST(SharedBus, SingleChannelMovesOneWordPerBusCycle) {
+  sim::Simulator sim;
+  auto& bus_clk = sim.create_domain("bus", SharedBus::kDefaultBusClockMhz);
+  SharedBus bus("bus", bus_clk);
+  comm::Fifo src("src", 64);
+  comm::Fifo dst("dst", 64);
+  bus.add_channel(&src, &dst);
+  for (Word w = 0; w < 10; ++w) src.push(w);
+  sim.run_cycles(bus_clk, 10);
+  EXPECT_EQ(dst.size(), 10);
+  EXPECT_EQ(dst.pop(), 0u);
+  EXPECT_EQ(bus.total_words(), 10u);
+}
+
+TEST(SharedBus, TdmDividesThroughputAmongChannels) {
+  sim::Simulator sim;
+  auto& bus_clk = sim.create_domain("bus", 50.0);
+  SharedBus bus("bus", bus_clk);
+  constexpr int kChannels = 4;
+  std::vector<std::unique_ptr<comm::Fifo>> srcs;
+  std::vector<std::unique_ptr<comm::Fifo>> dsts;
+  for (int c = 0; c < kChannels; ++c) {
+    srcs.push_back(std::make_unique<comm::Fifo>("s", 2048));
+    dsts.push_back(std::make_unique<comm::Fifo>("d", 2048));
+    for (Word w = 0; w < 1000; ++w) srcs.back()->push(w);
+    bus.add_channel(srcs.back().get(), dsts.back().get());
+  }
+  sim.run_cycles(bus_clk, 400);
+  for (int c = 0; c < kChannels; ++c) {
+    EXPECT_EQ(bus.words_transferred(c), 100u);  // 400 / 4 slots each
+  }
+}
+
+TEST(SharedBus, RemovedChannelSlotIsReclaimed) {
+  sim::Simulator sim;
+  auto& bus_clk = sim.create_domain("bus", 50.0);
+  SharedBus bus("bus", bus_clk);
+  comm::Fifo s0("s0", 64), d0("d0", 64), s1("s1", 64), d1("d1", 64);
+  const int slot0 = bus.add_channel(&s0, &d0);
+  bus.add_channel(&s1, &d1);
+  bus.remove_channel(slot0);
+  EXPECT_EQ(bus.active_channels(), 1);
+  for (Word w = 0; w < 20; ++w) s1.push(w);
+  sim.run_cycles(bus_clk, 20);
+  // The dead slot's turns are skipped, not wasted.
+  EXPECT_EQ(d1.size(), 20);
+}
+
+TEST(SharedBus, BlockedChannelWastesItsSlot) {
+  sim::Simulator sim;
+  auto& bus_clk = sim.create_domain("bus", 50.0);
+  SharedBus bus("bus", bus_clk);
+  comm::Fifo s0("s0", 64), d0("d0", 64), s1("s1", 64), d1("d1", 64);
+  bus.add_channel(&s0, &d0);  // s0 stays empty: slot idles
+  bus.add_channel(&s1, &d1);
+  for (Word w = 0; w < 20; ++w) s1.push(w);
+  sim.run_cycles(bus_clk, 20);
+  EXPECT_EQ(d1.size(), 10);  // half the cycles went to the idle slot
+}
+
+TEST(CpuRouted, RoutesWordsAtSoftwareCost) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  comm::DcrBus dcr;
+  proc::Microblaze mb("mb", clk, dcr);
+  comm::FslLink from("from", 512);
+  comm::FslLink to("to", 512);
+  CpuRoutedLink link("link", from, to, /*cycles_per_word=*/6);
+  mb.add_task(&link);
+  for (Word w = 0; w < 50; ++w) from.write(w);
+  sim.run_cycles(clk, 50 * 7 + 10);
+  EXPECT_EQ(link.words_routed(), 50u);
+  EXPECT_EQ(to.read(), 0u);
+}
+
+TEST(CpuRouted, SharedProcessorDividesThroughput) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  comm::DcrBus dcr;
+  proc::Microblaze mb("mb", clk, dcr);
+  comm::FslLink f1("f1", 4096), t1("t1", 4096);
+  comm::FslLink f2("f2", 4096), t2("t2", 4096);
+  CpuRoutedLink l1("l1", f1, t1);
+  CpuRoutedLink l2("l2", f2, t2);
+  mb.add_task(&l1);
+  mb.add_task(&l2);
+  for (Word w = 0; w < 2000; ++w) {
+    f1.write(w);
+    f2.write(w);
+  }
+  sim.run_cycles(clk, 1400);
+  // ~1400 cycles / (7 cycles/word) / 2 links = ~100 words each.
+  EXPECT_NEAR(static_cast<double>(l1.words_routed()), 100.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(l2.words_routed()), 100.0, 5.0);
+}
+
+TEST(CpuRouted, IdleLinkCostsNothing) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  comm::DcrBus dcr;
+  proc::Microblaze mb("mb", clk, dcr);
+  comm::FslLink from("from", 16);
+  comm::FslLink to("to", 16);
+  CpuRoutedLink link("link", from, to);
+  mb.add_task(&link);
+  sim.run_cycles(clk, 100);
+  EXPECT_EQ(link.words_routed(), 0u);
+  EXPECT_EQ(mb.total_busy_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace vapres::baseline

@@ -1,0 +1,125 @@
+// ChannelManager tests: the vapres_establish_channel routing layer —
+// lane bookkeeping, soft failure on saturation, release semantics.
+#include <gtest/gtest.h>
+
+#include "core/channel.hpp"
+#include "test_util.hpp"
+
+namespace vapres::core {
+namespace {
+
+using test::FabricRig;
+
+TEST(ChannelManager, EstablishReturnsIdAndTracksLanes) {
+  FabricRig rig(4, comm::SwitchBoxShape{2, 2, 1, 1});
+  ChannelManager mgr(*rig.fabric);
+  EXPECT_EQ(mgr.num_segments(), 3);
+  auto id = mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{3, 0});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(mgr.active(*id));
+  EXPECT_EQ(mgr.active_count(), 1u);
+  for (int seg = 0; seg < 3; ++seg) {
+    EXPECT_EQ(mgr.free_lanes(seg, true), 1);
+    EXPECT_EQ(mgr.free_lanes(seg, false), 2);
+  }
+}
+
+TEST(ChannelManager, SoftFailureWhenSaturated) {
+  FabricRig rig(3, comm::SwitchBoxShape{1, 1, 1, 1});
+  ChannelManager mgr(*rig.fabric);
+  // Only one rightward lane: second overlapping rightward channel fails.
+  auto first = mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{2, 0});
+  ASSERT_TRUE(first.has_value());
+  auto second = mgr.establish(ChannelEndpoint{1, 0}, ChannelEndpoint{2, 0});
+  EXPECT_FALSE(second.has_value());  // paper: returns zero
+  // No partial state was leaked: leftward still free everywhere.
+  EXPECT_EQ(mgr.free_lanes(0, false), 1);
+  EXPECT_EQ(mgr.free_lanes(1, false), 1);
+}
+
+TEST(ChannelManager, EndpointBusyFailsSoftly) {
+  FabricRig rig(4, comm::SwitchBoxShape{2, 2, 1, 1});
+  ChannelManager mgr(*rig.fabric);
+  ASSERT_TRUE(
+      mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{2, 0}));
+  // Same producer endpoint again.
+  EXPECT_FALSE(
+      mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{3, 0}));
+  // Same consumer endpoint again.
+  EXPECT_FALSE(
+      mgr.establish(ChannelEndpoint{1, 0}, ChannelEndpoint{2, 0}));
+}
+
+TEST(ChannelManager, ReleaseRestoresState) {
+  FabricRig rig(3, comm::SwitchBoxShape{1, 1, 1, 1});
+  ChannelManager mgr(*rig.fabric);
+  auto id = mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{2, 0});
+  ASSERT_TRUE(id);
+  mgr.release(*id);
+  EXPECT_EQ(mgr.active_count(), 0u);
+  EXPECT_EQ(mgr.free_lanes(0, true), 1);
+  EXPECT_TRUE(
+      mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{2, 0}));
+  EXPECT_THROW(mgr.release(*id), ModelError);
+}
+
+TEST(ChannelManager, LeftwardRoutesUseLeftLanes) {
+  FabricRig rig(4, comm::SwitchBoxShape{1, 1, 1, 1});
+  ChannelManager mgr(*rig.fabric);
+  auto rid = mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{3, 0});
+  auto lid = mgr.establish(ChannelEndpoint{3, 0}, ChannelEndpoint{0, 0});
+  EXPECT_TRUE(rid.has_value());
+  EXPECT_TRUE(lid.has_value());
+  EXPECT_EQ(mgr.free_lanes(1, true), 0);
+  EXPECT_EQ(mgr.free_lanes(1, false), 0);
+  EXPECT_FALSE(mgr.spec(*lid).rightward());
+  EXPECT_EQ(mgr.spec(*lid).hops(), 4);
+}
+
+TEST(ChannelManager, LaneChangesPerHopEnableInterleaving) {
+  // Two channels overlapping on different segments must be routable with
+  // kr = 1 when their spans do not overlap.
+  FabricRig rig(5, comm::SwitchBoxShape{1, 1, 1, 1});
+  ChannelManager mgr(*rig.fabric);
+  EXPECT_TRUE(mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{2, 0}));
+  EXPECT_TRUE(mgr.establish(ChannelEndpoint{3, 0}, ChannelEndpoint{4, 0}));
+}
+
+TEST(ChannelManager, RejectsSameBoxLoopback) {
+  FabricRig rig(3);
+  ChannelManager mgr(*rig.fabric);
+  EXPECT_THROW(
+      mgr.establish(ChannelEndpoint{1, 0}, ChannelEndpoint{1, 0}),
+      ModelError);
+}
+
+TEST(ChannelManager, RejectsBadEndpoints) {
+  FabricRig rig(3);
+  ChannelManager mgr(*rig.fabric);
+  EXPECT_THROW(mgr.establish(ChannelEndpoint{-1, 0}, ChannelEndpoint{2, 0}),
+               ModelError);
+  EXPECT_THROW(mgr.establish(ChannelEndpoint{0, 9}, ChannelEndpoint{2, 0}),
+               ModelError);
+  EXPECT_THROW(mgr.spec(999), ModelError);
+}
+
+TEST(ChannelManager, DcrWriteCostScalesWithHops) {
+  comm::RouteSpec spec;
+  spec.producer_box = 0;
+  spec.consumer_box = 3;
+  spec.lanes = {0, 0, 0};
+  EXPECT_EQ(ChannelManager::dcr_writes_for(spec), 6);  // 4 boxes + 2
+}
+
+TEST(ChannelManager, CapacityMatchesKrTimesSegments) {
+  // With kr = 2, exactly two overlapping rightward channels fit.
+  FabricRig rig(3, comm::SwitchBoxShape{2, 2, 2, 2});
+  ChannelManager mgr(*rig.fabric);
+  // Attach second producer/consumer channels for endpoints.
+  EXPECT_TRUE(mgr.establish(ChannelEndpoint{0, 0}, ChannelEndpoint{2, 0}));
+  EXPECT_TRUE(mgr.establish(ChannelEndpoint{0, 1}, ChannelEndpoint{2, 1}));
+  EXPECT_FALSE(mgr.establish(ChannelEndpoint{1, 0}, ChannelEndpoint{2, 0}));
+}
+
+}  // namespace
+}  // namespace vapres::core

@@ -1,0 +1,126 @@
+// Design-space explorer tests.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "flow/explorer.hpp"
+
+namespace vapres::flow {
+namespace {
+
+TEST(Explorer, PrototypeGoalRecoversPrototypeScalePoint) {
+  // The prototype's goal: host the 8-tap FIR (620 slices) in 2 PRRs with
+  // 1 IOM on the VLX25 — the explorer's best point should use PRRs just
+  // big enough for the FIR, like the paper's 640-slice PRRs.
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  DesignSpaceExplorer explorer(lib);
+  ExplorationGoal goal;
+  goal.device = fabric::DeviceGeometry::xc4vlx25();
+  goal.required_modules = {"fir8_lowpass", "ma4"};
+  goal.num_prrs = 2;
+  goal.num_ioms = 1;
+  goal.min_lanes = 2;
+  goal.max_lanes = 2;
+
+  const auto result = explorer.explore(goal);
+  ASSERT_TRUE(result.feasible());
+  const Candidate& best = result.best();
+  // Smallest PRR hosting 620 slices at 16 CLB height: 16x10 = 640.
+  EXPECT_EQ(best.params.rsbs[0].prr_height_clbs, 16);
+  EXPECT_EQ(best.params.rsbs[0].prr_width_clbs, 10);
+  EXPECT_NEAR(best.reconfig_ms, 71.94, 0.8);
+  EXPECT_GT(best.static_slices, 9000);
+}
+
+TEST(Explorer, BestPointConstructsAWorkingSystem) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  DesignSpaceExplorer explorer(lib);
+  ExplorationGoal goal;
+  goal.required_modules = {"gain_x2"};
+  goal.num_prrs = 2;
+  const auto result = explorer.explore(goal);
+  ASSERT_TRUE(result.feasible());
+  core::VapresSystem sys(result.best().params);
+  EXPECT_EQ(sys.rsb().num_prrs(), 2);
+  EXPECT_GE(sys.rsb().prr(0).capacity().slices,
+            lib.info("gain_x2").resources.slices);
+}
+
+TEST(Explorer, CandidatesSortedByTotalSlices) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  DesignSpaceExplorer explorer(lib);
+  ExplorationGoal goal;
+  goal.required_modules = {"passthrough"};
+  goal.num_prrs = 1;
+  const auto result = explorer.explore(goal);
+  ASSERT_GT(result.candidates.size(), 1u);
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LE(result.candidates[i - 1].total_slices(),
+              result.candidates[i].total_slices());
+  }
+}
+
+TEST(Explorer, ImpossibleGoalsRejectedWithReasons) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  DesignSpaceExplorer explorer(lib);
+
+  // Too many PRRs for the device: every point rejected, reasons given.
+  ExplorationGoal goal;
+  goal.required_modules = {"fir16_sharp"};  // 1200 slices
+  goal.num_prrs = 12;
+  const auto result = explorer.explore(goal);
+  EXPECT_FALSE(result.feasible());
+  EXPECT_FALSE(result.rejections.empty());
+  EXPECT_THROW(result.best(), ModelError);
+}
+
+TEST(Explorer, LargeModuleForcesMultiRegionPrrs) {
+  // On the VLX25 a clock-region half is 14 CLBs wide, so one region
+  // (16x14 = 896 slices) cannot host the 1,200-slice FIR: the explorer
+  // must pick a multi-region PRR.
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  DesignSpaceExplorer explorer(lib);
+  ExplorationGoal goal;
+  goal.device = fabric::DeviceGeometry::xc4vlx25();
+  goal.required_modules = {"fir16_sharp"};  // 1200 slices
+  goal.num_prrs = 1;
+  const auto result = explorer.explore(goal);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_GE(result.best().params.rsbs[0].prr_height_clbs, 32);
+  EXPECT_GE(result.best().prr_slices_total, 1200);
+
+  // On the much wider VLX60 a single 16-CLB-tall region suffices.
+  goal.device = fabric::DeviceGeometry::xc4vlx60();
+  const auto wide = explorer.explore(goal);
+  ASSERT_TRUE(wide.feasible());
+  EXPECT_EQ(wide.best().params.rsbs[0].prr_height_clbs, 16);
+}
+
+TEST(Explorer, ValidatesGoal) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  DesignSpaceExplorer explorer(lib);
+  ExplorationGoal goal;
+  EXPECT_THROW(explorer.explore(goal), ModelError);  // no modules
+  goal.required_modules = {"no_such_module"};
+  EXPECT_THROW(explorer.explore(goal), ModelError);
+  goal.required_modules = {"passthrough"};
+  goal.min_lanes = 3;
+  goal.max_lanes = 1;
+  EXPECT_THROW(explorer.explore(goal), ModelError);
+}
+
+TEST(Explorer, MoreLanesCostMoreSlices) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  DesignSpaceExplorer explorer(lib);
+  ExplorationGoal goal;
+  goal.required_modules = {"passthrough"};
+  goal.num_prrs = 2;
+  goal.min_lanes = 1;
+  goal.max_lanes = 4;
+  const auto result = explorer.explore(goal);
+  ASSERT_TRUE(result.feasible());
+  // The cheapest candidate uses the fewest lanes.
+  EXPECT_EQ(result.best().params.rsbs[0].kr, 1);
+}
+
+}  // namespace
+}  // namespace vapres::flow

@@ -1,0 +1,317 @@
+// Tests for the extension subsystems: interrupt controller, peripheral
+// signal sources, composite (fused) modules, and ICAP readback-verify.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/peripherals.hpp"
+#include "core/system.hpp"
+#include "hwmodule/composite.hpp"
+#include "hwmodule/modules.hpp"
+#include "proc/interrupt.hpp"
+#include "proc/microblaze.hpp"
+#include "test_util.hpp"
+
+namespace vapres {
+namespace {
+
+using comm::Word;
+
+// --------------------------------------------------------------- interrupts
+
+struct IntcRig {
+  sim::Simulator sim;
+  sim::ClockDomain* clk;
+  comm::DcrBus dcr;
+  std::unique_ptr<proc::Microblaze> mb;
+  proc::InterruptController intc;
+
+  IntcRig() {
+    clk = &sim.create_domain("clk", 100.0);
+    mb = std::make_unique<proc::Microblaze>("mb", *clk, dcr);
+  }
+  void run(sim::Cycles n) { sim.run_cycles(*clk, n); }
+};
+
+TEST(InterruptController, LatchesOnlyEnabledSources) {
+  proc::InterruptController intc;
+  bool level0 = false;
+  bool level1 = false;
+  const int irq0 = intc.add_source("a", [&] { return level0; });
+  const int irq1 = intc.add_source("b", [&] { return level1; });
+  intc.enable(irq1);
+  level0 = level1 = true;
+  intc.sample();
+  EXPECT_EQ(intc.next_pending(), irq1);  // irq0 disabled: not latched
+  intc.acknowledge(irq1);
+  EXPECT_EQ(intc.next_pending(), -1);
+  intc.enable(irq0);
+  intc.sample();
+  EXPECT_EQ(intc.next_pending(), irq0);
+  EXPECT_EQ(intc.source_name(irq0), "a");
+}
+
+TEST(InterruptController, DisableClearsPending) {
+  proc::InterruptController intc;
+  bool level = true;
+  const int irq = intc.add_source("a", [&] { return level; });
+  intc.enable(irq);
+  intc.sample();
+  EXPECT_EQ(intc.next_pending(), irq);
+  intc.enable(irq, false);
+  EXPECT_EQ(intc.next_pending(), -1);
+}
+
+TEST(InterruptController, LowestNumberWins) {
+  proc::InterruptController intc;
+  bool a = true;
+  bool b = true;
+  const int i0 = intc.add_source("a", [&] { return a; });
+  const int i1 = intc.add_source("b", [&] { return b; });
+  intc.enable(i0);
+  intc.enable(i1);
+  intc.sample();
+  EXPECT_EQ(intc.next_pending(), i0);
+  intc.acknowledge(i0);
+  a = false;
+  EXPECT_EQ(intc.next_pending(), i1);
+}
+
+TEST(Microblaze, InterruptPreemptsTasksAndChargesOverhead) {
+  IntcRig rig;
+  comm::FslLink link("r", 16);
+  const int irq =
+      rig.intc.add_source("fsl", [&link] { return link.can_read(); });
+  rig.intc.enable(irq);
+
+  std::vector<Word> handled;
+  rig.mb->attach_interrupts(&rig.intc,
+                            [&](int which, proc::Microblaze&) {
+                              ASSERT_EQ(which, irq);
+                              handled.push_back(link.read());
+                            });
+  int task_steps = 0;
+  proc::FunctionTask background("bg", [&](proc::Microblaze&) {
+    ++task_steps;
+    return false;
+  });
+  rig.mb->add_task(&background);
+
+  rig.run(10);
+  EXPECT_EQ(rig.mb->interrupts_serviced(), 0u);
+  const int steps_before = task_steps;
+
+  link.write(42);
+  rig.run(20);
+  ASSERT_EQ(handled, (std::vector<Word>{42}));
+  EXPECT_EQ(rig.mb->interrupts_serviced(), 1u);
+  // ISR + its overhead displaced background quanta.
+  EXPECT_LT(task_steps - steps_before, 20);
+  // Afterwards the background task runs again.
+  rig.run(5);
+  EXPECT_GT(task_steps - steps_before, 5);
+}
+
+TEST(Microblaze, LevelSourceRelatchesWhileDataRemains) {
+  IntcRig rig;
+  comm::FslLink link("r", 16);
+  const int irq =
+      rig.intc.add_source("fsl", [&link] { return link.can_read(); });
+  rig.intc.enable(irq);
+  std::vector<Word> handled;
+  rig.mb->attach_interrupts(&rig.intc, [&](int, proc::Microblaze&) {
+    handled.push_back(link.read());
+  });
+  link.write(1);
+  link.write(2);
+  link.write(3);
+  rig.run(60);
+  EXPECT_EQ(handled, (std::vector<Word>{1, 2, 3}));
+}
+
+// -------------------------------------------------------------- peripherals
+
+TEST(Peripherals, SineMatchesTableAndPeriod) {
+  namespace pp = core::peripherals;
+  auto gen = pp::sine_source(1000, 5000, 64, 128);
+  std::vector<std::int32_t> samples;
+  while (auto w = gen()) {
+    samples.push_back(static_cast<std::int32_t>(*w));
+  }
+  ASSERT_EQ(samples.size(), 128u);
+  EXPECT_EQ(samples[0], 5000);         // sin(0) = 0
+  EXPECT_EQ(samples[16], 6000);        // peak at period/4
+  EXPECT_EQ(samples[32], 5000);        // zero crossing
+  EXPECT_EQ(samples[48], 4000);        // trough
+  // Periodicity.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(samples[static_cast<std::size_t>(i)],
+              samples[static_cast<std::size_t>(i + 64)]);
+  }
+}
+
+TEST(Peripherals, NoiseBoundedAndDeterministic) {
+  namespace pp = core::peripherals;
+  auto a = pp::noise_source(100, 1000, 7, 500);
+  auto b = pp::noise_source(100, 1000, 7, 500);
+  for (int i = 0; i < 500; ++i) {
+    const auto va = a();
+    const auto vb = b();
+    ASSERT_TRUE(va && vb);
+    EXPECT_EQ(*va, *vb);
+    const auto v = static_cast<std::int32_t>(*va);
+    EXPECT_GE(v, 900);
+    EXPECT_LE(v, 1100);
+  }
+  EXPECT_FALSE(a().has_value());
+}
+
+TEST(Peripherals, SquareAndRamp) {
+  namespace pp = core::peripherals;
+  auto sq = pp::square_source(1, 9, 2, 8);
+  std::vector<Word> s;
+  while (auto w = sq()) s.push_back(*w);
+  EXPECT_EQ(s, (std::vector<Word>{1, 1, 9, 9, 1, 1, 9, 9}));
+
+  auto rp = pp::ramp_source(3, 4);
+  std::vector<Word> r;
+  while (auto w = rp()) r.push_back(*w);
+  EXPECT_EQ(r, (std::vector<Word>{0, 3, 6, 9}));
+}
+
+TEST(Peripherals, MixSumsAndEndsWithShorter) {
+  namespace pp = core::peripherals;
+  auto m = pp::mix(pp::ramp_source(1, 3), pp::square_source(10, 20, 1, 10));
+  std::vector<Word> v;
+  while (auto w = m()) v.push_back(*w);
+  EXPECT_EQ(v, (std::vector<Word>{10, 21, 12}));
+}
+
+TEST(Peripherals, DriveIomEndToEnd) {
+  namespace pp = core::peripherals;
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 2;
+  core::VapresSystem sys(std::move(p));
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "passthrough");
+  core::Rsb& rsb = sys.rsb();
+  sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  sys.rsb().iom(0).set_source_generator(
+      pp::sine_source(500, 2048, 32, 96));
+  sys.run_system_cycles(400);
+  ASSERT_EQ(sys.rsb().iom(0).received().size(), 96u);
+  EXPECT_EQ(sys.rsb().iom(0).received()[8], 2548u);  // peak
+}
+
+// ---------------------------------------------------------------- composite
+
+std::unique_ptr<hwmodule::CompositeBehavior> make_chain() {
+  std::vector<std::unique_ptr<hwmodule::ModuleBehavior>> stages;
+  stages.push_back(std::make_unique<hwmodule::Gain>("g2", 2, 0));
+  stages.push_back(std::make_unique<hwmodule::AddOffset>("o5", 5));
+  stages.push_back(std::make_unique<hwmodule::Gain>("g3", 3, 0));
+  return std::make_unique<hwmodule::CompositeBehavior>("fused",
+                                                       std::move(stages));
+}
+
+TEST(Composite, MatchesSequentialApplication) {
+  auto fused = make_chain();
+  const std::vector<Word> in{1, 2, 3, 10, 100};
+  const auto out = test::run_behavior(*fused, in);
+  std::vector<Word> golden;
+  for (Word x : in) golden.push_back((x * 2 + 5) * 3);
+  EXPECT_EQ(out, golden);
+  EXPECT_TRUE(fused->pipeline_empty());
+}
+
+TEST(Composite, OneWordPerCycleSteadyState) {
+  auto fused = make_chain();
+  test::PortsStub ports;
+  for (Word w = 0; w < 20; ++w) ports.input().push_back(w);
+  // After the 3-stage pipeline fills, each cycle emits one word.
+  int filled_at = -1;
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    const auto before = ports.output().size();
+    fused->on_cycle(ports);
+    if (filled_at < 0 && ports.output().size() > before) filled_at = cycle;
+  }
+  EXPECT_GE(filled_at, 0);
+  EXPECT_LE(filled_at, 3);
+  EXPECT_EQ(ports.output().size(), 20u);
+}
+
+TEST(Composite, StateTransferMidStream) {
+  auto a = make_chain();
+  test::PortsStub ports_a;
+  for (Word w = 1; w <= 9; ++w) ports_a.input().push_back(w);
+  // Run A partially: pipeline holds in-flight words.
+  for (int i = 0; i < 5; ++i) a->on_cycle(ports_a);
+  EXPECT_FALSE(a->pipeline_empty());
+
+  auto b = make_chain();
+  b->restore_state(a->save_state());
+
+  // B continues with A's remaining input; outputs concatenate to the
+  // full golden sequence.
+  test::PortsStub ports_b;
+  ports_b.input() = ports_a.input();
+  std::vector<Word> out = ports_a.output();
+  for (int i = 0; i < 40 && (!ports_b.input().empty() ||
+                             !b->pipeline_empty());
+       ++i) {
+    b->on_cycle(ports_b);
+  }
+  out.insert(out.end(), ports_b.output().begin(), ports_b.output().end());
+  std::vector<Word> golden;
+  for (Word x = 1; x <= 9; ++x) golden.push_back((x * 2 + 5) * 3);
+  EXPECT_EQ(out, golden);
+}
+
+TEST(Composite, RejectsMalformedState) {
+  auto fused = make_chain();
+  EXPECT_THROW(fused->restore_state(std::vector<Word>{1}), ModelError);
+  auto good = fused->save_state();
+  good.push_back(0xDEAD);
+  EXPECT_THROW(fused->restore_state(good), ModelError);
+}
+
+TEST(Composite, RunsInsidePrrViaCustomLibrary) {
+  auto lib = hwmodule::ModuleLibrary::standard();
+  lib.register_module({"fused_chain", "gain*2 +5 gain*3 fused",
+                       fabric::ResourceVector{230, 0, 0}, 1, 1, [] {
+                         return std::unique_ptr<hwmodule::ModuleBehavior>(
+                             make_chain().release());
+                       }});
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 4;
+  core::VapresSystem sys(std::move(p), std::move(lib));
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "fused_chain");
+  core::Rsb& rsb = sys.rsb();
+  sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  sys.rsb().iom(0).set_source_data({1, 2, 3});
+  sys.run_system_cycles(200);
+  EXPECT_EQ(sys.rsb().iom(0).received(),
+            (std::vector<Word>{21, 27, 33}));
+}
+
+// ------------------------------------------------------------------- verify
+
+TEST(ReconfigVerify, ReadbackDoublesIcapShare) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 2;
+  core::VapresSystem sys(std::move(p));
+  const sim::Cycles plain = sys.reconfigure_now(0, 0, "passthrough");
+  sys.reconfig().set_verify_after_write(true);
+  const sim::Cycles verified = sys.reconfigure_now(0, 1, "passthrough");
+  const auto est = core::ReconfigManager::estimate_array2icap(8240);
+  EXPECT_NEAR(static_cast<double>(verified - plain), est.icap_cycles,
+              2.0);
+  EXPECT_EQ(sys.reconfig().last_breakdown().icap_cycles,
+            2.0 * est.icap_cycles);
+}
+
+}  // namespace
+}  // namespace vapres

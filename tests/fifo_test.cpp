@@ -1,0 +1,123 @@
+// FIFO and FSL tests.
+#include <gtest/gtest.h>
+
+#include "comm/fifo.hpp"
+#include "comm/fsl.hpp"
+#include "sim/check.hpp"
+#include "sim/random.hpp"
+
+namespace vapres::comm {
+namespace {
+
+TEST(Fifo, BasicOrdering) {
+  Fifo f("f", 4);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.size(), 3);
+  EXPECT_EQ(f.front(), 1u);
+  EXPECT_EQ(f.pop(), 1u);
+  EXPECT_EQ(f.pop(), 2u);
+  EXPECT_EQ(f.pop(), 3u);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, FullAndRemaining) {
+  Fifo f("f", 2);
+  EXPECT_EQ(f.remaining(), 2);
+  f.push(1);
+  f.push(2);
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.remaining(), 0);
+}
+
+TEST(Fifo, OverflowAndUnderflowThrow) {
+  Fifo f("f", 1);
+  f.push(1);
+  EXPECT_THROW(f.push(2), ModelError);
+  f.pop();
+  EXPECT_THROW(f.pop(), ModelError);
+  EXPECT_THROW(f.front(), ModelError);
+}
+
+TEST(Fifo, ResetClearsContents) {
+  Fifo f("f", 4);
+  f.push(1);
+  f.push(2);
+  f.reset();
+  EXPECT_TRUE(f.empty());
+  // Counters survive reset (they are diagnostics, not state).
+  EXPECT_EQ(f.total_pushed(), 2u);
+}
+
+TEST(Fifo, CountersAndHighWatermark) {
+  Fifo f("f", 8);
+  for (Word i = 0; i < 5; ++i) f.push(i);
+  f.pop();
+  f.pop();
+  f.push(9);
+  EXPECT_EQ(f.total_pushed(), 6u);
+  EXPECT_EQ(f.total_popped(), 2u);
+  EXPECT_EQ(f.high_watermark(), 5);
+}
+
+TEST(Fifo, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(Fifo("f", 0), ModelError);
+}
+
+TEST(Fifo, ConservationUnderRandomTraffic) {
+  sim::SplitMix64 rng(123);
+  Fifo f("f", 16);
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  Word next_in = 0;
+  Word next_out = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.55) && !f.full()) {
+      f.push(next_in++);
+      ++pushed;
+    }
+    if (rng.chance(0.5) && !f.empty()) {
+      EXPECT_EQ(f.pop(), next_out++);
+      ++popped;
+    }
+  }
+  EXPECT_EQ(pushed - popped, static_cast<std::uint64_t>(f.size()));
+}
+
+TEST(Fsl, MasterSlaveEnds) {
+  FslLink link("fsl", 4);
+  EXPECT_TRUE(link.can_write());
+  EXPECT_FALSE(link.can_read());
+  link.write(11);
+  link.write(22);
+  EXPECT_EQ(link.occupancy(), 2);
+  EXPECT_EQ(link.peek(), 11u);
+  EXPECT_EQ(link.read(), 11u);
+  EXPECT_EQ(*link.try_read(), 22u);
+  EXPECT_FALSE(link.try_read().has_value());
+}
+
+TEST(Fsl, BlockingWriteBoundary) {
+  FslLink link("fsl", 2);
+  link.write(1);
+  link.write(2);
+  EXPECT_FALSE(link.can_write());
+  EXPECT_THROW(link.write(3), ModelError);
+}
+
+TEST(Fsl, ResetDropsQueuedWords) {
+  FslLink link("fsl", 4);
+  link.write(1);
+  link.reset();
+  EXPECT_FALSE(link.can_read());
+  EXPECT_EQ(link.total_written(), 1u);
+}
+
+TEST(Fsl, DefaultDepthIsOneBlockRam) {
+  FslLink link("fsl");
+  EXPECT_EQ(link.capacity(), 512);  // RAMB16 as 512 x 32
+}
+
+}  // namespace
+}  // namespace vapres::comm

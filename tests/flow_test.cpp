@@ -1,0 +1,301 @@
+// Design-flow tests: resource-model calibration against Section V.B,
+// floorplanner legality, system-definition emitters, and both flows end
+// to end (Figure 6).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "flow/app_flow.hpp"
+#include "flow/base_system_flow.hpp"
+#include "flow/floorplan.hpp"
+#include "flow/resource_model.hpp"
+#include "flow/sysdef.hpp"
+#include "sim/random.hpp"
+
+namespace vapres::flow {
+namespace {
+
+// ------------------------------------------------------- resource model
+
+TEST(ResourceModel, CommArchitectureMatchesPaper) {
+  // Section V.B: "the inter-module communication architecture required
+  // only 1,020 slices" for the prototype (3 sites, kr=kl=2, ki=ko=1,
+  // w=32).
+  const core::SystemParams p = core::SystemParams::prototype();
+  EXPECT_EQ(ResourceModel::comm_architecture_slices(p.rsbs[0]), 1020);
+}
+
+TEST(ResourceModel, StaticRegionMatchesPaper) {
+  // Section V.B: static region = 9,421 slices, ~86-88 % of the VLX25.
+  const core::SystemParams p = core::SystemParams::prototype();
+  const ResourceReport report = ResourceModel::static_region(p);
+  EXPECT_EQ(report.total(), 9421);
+  const double util = report.utilization(p.device.total_slices());
+  EXPECT_GT(util, 85.0);
+  EXPECT_LT(util, 89.0);
+}
+
+TEST(ResourceModel, CommCostGrowsWithEveryParameter) {
+  core::RsbParams base = core::SystemParams::prototype().rsbs[0];
+  const int ref = ResourceModel::comm_architecture_slices(base);
+  auto grown = [&](auto mutate) {
+    core::RsbParams p = base;
+    mutate(p);
+    return ResourceModel::comm_architecture_slices(p);
+  };
+  EXPECT_GT(grown([](auto& p) { p.num_prrs += 1; }), ref);
+  EXPECT_GT(grown([](auto& p) { p.kr += 1; }), ref);
+  EXPECT_GT(grown([](auto& p) { p.kl += 1; }), ref);
+  EXPECT_GT(grown([](auto& p) { p.ki += 1; }), ref);
+  EXPECT_GT(grown([](auto& p) { p.ko += 1; }), ref);
+  EXPECT_LT(grown([](auto& p) { p.width_bits = 16; }), ref);
+}
+
+TEST(ResourceModel, SwitchBoxStructuralTerms) {
+  // Registers only (no lane muxes needed at kr=1,ko=0 is illegal; use the
+  // smallest legal shape) — sanity of the per-bit pricing.
+  const comm::SwitchBoxShape proto{2, 2, 1, 1};
+  EXPECT_EQ(ResourceModel::switch_box_slices(proto, 32), 264);
+  EXPECT_EQ(ResourceModel::module_interface_slices(32), 32);
+  EXPECT_EQ(ResourceModel::prsocket_slices(proto), 12);
+}
+
+// ---------------------------------------------------------- floorplanner
+
+TEST(Floorplanner, PrototypePlacementIsLegal) {
+  Floorplanner planner;
+  const auto plan = planner.place(core::SystemParams::prototype());
+  ASSERT_EQ(plan.prrs.size(), 2u);
+  EXPECT_TRUE(Floorplanner::check(plan.rects(), plan.device).empty());
+  EXPECT_EQ(plan.prrs[0].rect.slices(), 640);
+  // Static region has room for the 9,421-slice estimate.
+  EXPECT_GE(plan.static_slices, 9421);
+}
+
+TEST(Floorplanner, FillsBothHalves) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].num_prrs = 8;  // 6 fit the left half; 2 spill right
+  Floorplanner planner;
+  const auto plan = planner.place(p);
+  int right = 0;
+  for (const auto& prr : plan.prrs) {
+    if (prr.bufr_region.half == 1) ++right;
+  }
+  EXPECT_EQ(right, 2);
+}
+
+TEST(Floorplanner, MultiRegionPrrsConsumeAdjacentRegions) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].num_prrs = 2;
+  p.rsbs[0].prr_height_clbs = 32;  // 2 regions each
+  Floorplanner planner;
+  const auto plan = planner.place(p);
+  EXPECT_EQ(plan.prrs[0].rect.row, 0);
+  EXPECT_EQ(plan.prrs[1].rect.row, 32);
+}
+
+TEST(Floorplanner, OutOfRegionsThrows) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].num_prrs = 13;  // 12 clock regions on the VLX25
+  Floorplanner planner;
+  EXPECT_THROW(planner.place(p), ModelError);
+}
+
+TEST(Floorplanner, CheckCatchesViolations) {
+  const auto dev = fabric::DeviceGeometry::xc4vlx25();
+  // Overlap.
+  EXPECT_FALSE(Floorplanner::check({{0, 0, 16, 10}, {8, 4, 16, 10}}, dev)
+                   .empty());
+  // Shared clock region without overlap.
+  EXPECT_FALSE(Floorplanner::check({{0, 0, 16, 7}, {0, 7, 16, 7}}, dev)
+                   .empty());
+  // Legal.
+  EXPECT_TRUE(Floorplanner::check({{0, 0, 16, 10}, {16, 0, 16, 10}}, dev)
+                  .empty());
+}
+
+TEST(Floorplanner, AsciiRenderShowsPrrs) {
+  Floorplanner planner;
+  const auto plan = planner.place(core::SystemParams::prototype());
+  const std::string art = plan.render_ascii();
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);
+  EXPECT_NE(art.find('B'), std::string::npos);
+  EXPECT_NE(art.find('m'), std::string::npos);
+}
+
+// -------------------------------------------------------------- sysdef
+
+TEST(Sysdef, MhsListsCorePeripheralsAndRsbParameters) {
+  const auto p = core::SystemParams::prototype();
+  const std::string mhs = emit_mhs(p);
+  for (const char* needle :
+       {"microblaze", "plbv46_dcr_bridge", "xps_hwicap", "xps_sysace",
+        "xps_timer", "vapres_rsb", "C_NUM_PRR = 2", "C_KR = 2",
+        "C_CHANNEL_WIDTH = 32", "C_PRSOCKET0_DCR_BASEADDR"}) {
+    EXPECT_NE(mhs.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Sysdef, MssListsVapresApiLibrary) {
+  const std::string mss = emit_mss(core::SystemParams::prototype());
+  EXPECT_NE(mss.find("libvapres"), std::string::npos);
+  EXPECT_NE(mss.find("vapres_establish_channel"), std::string::npos);
+  EXPECT_NE(mss.find("hwicap"), std::string::npos);
+}
+
+TEST(Sysdef, UcfConstrainsEveryPrr) {
+  Floorplanner planner;
+  const auto p = core::SystemParams::prototype();
+  const auto plan = planner.place(p);
+  const std::string ucf = emit_ucf(p, plan);
+  EXPECT_NE(ucf.find("AREA_GROUP \"AG_prr0\" RANGE"), std::string::npos);
+  EXPECT_NE(ucf.find("AREA_GROUP \"AG_prr1\" RANGE"), std::string::npos);
+  EXPECT_NE(ucf.find("MODE = RECONFIG"), std::string::npos);
+  EXPECT_NE(ucf.find("BUFR_X"), std::string::npos);
+}
+
+// ---------------------------------------------------- base-system flow
+
+TEST(BaseSystemFlow, PrototypeRunsEndToEnd) {
+  BaseSystemFlow flow;
+  const auto result = flow.run(core::SystemParams::prototype());
+  EXPECT_EQ(result.resources.total(), 9421);
+  EXPECT_NEAR(result.static_utilization(), 87.6, 1.0);
+  EXPECT_EQ(result.params.prr_rects.size(), 2u);
+  EXPECT_FALSE(result.mhs.empty());
+  EXPECT_FALSE(result.ucf.empty());
+  EXPECT_GT(result.static_bitstream.size_bytes, 0);
+}
+
+TEST(BaseSystemFlow, ResultBuildsAWorkingSystem) {
+  BaseSystemFlow flow;
+  auto result = flow.run(core::SystemParams::prototype());
+  core::VapresSystem sys(result.params);
+  EXPECT_EQ(sys.rsb().prr(0).rect(), result.floorplan.prrs[0].rect);
+}
+
+TEST(BaseSystemFlow, WriteFilesProducesSystemDefinition) {
+  BaseSystemFlow flow;
+  const auto result = flow.run(core::SystemParams::prototype());
+  const std::string dir = "flow_test_out";
+  BaseSystemFlow::write_files(result, dir);
+  namespace fs = std::filesystem;
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "system.mhs"));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "system.mss"));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "system.ucf"));
+  fs::remove_all(dir);
+}
+
+TEST(BaseSystemFlow, RejectsOverfullDevice) {
+  core::SystemParams p = core::SystemParams::prototype();
+  // 12 one-region PRRs leave no fabric for the 9,421-slice static region.
+  p.rsbs[0].num_prrs = 12;
+  p.rsbs[0].prr_width_clbs = 14;
+  BaseSystemFlow flow;
+  EXPECT_THROW(flow.run(p), ModelError);
+}
+
+TEST(BaseSystemFlow, HonorsExplicitFloorplan) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.prr_rects = {fabric::ClbRect{16, 0, 16, 10},
+                 fabric::ClbRect{48, 0, 16, 10}};
+  BaseSystemFlow flow;
+  const auto result = flow.run(p);
+  EXPECT_EQ(result.floorplan.prrs[0].rect.row, 16);
+  EXPECT_EQ(result.floorplan.prrs[1].rect.row, 48);
+}
+
+// ----------------------------------------------------- application flow
+
+TEST(ApplicationFlow, BuildsBitstreamPerModulePrrPair) {
+  BaseSystemFlow base_flow;
+  const auto base = base_flow.run(core::SystemParams::prototype());
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  ApplicationFlow app_flow(base, lib);
+
+  core::KpnAppSpec app;
+  app.name = "filters";
+  app.nodes = {{"a", "ma4"}, {"b", "ma8"}};
+  const auto result = app_flow.build(app);
+  EXPECT_TRUE(result.ok());
+  // 2 modules x 2 PRRs (both fit everywhere).
+  EXPECT_EQ(result.bitstreams.size(), 4u);
+  for (const auto& bs : result.bitstreams) EXPECT_TRUE(bs.valid());
+}
+
+TEST(ApplicationFlow, ReportsUnplaceableModules) {
+  BaseSystemFlow base_flow;
+  const auto base = base_flow.run(core::SystemParams::prototype());
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  ApplicationFlow app_flow(base, lib);
+
+  core::KpnAppSpec app;
+  app.name = "too_big";
+  app.nodes = {{"f", "fir16_sharp"}};  // 1200 slices > 640-slice PRRs
+  const auto result = app_flow.build(app);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.unplaceable_modules.size(), 1u);
+  EXPECT_EQ(result.unplaceable_modules[0], "fir16_sharp");
+}
+
+TEST(ApplicationFlow, RejectsPortSignatureMismatch) {
+  BaseSystemFlow base_flow;
+  const auto base = base_flow.run(core::SystemParams::prototype());
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  ApplicationFlow app_flow(base, lib);
+  core::KpnAppSpec app;
+  app.name = "adder";
+  app.nodes = {{"sum", "adder2"}};  // ki = 1 in the prototype
+  EXPECT_THROW(app_flow.build(app), ModelError);
+}
+
+TEST(ApplicationFlow, InstallPlacesCfFilesUsableBySystem) {
+  BaseSystemFlow base_flow;
+  const auto base = base_flow.run(core::SystemParams::prototype());
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  ApplicationFlow app_flow(base, lib);
+  core::KpnAppSpec app;
+  app.name = "one";
+  app.nodes = {{"a", "gain_x2"}};
+  const auto result = app_flow.build(app);
+
+  core::VapresSystem sys(base.params);
+  const auto files = ApplicationFlow::install(result, sys.compact_flash());
+  ASSERT_EQ(files.size(), 2u);
+  for (const auto& f : files) {
+    EXPECT_TRUE(sys.compact_flash().contains(f));
+  }
+  // The installed bitstream is directly loadable into its PRR.
+  const auto& bs = sys.compact_flash().read(files[0]);
+  const int prr_index = bs.target_prr.back() - '0';
+  sys.rsb().prr(prr_index).apply_bitstream(bs, sys.library());
+  EXPECT_EQ(sys.rsb().prr(prr_index).loaded_module(), "gain_x2");
+}
+
+// Property: the floorplanner never produces an illegal plan over random
+// parameter combinations that fit the device.
+class FloorplanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloorplanSweep, AlwaysLegalOrThrows) {
+  sim::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].num_prrs = 1 + static_cast<int>(rng.next_below(8));
+  p.rsbs[0].prr_height_clbs = 8 << rng.next_below(3);  // 8, 16, 32
+  p.rsbs[0].prr_width_clbs = 2 + static_cast<int>(rng.next_below(12));
+  Floorplanner planner;
+  try {
+    const auto plan = planner.place(p);
+    EXPECT_TRUE(Floorplanner::check(plan.rects(), p.device).empty());
+    EXPECT_EQ(plan.prrs.size(),
+              static_cast<std::size_t>(p.rsbs[0].num_prrs));
+  } catch (const ModelError&) {
+    // Out of clock regions: acceptable outcome for large requests.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloorplanSweep, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace vapres::flow

@@ -1,0 +1,137 @@
+// System fuzzer: long random sequences of control-plane operations
+// (connect/disconnect, reconfiguration of idle PRRs, clock gating and
+// retuning, source bursts) against a streaming system. Invariants: the
+// model never drops a word, never throws on a legal operation sequence,
+// and simulated time keeps advancing.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "core/stats.hpp"
+#include "core/system.hpp"
+#include "sim/random.hpp"
+
+namespace vapres::core {
+namespace {
+
+using comm::Word;
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, ControlPlaneChurnNeverDropsData) {
+  sim::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 48271);
+
+  SystemParams params = SystemParams::prototype();
+  params.device = fabric::DeviceGeometry::xc4vlx60();
+  params.rsbs[0].num_prrs = 4;
+  params.rsbs[0].num_ioms = 1;
+  params.rsbs[0].prr_width_clbs = 1;  // 64-slice PRRs: ~9 ms PR
+  VapresSystem sys(std::move(params));
+  sys.bring_up_all_sites();
+  Rsb& rsb = sys.rsb();
+
+  // Modules small enough for the 64-slice fuzz PRRs.
+  const std::vector<std::string> modules{"passthrough", "offset_100",
+                                         "decim2"};
+  // Pre-stage everything so mid-fuzz reconfigurations are fast.
+  for (int p = 0; p < 4; ++p) {
+    for (const auto& m : modules) sys.preload_sdram(m, 0, p);
+    sys.reconfigure_now(0, p, modules[rng.next_below(modules.size())]);
+  }
+
+  struct Channel {
+    ChannelId id;
+    int producer_box;
+    int consumer_box;
+  };
+  std::vector<Channel> channels;
+  std::set<int> busy_producers;  // box indices with an active channel
+  std::set<int> busy_consumers;
+
+  // Random site: the IOM (30 %) or one of the four PRRs.
+  const auto random_box = [&] {
+    return rng.chance(0.3)
+               ? rsb.params().box_of_iom(0)
+               : rsb.params().box_of_prr(
+                     static_cast<int>(rng.next_below(4)));
+  };
+
+  int source_bursts = 0;
+  for (int step = 0; step < 150; ++step) {
+    switch (rng.next_below(6)) {
+      case 0: {  // connect random producer -> consumer
+        const int pb = random_box();
+        const int cb = random_box();
+        if (pb == cb || busy_producers.count(pb) > 0 ||
+            busy_consumers.count(cb) > 0) {
+          break;
+        }
+        auto id = sys.connect(0, ChannelEndpoint{pb, 0},
+                              ChannelEndpoint{cb, 0});
+        if (id) {
+          channels.push_back({*id, pb, cb});
+          busy_producers.insert(pb);
+          busy_consumers.insert(cb);
+        }
+        break;
+      }
+      case 1: {  // disconnect a random channel
+        if (channels.empty()) break;
+        const std::size_t i = rng.next_below(channels.size());
+        sys.disconnect(0, channels[i].id);
+        busy_producers.erase(channels[i].producer_box);
+        busy_consumers.erase(channels[i].consumer_box);
+        channels.erase(channels.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 2: {  // reconfigure an idle PRR (occasionally: PR dominates
+                 // simulated time, and the point here is interleaving)
+        if (!rng.chance(0.15)) break;
+        const int p = static_cast<int>(rng.next_below(4));
+        const int box = rsb.params().box_of_prr(p);
+        if (busy_producers.count(box) > 0 || busy_consumers.count(box) > 0) {
+          break;
+        }
+        sys.reconfigure_now(0, p,
+                            modules[rng.next_below(modules.size())]);
+        break;
+      }
+      case 3: {  // toggle a PRR's clock select (LCD retune)
+        const int p = static_cast<int>(rng.next_below(4));
+        sys.socket_set_bits(rsb.prr_socket_address(p), PrSocket::kClkSel,
+                            rng.chance(0.5));
+        break;
+      }
+      case 4: {  // burst of source data (only if the IOM feeds someone)
+        if (busy_producers.count(rsb.params().box_of_iom(0)) == 0) break;
+        if (rsb.iom(0).source_active()) break;
+        const int burst = 10 + static_cast<int>(rng.next_below(100));
+        std::vector<Word> data;
+        for (int i = 0; i < burst; ++i) {
+          data.push_back(static_cast<Word>(rng.next()));
+        }
+        rsb.iom(0).set_source_data(std::move(data),
+                                   1 + static_cast<int>(rng.next_below(4)));
+        ++source_bursts;
+        break;
+      }
+      default:
+        break;
+    }
+    sys.run_system_cycles(1 + rng.next_below(120));
+  }
+  sys.run_system_cycles(5000);
+
+  const auto stats = collect_stats(sys);
+  EXPECT_EQ(stats.total_discarded(), 0u) << stats.to_string();
+  EXPECT_GT(stats.system_cycles, 0u);
+  EXPECT_EQ(stats.active_channels, channels.size());
+  // The fuzz actually exercised the system.
+  EXPECT_GT(stats.dcr_accesses, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace vapres::core

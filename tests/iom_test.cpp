@@ -1,0 +1,130 @@
+// IOM tests: multi-channel sources/sinks (Figure 7's ki/ko applied to
+// I/O modules), per-channel statistics, and in-band EOS detection.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/assembler.hpp"
+#include "core/system.hpp"
+
+namespace vapres::core {
+namespace {
+
+using comm::Word;
+
+SystemParams dual_channel_params() {
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].num_prrs = 2;
+  p.rsbs[0].ki = 2;
+  p.rsbs[0].ko = 2;
+  p.rsbs[0].prr_width_clbs = 2;
+  return p;
+}
+
+TEST(Iom, ExposesAllChannels) {
+  VapresSystem sys(dual_channel_params());
+  Iom& iom = sys.rsb().iom(0);
+  EXPECT_EQ(iom.num_producers(), 2);
+  EXPECT_EQ(iom.num_consumers(), 2);
+  EXPECT_NO_THROW(iom.producer(1));
+  EXPECT_NO_THROW(iom.consumer(1));
+  EXPECT_THROW(iom.producer(2), ModelError);
+  EXPECT_THROW(iom.consumer(-1), ModelError);
+}
+
+TEST(Iom, TwoIndependentStreamsThroughTwoChannels) {
+  // IOM channel 0 -> PRR0 -> IOM channel 0; channel 1 -> PRR1 -> channel 1.
+  VapresSystem sys(dual_channel_params());
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "gain_x2");
+  sys.reconfigure_now(0, 1, "offset_100");
+  Rsb& rsb = sys.rsb();
+  ASSERT_TRUE(sys.connect(0, rsb.iom_producer(0, 0), rsb.prr_consumer(0)));
+  ASSERT_TRUE(sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0, 0)));
+  ASSERT_TRUE(sys.connect(0, rsb.iom_producer(0, 1), rsb.prr_consumer(1)));
+  ASSERT_TRUE(sys.connect(0, rsb.prr_producer(1), rsb.iom_consumer(0, 1)));
+
+  sys.rsb().iom(0).set_source_data({1, 2, 3}, 1, /*channel=*/0);
+  sys.rsb().iom(0).set_source_data({10, 20, 30}, 1, /*channel=*/1);
+  sys.run_system_cycles(300);
+
+  EXPECT_EQ(sys.rsb().iom(0).received(0), (std::vector<Word>{2, 4, 6}));
+  EXPECT_EQ(sys.rsb().iom(0).received(1),
+            (std::vector<Word>{110, 120, 130}));
+  EXPECT_EQ(sys.rsb().iom(0).words_emitted(0), 3u);
+  EXPECT_EQ(sys.rsb().iom(0).words_emitted(1), 3u);
+}
+
+TEST(Iom, PerChannelStatsAreIndependent) {
+  VapresSystem sys(dual_channel_params());
+  sys.bring_up_all_sites();
+  Iom& iom = sys.rsb().iom(0);
+  // No channel established: channel-0 source fills its interface FIFO
+  // (512) and then stalls; channel 1 idle.
+  int n = 0;
+  iom.set_source_generator(
+      [&n]() -> std::optional<Word> { return static_cast<Word>(n++); }, 1,
+      0);
+  sys.run_system_cycles(600);
+  EXPECT_EQ(iom.words_emitted(0), 512u);
+  EXPECT_GT(iom.source_stall_cycles(0), 0u);
+  EXPECT_EQ(iom.words_emitted(1), 0u);
+  EXPECT_EQ(iom.source_stall_cycles(1), 0u);
+}
+
+TEST(Iom, EosCountedPerChannel) {
+  VapresSystem sys(dual_channel_params());
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "passthrough");
+  Rsb& rsb = sys.rsb();
+  ASSERT_TRUE(sys.connect(0, rsb.iom_producer(0, 0), rsb.prr_consumer(0)));
+  ASSERT_TRUE(sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0, 1)));
+  // Send a data word and the EOS pattern through channel 0 -> sink ch 1.
+  sys.rsb().iom(0).set_source_data({7, comm::kEndOfStreamWord, 8}, 1, 0);
+  sys.run_system_cycles(100);
+  EXPECT_EQ(sys.rsb().iom(0).received(1), (std::vector<Word>{7, 8}));
+  EXPECT_EQ(sys.rsb().iom(0).eos_seen(1), 1u);
+  EXPECT_EQ(sys.rsb().iom(0).eos_seen(0), 0u);
+  // The MicroBlaze was notified on the r-link.
+  EXPECT_EQ(sys.rsb().iom(0).fsl_to_mb().read(), kIomEosDetected);
+}
+
+TEST(Iom, StopSourceHaltsEmission) {
+  VapresSystem sys(dual_channel_params());
+  sys.bring_up_all_sites();
+  Iom& iom = sys.rsb().iom(0);
+  int n = 0;
+  iom.set_source_generator(
+      [&n]() -> std::optional<Word> { return static_cast<Word>(n++); }, 4,
+      0);
+  sys.run_system_cycles(40);
+  EXPECT_TRUE(iom.source_active(0));
+  const auto emitted = iom.words_emitted(0);
+  iom.stop_source(0);
+  EXPECT_FALSE(iom.source_active(0));
+  sys.run_system_cycles(40);
+  EXPECT_EQ(iom.words_emitted(0), emitted);
+}
+
+TEST(Iom, KpnEdgeSpecCanAddressIomChannels) {
+  // The assembler resolves "iom:0" with from_port/to_port channels.
+  VapresSystem sys(dual_channel_params());
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+  KpnAppSpec app;
+  app.name = "dual_io";
+  app.nodes = {{"a", "gain_x2"}, {"b", "offset_100"}};
+  app.edges = {{"iom:0", "a", 0, 0},
+               {"iom:0", "b", 1, 0},
+               {"a", "iom:0", 0, 0},
+               {"b", "iom:0", 0, 1}};
+  assembler.assemble(app);
+  sys.rsb().iom(0).set_source_data({5}, 1, 0);
+  sys.rsb().iom(0).set_source_data({6}, 1, 1);
+  sys.run_system_cycles(200);
+  EXPECT_EQ(sys.rsb().iom(0).received(0), (std::vector<Word>{10}));
+  EXPECT_EQ(sys.rsb().iom(0).received(1), (std::vector<Word>{106}));
+}
+
+}  // namespace
+}  // namespace vapres::core

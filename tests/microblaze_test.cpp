@@ -1,0 +1,145 @@
+// Processor-model tests: task scheduling, busy accounting, DCR access,
+// xps_timer.
+#include <gtest/gtest.h>
+
+#include "comm/dcr.hpp"
+#include "proc/microblaze.hpp"
+#include "proc/timer.hpp"
+#include "sim/simulator.hpp"
+
+namespace vapres::proc {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  sim::ClockDomain* clk;
+  comm::DcrBus dcr;
+  std::unique_ptr<Microblaze> mb;
+
+  Rig() {
+    clk = &sim.create_domain("clk_sys", 100.0);
+    mb = std::make_unique<Microblaze>("mb", *clk, dcr);
+  }
+  void run(sim::Cycles n) { sim.run_cycles(*clk, n); }
+};
+
+class TestSlave final : public comm::DcrSlave {
+ public:
+  comm::DcrValue value = 0;
+  comm::DcrValue dcr_read() const override { return value; }
+  void dcr_write(comm::DcrValue v) override { value = v; }
+  std::string dcr_name() const override { return "slave"; }
+};
+
+TEST(Microblaze, TaskStepsOncePerIdleCycle) {
+  Rig rig;
+  int steps = 0;
+  FunctionTask task("count", [&](Microblaze&) {
+    ++steps;
+    return false;
+  });
+  rig.mb->add_task(&task);
+  rig.run(10);
+  EXPECT_EQ(steps, 10);
+}
+
+TEST(Microblaze, FinishedTaskIsDescheduled) {
+  Rig rig;
+  int steps = 0;
+  FunctionTask task("three", [&](Microblaze&) { return ++steps == 3; });
+  rig.mb->add_task(&task);
+  rig.run(10);
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(rig.mb->task_count(), 0u);
+}
+
+TEST(Microblaze, BusyBlocksTaskStepping) {
+  Rig rig;
+  int steps = 0;
+  FunctionTask task("busy", [&](Microblaze& mb) {
+    ++steps;
+    mb.busy_for(4);  // each step costs 4 extra cycles
+    return false;
+  });
+  rig.mb->add_task(&task);
+  rig.run(10);  // step, 4 busy, step, 4 busy -> 2 steps
+  EXPECT_EQ(steps, 2);
+  EXPECT_EQ(rig.mb->total_busy_cycles(), 8u);
+}
+
+TEST(Microblaze, RoundRobinBetweenTasks) {
+  Rig rig;
+  std::vector<int> order;
+  FunctionTask a("a", [&](Microblaze&) {
+    order.push_back(1);
+    return false;
+  });
+  FunctionTask b("b", [&](Microblaze&) {
+    order.push_back(2);
+    return false;
+  });
+  rig.mb->add_task(&a);
+  rig.mb->add_task(&b);
+  rig.run(4);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(Microblaze, BusyCompletionCallbackFires) {
+  Rig rig;
+  bool fired = false;
+  rig.mb->busy_for(5, [&] { fired = true; });
+  rig.run(4);
+  EXPECT_FALSE(fired);
+  rig.run(1);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Microblaze, SecondPendingCompletionRejected) {
+  Rig rig;
+  rig.mb->busy_for(5, [] {});
+  EXPECT_THROW(rig.mb->busy_for(5, [] {}), ModelError);
+}
+
+TEST(Microblaze, DcrAccessChargesBridgeLatency) {
+  Rig rig;
+  TestSlave slave;
+  rig.dcr.map(0x100, &slave);
+  rig.mb->dcr_write(0x100, 42);
+  EXPECT_EQ(slave.value, 42u);  // effect immediate
+  EXPECT_EQ(rig.mb->total_busy_cycles(),
+            static_cast<sim::Cycles>(comm::DcrBus::kBridgeAccessCycles));
+  EXPECT_EQ(rig.mb->dcr_read(0x100), 42u);
+}
+
+TEST(DcrBus, MapUnmapAndErrors) {
+  comm::DcrBus bus;
+  TestSlave slave;
+  bus.map(5, &slave);
+  EXPECT_TRUE(bus.mapped(5));
+  EXPECT_THROW(bus.map(5, &slave), ModelError);
+  EXPECT_THROW(bus.read(6), ModelError);
+  bus.write(5, 9);
+  EXPECT_EQ(bus.read(5), 9u);
+  EXPECT_EQ(bus.total_accesses(), 2u);
+  bus.unmap(5);
+  EXPECT_THROW(bus.read(5), ModelError);
+}
+
+TEST(XpsTimer, MeasuresElapsedCycles) {
+  Rig rig;
+  XpsTimer timer(*rig.clk);
+  timer.start();
+  rig.run(1234);
+  EXPECT_EQ(timer.stop(), 1234u);
+  EXPECT_EQ(timer.elapsed_cycles(), 1234u);
+  EXPECT_DOUBLE_EQ(timer.elapsed_seconds(), 1234.0 / 100e6);
+}
+
+TEST(XpsTimer, StopWithoutStartThrows) {
+  Rig rig;
+  XpsTimer timer(*rig.clk);
+  EXPECT_THROW(timer.stop(), ModelError);
+}
+
+}  // namespace
+}  // namespace vapres::proc

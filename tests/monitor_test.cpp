@@ -1,0 +1,164 @@
+// Stream-monitoring framework tests (Figure 5, step 2).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/monitor.hpp"
+#include "core/switching.hpp"
+#include "core/system.hpp"
+
+namespace vapres::core {
+namespace {
+
+using comm::Word;
+
+// ------------------------------------------------------- ThresholdTrigger
+
+TEST(ThresholdTrigger, FiresOncePerExcursion) {
+  ThresholdTrigger trig(100, 50);
+  EXPECT_FALSE(trig(80));
+  EXPECT_TRUE(trig(120));   // crossing fires
+  EXPECT_FALSE(trig(150));  // still high: no refire
+  EXPECT_FALSE(trig(40));   // re-arms
+  EXPECT_TRUE(trig(101));   // second excursion fires again
+}
+
+TEST(ThresholdTrigger, HysteresisBandSuppressesRearm) {
+  ThresholdTrigger trig(100, 50);
+  EXPECT_TRUE(trig(200));
+  EXPECT_FALSE(trig(75));   // inside band: stays disarmed
+  EXPECT_FALSE(trig(150));  // no refire
+  EXPECT_FALSE(trig(50));   // at low: re-arms
+  EXPECT_TRUE(trig(100));
+}
+
+TEST(ThresholdTrigger, PersistenceFiltersGlitches) {
+  ThresholdTrigger trig(100, 50, /*persistence=*/3);
+  EXPECT_FALSE(trig(150));
+  EXPECT_FALSE(trig(150));
+  EXPECT_FALSE(trig(20));   // glitch resets the run
+  EXPECT_FALSE(trig(150));
+  EXPECT_FALSE(trig(150));
+  EXPECT_TRUE(trig(150));   // third consecutive
+}
+
+TEST(ThresholdTrigger, ValidatesBand) {
+  EXPECT_THROW(ThresholdTrigger(50, 100), ModelError);
+  EXPECT_THROW(ThresholdTrigger(100, 50, 0), ModelError);
+}
+
+// ----------------------------------------------------------- StreamMonitor
+
+struct Rig {
+  sim::Simulator sim;
+  sim::ClockDomain* clk;
+  comm::DcrBus dcr;
+  std::unique_ptr<proc::Microblaze> mb;
+  comm::FslLink rlink{"r", 64};
+
+  Rig() {
+    clk = &sim.create_domain("clk", 100.0);
+    mb = std::make_unique<proc::Microblaze>("mb", *clk, dcr);
+  }
+  void run(sim::Cycles n) { sim.run_cycles(*clk, n); }
+};
+
+TEST(StreamMonitor, PollingFiresActionAndDeschedules) {
+  Rig rig;
+  bool acted = false;
+  StreamMonitor monitor("mon", rig.rlink, ThresholdTrigger(700, 300),
+                        [&acted] { acted = true; });
+  monitor.start_polling(*rig.mb);
+  rig.rlink.write(100);
+  rig.rlink.write(500);
+  rig.run(5);
+  EXPECT_FALSE(acted);
+  rig.rlink.write(900);
+  rig.run(5);
+  EXPECT_TRUE(acted);
+  EXPECT_TRUE(monitor.fired());
+  EXPECT_EQ(monitor.words_seen(), 3u);
+  EXPECT_EQ(rig.mb->task_count(), 0u);  // one-shot: descheduled
+}
+
+TEST(StreamMonitor, IgnoresProtocolControlWords) {
+  Rig rig;
+  bool acted = false;
+  StreamMonitor monitor("mon", rig.rlink,
+                        [](Word) { return true; },  // fire on any word
+                        [&acted] { acted = true; });
+  monitor.start_polling(*rig.mb);
+  rig.rlink.write(hwmodule::ctrl::kEosSentNote);
+  rig.rlink.write(hwmodule::ctrl::kStateHeader);
+  rig.run(5);
+  EXPECT_FALSE(acted);
+  EXPECT_EQ(monitor.words_seen(), 0u);
+  rig.rlink.write(1);
+  rig.run(5);
+  EXPECT_TRUE(acted);
+}
+
+TEST(StreamMonitor, InterruptDrivenMode) {
+  Rig rig;
+  proc::InterruptController intc;
+  bool acted = false;
+  StreamMonitor monitor("mon", rig.rlink, ThresholdTrigger(10, 5),
+                        [&acted] { acted = true; });
+  const int irq = monitor.register_interrupt(intc);
+  rig.mb->attach_interrupts(&intc,
+                            [&monitor, irq](int which,
+                                            proc::Microblaze& core) {
+                              ASSERT_EQ(which, irq);
+                              monitor.service(core);
+                            });
+  rig.run(10);
+  EXPECT_EQ(rig.mb->interrupts_serviced(), 0u);  // no traffic, no work
+  rig.rlink.write(50);
+  rig.run(20);
+  EXPECT_TRUE(acted);
+  EXPECT_GE(rig.mb->interrupts_serviced(), 1u);
+}
+
+// End-to-end: monitor triggers the Figure 5 switch, as application code
+// would wire it.
+TEST(StreamMonitor, DrivesModuleSwitchEndToEnd) {
+  SystemParams params = SystemParams::prototype();
+  params.rsbs[0].prr_width_clbs = 3;  // ma4 (180) fits 192 slices
+  VapresSystem sys(std::move(params));
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "ma4");
+  sys.preload_sdram("ma4", 0, 1);
+  Rsb& rsb = sys.rsb();
+  const auto up = *sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  const auto down =
+      *sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+
+  SwitchRequest req;
+  req.src_prr = 0;
+  req.dst_prr = 1;
+  req.new_module_id = "ma4";
+  req.upstream = up;
+  req.downstream = down;
+  ModuleSwitcher switcher(sys, req);
+
+  StreamMonitor monitor("mon", rsb.prr(0).fsl_to_mb(),
+                        ThresholdTrigger(500, 100),
+                        [&switcher] { switcher.begin(); });
+  monitor.start_polling(sys.mb());
+
+  int n = 0;
+  rsb.iom(0).set_source_generator(
+      [&n]() -> std::optional<Word> {
+        // Quiet, then loud: ma4's monitoring average crosses 500.
+        return static_cast<Word>(n++ < 2000 ? 10 : 900);
+      },
+      4);
+  ASSERT_TRUE(sys.sim().run_until([&] { return switcher.done(); },
+                                  sim::kPsPerSecond * 60));
+  EXPECT_TRUE(monitor.fired());
+  EXPECT_EQ(rsb.prr(1).loaded_module(), "ma4");
+  EXPECT_EQ(rsb.iom(0).eos_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace vapres::core

@@ -1,0 +1,104 @@
+// Multi-RSB systems: the data-processing region "contains one or more
+// reconfigurable streaming blocks" (Section III.B); each RSB has its own
+// switch-box fabric, channel state, and PRSocket address window, sharing
+// the MicroBlaze, DCR bus, ICAP, and storage.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace vapres::core {
+namespace {
+
+SystemParams two_rsb_params() {
+  SystemParams p = SystemParams::prototype();
+  p.name = "dual";
+  RsbParams rsb;
+  rsb.num_prrs = 2;
+  rsb.num_ioms = 1;
+  rsb.prr_width_clbs = 4;
+  p.rsbs = {rsb, rsb};
+  return p;
+}
+
+TEST(MultiRsb, ConstructionAndDcrWindows) {
+  VapresSystem sys(two_rsb_params());
+  ASSERT_EQ(sys.num_rsbs(), 2);
+  // Disjoint PRSocket address windows.
+  EXPECT_EQ(sys.rsb(0).socket_address(0), 0x100u);
+  EXPECT_EQ(sys.rsb(1).socket_address(0), 0x140u);
+  EXPECT_EQ(sys.dcr().slave_count(), 6u);
+  // Four PRRs, all in distinct clock regions.
+  EXPECT_EQ(sys.prr_floorplan().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_FALSE(sys.prr_floorplan()[i].overlaps(sys.prr_floorplan()[j]));
+    }
+  }
+}
+
+TEST(MultiRsb, IndependentStreamsRunConcurrently) {
+  VapresSystem sys(two_rsb_params());
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "gain_x2");
+  sys.reconfigure_now(1, 0, "offset_100");
+
+  for (int r = 0; r < 2; ++r) {
+    Rsb& rsb = sys.rsb(r);
+    ASSERT_TRUE(sys.connect(r, rsb.iom_producer(0), rsb.prr_consumer(0)));
+    ASSERT_TRUE(sys.connect(r, rsb.prr_producer(0), rsb.iom_consumer(0)));
+  }
+  sys.rsb(0).iom(0).set_source_data({1, 2, 3});
+  sys.rsb(1).iom(0).set_source_data({1, 2, 3});
+  sys.run_system_cycles(300);
+
+  EXPECT_EQ(sys.rsb(0).iom(0).received(),
+            (std::vector<comm::Word>{2, 4, 6}));
+  EXPECT_EQ(sys.rsb(1).iom(0).received(),
+            (std::vector<comm::Word>{101, 102, 103}));
+}
+
+TEST(MultiRsb, ChannelStateIsPerRsb) {
+  VapresSystem sys(two_rsb_params());
+  sys.bring_up_all_sites();
+  // Saturate RSB 0's lanes; RSB 1 is unaffected.
+  auto& ch0 = sys.rsb(0).channels();
+  auto& ch1 = sys.rsb(1).channels();
+  ASSERT_TRUE(ch0.establish(sys.rsb(0).iom_producer(0),
+                            sys.rsb(0).prr_consumer(1)));
+  EXPECT_EQ(ch0.active_count(), 1u);
+  EXPECT_EQ(ch1.active_count(), 0u);
+  EXPECT_TRUE(ch1.establish(sys.rsb(1).iom_producer(0),
+                            sys.rsb(1).prr_consumer(1)));
+}
+
+TEST(MultiRsb, IcapSerializesAcrossRsbs) {
+  // One ICAP: reconfigurations of PRRs in different RSBs cannot overlap.
+  VapresSystem sys(two_rsb_params());
+  sys.preload_sdram("passthrough", 0, 0);
+  sys.preload_sdram("passthrough", 1, 0);
+  bool done = false;
+  sys.reconfig().array2icap(
+      "passthrough@" + sys.rsb(0).prr(0).name(), [&done] { done = true; });
+  EXPECT_THROW(sys.reconfig().array2icap(
+                   "passthrough@" + sys.rsb(1).prr(0).name()),
+               ModelError);
+  sys.sim().run_until([&] { return done; }, sim::kPsPerSecond * 10);
+  EXPECT_NO_THROW(sys.reconfig().array2icap(
+      "passthrough@" + sys.rsb(1).prr(0).name()));
+}
+
+TEST(MultiRsb, GlobalPrrNumberingSpansRsbs) {
+  VapresSystem sys(two_rsb_params());
+  sys.bring_up_all_sites();
+  // vapres_module_reset addresses PRRs in RSB-major order.
+  // PRR #3 = RSB 1, PRR 1.
+  EXPECT_FALSE(sys.rsb(1).prr(1).wrapper().in_reset());
+  sys.socket_set_bits(sys.rsb(1).prr_socket_address(1),
+                      PrSocket::kPrrReset, true);
+  EXPECT_TRUE(sys.rsb(1).prr(1).wrapper().in_reset());
+  // And RSB 0's PRR 1 is untouched.
+  EXPECT_FALSE(sys.rsb(0).prr(1).wrapper().in_reset());
+}
+
+}  // namespace
+}  // namespace vapres::core

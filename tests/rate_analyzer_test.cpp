@@ -1,0 +1,151 @@
+// Rate-analyzer tests: SDF rate propagation through KPN graphs and
+// local-clock-domain assignment (extends Section III.B.2).
+#include <gtest/gtest.h>
+
+#include "flow/rate_analyzer.hpp"
+
+namespace vapres::flow {
+namespace {
+
+const std::vector<double> kLadder{12.5, 25.0, 50.0, 100.0};
+
+core::KpnAppSpec chain(std::initializer_list<const char*> modules) {
+  core::KpnAppSpec app;
+  app.name = "chain";
+  int i = 0;
+  std::string prev = "iom:0";
+  for (const char* m : modules) {
+    const std::string name = "n" + std::to_string(i++);
+    app.nodes.push_back({name, m});
+    app.edges.push_back({prev, name, 0, 0});
+    prev = name;
+  }
+  app.edges.push_back({prev, "iom:0", 0, 0});
+  return app;
+}
+
+TEST(Rational, ReducesAndMultiplies) {
+  EXPECT_EQ(Rational::of(4, 8), Rational::of(1, 2));
+  EXPECT_EQ(Rational::of(1, 2).times(2, 3), Rational::of(1, 3));
+  EXPECT_DOUBLE_EQ(Rational::of(3, 4).value(), 0.75);
+  EXPECT_THROW(Rational::of(1, 0), ModelError);
+}
+
+TEST(RateAnalyzer, UnityChain) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  const auto report = analyzer.analyze(chain({"gain_x2", "offset_100"}));
+  EXPECT_EQ(report.nodes.at("n0").input_rate, Rational::of(1));
+  EXPECT_EQ(report.nodes.at("n1").output_rate, Rational::of(1));
+  EXPECT_EQ(report.sink_rates.at("iom:0"), Rational::of(1));
+}
+
+TEST(RateAnalyzer, DecimationReducesDownstreamRates) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  const auto report =
+      analyzer.analyze(chain({"decim2", "decim4", "gain_x2"}));
+  EXPECT_EQ(report.nodes.at("n0").output_rate, Rational::of(1, 2));
+  EXPECT_EQ(report.nodes.at("n1").output_rate, Rational::of(1, 8));
+  EXPECT_EQ(report.nodes.at("n2").input_rate, Rational::of(1, 8));
+  EXPECT_EQ(report.sink_rates.at("iom:0"), Rational::of(1, 8));
+  // The decimator's clock is set by its *input* side.
+  EXPECT_EQ(report.nodes.at("n0").min_clock_factor, Rational::of(1));
+  EXPECT_EQ(report.nodes.at("n2").min_clock_factor, Rational::of(1, 8));
+}
+
+TEST(RateAnalyzer, UpsamplingRaisesDownstreamRates) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  const auto report = analyzer.analyze(chain({"upsample2", "gain_x2"}));
+  EXPECT_EQ(report.nodes.at("n0").min_clock_factor, Rational::of(2));
+  EXPECT_EQ(report.nodes.at("n1").input_rate, Rational::of(2));
+}
+
+TEST(RateAnalyzer, ClockAssignmentPicksCheapestSufficient) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  const auto report =
+      analyzer.analyze(chain({"decim2", "decim4", "gain_x2"}));
+  // Source at 40 Mwords/s: n0 needs 40 MHz -> 50; n1 needs 20 -> 25;
+  // n2 needs 5 -> 12.5.
+  const auto clocks = report.assign_clocks(40.0, kLadder);
+  EXPECT_DOUBLE_EQ(clocks.at("n0"), 50.0);
+  EXPECT_DOUBLE_EQ(clocks.at("n1"), 25.0);
+  EXPECT_DOUBLE_EQ(clocks.at("n2"), 12.5);
+}
+
+TEST(RateAnalyzer, ClockAssignmentFailsAboveLadder) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  const auto report = analyzer.analyze(chain({"upsample2"}));
+  // 2x the 80 Mwords/s source = 160 MHz > 100 MHz ladder top.
+  EXPECT_THROW(report.assign_clocks(80.0, kLadder), ModelError);
+  EXPECT_NO_THROW(report.assign_clocks(50.0, kLadder));
+}
+
+TEST(RateAnalyzer, SplitJoinBalancedGraph) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  core::KpnAppSpec app;
+  app.name = "diamond";
+  app.nodes = {{"split", "splitter2"},
+               {"a", "gain_x2"},
+               {"b", "passthrough"},
+               {"sum", "adder2"}};
+  app.edges = {{"iom:0", "split", 0, 0}, {"split", "a", 0, 0},
+               {"split", "b", 1, 0},     {"a", "sum", 0, 0},
+               {"b", "sum", 0, 1},       {"sum", "iom:0", 0, 0}};
+  const auto report = analyzer.analyze(app);
+  EXPECT_EQ(report.nodes.at("sum").input_rate, Rational::of(1));
+  EXPECT_EQ(report.sink_rates.at("iom:0"), Rational::of(1));
+}
+
+TEST(RateAnalyzer, UnbalancedJoinRejected) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  core::KpnAppSpec app;
+  app.name = "bad_join";
+  app.nodes = {{"split", "splitter2"},
+               {"slow", "decim2"},
+               {"fast", "passthrough"},
+               {"sum", "adder2"}};
+  app.edges = {{"iom:0", "split", 0, 0}, {"split", "slow", 0, 0},
+               {"split", "fast", 1, 0},  {"slow", "sum", 0, 0},
+               {"fast", "sum", 0, 1},    {"sum", "iom:0", 0, 0}};
+  // The adder's two inputs arrive at 1/2 and 1 words per source word:
+  // the fast side's FIFO would grow without bound.
+  EXPECT_THROW(analyzer.analyze(app), ModelError);
+}
+
+TEST(RateAnalyzer, UnreachableNodeRejected) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  core::KpnAppSpec app;
+  app.name = "orphan";
+  app.nodes = {{"a", "passthrough"}, {"orphan", "passthrough"}};
+  app.edges = {{"iom:0", "a", 0, 0}, {"a", "iom:0", 0, 0}};
+  EXPECT_THROW(analyzer.analyze(app), ModelError);
+}
+
+TEST(RateAnalyzer, UnknownModuleRejected) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  core::KpnAppSpec app;
+  app.name = "ghost";
+  app.nodes = {{"a", "no_such_module"}};
+  app.edges = {{"iom:0", "a", 0, 0}};
+  EXPECT_THROW(analyzer.analyze(app), ModelError);
+}
+
+TEST(RateAnalyzer, RequiredMhzScalesWithSourceRate) {
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  RateAnalyzer analyzer(lib);
+  const auto report = analyzer.analyze(chain({"decim2"}));
+  EXPECT_DOUBLE_EQ(report.required_mhz("n0", 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(report.required_mhz("n0", 80.0), 80.0);
+  EXPECT_THROW(report.required_mhz("ghost", 1.0), ModelError);
+}
+
+}  // namespace
+}  // namespace vapres::flow

@@ -1,0 +1,98 @@
+// Bitstream-relocation tests (hardware module reuse — the authors'
+// follow-on to VAPRES; see src/bitstream/relocation.hpp).
+#include <gtest/gtest.h>
+
+#include "bitstream/bitgen.hpp"
+#include "bitstream/relocation.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::bitstream {
+namespace {
+
+const fabric::ClbRect kPrr0{0, 0, 16, 10};
+const fabric::ClbRect kPrr1{16, 0, 16, 10};       // same footprint, above
+const fabric::ClbRect kPrrRight{32, 14, 16, 10};  // same footprint, right half
+const fabric::ClbRect kNarrow{48, 0, 16, 4};
+const fabric::ClbRect kMisaligned{8, 0, 16, 10};  // offset 8 within region
+
+TEST(Relocation, CompatibleFootprints) {
+  EXPECT_TRUE(relocatable(kPrr0, kPrr1));
+  EXPECT_TRUE(relocatable(kPrr0, kPrrRight));
+  EXPECT_TRUE(relocatable(kPrr1, kPrr0));
+  EXPECT_FALSE(relocatable(kPrr0, kNarrow));       // width differs
+  EXPECT_FALSE(relocatable(kPrr0, kMisaligned));   // row offset differs
+}
+
+TEST(Relocation, FootprintClassKeys) {
+  EXPECT_EQ(footprint_class(kPrr0), footprint_class(kPrr1));
+  EXPECT_EQ(footprint_class(kPrr0), "h16w10o0");
+  EXPECT_NE(footprint_class(kPrr0), footprint_class(kNarrow));
+  EXPECT_NE(footprint_class(kPrr0), footprint_class(kMisaligned));
+}
+
+TEST(Relocation, RelocatePreservesSizeAndRetags) {
+  const auto bs = PartialBitstream::create("fir8_lowpass", "prr0", kPrr0);
+  const auto moved = relocate(bs, "prr1", kPrr1);
+  EXPECT_EQ(moved.module_id, "fir8_lowpass");
+  EXPECT_EQ(moved.target_prr, "prr1");
+  EXPECT_EQ(moved.region, kPrr1);
+  EXPECT_EQ(moved.size_bytes, bs.size_bytes);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_NE(moved.tag, bs.tag);
+}
+
+TEST(Relocation, RejectsIncompatibleTargets) {
+  const auto bs = PartialBitstream::create("m", "prr0", kPrr0);
+  EXPECT_THROW(relocate(bs, "narrow", kNarrow), ModelError);
+  EXPECT_THROW(relocate(bs, "mis", kMisaligned), ModelError);
+}
+
+TEST(Relocation, RejectsCorruptInput) {
+  auto bs = PartialBitstream::create("m", "prr0", kPrr0);
+  bs.module_id = "tampered";
+  EXPECT_THROW(relocate(bs, "prr1", kPrr1), ModelError);
+}
+
+TEST(Relocation, RewriteCostIsOnePassOverTheBitstream) {
+  EXPECT_DOUBLE_EQ(relocation_cycles(37104), 2.0 * 37104);
+  EXPECT_THROW(relocation_cycles(-1), ModelError);
+}
+
+TEST(RelocatingStore, OneMasterPerModulePerClass) {
+  RelocatingStore store;
+  store.add_master(PartialBitstream::create("ma4", "prr0", kPrr0));
+  store.add_master(PartialBitstream::create("ma4", "prr1", kPrr1));  // same class
+  store.add_master(PartialBitstream::create("ma8", "prr0", kPrr0));
+  EXPECT_EQ(store.master_count(), 2u);
+  EXPECT_TRUE(store.has_master("ma4", kPrr1));
+  EXPECT_FALSE(store.has_master("ma4", kNarrow));
+}
+
+TEST(RelocatingStore, MaterializeProducesLoadableBitstream) {
+  RelocatingStore store;
+  store.add_master(PartialBitstream::create("ma4", "prr0", kPrr0));
+  const auto bs = store.materialize("ma4", "prr_right", kPrrRight);
+  EXPECT_EQ(bs.target_prr, "prr_right");
+  EXPECT_EQ(bs.region, kPrrRight);
+  EXPECT_TRUE(bs.valid());
+  EXPECT_THROW(store.materialize("ma4", "narrow", kNarrow), ModelError);
+  EXPECT_THROW(store.materialize("ghost", "prr0", kPrr0), ModelError);
+}
+
+TEST(RelocatingStore, StorageSavingsVsEaprBaseline) {
+  // 4 modules x 6 same-footprint PRRs: EAPR stores 24 bitstreams, the
+  // relocating store holds 4 masters — a 6x reduction.
+  RelocatingStore store;
+  const char* modules[] = {"a", "b", "c", "d"};
+  for (const char* m : modules) {
+    store.add_master(PartialBitstream::create(m, "prr0", kPrr0));
+  }
+  const std::int64_t per_bs = PartialBitstream::create("a", "p", kPrr0)
+                                  .size_bytes;
+  EXPECT_EQ(store.stored_bytes(), 4 * per_bs);
+  EXPECT_EQ(RelocatingStore::baseline_bytes(store.stored_bytes(), 6),
+            24 * per_bs);
+}
+
+}  // namespace
+}  // namespace vapres::bitstream

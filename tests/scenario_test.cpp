@@ -1,0 +1,177 @@
+// Long-running end-to-end scenarios: multi-stage applications at
+// realistic stream lengths, validated against software golden models —
+// the integration layer between the unit tests and the benches.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+
+#include "core/assembler.hpp"
+#include "core/stats.hpp"
+#include "core/switching.hpp"
+#include "core/system.hpp"
+#include "sim/random.hpp"
+
+namespace vapres::core {
+namespace {
+
+using comm::Word;
+
+SystemParams scenario_params(int n_prrs, int ki = 1, int ko = 1) {
+  SystemParams p = SystemParams::prototype();
+  p.device = fabric::DeviceGeometry::xc4vlx60();
+  p.rsbs[0].num_prrs = n_prrs;
+  p.rsbs[0].ki = ki;
+  p.rsbs[0].ko = ko;
+  p.rsbs[0].prr_width_clbs = 4;
+  return p;
+}
+
+// Sensor front-end: saturate -> dcblock-free chain (gain, offset) ->
+// decimate; 20k samples; exact golden model.
+TEST(Scenario, SensorFrontEnd20kSamples) {
+  VapresSystem sys(scenario_params(4));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+
+  KpnAppSpec app;
+  app.name = "sensor_frontend";
+  app.nodes = {{"clamp", "saturate_4k"},
+               {"scale", "gain_half"},
+               {"bias", "offset_100"},
+               {"rate", "decim2"}};
+  app.edges = {{"iom:0", "clamp", 0, 0},
+               {"clamp", "scale", 0, 0},
+               {"scale", "bias", 0, 0},
+               {"bias", "rate", 0, 0},
+               {"rate", "iom:0", 0, 0}};
+  assembler.assemble(app);
+
+  constexpr int kSamples = 20000;
+  sim::SplitMix64 rng(2024);
+  std::vector<Word> input;
+  input.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    input.push_back(static_cast<Word>(rng.next_below(20000)) - 10000);
+  }
+  sys.rsb().iom(0).set_source_data(input);
+  ASSERT_TRUE(sys.sim().run_until(
+      [&] { return sys.rsb().iom(0).received().size() >= kSamples / 2; },
+      sim::kPsPerSecond * 10));
+
+  // Golden model.
+  std::vector<Word> golden;
+  int phase = 0;
+  for (Word x : input) {
+    auto v = static_cast<std::int32_t>(x);
+    v = std::min(std::max(v, -4096), 4096);            // saturate_4k
+    const Word scaled = static_cast<Word>(
+        (static_cast<std::uint64_t>(static_cast<Word>(v)) *
+         (1u << 15)) >> 16);                            // gain_half
+    const Word biased = scaled + 100;                   // offset_100
+    if (phase == 0) golden.push_back(biased);           // decim2
+    phase = (phase + 1) % 2;
+  }
+  EXPECT_EQ(sys.rsb().iom(0).received(), golden);
+  EXPECT_EQ(collect_stats(sys).total_discarded(), 0u);
+}
+
+// Two switches back to back: A -> B (PRR1), then B -> C (back into the
+// now-free PRR0) — the "ping-pong" pattern a long-lived adaptive system
+// uses, exercising site shutdown and reuse.
+TEST(Scenario, PingPongDoubleSwitch) {
+  VapresSystem sys(scenario_params(2));
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "gain_x2");
+  sys.preload_sdram("gain_half", 0, 1);
+  sys.preload_sdram("gain_x2", 0, 0);  // for the second switch
+
+  Rsb& rsb = sys.rsb();
+  ChannelId up = *sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  ChannelId down =
+      *sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  int n = 0;
+  rsb.iom(0).set_source_generator(
+      [&n]() -> std::optional<Word> { return static_cast<Word>(n++); }, 4);
+  sys.run_system_cycles(400);
+
+  // Switch 1: gain_x2 (PRR0) -> gain_half (PRR1). The state transfer
+  // carries the multiplier, so the replacement keeps A's behaviour until
+  // software reprograms it — here we just verify the mechanics.
+  {
+    SwitchRequest req;
+    req.src_prr = 0;
+    req.dst_prr = 1;
+    req.new_module_id = "gain_half";
+    req.upstream = up;
+    req.downstream = down;
+    ModuleSwitcher sw(sys, req);
+    sw.begin();
+    ASSERT_TRUE(sys.sim().run_until([&] { return sw.done(); },
+                                    sim::kPsPerSecond * 60));
+    up = sw.new_upstream();
+    down = sw.new_downstream();
+  }
+  EXPECT_EQ(rsb.prr(1).loaded_module(), "gain_half");
+  sys.run_system_cycles(2000);
+
+  // Switch 2: back into PRR0 (which the first switch shut down).
+  {
+    SwitchRequest req;
+    req.src_prr = 1;
+    req.dst_prr = 0;
+    req.new_module_id = "gain_x2";
+    req.upstream = up;
+    req.downstream = down;
+    ModuleSwitcher sw(sys, req);
+    sw.begin();
+    ASSERT_TRUE(sys.sim().run_until([&] { return sw.done(); },
+                                    sim::kPsPerSecond * 60));
+  }
+  EXPECT_EQ(rsb.prr(0).loaded_module(), "gain_x2");
+  EXPECT_EQ(rsb.prr(0).reconfiguration_count(), 2);
+  sys.run_system_cycles(2000);
+
+  // Stream alive and ordered throughout (values change with the module
+  // generation, but arrival order is the input order).
+  EXPECT_EQ(rsb.iom(0).eos_seen(), 2u);
+  EXPECT_EQ(collect_stats(sys).total_discarded(), 0u);
+  EXPECT_GT(rsb.iom(0).received().size(), 1000u);
+}
+
+// Reassembly: run app 1, disassemble, run app 2 on the same base system
+// — the multipurpose-base-system story (Section I).
+TEST(Scenario, SequentialApplicationsOnOneBaseSystem) {
+  VapresSystem sys(scenario_params(3));
+  sys.bring_up_all_sites();
+  RuntimeAssembler assembler(sys);
+
+  KpnAppSpec app1;
+  app1.name = "app1";
+  app1.nodes = {{"g", "gain_x2"}};
+  app1.edges = {{"iom:0", "g", 0, 0}, {"g", "iom:0", 0, 0}};
+  const auto a1 = assembler.assemble(app1);
+  sys.rsb().iom(0).set_source_data({1, 2, 3});
+  sys.run_system_cycles(300);
+  EXPECT_EQ(sys.rsb().iom(0).received(), (std::vector<Word>{2, 4, 6}));
+  assembler.disassemble(a1);
+  sys.rsb().iom(0).take_received();
+
+  KpnAppSpec app2;
+  app2.name = "app2";
+  app2.nodes = {{"o", "offset_100"}, {"c", "checksum"}};
+  app2.edges = {{"iom:0", "o", 0, 0},
+                {"o", "c", 0, 0},
+                {"c", "iom:0", 0, 0}};
+  const auto a2 = assembler.assemble(app2);
+  // app2's nodes land in free PRRs (PRR0 still holds app1's module).
+  EXPECT_EQ(a2.placement.count("o") + a2.placement.count("c"), 2u);
+  sys.rsb().iom(0).set_source_data({1, 2, 3});
+  sys.run_system_cycles(400);
+  EXPECT_EQ(sys.rsb().iom(0).received(),
+            (std::vector<Word>{101, 102, 103}));
+  EXPECT_EQ(collect_stats(sys).total_discarded(), 0u);
+}
+
+}  // namespace
+}  // namespace vapres::core

@@ -1,0 +1,128 @@
+// System-spec file parser tests (the Section VI future-work tooling).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "flow/spec.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::flow {
+namespace {
+
+constexpr const char* kPrototypeSpec = R"(
+# ML401 prototype
+system vapres_ml401
+device xc4vlx25
+clock 100
+prr_clocks 100 50
+sdram 67108864
+rsb
+  prrs 2
+  ioms 1
+  width 32
+  lanes 2 2
+  ports 1 1
+  fifo_depth 512
+  prr_size 16 10
+end
+)";
+
+TEST(SpecParser, ParsesPrototype) {
+  const auto p = parse_system_spec(kPrototypeSpec);
+  EXPECT_EQ(p.name, "vapres_ml401");
+  EXPECT_EQ(p.device.name(), "xc4vlx25");
+  EXPECT_DOUBLE_EQ(p.system_clock_mhz, 100.0);
+  EXPECT_DOUBLE_EQ(p.prr_clock_b_mhz, 50.0);
+  ASSERT_EQ(p.rsbs.size(), 1u);
+  EXPECT_EQ(p.rsbs[0].num_prrs, 2);
+  EXPECT_EQ(p.rsbs[0].num_ioms, 1);
+  EXPECT_EQ(p.rsbs[0].kr, 2);
+  EXPECT_EQ(p.rsbs[0].prr_width_clbs, 10);
+  EXPECT_TRUE(p.prr_rects.empty());
+}
+
+TEST(SpecParser, ParsesExplicitFloorplan) {
+  const std::string spec = std::string(kPrototypeSpec) + R"(
+floorplan
+  prr 0 0 16 10
+  prr 32 0 16 10
+end
+)";
+  const auto p = parse_system_spec(spec);
+  ASSERT_EQ(p.prr_rects.size(), 2u);
+  EXPECT_EQ(p.prr_rects[1].row, 32);
+}
+
+TEST(SpecParser, ParsesMultipleRsbsAndCustomDevice) {
+  const auto p = parse_system_spec(R"(
+system big
+device custom 128 40
+clock 125
+rsb
+  prrs 3
+  ioms 2
+end
+rsb
+  prrs 2
+  ioms 1
+  prr_size 16 4
+end
+)");
+  EXPECT_EQ(p.device.clb_rows(), 128);
+  ASSERT_EQ(p.rsbs.size(), 2u);
+  EXPECT_EQ(p.rsbs[0].num_prrs, 3);
+  EXPECT_EQ(p.rsbs[1].prr_width_clbs, 4);
+  EXPECT_EQ(p.total_prrs(), 5);
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_system_spec("system x\ndevice xc4vlx25\nbogus 1\n");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(SpecParser, RejectsBadInput) {
+  EXPECT_THROW(parse_system_spec("device xc4vlx25\n"), ModelError);  // no system/rsb
+  EXPECT_THROW(parse_system_spec("system x\nrsb\n"), ModelError);   // unterminated
+  EXPECT_THROW(parse_system_spec("system x\nclock ten\nrsb\nend\n"),
+               ModelError);  // non-numeric
+  EXPECT_THROW(parse_system_spec("system x\nrsb\n  prrs 2 3\nend\n"),
+               ModelError);  // arity
+  // Semantically invalid (width 64 > 32) is caught by validate().
+  EXPECT_THROW(parse_system_spec(
+                   "system x\nrsb\n  width 64\nend\n"),
+               ModelError);
+}
+
+TEST(SpecParser, EmitParseRoundTrip) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
+                 fabric::ClbRect{16, 0, 16, 10}};
+  const std::string text = emit_system_spec(p);
+  const auto q = parse_system_spec(text);
+  EXPECT_EQ(q.name, p.name);
+  EXPECT_EQ(q.device.name(), p.device.name());
+  EXPECT_EQ(q.rsbs[0].num_prrs, p.rsbs[0].num_prrs);
+  EXPECT_EQ(q.rsbs[0].fifo_depth, p.rsbs[0].fifo_depth);
+  EXPECT_EQ(q.prr_rects, p.prr_rects);
+}
+
+TEST(SpecParser, LoadFromDisk) {
+  namespace fs = std::filesystem;
+  const fs::path path = "spec_test_tmp.vapres";
+  {
+    std::ofstream out(path);
+    out << kPrototypeSpec;
+  }
+  const auto p = load_system_spec(path.string());
+  EXPECT_EQ(p.name, "vapres_ml401");
+  fs::remove(path);
+  EXPECT_THROW(load_system_spec("does_not_exist.vapres"), ModelError);
+}
+
+}  // namespace
+}  // namespace vapres::flow

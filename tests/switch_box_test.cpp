@@ -1,0 +1,209 @@
+// Switch-box unit tests: port indexing, mux selects, one-register-per-box
+// pipeline latency, and module-interface behaviour (Figure 2/3 details).
+#include <gtest/gtest.h>
+
+#include "comm/module_interface.hpp"
+#include "comm/switch_box.hpp"
+#include "sim/simulator.hpp"
+
+namespace vapres::comm {
+namespace {
+
+TEST(SwitchBoxShape, PortCounts) {
+  const SwitchBoxShape s{2, 2, 1, 1};
+  EXPECT_EQ(s.num_inputs(), 5);   // kr + kl + ko
+  EXPECT_EQ(s.num_outputs(), 5);  // kr + kl + ki
+}
+
+TEST(SwitchBox, PortIndexLayout) {
+  SwitchBox box("sw", SwitchBoxShape{2, 2, 1, 1});
+  EXPECT_EQ(box.input_right_lane(0), 0);
+  EXPECT_EQ(box.input_right_lane(1), 1);
+  EXPECT_EQ(box.input_left_lane(0), 2);
+  EXPECT_EQ(box.input_producer(0), 4);
+  EXPECT_EQ(box.output_right_lane(1), 1);
+  EXPECT_EQ(box.output_left_lane(1), 3);
+  EXPECT_EQ(box.output_consumer(0), 4);
+  EXPECT_THROW(box.input_right_lane(2), ModelError);
+  EXPECT_THROW(box.output_consumer(1), ModelError);
+}
+
+TEST(SwitchBox, ParkedOutputsDriveIdle) {
+  SwitchBox box("sw", SwitchBoxShape{1, 1, 1, 1});
+  box.eval();
+  box.commit();
+  EXPECT_EQ(*box.output_signal(0), kIdleFlit);
+}
+
+TEST(SwitchBox, OneCycleLatencyPerBox) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  SwitchBox box("sw", SwitchBoxShape{1, 1, 1, 1});
+  clk.attach(&box);
+
+  Flit source{};
+  box.connect_input(box.input_producer(0), &source);
+  box.select(box.output_right_lane(0), box.input_producer(0));
+
+  source = Flit{42, true};
+  sim.run_cycles(clk, 1);
+  // After one edge the input register holds the flit and the output mux
+  // shows it.
+  EXPECT_EQ(*box.output_signal(box.output_right_lane(0)), (Flit{42, true}));
+
+  source = Flit{43, true};
+  sim.run_cycles(clk, 1);
+  EXPECT_EQ(*box.output_signal(box.output_right_lane(0)), (Flit{43, true}));
+  clk.detach(&box);
+}
+
+TEST(SwitchBox, SelectChangesRouteNextCycle) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  SwitchBox box("sw", SwitchBoxShape{2, 0, 1, 1});
+  clk.attach(&box);
+
+  Flit lane0{1, true};
+  Flit lane1{2, true};
+  box.connect_input(box.input_right_lane(0), &lane0);
+  box.connect_input(box.input_right_lane(1), &lane1);
+  box.select(box.output_consumer(0), box.input_right_lane(0));
+  sim.run_cycles(clk, 1);
+  EXPECT_EQ(box.output_signal(box.output_consumer(0))->data, 1u);
+
+  box.select(box.output_consumer(0), box.input_right_lane(1));
+  sim.run_cycles(clk, 1);
+  EXPECT_EQ(box.output_signal(box.output_consumer(0))->data, 2u);
+  clk.detach(&box);
+}
+
+TEST(SwitchBox, RejectsBadSelect) {
+  SwitchBox box("sw", SwitchBoxShape{1, 1, 1, 1});
+  EXPECT_THROW(box.select(0, 99), ModelError);
+  EXPECT_THROW(box.select(99, 0), ModelError);
+  EXPECT_NO_THROW(box.select(0, -1));
+}
+
+// ----------------------------------------------------- ProducerInterface
+
+TEST(ProducerInterface, DrainsOnlyWhenEnabled) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  ProducerInterface p("p", 8);
+  clk.attach(&p);
+  p.fifo().push(7);
+  sim.run_cycles(clk, 3);
+  EXPECT_EQ(p.fifo().size(), 1);  // FIFO_ren off: nothing drained
+  EXPECT_FALSE(p.output_signal()->valid);
+
+  p.set_read_enable(true);
+  sim.run_cycles(clk, 1);
+  EXPECT_TRUE(p.fifo().empty());
+  EXPECT_EQ(*p.output_signal(), (Flit{7, true}));  // bit-extended valid
+
+  sim.run_cycles(clk, 1);
+  EXPECT_FALSE(p.output_signal()->valid);  // FIFO empty -> idle
+  EXPECT_EQ(p.words_sent(), 1u);
+  clk.detach(&p);
+}
+
+TEST(ProducerInterface, FeedbackFullBlocksDraining) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  ProducerInterface p("p", 8);
+  clk.attach(&p);
+  bool full = true;
+  p.set_feedback_full_source(&full);
+  p.set_read_enable(true);
+  p.fifo().push(1);
+  sim.run_cycles(clk, 5);
+  EXPECT_EQ(p.fifo().size(), 1);  // held back by the feedback signal
+  full = false;
+  sim.run_cycles(clk, 1);
+  EXPECT_TRUE(p.fifo().empty());
+  clk.detach(&p);
+}
+
+TEST(ProducerInterface, ResetClearsOutput) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  ProducerInterface p("p", 8);
+  clk.attach(&p);
+  p.set_read_enable(true);
+  p.fifo().push(5);
+  sim.run_cycles(clk, 1);
+  EXPECT_TRUE(p.output_signal()->valid);
+  p.reset();
+  EXPECT_FALSE(p.output_signal()->valid);
+  clk.detach(&p);
+}
+
+// ----------------------------------------------------- ConsumerInterface
+
+TEST(ConsumerInterface, AcceptsOnlyValidFlitsWhenEnabled) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  ConsumerInterface c("c", 8);
+  clk.attach(&c);
+  Flit input{};
+  c.set_input_signal(&input);
+
+  input = Flit{1, true};
+  sim.run_cycles(clk, 1);
+  EXPECT_TRUE(c.fifo().empty());  // FIFO_wen off: word ignored
+
+  c.set_write_enable(true);
+  input = Flit{2, true};
+  sim.run_cycles(clk, 1);
+  input = Flit{0, false};  // idle flits never written
+  sim.run_cycles(clk, 3);
+  EXPECT_EQ(c.fifo().size(), 1);
+  EXPECT_EQ(c.fifo().pop(), 2u);
+  EXPECT_EQ(c.words_received(), 1u);
+  clk.detach(&c);
+}
+
+TEST(ConsumerInterface, DiscardsOnOverflowAndCounts) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  ConsumerInterface c("c", 2);
+  clk.attach(&c);
+  c.set_write_enable(true);
+  Flit input{9, true};
+  c.set_input_signal(&input);
+  sim.run_cycles(clk, 5);  // 2 accepted, 3 discarded
+  EXPECT_EQ(c.fifo().size(), 2);
+  EXPECT_EQ(c.words_discarded(), 3u);
+  clk.detach(&c);
+}
+
+TEST(ConsumerInterface, FeedbackAssertsAtPipelineDepthThreshold) {
+  sim::Simulator sim;
+  auto& clk = sim.create_domain("clk", 100.0);
+  ConsumerInterface c("c", 16);
+  clk.attach(&c);
+  c.set_write_enable(true);
+  c.configure_backpressure(/*hops=*/3, BackpressurePolicy::kPipelineDepth);
+  Flit input{1, true};
+  c.set_input_signal(&input);
+  // Threshold: remaining <= 2*3 + 2 = 8, i.e. occupancy >= 8.
+  sim.run_cycles(clk, 7);
+  EXPECT_FALSE(*c.full_feedback_signal());
+  sim.run_cycles(clk, 2);  // occupancy 9 -> evaluated at 8
+  EXPECT_TRUE(*c.full_feedback_signal());
+  clk.detach(&c);
+}
+
+TEST(ConsumerInterface, LiteralPaperPolicyAssertsAlmostAlways) {
+  // remaining <= 2*(N - d) with N = 64, d = 2 asserts from occupancy
+  // >= N - 2*(N-d) = -60, i.e. immediately — demonstrating why the
+  // printed formula cannot be meant literally (see DESIGN.md).
+  ConsumerInterface c("c", 64);
+  c.configure_backpressure(2, BackpressurePolicy::kLiteralPaper);
+  c.eval();
+  c.commit();
+  EXPECT_TRUE(*c.full_feedback_signal());  // asserted on an empty FIFO
+}
+
+}  // namespace
+}  // namespace vapres::comm

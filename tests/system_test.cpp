@@ -1,0 +1,288 @@
+// Full-system tests: construction, bring-up, end-to-end streaming
+// IOM -> PRR -> IOM, reconfiguration timing against the paper's Section
+// V.B numbers, local clock domains, and IOM statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/api.hpp"
+#include "core/system.hpp"
+#include "proc/timer.hpp"
+#include "sim/random.hpp"
+
+namespace vapres::core {
+namespace {
+
+std::unique_ptr<VapresSystem> make_prototype() {
+  return std::make_unique<VapresSystem>(SystemParams::prototype());
+}
+
+// Prototype parameters with narrower PRRs: same architecture, ~5x less
+// simulated reconfiguration time. Used by tests whose subject is not the
+// Section V.B timing itself.
+std::unique_ptr<VapresSystem> make_fast() {
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 4;  // 256-slice PRRs
+  return std::make_unique<VapresSystem>(std::move(p));
+}
+
+TEST(System, PrototypeConstruction) {
+  auto sys = make_prototype();
+  EXPECT_EQ(sys->num_rsbs(), 1);
+  Rsb& rsb = sys->rsb();
+  EXPECT_EQ(rsb.num_prrs(), 2);
+  EXPECT_EQ(rsb.num_ioms(), 1);
+  EXPECT_EQ(rsb.fabric().num_boxes(), 3);
+  EXPECT_EQ(rsb.prr(0).rect().slices(), 640);  // Section V.A
+  EXPECT_EQ(sys->prr_floorplan().size(), 2u);
+  // PRRs in distinct clock regions.
+  EXPECT_NE(sys->prr_floorplan()[0].row / 16,
+            sys->prr_floorplan()[1].row / 16);
+}
+
+TEST(System, SocketsMappedOnDcr) {
+  auto sys = make_prototype();
+  Rsb& rsb = sys->rsb();
+  EXPECT_TRUE(sys->dcr().mapped(rsb.iom_socket_address(0)));
+  EXPECT_TRUE(sys->dcr().mapped(rsb.prr_socket_address(0)));
+  EXPECT_TRUE(sys->dcr().mapped(rsb.prr_socket_address(1)));
+  EXPECT_EQ(sys->dcr().slave_count(), 3u);
+}
+
+TEST(System, ReconfigureLoadsModule) {
+  auto sys = make_fast();
+  EXPECT_FALSE(sys->rsb().prr(0).occupied());
+  sys->reconfigure_now(0, 0, "passthrough");
+  EXPECT_TRUE(sys->rsb().prr(0).occupied());
+  EXPECT_EQ(sys->rsb().prr(0).loaded_module(), "passthrough");
+  EXPECT_EQ(sys->rsb().prr(0).reconfiguration_count(), 1);
+}
+
+TEST(System, Array2IcapSimulatedTimeMatchesPaper) {
+  // Section V.B: array2icap = 71.94 ms at 100 MHz for the 640-slice
+  // prototype PRR — measured here with the xps_timer over the actual
+  // simulated transfer, exactly as the paper measured it.
+  auto sys = make_prototype();
+  sys->preload_sdram("ma8", 0, 0);
+  proc::XpsTimer timer(sys->system_clock());
+  timer.start();
+  const sim::Cycles charged =
+      sys->reconfigure_now(0, 0, "ma8", ReconfigSource::kSdramArray);
+  const sim::Cycles measured = timer.stop();
+  EXPECT_NEAR(static_cast<double>(measured) / 100e6 * 1e3, 71.94, 0.8);
+  EXPECT_EQ(measured, charged);
+  EXPECT_EQ(sys->icap().completed_transfers(), 1);
+}
+
+TEST(System, Cf2IcapSimulatedTimeMatchesEstimate) {
+  // The CF path at full prototype scale takes 104 M simulated cycles;
+  // verify the path cycle-exactly at a narrower PRR (the paper-scale
+  // seconds figure is covered by the calibration tests and the bench).
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 1;  // 64-slice PRR, 4,632-byte bitstream
+  VapresSystem sys(std::move(p));
+  sys.synthesize_to_cf("passthrough", 0, 0);
+  proc::XpsTimer timer(sys.system_clock());
+  timer.start();
+  sys.reconfigure_now(0, 0, "passthrough", ReconfigSource::kCompactFlash);
+  const auto est = ReconfigManager::estimate_cf2icap(4632);
+  EXPECT_EQ(timer.stop(),
+            static_cast<sim::Cycles>(std::llround(est.total_cycles())));
+}
+
+TEST(System, ReconfigChargesMicroblaze) {
+  auto sys = make_fast();
+  const auto busy_before = sys->mb().total_busy_cycles();
+  const sim::Cycles charged = sys->reconfigure_now(0, 0, "passthrough");
+  EXPECT_GE(sys->mb().total_busy_cycles() - busy_before, charged);
+}
+
+TEST(System, WrongPrrBitstreamRejected) {
+  auto sys = make_prototype();
+  sys->synthesize_to_cf("ma4", 0, 0);
+  // Hand the PRR-0 bitstream to PRR 1's target via the manager: the
+  // target name routes it to PRR 0, so this succeeds; mismatch is only
+  // possible by corrupting the bitstream record.
+  auto bs = sys->compact_flash().read("ma4_" +
+                                      sys->rsb().prr(0).name() + ".bit");
+  bs.target_prr = sys->rsb().prr(1).name();
+  EXPECT_FALSE(bs.valid());
+  EXPECT_THROW(sys->rsb().prr(1).apply_bitstream(bs, sys->library()),
+               ModelError);
+}
+
+// End-to-end: IOM source -> passthrough in PRR0 -> IOM sink.
+TEST(System, EndToEndStreaming) {
+  auto sys = make_fast();
+  sys->bring_up_all_sites();
+  sys->reconfigure_now(0, 0, "passthrough");
+
+  Rsb& rsb = sys->rsb();
+  auto in = sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  auto out = sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  ASSERT_TRUE(in && out);
+
+  std::vector<comm::Word> data;
+  for (comm::Word w = 0; w < 100; ++w) data.push_back(w * 3);
+  sys->rsb().iom(0).set_source_data(data);
+  sys->run_system_cycles(500);
+
+  EXPECT_EQ(sys->rsb().iom(0).received(), data);
+  EXPECT_EQ(sys->rsb().iom(0).words_emitted(), 100u);
+  EXPECT_EQ(sys->rsb().iom(0).source_stall_cycles(), 0u);
+}
+
+TEST(System, EndToEndThroughProcessingChain) {
+  // IOM -> gain_x2 (PRR0) -> offset_100 (PRR1) -> IOM.
+  auto sys = make_fast();
+  sys->bring_up_all_sites();
+  sys->reconfigure_now(0, 0, "gain_x2");
+  sys->reconfigure_now(0, 1, "offset_100");
+
+  Rsb& rsb = sys->rsb();
+  ASSERT_TRUE(sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0)));
+  ASSERT_TRUE(sys->connect(0, rsb.prr_producer(0), rsb.prr_consumer(1)));
+  ASSERT_TRUE(sys->connect(0, rsb.prr_producer(1), rsb.iom_consumer(0)));
+
+  std::vector<comm::Word> data{1, 2, 3, 4, 5};
+  sys->rsb().iom(0).set_source_data(data);
+  sys->run_system_cycles(300);
+
+  EXPECT_EQ(sys->rsb().iom(0).received(),
+            (std::vector<comm::Word>{102, 104, 106, 108, 110}));
+}
+
+TEST(System, LocalClockDomainThrottlesThroughput) {
+  // The same module at 50 MHz processes half as many words per unit of
+  // wall-clock as at 100 MHz (Section III.B.2).
+  auto run_at = [](bool slow) {
+    auto sys = make_fast();
+    sys->bring_up_all_sites();
+    sys->reconfigure_now(0, 0, "passthrough");
+    if (slow) {
+      sys->socket_set_bits(sys->rsb().prr_socket_address(0),
+                           PrSocket::kClkSel, true);  // 50 MHz
+    }
+    Rsb& rsb = sys->rsb();
+    sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+    sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+    int n = 0;
+    sys->rsb().iom(0).set_source_generator(
+        [&n]() -> std::optional<comm::Word> {
+          return static_cast<comm::Word>(n++);
+        });
+    sys->run_system_cycles(2000);
+    return sys->rsb().iom(0).received().size();
+  };
+  const auto fast = run_at(false);
+  const auto slow = run_at(true);
+  EXPECT_NEAR(static_cast<double>(fast) / static_cast<double>(slow), 2.0,
+              0.1);
+}
+
+TEST(System, ClockGatedPrrStallsButLosesNothing) {
+  auto sys = make_fast();
+  sys->bring_up_all_sites();
+  sys->reconfigure_now(0, 0, "passthrough");
+  Rsb& rsb = sys->rsb();
+  sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+
+  std::vector<comm::Word> data;
+  for (comm::Word w = 0; w < 50; ++w) data.push_back(w);
+  sys->rsb().iom(0).set_source_data(data);
+  // Gate the PRR clock: words pile up in the consumer interface FIFO.
+  sys->socket_set_bits(rsb.prr_socket_address(0), PrSocket::kClkEn, false);
+  sys->run_system_cycles(200);
+  EXPECT_TRUE(sys->rsb().iom(0).received().empty());
+  // Ungate: everything flows, in order, nothing lost.
+  sys->socket_set_bits(rsb.prr_socket_address(0), PrSocket::kClkEn, true);
+  sys->run_system_cycles(300);
+  EXPECT_EQ(sys->rsb().iom(0).received(), data);
+}
+
+TEST(System, DisconnectQuiescesWithoutLoss) {
+  auto sys = make_fast();
+  sys->bring_up_all_sites();
+  sys->reconfigure_now(0, 0, "passthrough");
+  Rsb& rsb = sys->rsb();
+  auto in = sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  auto out = sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  std::vector<comm::Word> data;
+  for (comm::Word w = 0; w < 30; ++w) data.push_back(w);
+  sys->rsb().iom(0).set_source_data(data);
+  sys->run_system_cycles(10);
+  sys->disconnect(0, *in);  // mid-stream teardown of the input channel
+  sys->run_system_cycles(200);
+  // Words already past the input channel still drained through.
+  const auto& received = sys->rsb().iom(0).received();
+  EXPECT_FALSE(received.empty());
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    EXPECT_EQ(received[i], static_cast<comm::Word>(i));  // prefix, in order
+  }
+  sys->disconnect(0, *out);
+  EXPECT_EQ(rsb.channels().active_count(), 0u);
+}
+
+TEST(System, IomGapStatistics) {
+  auto sys = make_fast();
+  sys->bring_up_all_sites();
+  sys->reconfigure_now(0, 0, "passthrough");
+  Rsb& rsb = sys->rsb();
+  sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  sys->rsb().iom(0).set_source_data({1, 2, 3}, /*interval=*/10);
+  sys->run_system_cycles(100);
+  EXPECT_EQ(sys->rsb().iom(0).received().size(), 3u);
+  EXPECT_GE(sys->rsb().iom(0).max_output_gap(), 9u);
+  EXPECT_LE(sys->rsb().iom(0).max_output_gap(), 11u);
+  sys->rsb().iom(0).reset_gap_stats();
+  EXPECT_EQ(sys->rsb().iom(0).max_output_gap(), 0u);
+}
+
+TEST(System, StagingIsIdempotentAndCapacityChecked) {
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 1;  // small bitstream: timed staging is fast
+  VapresSystem sys(std::move(p));
+  const std::string key = sys.stage_to_sdram("passthrough", 0, 0);
+  EXPECT_EQ(sys.stage_to_sdram("passthrough", 0, 0), key);  // idempotent
+  EXPECT_TRUE(sys.sdram().contains(key));
+  EXPECT_EQ(sys.sdram().read(key).size_bytes, 4632);
+  // Untimed boot staging lands on the same key.
+  EXPECT_EQ(sys.preload_sdram("passthrough", 0, 0), key);
+}
+
+TEST(System, ExplicitFloorplanHonored) {
+  SystemParams params = SystemParams::prototype();
+  params.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
+                      fabric::ClbRect{32, 0, 16, 10}};
+  VapresSystem sys(std::move(params));
+  EXPECT_EQ(sys.rsb().prr(1).rect().row, 32);
+}
+
+TEST(System, IllegalFloorplanRejected) {
+  SystemParams params = SystemParams::prototype();
+  // Same clock region for both PRRs.
+  params.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
+                      fabric::ClbRect{0, 10, 16, 4}};
+  EXPECT_THROW(VapresSystem{std::move(params)}, ModelError);
+}
+
+TEST(SystemParams, ValidationCatchesBadParameters) {
+  SystemParams p = SystemParams::prototype();
+  p.rsbs[0].width_bits = 40;
+  EXPECT_THROW(p.validate(), ModelError);
+  p = SystemParams::prototype();
+  p.rsbs[0].kr = 0;
+  p.rsbs[0].kl = 0;
+  EXPECT_THROW(p.validate(), ModelError);
+  p = SystemParams::prototype();
+  p.rsbs[0].prr_height_clbs = 64;
+  EXPECT_THROW(p.validate(), ModelError);
+  p = SystemParams::prototype();
+  p.rsbs.clear();
+  EXPECT_THROW(p.validate(), ModelError);
+}
+
+}  // namespace
+}  // namespace vapres::core

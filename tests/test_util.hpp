@@ -1,0 +1,139 @@
+// Shared test harnesses.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "comm/module_interface.hpp"
+#include "comm/switch_fabric.hpp"
+#include "hwmodule/hw_module.hpp"
+#include "sim/simulator.hpp"
+
+namespace vapres::test {
+
+/// A standalone switch-fabric rig: one static clock domain, `n` boxes of
+/// the given shape, and one producer + one consumer interface attached to
+/// every box (channel 0). Used by comm-layer tests without the full
+/// system.
+struct FabricRig {
+  sim::Simulator sim;
+  sim::ClockDomain* domain = nullptr;
+  std::unique_ptr<comm::SwitchFabric> fabric;
+  std::vector<std::unique_ptr<comm::ProducerInterface>> producers;
+  std::vector<std::unique_ptr<comm::ConsumerInterface>> consumers;
+
+  explicit FabricRig(int boxes, comm::SwitchBoxShape shape = {},
+                     int fifo_depth = comm::Fifo::kDefaultDepth,
+                     double mhz = 100.0) {
+    domain = &sim.create_domain("clk", mhz);
+    fabric = std::make_unique<comm::SwitchFabric>(*domain, boxes, shape);
+    for (int i = 0; i < boxes; ++i) {
+      for (int ch = 0; ch < shape.ko; ++ch) {
+        producers.push_back(std::make_unique<comm::ProducerInterface>(
+            "p" + std::to_string(i) + "_" + std::to_string(ch), fifo_depth));
+        domain->attach(producers.back().get());
+        fabric->attach_producer(i, ch, producers.back().get());
+      }
+      for (int ch = 0; ch < shape.ki; ++ch) {
+        consumers.push_back(std::make_unique<comm::ConsumerInterface>(
+            "c" + std::to_string(i) + "_" + std::to_string(ch), fifo_depth));
+        domain->attach(consumers.back().get());
+        fabric->attach_consumer(i, ch, consumers.back().get());
+      }
+    }
+    ko_ = shape.ko;
+    ki_ = shape.ki;
+  }
+
+  ~FabricRig() {
+    for (auto& p : producers) domain->detach(p.get());
+    for (auto& c : consumers) domain->detach(c.get());
+  }
+
+  void run(sim::Cycles cycles) { sim.run_cycles(*domain, cycles); }
+
+  comm::ProducerInterface& producer(int box, int ch = 0) {
+    return *producers[static_cast<std::size_t>(box * ko_ + ch)];
+  }
+  comm::ConsumerInterface& consumer(int box, int ch = 0) {
+    return *consumers[static_cast<std::size_t>(box * ki_ + ch)];
+  }
+
+  /// Drains everything currently in consumer `i`'s (channel 0) FIFO.
+  std::vector<comm::Word> drain(int i) {
+    std::vector<comm::Word> out;
+    auto& fifo = consumer(i).fifo();
+    while (!fifo.empty()) out.push_back(fifo.pop());
+    return out;
+  }
+
+ private:
+  int ko_ = 1;
+  int ki_ = 1;
+};
+
+/// In-memory ModulePorts for unit-testing behaviours without a wrapper.
+class PortsStub final : public hwmodule::ModulePorts {
+ public:
+  explicit PortsStub(int inputs = 1, int outputs = 1)
+      : in_(static_cast<std::size_t>(inputs)),
+        out_(static_cast<std::size_t>(outputs)) {}
+
+  std::vector<comm::Word>& input(int port = 0) {
+    return in_[static_cast<std::size_t>(port)];
+  }
+  std::vector<comm::Word>& output(int port = 0) {
+    return out_[static_cast<std::size_t>(port)];
+  }
+  std::vector<comm::Word>& fsl_out() { return fsl_out_; }
+  std::vector<comm::Word>& fsl_in() { return fsl_in_; }
+  void set_output_blocked(bool blocked) { output_blocked_ = blocked; }
+
+  int num_inputs() const override { return static_cast<int>(in_.size()); }
+  int num_outputs() const override { return static_cast<int>(out_.size()); }
+  bool can_read(int port) const override {
+    return !in_[static_cast<std::size_t>(port)].empty();
+  }
+  comm::Word read(int port) override {
+    auto& v = in_[static_cast<std::size_t>(port)];
+    const comm::Word w = v.front();
+    v.erase(v.begin());
+    return w;
+  }
+  bool can_write(int) const override { return !output_blocked_; }
+  void write(int port, comm::Word w) override {
+    out_[static_cast<std::size_t>(port)].push_back(w);
+  }
+  bool fsl_can_write() const override { return true; }
+  void fsl_write(comm::Word w) override { fsl_out_.push_back(w); }
+  std::optional<comm::Word> fsl_try_read() override {
+    if (fsl_in_.empty()) return std::nullopt;
+    const comm::Word w = fsl_in_.front();
+    fsl_in_.erase(fsl_in_.begin());
+    return w;
+  }
+
+ private:
+  std::vector<std::vector<comm::Word>> in_;
+  std::vector<std::vector<comm::Word>> out_;
+  std::vector<comm::Word> fsl_out_;
+  std::vector<comm::Word> fsl_in_;
+  bool output_blocked_ = false;
+};
+
+/// Runs a behaviour over an input vector with unbounded output, one
+/// firing attempt per cycle, until inputs are consumed and the pipeline
+/// is empty (or `max_cycles` elapses).
+inline std::vector<comm::Word> run_behavior(
+    hwmodule::ModuleBehavior& behavior, std::vector<comm::Word> input,
+    int max_cycles = 100000) {
+  PortsStub ports(1, 2);
+  ports.input(0) = std::move(input);
+  for (int i = 0; i < max_cycles; ++i) {
+    if (ports.input(0).empty() && behavior.pipeline_empty()) break;
+    behavior.on_cycle(ports);
+  }
+  return ports.output(0);
+}
+
+}  // namespace vapres::test

@@ -1,0 +1,193 @@
+// Module-wrapper tests: the drain / end-of-stream / state-transfer
+// protocol of Figure 5 (steps 5-7), control-word interception, reset and
+// slice-macro isolation.
+#include <gtest/gtest.h>
+
+#include "comm/fsl.hpp"
+#include "comm/module_interface.hpp"
+#include "hwmodule/modules.hpp"
+#include "hwmodule/wrapper.hpp"
+#include "sim/simulator.hpp"
+
+namespace vapres::hwmodule {
+namespace {
+
+using comm::Word;
+
+struct Rig {
+  sim::Simulator sim;
+  sim::ClockDomain* clk;
+  comm::ConsumerInterface in{"in", 64};
+  comm::ProducerInterface out{"out", 64};
+  comm::FslLink r{"r", 64};  // module -> MB
+  comm::FslLink t{"t", 64};  // MB -> module
+  std::unique_ptr<ModuleWrapper> wrapper;
+
+  Rig() {
+    clk = &sim.create_domain("prr_clk", 100.0);
+    wrapper = std::make_unique<ModuleWrapper>(
+        "w", std::vector<comm::ConsumerInterface*>{&in},
+        std::vector<comm::ProducerInterface*>{&out}, &r, &t);
+    clk->attach(wrapper.get());
+  }
+  ~Rig() { clk->detach(wrapper.get()); }
+
+  void run(sim::Cycles n) { sim.run_cycles(*clk, n); }
+  void feed(std::initializer_list<Word> words) {
+    for (Word w : words) in.fifo().push(w);
+  }
+  std::vector<Word> drain_out() {
+    std::vector<Word> v;
+    while (!out.fifo().empty()) v.push_back(out.fifo().pop());
+    return v;
+  }
+};
+
+TEST(Wrapper, RunsLoadedModule) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Passthrough>());
+  EXPECT_EQ(rig.wrapper->phase(), ModuleWrapper::Phase::kRunning);
+  rig.feed({1, 2, 3});
+  rig.run(5);
+  EXPECT_EQ(rig.drain_out(), (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(rig.wrapper->words_processed(), 3u);
+}
+
+TEST(Wrapper, NoModuleNoActivity) {
+  Rig rig;
+  rig.feed({1});
+  rig.run(5);
+  EXPECT_TRUE(rig.out.fifo().empty());
+  EXPECT_EQ(rig.in.fifo().size(), 1);
+}
+
+TEST(Wrapper, ResetHoldsModule) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Passthrough>());
+  rig.wrapper->set_reset(true);
+  rig.feed({1});
+  rig.run(5);
+  EXPECT_TRUE(rig.out.fifo().empty());
+  rig.wrapper->set_reset(false);
+  rig.run(2);
+  EXPECT_EQ(rig.drain_out(), (std::vector<Word>{1}));
+}
+
+TEST(Wrapper, IsolationBlocksEverything) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Passthrough>());
+  rig.wrapper->set_isolated(true);
+  rig.feed({1});
+  rig.t.write(ctrl::kCmdFlush);  // control must not be consumed either
+  rig.run(5);
+  EXPECT_TRUE(rig.out.fifo().empty());
+  EXPECT_EQ(rig.t.occupancy(), 1);
+  rig.wrapper->set_isolated(false);
+  rig.run(3);
+  EXPECT_EQ(rig.t.occupancy(), 0);  // flush consumed once visible
+}
+
+TEST(Wrapper, FlushDrainsThenEmitsEosAndState) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Gain>("g", 2, 0));
+  rig.feed({1, 2, 3});
+  rig.t.write(ctrl::kCmdFlush);
+  rig.run(20);
+
+  EXPECT_EQ(rig.wrapper->phase(), ModuleWrapper::Phase::kDone);
+  // Remaining data processed (step 5 precondition), then EOS appended.
+  EXPECT_EQ(rig.drain_out(),
+            (std::vector<Word>{2, 4, 6, comm::kEndOfStreamWord}));
+
+  // r-link: EOS note, then [STATE_HEADER, count, multiplier].
+  EXPECT_EQ(rig.r.read(), ctrl::kEosSentNote);
+  EXPECT_EQ(rig.r.read(), ctrl::kStateHeader);
+  EXPECT_EQ(rig.r.read(), 1u);
+  EXPECT_EQ(rig.r.read(), 2u);
+  EXPECT_FALSE(rig.r.can_read());
+}
+
+TEST(Wrapper, FlushWithEmptyStateModule) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Passthrough>());
+  rig.t.write(ctrl::kCmdFlush);
+  rig.run(10);
+  EXPECT_EQ(rig.drain_out(), (std::vector<Word>{comm::kEndOfStreamWord}));
+  EXPECT_EQ(rig.r.read(), ctrl::kEosSentNote);
+  EXPECT_EQ(rig.r.read(), ctrl::kStateHeader);
+  EXPECT_EQ(rig.r.read(), 0u);
+}
+
+TEST(Wrapper, FlushWaitsForUpstreamDataAlreadyBuffered) {
+  // Words already in the consumer FIFO when FLUSH arrives must all be
+  // processed before the EOS word (Figure 5: "filter A continues
+  // processing the remaining data words present in the consumer
+  // interface FIFO").
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Passthrough>());
+  for (Word w = 0; w < 40; ++w) rig.in.fifo().push(w);
+  rig.t.write(ctrl::kCmdFlush);
+  rig.run(60);
+  const auto out = rig.drain_out();
+  ASSERT_EQ(out.size(), 41u);
+  for (Word w = 0; w < 40; ++w) EXPECT_EQ(out[w], w);
+  EXPECT_EQ(out.back(), comm::kEndOfStreamWord);
+}
+
+TEST(Wrapper, LoadStateGatesFiringUntilRestored) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Gain>("g", 1, 0));
+  // Queue data and the LOAD_STATE frame before the first cycle: the
+  // module must not process any word with the pre-restore multiplier.
+  rig.feed({10, 20});
+  rig.t.write(ctrl::kCmdLoadState);
+  rig.t.write(1);
+  rig.t.write(5);  // new multiplier
+  rig.run(10);
+  EXPECT_EQ(rig.drain_out(), (std::vector<Word>{50, 100}));
+}
+
+TEST(Wrapper, NonControlFslWordsReachBehavior) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<FslBridgeIn>());
+  rig.t.write(77);  // plain data word
+  rig.run(3);
+  EXPECT_EQ(rig.drain_out(), (std::vector<Word>{77}));
+}
+
+TEST(Wrapper, PrrResetRestartsProtocol) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Passthrough>());
+  rig.t.write(ctrl::kCmdFlush);
+  rig.run(10);
+  EXPECT_EQ(rig.wrapper->phase(), ModuleWrapper::Phase::kDone);
+  rig.wrapper->reset();
+  EXPECT_EQ(rig.wrapper->phase(), ModuleWrapper::Phase::kRunning);
+  rig.drain_out();
+  rig.feed({4});
+  rig.run(3);
+  EXPECT_EQ(rig.drain_out(), (std::vector<Word>{4}));
+}
+
+TEST(Wrapper, UnloadReturnsBehavior) {
+  Rig rig;
+  rig.wrapper->load(std::make_unique<Checksum>());
+  rig.feed({1, 2});
+  rig.run(5);
+  auto behavior = rig.wrapper->unload();
+  ASSERT_NE(behavior, nullptr);
+  EXPECT_EQ(static_cast<Checksum*>(behavior.get())->sum(), 3u);
+  EXPECT_FALSE(rig.wrapper->loaded());
+}
+
+TEST(Wrapper, FlushWithNoModuleThrows) {
+  Rig rig;
+  rig.t.write(ctrl::kCmdFlush);
+  // No module: wrapper ignores cycles entirely, so the control word just
+  // sits there — loading later then consumes it.
+  rig.run(3);
+  EXPECT_EQ(rig.t.occupancy(), 1);
+}
+
+}  // namespace
+}  // namespace vapres::hwmodule
