@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channel_establishment.dir/bench_channel_establishment.cpp.o"
+  "CMakeFiles/bench_channel_establishment.dir/bench_channel_establishment.cpp.o.d"
+  "bench_channel_establishment"
+  "bench_channel_establishment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_establishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_throughput.dir/bench_comm_throughput.cpp.o"
+  "CMakeFiles/bench_comm_throughput.dir/bench_comm_throughput.cpp.o.d"
+  "bench_comm_throughput"
+  "bench_comm_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lcd.dir/bench_lcd.cpp.o"
+  "CMakeFiles/bench_lcd.dir/bench_lcd.cpp.o.d"
+  "bench_lcd"
+  "bench_lcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconfig_time.dir/bench_reconfig_time.cpp.o"
+  "CMakeFiles/bench_reconfig_time.dir/bench_reconfig_time.cpp.o.d"
+  "bench_reconfig_time"
+  "bench_reconfig_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfig_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

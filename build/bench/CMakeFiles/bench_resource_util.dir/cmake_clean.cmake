@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_util.dir/bench_resource_util.cpp.o"
+  "CMakeFiles/bench_resource_util.dir/bench_resource_util.cpp.o.d"
+  "bench_resource_util"
+  "bench_resource_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

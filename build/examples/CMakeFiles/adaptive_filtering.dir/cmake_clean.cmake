@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_filtering.dir/adaptive_filtering.cpp.o"
+  "CMakeFiles/adaptive_filtering.dir/adaptive_filtering.cpp.o.d"
+  "adaptive_filtering"
+  "adaptive_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

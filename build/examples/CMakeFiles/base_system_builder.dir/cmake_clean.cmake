@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_system_builder.dir/base_system_builder.cpp.o"
+  "CMakeFiles/base_system_builder.dir/base_system_builder.cpp.o.d"
+  "base_system_builder"
+  "base_system_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_system_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpn_pipeline.dir/kpn_pipeline.cpp.o"
+  "CMakeFiles/kpn_pipeline.dir/kpn_pipeline.cpp.o.d"
+  "kpn_pipeline"
+  "kpn_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpn_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_driven_system.dir/spec_driven_system.cpp.o"
+  "CMakeFiles/spec_driven_system.dir/spec_driven_system.cpp.o.d"
+  "spec_driven_system"
+  "spec_driven_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_driven_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cpu_routed.cpp" "src/CMakeFiles/vapres.dir/baseline/cpu_routed.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/baseline/cpu_routed.cpp.o.d"
+  "/root/repo/src/baseline/naive_switch.cpp" "src/CMakeFiles/vapres.dir/baseline/naive_switch.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/baseline/naive_switch.cpp.o.d"
+  "/root/repo/src/baseline/shared_bus.cpp" "src/CMakeFiles/vapres.dir/baseline/shared_bus.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/baseline/shared_bus.cpp.o.d"
+  "/root/repo/src/bitstream/bitgen.cpp" "src/CMakeFiles/vapres.dir/bitstream/bitgen.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/bitstream/bitgen.cpp.o.d"
+  "/root/repo/src/bitstream/bitstream.cpp" "src/CMakeFiles/vapres.dir/bitstream/bitstream.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/bitstream/bitstream.cpp.o.d"
+  "/root/repo/src/bitstream/relocation.cpp" "src/CMakeFiles/vapres.dir/bitstream/relocation.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/bitstream/relocation.cpp.o.d"
+  "/root/repo/src/bitstream/storage.cpp" "src/CMakeFiles/vapres.dir/bitstream/storage.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/bitstream/storage.cpp.o.d"
+  "/root/repo/src/comm/dcr.cpp" "src/CMakeFiles/vapres.dir/comm/dcr.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/comm/dcr.cpp.o.d"
+  "/root/repo/src/comm/fabric_dump.cpp" "src/CMakeFiles/vapres.dir/comm/fabric_dump.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/comm/fabric_dump.cpp.o.d"
+  "/root/repo/src/comm/fifo.cpp" "src/CMakeFiles/vapres.dir/comm/fifo.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/comm/fifo.cpp.o.d"
+  "/root/repo/src/comm/fsl.cpp" "src/CMakeFiles/vapres.dir/comm/fsl.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/comm/fsl.cpp.o.d"
+  "/root/repo/src/comm/module_interface.cpp" "src/CMakeFiles/vapres.dir/comm/module_interface.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/comm/module_interface.cpp.o.d"
+  "/root/repo/src/comm/switch_box.cpp" "src/CMakeFiles/vapres.dir/comm/switch_box.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/comm/switch_box.cpp.o.d"
+  "/root/repo/src/comm/switch_fabric.cpp" "src/CMakeFiles/vapres.dir/comm/switch_fabric.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/comm/switch_fabric.cpp.o.d"
+  "/root/repo/src/core/api.cpp" "src/CMakeFiles/vapres.dir/core/api.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/api.cpp.o.d"
+  "/root/repo/src/core/assembler.cpp" "src/CMakeFiles/vapres.dir/core/assembler.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/assembler.cpp.o.d"
+  "/root/repo/src/core/channel.cpp" "src/CMakeFiles/vapres.dir/core/channel.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/channel.cpp.o.d"
+  "/root/repo/src/core/iom.cpp" "src/CMakeFiles/vapres.dir/core/iom.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/iom.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/vapres.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/vapres.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/peripherals.cpp" "src/CMakeFiles/vapres.dir/core/peripherals.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/peripherals.cpp.o.d"
+  "/root/repo/src/core/prr.cpp" "src/CMakeFiles/vapres.dir/core/prr.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/prr.cpp.o.d"
+  "/root/repo/src/core/prsocket.cpp" "src/CMakeFiles/vapres.dir/core/prsocket.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/prsocket.cpp.o.d"
+  "/root/repo/src/core/reconfig.cpp" "src/CMakeFiles/vapres.dir/core/reconfig.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/reconfig.cpp.o.d"
+  "/root/repo/src/core/rsb.cpp" "src/CMakeFiles/vapres.dir/core/rsb.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/rsb.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/vapres.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/switching.cpp" "src/CMakeFiles/vapres.dir/core/switching.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/switching.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/vapres.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/system.cpp.o.d"
+  "/root/repo/src/fabric/clock_region.cpp" "src/CMakeFiles/vapres.dir/fabric/clock_region.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/fabric/clock_region.cpp.o.d"
+  "/root/repo/src/fabric/clocking.cpp" "src/CMakeFiles/vapres.dir/fabric/clocking.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/fabric/clocking.cpp.o.d"
+  "/root/repo/src/fabric/device.cpp" "src/CMakeFiles/vapres.dir/fabric/device.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/fabric/device.cpp.o.d"
+  "/root/repo/src/fabric/frame.cpp" "src/CMakeFiles/vapres.dir/fabric/frame.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/fabric/frame.cpp.o.d"
+  "/root/repo/src/fabric/icap.cpp" "src/CMakeFiles/vapres.dir/fabric/icap.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/fabric/icap.cpp.o.d"
+  "/root/repo/src/flow/app_flow.cpp" "src/CMakeFiles/vapres.dir/flow/app_flow.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/app_flow.cpp.o.d"
+  "/root/repo/src/flow/base_system_flow.cpp" "src/CMakeFiles/vapres.dir/flow/base_system_flow.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/base_system_flow.cpp.o.d"
+  "/root/repo/src/flow/explorer.cpp" "src/CMakeFiles/vapres.dir/flow/explorer.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/explorer.cpp.o.d"
+  "/root/repo/src/flow/floorplan.cpp" "src/CMakeFiles/vapres.dir/flow/floorplan.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/floorplan.cpp.o.d"
+  "/root/repo/src/flow/rate_analyzer.cpp" "src/CMakeFiles/vapres.dir/flow/rate_analyzer.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/rate_analyzer.cpp.o.d"
+  "/root/repo/src/flow/resource_model.cpp" "src/CMakeFiles/vapres.dir/flow/resource_model.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/resource_model.cpp.o.d"
+  "/root/repo/src/flow/spec.cpp" "src/CMakeFiles/vapres.dir/flow/spec.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/spec.cpp.o.d"
+  "/root/repo/src/flow/sysdef.cpp" "src/CMakeFiles/vapres.dir/flow/sysdef.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/flow/sysdef.cpp.o.d"
+  "/root/repo/src/hwmodule/composite.cpp" "src/CMakeFiles/vapres.dir/hwmodule/composite.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/hwmodule/composite.cpp.o.d"
+  "/root/repo/src/hwmodule/hw_module.cpp" "src/CMakeFiles/vapres.dir/hwmodule/hw_module.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/hwmodule/hw_module.cpp.o.d"
+  "/root/repo/src/hwmodule/library.cpp" "src/CMakeFiles/vapres.dir/hwmodule/library.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/hwmodule/library.cpp.o.d"
+  "/root/repo/src/hwmodule/modules.cpp" "src/CMakeFiles/vapres.dir/hwmodule/modules.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/hwmodule/modules.cpp.o.d"
+  "/root/repo/src/hwmodule/wrapper.cpp" "src/CMakeFiles/vapres.dir/hwmodule/wrapper.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/hwmodule/wrapper.cpp.o.d"
+  "/root/repo/src/proc/interrupt.cpp" "src/CMakeFiles/vapres.dir/proc/interrupt.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/proc/interrupt.cpp.o.d"
+  "/root/repo/src/proc/microblaze.cpp" "src/CMakeFiles/vapres.dir/proc/microblaze.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/proc/microblaze.cpp.o.d"
+  "/root/repo/src/proc/timer.cpp" "src/CMakeFiles/vapres.dir/proc/timer.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/proc/timer.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/vapres.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/vapres.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/vapres.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/vapres.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/vapres.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_width_test.dir/channel_width_test.cpp.o"
+  "CMakeFiles/channel_width_test.dir/channel_width_test.cpp.o.d"
+  "channel_width_test"
+  "channel_width_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_width_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

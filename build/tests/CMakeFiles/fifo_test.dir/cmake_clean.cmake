@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_test.dir/fifo_test.cpp.o"
+  "CMakeFiles/fifo_test.dir/fifo_test.cpp.o.d"
+  "fifo_test"
+  "fifo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iom_test.dir/iom_test.cpp.o"
+  "CMakeFiles/iom_test.dir/iom_test.cpp.o.d"
+  "iom_test"
+  "iom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

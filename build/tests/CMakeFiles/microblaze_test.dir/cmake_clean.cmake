@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microblaze_test.dir/microblaze_test.cpp.o"
+  "CMakeFiles/microblaze_test.dir/microblaze_test.cpp.o.d"
+  "microblaze_test"
+  "microblaze_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microblaze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

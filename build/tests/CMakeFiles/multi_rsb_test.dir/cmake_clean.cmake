@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rsb_test.dir/multi_rsb_test.cpp.o"
+  "CMakeFiles/multi_rsb_test.dir/multi_rsb_test.cpp.o.d"
+  "multi_rsb_test"
+  "multi_rsb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

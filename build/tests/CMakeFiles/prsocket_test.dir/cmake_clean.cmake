@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prsocket_test.dir/prsocket_test.cpp.o"
+  "CMakeFiles/prsocket_test.dir/prsocket_test.cpp.o.d"
+  "prsocket_test"
+  "prsocket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prsocket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

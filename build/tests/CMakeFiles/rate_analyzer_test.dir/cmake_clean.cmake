@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_analyzer_test.dir/rate_analyzer_test.cpp.o"
+  "CMakeFiles/rate_analyzer_test.dir/rate_analyzer_test.cpp.o.d"
+  "rate_analyzer_test"
+  "rate_analyzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

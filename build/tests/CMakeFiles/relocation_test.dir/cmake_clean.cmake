@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relocation_test.dir/relocation_test.cpp.o"
+  "CMakeFiles/relocation_test.dir/relocation_test.cpp.o.d"
+  "relocation_test"
+  "relocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

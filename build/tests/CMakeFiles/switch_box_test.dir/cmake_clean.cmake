@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_box_test.dir/switch_box_test.cpp.o"
+  "CMakeFiles/switch_box_test.dir/switch_box_test.cpp.o.d"
+  "switch_box_test"
+  "switch_box_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_fabric_test.dir/switch_fabric_test.cpp.o"
+  "CMakeFiles/switch_fabric_test.dir/switch_fabric_test.cpp.o.d"
+  "switch_fabric_test"
+  "switch_fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

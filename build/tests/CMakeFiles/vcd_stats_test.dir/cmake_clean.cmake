@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcd_stats_test.dir/vcd_stats_test.cpp.o"
+  "CMakeFiles/vcd_stats_test.dir/vcd_stats_test.cpp.o.d"
+  "vcd_stats_test"
+  "vcd_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcd_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
