@@ -233,7 +233,8 @@ bench/CMakeFiles/bench_floorplan.dir/bench_floorplan.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/fabric/icap.hpp /root/repo/src/proc/microblaze.hpp \
+ /root/repo/src/fabric/icap.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/proc/microblaze.hpp \
  /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \

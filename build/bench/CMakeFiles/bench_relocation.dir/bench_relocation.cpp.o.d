@@ -209,14 +209,6 @@ bench/CMakeFiles/bench_relocation.dir/bench_relocation.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/bitstream/storage.hpp /usr/include/c++/12/optional \
- /root/repo/src/bitstream/calibration.hpp /root/repo/src/sim/time.hpp \
- /root/repo/src/sim/check.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fabric/icap.hpp \
- /root/repo/src/proc/microblaze.hpp /root/repo/src/comm/dcr.hpp \
- /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/clock.hpp \
- /root/repo/src/sim/component.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -230,6 +222,15 @@ bench/CMakeFiles/bench_relocation.dir/bench_relocation.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/bitstream/storage.hpp /usr/include/c++/12/optional \
+ /root/repo/src/bitstream/calibration.hpp /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/check.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fabric/icap.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/random.hpp \
+ /root/repo/src/proc/microblaze.hpp /root/repo/src/comm/dcr.hpp \
+ /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/clock.hpp \
+ /root/repo/src/sim/component.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \

@@ -231,7 +231,8 @@ examples/CMakeFiles/adaptive_filtering.dir/adaptive_filtering.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/fabric/icap.hpp /root/repo/src/proc/microblaze.hpp \
+ /root/repo/src/fabric/icap.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/proc/microblaze.hpp \
  /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
@@ -241,4 +242,4 @@ examples/CMakeFiles/adaptive_filtering.dir/adaptive_filtering.cpp.o: \
  /root/repo/src/hwmodule/wrapper.hpp \
  /root/repo/src/hwmodule/hw_module.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/core/prr.hpp \
- /root/repo/src/hwmodule/library.hpp /root/repo/src/sim/random.hpp
+ /root/repo/src/hwmodule/library.hpp

@@ -33,6 +33,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/prsocket.cpp" "src/CMakeFiles/vapres.dir/core/prsocket.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/prsocket.cpp.o.d"
   "/root/repo/src/core/reconfig.cpp" "src/CMakeFiles/vapres.dir/core/reconfig.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/reconfig.cpp.o.d"
   "/root/repo/src/core/rsb.cpp" "src/CMakeFiles/vapres.dir/core/rsb.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/rsb.cpp.o.d"
+  "/root/repo/src/core/scrubber.cpp" "src/CMakeFiles/vapres.dir/core/scrubber.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/scrubber.cpp.o.d"
   "/root/repo/src/core/stats.cpp" "src/CMakeFiles/vapres.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/stats.cpp.o.d"
   "/root/repo/src/core/switching.cpp" "src/CMakeFiles/vapres.dir/core/switching.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/switching.cpp.o.d"
   "/root/repo/src/core/system.cpp" "src/CMakeFiles/vapres.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/core/system.cpp.o.d"
@@ -59,6 +60,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/proc/timer.cpp" "src/CMakeFiles/vapres.dir/proc/timer.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/proc/timer.cpp.o.d"
   "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/vapres.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/clock.cpp.o.d"
   "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/vapres.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/CMakeFiles/vapres.dir/sim/fault.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/fault.cpp.o.d"
   "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/vapres.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/simulator.cpp.o.d"
   "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/vapres.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/trace.cpp.o.d"
   "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/vapres.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/vapres.dir/sim/vcd.cpp.o.d"

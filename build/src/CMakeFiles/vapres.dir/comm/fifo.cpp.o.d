@@ -168,4 +168,5 @@ src/CMakeFiles/vapres.dir/comm/fifo.cpp.o: /root/repo/src/comm/fifo.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/fault.hpp \
+ /usr/include/c++/12/array /root/repo/src/sim/random.hpp

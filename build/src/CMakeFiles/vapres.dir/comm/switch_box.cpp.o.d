@@ -161,4 +161,5 @@ src/CMakeFiles/vapres.dir/comm/switch_box.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/fault.hpp \
+ /usr/include/c++/12/array /root/repo/src/sim/random.hpp

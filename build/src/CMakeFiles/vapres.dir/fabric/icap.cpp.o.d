@@ -155,4 +155,6 @@ src/CMakeFiles/vapres.dir/fabric/icap.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/time.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/fault.hpp \
+ /usr/include/c++/12/array /root/repo/src/sim/random.hpp \
+ /root/repo/src/sim/time.hpp

@@ -230,7 +230,8 @@ src/CMakeFiles/vapres.dir/flow/rate_analyzer.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/fabric/icap.hpp /root/repo/src/proc/microblaze.hpp \
+ /root/repo/src/fabric/icap.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/proc/microblaze.hpp \
  /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \

@@ -300,7 +300,8 @@ tests/CMakeFiles/bitstream_test.dir/bitstream_test.cpp.o: \
  /root/repo/src/bitstream/calibration.hpp \
  /root/repo/src/bitstream/storage.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/sim/check.hpp /root/repo/src/core/reconfig.hpp \
- /root/repo/src/fabric/icap.hpp /root/repo/src/proc/microblaze.hpp \
+ /root/repo/src/fabric/icap.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/proc/microblaze.hpp \
  /root/repo/src/comm/dcr.hpp /root/repo/src/proc/interrupt.hpp \
  /root/repo/src/sim/clock.hpp /root/repo/src/sim/component.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \

@@ -298,6 +298,7 @@ tests/CMakeFiles/fabric_test.dir/fabric_test.cpp.o: \
  /root/repo/src/sim/clock.hpp /root/repo/src/sim/component.hpp \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/check.hpp \
  /root/repo/src/fabric/frame.hpp /root/repo/src/fabric/icap.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/random.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

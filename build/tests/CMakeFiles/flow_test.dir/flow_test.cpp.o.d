@@ -316,6 +316,7 @@ tests/CMakeFiles/flow_test.dir/flow_test.cpp.o: \
  /root/repo/src/sim/component.hpp /root/repo/src/comm/switch_box.hpp \
  /root/repo/src/sim/clock.hpp /root/repo/src/core/params.hpp \
  /root/repo/src/core/reconfig.hpp /root/repo/src/fabric/icap.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/random.hpp \
  /root/repo/src/proc/microblaze.hpp /root/repo/src/proc/interrupt.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
@@ -328,4 +329,4 @@ tests/CMakeFiles/flow_test.dir/flow_test.cpp.o: \
  /root/repo/src/core/prr.hpp /root/repo/src/hwmodule/library.hpp \
  /root/repo/src/flow/base_system_flow.hpp \
  /root/repo/src/flow/floorplan.hpp /root/repo/src/flow/resource_model.hpp \
- /root/repo/src/flow/sysdef.hpp /root/repo/src/sim/random.hpp
+ /root/repo/src/flow/sysdef.hpp

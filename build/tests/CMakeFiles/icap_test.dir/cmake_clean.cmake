@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icap_test.dir/icap_test.cpp.o"
+  "CMakeFiles/icap_test.dir/icap_test.cpp.o.d"
+  "icap_test"
+  "icap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

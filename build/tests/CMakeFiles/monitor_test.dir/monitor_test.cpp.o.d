@@ -310,6 +310,7 @@ tests/CMakeFiles/monitor_test.dir/monitor_test.cpp.o: \
  /root/repo/src/comm/module_interface.hpp \
  /root/repo/src/comm/switch_box.hpp /root/repo/src/core/params.hpp \
  /root/repo/src/core/reconfig.hpp /root/repo/src/fabric/icap.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/random.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \

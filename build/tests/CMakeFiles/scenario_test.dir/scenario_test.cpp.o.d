@@ -306,7 +306,8 @@ tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o: \
  /root/repo/src/comm/flit.hpp /root/repo/src/sim/component.hpp \
  /root/repo/src/comm/switch_box.hpp /root/repo/src/sim/clock.hpp \
  /root/repo/src/core/params.hpp /root/repo/src/core/reconfig.hpp \
- /root/repo/src/fabric/icap.hpp /root/repo/src/proc/microblaze.hpp \
+ /root/repo/src/fabric/icap.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/proc/microblaze.hpp \
  /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
@@ -316,5 +317,4 @@ tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o: \
  /root/repo/src/hwmodule/wrapper.hpp \
  /root/repo/src/hwmodule/hw_module.hpp /usr/include/c++/12/span \
  /root/repo/src/core/prr.hpp /root/repo/src/hwmodule/library.hpp \
- /root/repo/src/core/stats.hpp /root/repo/src/core/switching.hpp \
- /root/repo/src/sim/random.hpp
+ /root/repo/src/core/stats.hpp /root/repo/src/core/switching.hpp

@@ -303,8 +303,21 @@ tests/CMakeFiles/switch_fabric_test.dir/switch_fabric_test.cpp.o: \
  /root/repo/src/sim/check.hpp /root/repo/src/sim/component.hpp \
  /root/repo/src/comm/switch_box.hpp /root/repo/src/sim/clock.hpp \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/random.hpp \
- /root/repo/tests/test_util.hpp /root/repo/src/hwmodule/hw_module.hpp \
- /usr/include/c++/12/span /root/repo/src/sim/simulator.hpp \
+ /root/repo/tests/test_util.hpp /root/repo/src/core/switching.hpp \
+ /root/repo/src/core/system.hpp /root/repo/src/bitstream/storage.hpp \
+ /root/repo/src/bitstream/bitstream.hpp \
+ /root/repo/src/fabric/clock_region.hpp /root/repo/src/fabric/device.hpp \
+ /root/repo/src/fabric/resources.hpp \
+ /root/repo/src/bitstream/calibration.hpp /root/repo/src/comm/dcr.hpp \
+ /root/repo/src/core/channel.hpp /root/repo/src/core/params.hpp \
+ /root/repo/src/core/reconfig.hpp /root/repo/src/fabric/icap.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/proc/microblaze.hpp \
+ /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/rsb.hpp \
+ /root/repo/src/core/iom.hpp /root/repo/src/comm/fsl.hpp \
+ /root/repo/src/core/prsocket.hpp /root/repo/src/fabric/clocking.hpp \
+ /root/repo/src/hwmodule/wrapper.hpp \
+ /root/repo/src/hwmodule/hw_module.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/prr.hpp /root/repo/src/hwmodule/library.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switching_fault_test.dir/switching_fault_test.cpp.o"
+  "CMakeFiles/switching_fault_test.dir/switching_fault_test.cpp.o.d"
+  "switching_fault_test"
+  "switching_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switching_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -328,7 +328,8 @@ tests/CMakeFiles/system_test.dir/system_test.cpp.o: \
  /root/repo/src/fabric/resources.hpp \
  /root/repo/src/bitstream/calibration.hpp /root/repo/src/comm/dcr.hpp \
  /root/repo/src/core/params.hpp /root/repo/src/core/reconfig.hpp \
- /root/repo/src/fabric/icap.hpp /root/repo/src/proc/microblaze.hpp \
+ /root/repo/src/fabric/icap.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/proc/microblaze.hpp \
  /root/repo/src/proc/interrupt.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
@@ -338,4 +339,4 @@ tests/CMakeFiles/system_test.dir/system_test.cpp.o: \
  /root/repo/src/hwmodule/wrapper.hpp \
  /root/repo/src/hwmodule/hw_module.hpp /usr/include/c++/12/span \
  /root/repo/src/core/prr.hpp /root/repo/src/hwmodule/library.hpp \
- /root/repo/src/proc/timer.hpp /root/repo/src/sim/random.hpp
+ /root/repo/src/proc/timer.hpp

@@ -62,7 +62,9 @@ bool NaiveSwitcher::step(proc::Microblaze& mb) {
           mb.dcr_write(sock, (mb.dcr_read(sock) | PrSocket::kPrrReset) &
                                  ~(PrSocket::kSmEn | PrSocket::kClkEn));
           reconfig_complete_ = false;
-          auto on_done = [this] { reconfig_complete_ = true; };
+          auto on_done = [this](const core::ReconfigOutcome&) {
+            reconfig_complete_ = true;
+          };
           if (req_.source == core::ReconfigSource::kSdramArray) {
             sys_.reconfig().array2icap(
                 req_.new_module_id + "@" + r.prr(req_.prr).name(), on_done);

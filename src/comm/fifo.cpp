@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
+
 namespace vapres::comm {
 
 Fifo::Fifo(std::string name, int capacity)
@@ -11,6 +13,19 @@ Fifo::Fifo(std::string name, int capacity)
 
 void Fifo::push(Word w) {
   VAPRES_REQUIRE(!full(), "FIFO overflow: " + name_);
+  auto& faults = sim::FaultInjector::instance();
+  if (faults.enabled()) {
+    if (faults.should_fire(sim::FaultSite::kFifoDropWord)) {
+      ++fault_dropped_;
+      return;
+    }
+    if (faults.should_fire(sim::FaultSite::kFifoDuplicateWord) &&
+        size() + 1 < capacity_) {
+      words_.push_back(w);
+      ++pushed_;
+      ++fault_duplicated_;
+    }
+  }
   words_.push_back(w);
   ++pushed_;
   high_watermark_ = std::max(high_watermark_, size());

@@ -37,7 +37,8 @@ class Fifo {
   /// every writer in the model checks full()/backpressure first, so an
   /// overflow here is a protocol bug we want loud. (The consumer-interface
   /// drop path of Section III.B is modelled in ConsumerInterface, which
-  /// counts discards explicitly.)
+  /// counts discards explicitly.) With fault injection enabled, a push is
+  /// an opportunity for the kFifoDropWord / kFifoDuplicateWord sites.
   void push(Word w);
 
   /// Pops and returns the oldest word. Throws on underflow.
@@ -53,12 +54,18 @@ class Fifo {
   std::uint64_t total_popped() const { return popped_; }
   int high_watermark() const { return high_watermark_; }
 
+  /// Words lost / doubled by injected faults (0 unless injection is on).
+  std::uint64_t fault_dropped() const { return fault_dropped_; }
+  std::uint64_t fault_duplicated() const { return fault_duplicated_; }
+
  private:
   std::string name_;
   int capacity_;
   std::deque<Word> words_;
   std::uint64_t pushed_ = 0;
   std::uint64_t popped_ = 0;
+  std::uint64_t fault_dropped_ = 0;
+  std::uint64_t fault_duplicated_ = 0;
   int high_watermark_ = 0;
 };
 

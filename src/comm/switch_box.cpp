@@ -1,6 +1,7 @@
 #include "comm/switch_box.hpp"
 
 #include "sim/check.hpp"
+#include "sim/fault.hpp"
 
 namespace vapres::comm {
 
@@ -16,6 +17,7 @@ SwitchBox::SwitchBox(std::string name, SwitchBoxShape shape)
   regs_next_.assign(sources_.size(), kIdleFlit);
   selects_.assign(static_cast<std::size_t>(shape_.num_outputs()), -1);
   outputs_.assign(selects_.size(), kIdleFlit);
+  stuck_.assign(selects_.size(), false);
 }
 
 void SwitchBox::check_input(int port) const {
@@ -80,6 +82,22 @@ void SwitchBox::park_all_outputs() {
   for (auto& s : selects_) s = -1;
 }
 
+bool SwitchBox::output_stuck(int port) const {
+  check_output(port);
+  return stuck_[static_cast<std::size_t>(port)];
+}
+
+void SwitchBox::repair_output(int port) {
+  check_output(port);
+  stuck_[static_cast<std::size_t>(port)] = false;
+}
+
+int SwitchBox::stuck_output_count() const {
+  int n = 0;
+  for (bool s : stuck_) n += s ? 1 : 0;
+  return n;
+}
+
 void SwitchBox::eval() {
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     regs_next_[i] = sources_[i] != nullptr ? *sources_[i] : kIdleFlit;
@@ -88,10 +106,18 @@ void SwitchBox::eval() {
 
 void SwitchBox::commit() {
   regs_ = regs_next_;
+  auto& faults = sim::FaultInjector::instance();
+  const bool injecting = faults.enabled();
   // Output muxes are combinational over the (just latched) input
   // registers; materialize them so downstream eval() reads this cycle's
   // values next cycle — one register of latency per box, as in the RTL.
   for (std::size_t p = 0; p < outputs_.size(); ++p) {
+    if (injecting && !stuck_[p] &&
+        faults.should_fire(sim::FaultSite::kSwitchBoxStuckPort)) {
+      stuck_[p] = true;
+      ++stuck_events_;
+    }
+    if (stuck_[p]) continue;  // output holds its last flit until repaired
     const int sel = selects_[p];
     outputs_[p] =
         sel >= 0 ? regs_[static_cast<std::size_t>(sel)] : kIdleFlit;

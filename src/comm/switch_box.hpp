@@ -67,6 +67,17 @@ class SwitchBox final : public sim::Clocked {
   int selected(int output_port) const;
   void park_all_outputs();
 
+  // -- Fault state (kSwitchBoxStuckPort site) ---------------------------
+  // With injection enabled, each commit is an opportunity per output for
+  // the mux to go stuck: the output register latches its current flit and
+  // ignores the select until repaired (configuration-memory upset in the
+  // MUX_sel bits). Repair is a frame rewrite — the scrubber's job.
+  bool output_stuck(int port) const;
+  void repair_output(int port);
+  int stuck_output_count() const;
+  /// Total stuck events injected over the box's lifetime.
+  int stuck_events() const { return stuck_events_; }
+
   void eval() override;
   void commit() override;
 
@@ -81,6 +92,8 @@ class SwitchBox final : public sim::Clocked {
   std::vector<Flit> regs_next_;  ///< registered input ports (next)
   std::vector<int> selects_;     ///< per-output mux select, -1 = parked
   std::vector<Flit> outputs_;    ///< materialized output values
+  std::vector<bool> stuck_;      ///< per-output stuck-fault latch
+  int stuck_events_ = 0;
 };
 
 }  // namespace vapres::comm

@@ -18,13 +18,19 @@ std::pair<int, int> resolve_prr(const VapresSystem& sys, int num) {
 int vapres_cf2icap(VapresSystem& sys, const std::string& filename) {
   if (!sys.compact_flash().contains(filename)) return 0;
   bool done = false;
+  bool configured = false;
   try {
-    sys.reconfig().cf2icap(filename, [&done] { done = true; });
+    sys.reconfig().cf2icap(filename,
+                           [&done, &configured](const ReconfigOutcome& o) {
+                             done = true;
+                             configured = o.ok();
+                           });
   } catch (const ModelError&) {
     return 0;
   }
   return sys.sim().run_until([&done] { return done; },
-                             sim::kPsPerSecond * 60)
+                             sim::kPsPerSecond * 60) &&
+                 configured
              ? 1
              : 0;
 }
@@ -32,13 +38,19 @@ int vapres_cf2icap(VapresSystem& sys, const std::string& filename) {
 int vapres_array2icap(VapresSystem& sys, const std::string& key) {
   if (!sys.sdram().contains(key)) return 0;
   bool done = false;
+  bool configured = false;
   try {
-    sys.reconfig().array2icap(key, [&done] { done = true; });
+    sys.reconfig().array2icap(key,
+                              [&done, &configured](const ReconfigOutcome& o) {
+                                done = true;
+                                configured = o.ok();
+                              });
   } catch (const ModelError&) {
     return 0;
   }
   return sys.sim().run_until([&done] { return done; },
-                             sim::kPsPerSecond * 60)
+                             sim::kPsPerSecond * 60) &&
+                 configured
              ? 1
              : 0;
 }
@@ -48,7 +60,8 @@ int vapres_cf2array(VapresSystem& sys, const std::string& filename,
   if (!sys.compact_flash().contains(filename)) return 0;
   bool done = false;
   try {
-    sys.reconfig().cf2array(filename, key, [&done] { done = true; });
+    sys.reconfig().cf2array(
+        filename, key, [&done](const ReconfigOutcome&) { done = true; });
   } catch (const ModelError&) {
     return 0;
   }

@@ -2,12 +2,26 @@
 
 #include <cmath>
 
+#include "bitstream/bitgen.hpp"
 #include "bitstream/calibration.hpp"
 #include "sim/check.hpp"
+#include "sim/fault.hpp"
+#include "sim/trace.hpp"
 
 namespace vapres::core {
 
 using bitstream::Calibration;
+
+namespace {
+
+void trace_recovery(sim::Simulator& sim, const std::string& message) {
+  auto& hub = sim::Trace::instance();
+  if (hub.enabled(sim::TraceLevel::kInfo)) {
+    hub.emit(sim.now(), "reconfig", message);
+  }
+}
+
+}  // namespace
 
 ReconfigManager::ReconfigManager(sim::Simulator& sim, proc::Microblaze& mb,
                                  fabric::IcapPort& icap,
@@ -22,6 +36,12 @@ void ReconfigManager::register_target(
   VAPRES_REQUIRE(targets_.count(prr_name) == 0,
                  "target already registered: " + prr_name);
   targets_[prr_name] = std::move(apply);
+}
+
+void ReconfigManager::set_retry_policy(const RetryPolicy& policy) {
+  VAPRES_REQUIRE(policy.max_attempts >= 1,
+                 "retry policy needs at least one attempt");
+  policy_ = policy;
 }
 
 ReconfigBreakdown ReconfigManager::estimate_cf2icap(std::int64_t bytes) {
@@ -47,7 +67,7 @@ double ReconfigManager::estimate_cf2array_cycles(std::int64_t bytes) {
 
 sim::Cycles ReconfigManager::start(const bitstream::PartialBitstream& bs,
                                    const ReconfigBreakdown& base_cost,
-                                   std::function<void()> on_done) {
+                                   bool sdram_source, DoneCallback on_done) {
   VAPRES_REQUIRE(!busy_, "reconfiguration already in flight");
   auto target_it = targets_.find(bs.target_prr);
   VAPRES_REQUIRE(target_it != targets_.end(),
@@ -56,42 +76,121 @@ sim::Cycles ReconfigManager::start(const bitstream::PartialBitstream& bs,
   ReconfigBreakdown cost = base_cost;
   if (verify_) cost.icap_cycles *= 2.0;  // readback + compare pass
 
-  const auto cycles =
-      static_cast<sim::Cycles>(std::llround(cost.total_cycles()));
   busy_ = true;
   last_ = cost;
-  icap_.begin_transfer(bs.size_bytes);
-
+  inflight_ = std::make_unique<Inflight>();
   // Copy the bitstream: storage contents may change while in flight.
-  auto bs_copy = bs;
-  auto apply = target_it->second;
-  mb_.busy_for(cycles, [this, bs_copy = std::move(bs_copy),
-                        apply = std::move(apply),
-                        on_done = std::move(on_done)]() {
-    icap_.end_transfer();
-    busy_ = false;
-    ++completed_;
-    apply(bs_copy);
-    if (on_done) on_done();
-  });
+  inflight_->bs = bs;
+  inflight_->cost = cost;
+  inflight_->apply = target_it->second;
+  inflight_->on_done = std::move(on_done);
+  inflight_->outcome.attempts = 0;  // counted per launch_attempt()
+  if (sdram_source) {
+    // The pristine file the SDRAM array was staged from, if it exists.
+    const std::string filename =
+        bitstream::bitstream_filename(bs.module_id, bs.target_prr);
+    if (cf_.contains(filename)) inflight_->cf_fallback = filename;
+  }
+  return launch_attempt();
+}
+
+sim::Cycles ReconfigManager::launch_attempt() {
+  Inflight& fl = *inflight_;
+  ++fl.attempts_this_source;
+  ++fl.outcome.attempts;
+  const auto cycles =
+      static_cast<sim::Cycles>(std::llround(fl.cost.total_cycles()));
+  icap_.begin_transfer(fl.bs.size_bytes);
+  mb_.busy_for(cycles, [this] { complete_attempt(); });
   return cycles;
 }
 
+void ReconfigManager::complete_attempt() {
+  Inflight& fl = *inflight_;
+  const fabric::IcapTransferResult result = icap_.end_transfer();
+  if (result.ok() && fl.bs.valid()) {
+    finish(/*success=*/true);
+    return;
+  }
+
+  auto& faults = sim::FaultInjector::instance();
+  if (fl.attempts_this_source < policy_.max_attempts) {
+    // Bounded retry with exponential backoff.
+    ++retries_;
+    faults.note_recovery(sim::RecoveryEvent::kIcapRetry);
+    const sim::Cycles backoff =
+        policy_.backoff_base_cycles
+        << static_cast<unsigned>(fl.attempts_this_source - 1);
+    trace_recovery(sim_, std::string("transfer ") +
+                             (result.timed_out ? "timed out" : "corrupt") +
+                             "; retry " +
+                             std::to_string(fl.attempts_this_source) +
+                             " after " + std::to_string(backoff) +
+                             "-cycle backoff");
+    mb_.busy_for(backoff, [this] { launch_attempt(); });
+    return;
+  }
+
+  if (!fl.on_fallback_source && policy_.fallback_to_cf &&
+      !fl.cf_fallback.empty()) {
+    // Source fallback: abandon the SDRAM array, re-read the pristine
+    // CompactFlash file (the slow path — but a working one).
+    ++fallbacks_;
+    faults.note_recovery(sim::RecoveryEvent::kSourceFallback);
+    fl.on_fallback_source = true;
+    fl.attempts_this_source = 0;
+    ++fl.outcome.fallbacks;
+    fl.bs = cf_.read(fl.cf_fallback);
+    fl.cost = estimate_cf2icap(fl.bs.size_bytes);
+    if (verify_) fl.cost.icap_cycles *= 2.0;
+    last_ = fl.cost;
+    trace_recovery(sim_, "SDRAM source exhausted " +
+                             std::to_string(policy_.max_attempts) +
+                             " attempts; falling back to CF file " +
+                             fl.cf_fallback);
+    const sim::Cycles backoff = policy_.backoff_base_cycles;
+    mb_.busy_for(backoff, [this] { launch_attempt(); });
+    return;
+  }
+
+  trace_recovery(sim_, "reconfiguration failed permanently after " +
+                           std::to_string(fl.outcome.attempts) +
+                           " attempts");
+  finish(/*success=*/false);
+}
+
+void ReconfigManager::finish(bool success) {
+  // Detach the context first: the callbacks may start a new
+  // reconfiguration re-entrantly.
+  std::unique_ptr<Inflight> fl = std::move(inflight_);
+  busy_ = false;
+  fl->outcome.success = success;
+  if (success) {
+    ++completed_;
+    fl->apply(fl->bs);
+  } else {
+    ++failures_;
+  }
+  if (fl->on_done) fl->on_done(fl->outcome);
+}
+
 sim::Cycles ReconfigManager::cf2icap(const std::string& filename,
-                                     std::function<void()> on_done) {
+                                     DoneCallback on_done) {
   const auto& bs = cf_.read(filename);
-  return start(bs, estimate_cf2icap(bs.size_bytes), std::move(on_done));
+  return start(bs, estimate_cf2icap(bs.size_bytes), /*sdram_source=*/false,
+               std::move(on_done));
 }
 
 sim::Cycles ReconfigManager::array2icap(const std::string& key,
-                                        std::function<void()> on_done) {
+                                        DoneCallback on_done) {
   const auto& bs = sdram_.read(key);
-  return start(bs, estimate_array2icap(bs.size_bytes), std::move(on_done));
+  return start(bs, estimate_array2icap(bs.size_bytes),
+               /*sdram_source=*/true, std::move(on_done));
 }
 
 sim::Cycles ReconfigManager::cf2array(const std::string& filename,
                                       const std::string& key,
-                                      std::function<void()> on_done) {
+                                      DoneCallback on_done) {
   VAPRES_REQUIRE(!busy_, "reconfiguration path busy");
   const auto& bs = cf_.read(filename);
   const auto cycles = static_cast<sim::Cycles>(
@@ -102,7 +201,7 @@ sim::Cycles ReconfigManager::cf2array(const std::string& filename,
                         on_done = std::move(on_done)]() {
     busy_ = false;
     if (!sdram_.contains(key)) sdram_.store(key, bs_copy);
-    if (on_done) on_done();
+    if (on_done) on_done(ReconfigOutcome{});
   });
   return cycles;
 }

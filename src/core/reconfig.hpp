@@ -6,11 +6,20 @@
 // (bitstream/calibration.hpp), marks the processor busy for that long,
 // holds the ICAP port for the duration, and applies the configuration
 // effect (loading the module into the target PRR) at completion.
+//
+// Self-healing: a transfer the ICAP reports corrupted or timed out (or
+// whose bitstream fails its integrity check) is retried after an
+// exponential backoff, up to RetryPolicy::max_attempts per source. When
+// the SDRAM-array source exhausts its attempts, the driver falls back to
+// the pristine CompactFlash file (SDRAM array -> CF) before giving up.
+// Completion callbacks receive a ReconfigOutcome so callers — notably
+// the ModuleSwitcher — can roll back on permanent failure.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "bitstream/storage.hpp"
@@ -35,8 +44,27 @@ struct ReconfigBreakdown {
   }
 };
 
+/// Recovery policy for corrupt / timed-out transfers.
+struct RetryPolicy {
+  int max_attempts = 3;  ///< transfer attempts per source (>= 1)
+  /// Backoff before attempt k+1 is `backoff_base_cycles << (k-1)` cycles.
+  sim::Cycles backoff_base_cycles = 256;
+  bool fallback_to_cf = true;  ///< SDRAM array -> CF after exhaustion
+};
+
+/// How a reconfiguration call ended, delivered to its callback.
+struct ReconfigOutcome {
+  bool success = true;
+  int attempts = 1;   ///< total transfer attempts across all sources
+  int fallbacks = 0;  ///< source fallbacks taken (0 or 1)
+
+  bool ok() const { return success; }
+};
+
 class ReconfigManager {
  public:
+  using DoneCallback = std::function<void(const ReconfigOutcome&)>;
+
   ReconfigManager(sim::Simulator& sim, proc::Microblaze& mb,
                   fabric::IcapPort& icap, bitstream::CompactFlash& cf,
                   bitstream::Sdram& sdram);
@@ -52,22 +80,30 @@ class ReconfigManager {
   static double estimate_cf2array_cycles(std::int64_t bytes);
 
   // ---- Timed operations -------------------------------------------------
-  // Each returns the cycle cost charged to the MicroBlaze and invokes
-  // `on_done` when the transfer completes and the PRR is configured.
-  // Throws if a reconfiguration is already in flight (the ICAP and the
-  // blocking driver serialize all paths).
+  // Each returns the cycle cost charged to the MicroBlaze for the first
+  // attempt and invokes `on_done` with the outcome once the transfer
+  // finally completes (retries and fallbacks extend the busy time beyond
+  // the returned first-attempt cost). Throws if a reconfiguration is
+  // already in flight (the ICAP and the blocking driver serialize all
+  // paths).
 
-  sim::Cycles cf2icap(const std::string& filename,
-                      std::function<void()> on_done = {});
-  sim::Cycles array2icap(const std::string& key,
-                         std::function<void()> on_done = {});
+  sim::Cycles cf2icap(const std::string& filename, DoneCallback on_done = {});
+  sim::Cycles array2icap(const std::string& key, DoneCallback on_done = {});
   /// Stages a CF file into SDRAM under `key` (system-startup staging).
   sim::Cycles cf2array(const std::string& filename, const std::string& key,
-                       std::function<void()> on_done = {});
+                       DoneCallback on_done = {});
 
   bool busy() const { return busy_; }
   const ReconfigBreakdown& last_breakdown() const { return last_; }
   int completed() const { return completed_; }
+
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  /// Recovery counters (lifetime totals).
+  int retries() const { return retries_; }
+  int fallbacks() const { return fallbacks_; }
+  int failures() const { return failures_; }
 
   /// Readback verification: after writing, read the configuration back
   /// through the ICAP and compare (standard EAPR-era hardening against
@@ -78,9 +114,24 @@ class ReconfigManager {
   bool verify_after_write() const { return verify_; }
 
  private:
+  /// One in-flight reconfiguration, surviving across retry attempts.
+  struct Inflight {
+    bitstream::PartialBitstream bs;
+    ReconfigBreakdown cost;        // per-attempt cost for the current source
+    std::string cf_fallback;       // CF filename, "" = no fallback possible
+    bool on_fallback_source = false;
+    int attempts_this_source = 0;
+    ReconfigOutcome outcome;
+    std::function<void(const bitstream::PartialBitstream&)> apply;
+    DoneCallback on_done;
+  };
+
   sim::Cycles start(const bitstream::PartialBitstream& bs,
-                    const ReconfigBreakdown& cost,
-                    std::function<void()> on_done);
+                    const ReconfigBreakdown& cost, bool sdram_source,
+                    DoneCallback on_done);
+  sim::Cycles launch_attempt();
+  void complete_attempt();
+  void finish(bool success);
 
   sim::Simulator& sim_;
   proc::Microblaze& mb_;
@@ -92,8 +143,13 @@ class ReconfigManager {
       targets_;
   bool busy_ = false;
   bool verify_ = false;
+  RetryPolicy policy_;
   ReconfigBreakdown last_;
   int completed_ = 0;
+  int retries_ = 0;
+  int fallbacks_ = 0;
+  int failures_ = 0;
+  std::unique_ptr<Inflight> inflight_;
 };
 
 }  // namespace vapres::core

@@ -1,0 +1,52 @@
+// Configuration readback scrubbing (SEU mitigation).
+//
+// Standard hardening for SRAM-based FPGAs: software periodically reads
+// configuration frames back through the ICAP, compares them against the
+// golden bitstream, and rewrites any frame an upset flipped. The
+// ScrubberTask is that software module for VAPRES — a periodic
+// SoftwareTask on the MicroBlaze that scans every PRR's frames (the
+// kConfigFrameUpset fault site) and every switch box's output muxes
+// (stuck MUX_sel bits, the kSwitchBoxStuckPort site), repairing what it
+// finds by rewriting the affected frame and charging the MicroBlaze the
+// readback + rewrite cycles. Repairs are reported to the fault
+// scoreboard as RecoveryEvent::kScrubRepair and surface in core::stats.
+#pragma once
+
+#include <cstdint>
+
+#include "core/system.hpp"
+#include "proc/microblaze.hpp"
+
+namespace vapres::core {
+
+class ScrubberTask final : public proc::SoftwareTask {
+ public:
+  /// Scrub pass every `period_cycles` MicroBlaze cycles.
+  explicit ScrubberTask(VapresSystem& sys, sim::Cycles period_cycles = 100'000);
+
+  /// Registers the task on the system's MicroBlaze; it never finishes.
+  void start();
+
+  bool step(proc::Microblaze& mb) override;
+  std::string task_name() const override { return "config_scrubber"; }
+
+  std::uint64_t scans() const { return scans_; }
+  std::uint64_t frame_repairs() const { return frame_repairs_; }
+  std::uint64_t mux_repairs() const { return mux_repairs_; }
+  std::uint64_t repairs() const { return frame_repairs_ + mux_repairs_; }
+
+  /// Cycles to read back and compare one PRR's frames (per scrub pass).
+  static constexpr sim::Cycles kReadbackCyclesPerPrr = 64;
+  /// Cycles to rewrite one corrupted frame through the ICAP.
+  static constexpr sim::Cycles kRewriteCyclesPerFrame = 512;
+
+ private:
+  VapresSystem& sys_;
+  sim::Cycles period_;
+  sim::Cycles next_due_ = 0;
+  std::uint64_t scans_ = 0;
+  std::uint64_t frame_repairs_ = 0;
+  std::uint64_t mux_repairs_ = 0;
+};
+
+}  // namespace vapres::core

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/fault.hpp"
+
 namespace vapres::core {
 
 std::uint64_t SystemStats::total_discarded() const {
@@ -40,7 +42,26 @@ std::string SystemStats::to_string() const {
   for (const FifoStats& f : fifos) {
     if (f.pushed == 0) continue;
     os << "  fifo " << f.name << ": " << f.pushed << " pushed, watermark "
-       << f.high_watermark << "/" << f.capacity << "\n";
+       << f.high_watermark << "/" << f.capacity;
+    if (f.fault_dropped > 0) os << ", fault-dropped " << f.fault_dropped;
+    if (f.fault_duplicated > 0) os << ", fault-dup " << f.fault_duplicated;
+    os << "\n";
+  }
+  const RobustnessStats& rb = robustness;
+  if (rb.faults_injected > 0 || rb.total_recoveries() > 0 ||
+      rb.reconfig_failures > 0) {
+    os << "robustness: " << rb.faults_injected << " faults injected, "
+       << rb.total_recoveries() << " recoveries\n";
+    os << "  icap: " << rb.icap_corrupted << " corrupted, "
+       << rb.icap_timeouts << " timed out\n";
+    os << "  reconfig: " << rb.reconfig_retries << " retries, "
+       << rb.source_fallbacks << " source fallbacks, "
+       << rb.reconfig_failures << " permanent failures\n";
+    os << "  switching: " << rb.switch_rollbacks << " rollbacks\n";
+    os << "  scrubber: " << rb.scrub_repairs << " repairs, stuck ports now: "
+       << rb.stuck_ports << "\n";
+    os << "  fifo faults: " << rb.fifo_words_dropped << " dropped, "
+       << rb.fifo_words_duplicated << " duplicated\n";
   }
   return os.str();
 }
@@ -48,8 +69,9 @@ std::string SystemStats::to_string() const {
 namespace {
 
 FifoStats fifo_stats(const comm::Fifo& f) {
-  return FifoStats{f.name(), f.total_pushed(), f.total_popped(),
-                   f.high_watermark(), f.capacity()};
+  return FifoStats{f.name(),         f.total_pushed(),  f.total_popped(),
+                   f.high_watermark(), f.capacity(),
+                   f.fault_dropped(), f.fault_duplicated()};
 }
 
 }  // namespace
@@ -61,6 +83,17 @@ SystemStats collect_stats(VapresSystem& sys) {
   stats.dcr_accesses = sys.dcr().total_accesses();
   stats.icap_bytes = sys.icap().total_bytes_configured();
   stats.reconfigurations = sys.icap().completed_transfers();
+
+  RobustnessStats& rb = stats.robustness;
+  const auto& faults = sim::FaultInjector::instance();
+  rb.faults_injected = faults.total_injected();
+  rb.icap_corrupted = sys.icap().corrupted_transfers();
+  rb.icap_timeouts = sys.icap().timed_out_transfers();
+  rb.reconfig_retries = sys.reconfig().retries();
+  rb.source_fallbacks = sys.reconfig().fallbacks();
+  rb.reconfig_failures = sys.reconfig().failures();
+  rb.switch_rollbacks = faults.recoveries(sim::RecoveryEvent::kSwitchRollback);
+  rb.scrub_repairs = faults.recoveries(sim::RecoveryEvent::kScrubRepair);
 
   for (int r = 0; r < sys.num_rsbs(); ++r) {
     Rsb& rsb = sys.rsb(r);
@@ -98,6 +131,15 @@ SystemStats collect_stats(VapresSystem& sys) {
       }
       stats.sites.push_back(site);
     }
+    comm::SwitchFabric& fabric = rsb.fabric();
+    for (int b = 0; b < fabric.num_boxes(); ++b) {
+      rb.stuck_ports +=
+          static_cast<std::uint64_t>(fabric.box(b).stuck_output_count());
+    }
+  }
+  for (const FifoStats& f : stats.fifos) {
+    rb.fifo_words_dropped += f.fault_dropped;
+    rb.fifo_words_duplicated += f.fault_duplicated;
   }
   return stats;
 }

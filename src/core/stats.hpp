@@ -19,6 +19,29 @@ struct FifoStats {
   std::uint64_t popped = 0;
   int high_watermark = 0;
   int capacity = 0;
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_duplicated = 0;
+};
+
+/// Fault-injection and self-healing counters (all zero on a run without
+/// injection): what was injected, what each recovery layer did about it.
+struct RobustnessStats {
+  std::uint64_t faults_injected = 0;  ///< all sites, from the injector
+  std::uint64_t icap_corrupted = 0;
+  std::uint64_t icap_timeouts = 0;
+  std::uint64_t reconfig_retries = 0;
+  std::uint64_t source_fallbacks = 0;
+  std::uint64_t reconfig_failures = 0;  ///< permanent (post-recovery)
+  std::uint64_t switch_rollbacks = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t fifo_words_dropped = 0;     ///< by injection, system-wide
+  std::uint64_t fifo_words_duplicated = 0;  ///< by injection, system-wide
+  std::uint64_t stuck_ports = 0;  ///< currently stuck (unrepaired)
+
+  std::uint64_t total_recoveries() const {
+    return reconfig_retries + source_fallbacks + switch_rollbacks +
+           scrub_repairs;
+  }
 };
 
 struct SiteStats {
@@ -40,6 +63,7 @@ struct SystemStats {
   sim::Cycles system_cycles = 0;
   std::int64_t icap_bytes = 0;
   int reconfigurations = 0;
+  RobustnessStats robustness;
 
   /// Total words dropped anywhere in the system (0 on a healthy run).
   std::uint64_t total_discarded() const;

@@ -2,6 +2,7 @@
 
 #include "bitstream/bitgen.hpp"
 #include "sim/check.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
 namespace vapres::core {
@@ -36,9 +37,13 @@ void ModuleSwitcher::begin() {
 
   timeline_.started = sys_.mb().cycle();
   reconfig_complete_ = false;
+  reconfig_ok_ = true;
 
   // Step 3: reconfigure the spare PRR while the stream keeps flowing.
-  auto on_done = [this] { reconfig_complete_ = true; };
+  auto on_done = [this](const ReconfigOutcome& outcome) {
+    reconfig_complete_ = true;
+    reconfig_ok_ = outcome.ok();
+  };
   if (req_.source == ReconfigSource::kSdramArray) {
     const std::string key =
         req_.new_module_id + "@" + r.prr(req_.dst_prr).name();
@@ -84,6 +89,19 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
 
     case State::kReconfiguring: {
       if (!reconfig_complete_) return false;
+      if (!reconfig_ok_) {
+        // The PR of the spare PRR failed permanently. Nothing was
+        // re-routed yet — the new module was never on the processing path
+        // — so rollback is: leave every channel and the source module
+        // exactly as they are and walk away. The stream never noticed.
+        sim::FaultInjector::instance().note_recovery(
+            sim::RecoveryEvent::kSwitchRollback);
+        timeline_.aborted = mb.cycle();
+        trace_step(sys_, "step 3 FAILED: PR of spare PRR gave up; switch "
+                         "rolled back, source module keeps streaming");
+        state_ = State::kAborted;
+        return true;  // task finished; source path untouched
+      }
       timeline_.reconfig_done = mb.cycle();
       trace_step(sys_, "step 3 done: PR complete, bringing up dst site");
       // Bring up the dst site with the module held in reset: slice macros
@@ -224,6 +242,7 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
     }
 
     case State::kDone:
+    case State::kAborted:
       return true;
   }
   return false;

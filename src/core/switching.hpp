@@ -21,6 +21,13 @@
 //
 // The new module is placed *outside* the processing path and joins it only
 // after PR finished — the overlap that avoids stream interruption.
+//
+// Failure handling: if the PR of the spare PRR fails permanently (after
+// the ReconfigManager's retries and source fallback), the switcher rolls
+// back — it aborts before any re-routing happened, so the source module
+// keeps streaming untouched (graceful degradation). The same overlap
+// property that avoids stream interruption makes the rollback trivial:
+// at the failure point the new module was never part of the path.
 #pragma once
 
 #include <string>
@@ -59,6 +66,7 @@ class ModuleSwitcher final : public proc::SoftwareTask {
     kQuiesceSrc,        // step 9 (flush)
     kRerouteDownstream, // step 9
     kDone,
+    kAborted,           // PR of the spare failed; switch rolled back
   };
 
   /// Kicks off the protocol: registers this task with the MicroBlaze and
@@ -72,6 +80,11 @@ class ModuleSwitcher final : public proc::SoftwareTask {
 
   State state() const { return state_; }
   bool done() const { return state_ == State::kDone; }
+  /// The PR of the spare PRR failed permanently and the switch was rolled
+  /// back: no channel moved, the source module keeps streaming.
+  bool aborted() const { return state_ == State::kAborted; }
+  /// Terminal either way (completed or rolled back).
+  bool finished() const { return done() || aborted(); }
 
   /// MicroBlaze cycle stamps of protocol milestones (0 = not reached).
   struct Timeline {
@@ -82,6 +95,7 @@ class ModuleSwitcher final : public proc::SoftwareTask {
     sim::Cycles module_initialized = 0;
     sim::Cycles iom_eos_seen = 0;
     sim::Cycles completed = 0;
+    sim::Cycles aborted = 0;  ///< rollback stamp (0 = never rolled back)
   };
   const Timeline& timeline() const { return timeline_; }
 
@@ -109,6 +123,7 @@ class ModuleSwitcher final : public proc::SoftwareTask {
   State state_ = State::kIdle;
   Timeline timeline_;
   bool reconfig_complete_ = false;
+  bool reconfig_ok_ = true;
   std::vector<comm::Word> collected_state_;
   std::vector<comm::Word> monitoring_;
   // state-frame parsing

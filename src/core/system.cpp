@@ -148,7 +148,8 @@ std::string VapresSystem::stage_to_sdram(const std::string& module_id,
       module_id + "@" + r.prr(prr_index).name();
   if (sdram_->contains(key)) return key;
   bool done = false;
-  reconfig_->cf2array(filename, key, [&done] { done = true; });
+  reconfig_->cf2array(filename, key,
+                      [&done](const ReconfigOutcome&) { done = true; });
   const bool ok = sim_.run_until([&done] { return done; },
                                  sim::kPsPerSecond * 60);
   VAPRES_REQUIRE(ok, "cf2array staging did not complete");
@@ -171,18 +172,25 @@ sim::Cycles VapresSystem::reconfigure_now(int rsb_index, int prr_index,
                                           const std::string& module_id,
                                           ReconfigSource source) {
   bool done = false;
+  bool configured = false;
+  auto on_done = [&done, &configured](const ReconfigOutcome& outcome) {
+    done = true;
+    configured = outcome.ok();
+  };
   sim::Cycles charged = 0;
   if (source == ReconfigSource::kSdramArray) {
     const std::string key = preload_sdram(module_id, rsb_index, prr_index);
-    charged = reconfig_->array2icap(key, [&done] { done = true; });
+    charged = reconfig_->array2icap(key, on_done);
   } else {
     const std::string filename =
         synthesize_to_cf(module_id, rsb_index, prr_index);
-    charged = reconfig_->cf2icap(filename, [&done] { done = true; });
+    charged = reconfig_->cf2icap(filename, on_done);
   }
   const bool ok = sim_.run_until([&done] { return done; },
                                  sim::kPsPerSecond * 60);
   VAPRES_REQUIRE(ok, "reconfiguration did not complete");
+  VAPRES_REQUIRE(configured,
+                 "reconfiguration of " + module_id + " failed permanently");
   return charged;
 }
 

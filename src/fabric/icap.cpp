@@ -7,18 +7,38 @@ IcapPort::IcapPort(double port_clock_mhz) : port_clock_mhz_(port_clock_mhz) {
 }
 
 void IcapPort::begin_transfer(std::int64_t bytes) {
-  VAPRES_REQUIRE(!busy_, "ICAP port is busy; configuration is serialized");
+  VAPRES_REQUIRE(!busy_,
+                 "ICAP port is busy (" + std::to_string(inflight_bytes_) +
+                     " bytes in flight); configuration is serialized");
   VAPRES_REQUIRE(bytes > 0, "ICAP transfer must move at least one byte");
   busy_ = true;
   inflight_bytes_ = bytes;
+  inflight_corrupted_ = false;
+  inflight_timed_out_ = false;
+  auto& faults = sim::FaultInjector::instance();
+  if (faults.enabled()) {
+    inflight_corrupted_ =
+        faults.should_fire(sim::FaultSite::kIcapBitstreamCorruption);
+    inflight_timed_out_ =
+        faults.should_fire(sim::FaultSite::kIcapTransferTimeout);
+  }
 }
 
-void IcapPort::end_transfer() {
+IcapTransferResult IcapPort::end_transfer() {
   VAPRES_REQUIRE(busy_, "no ICAP transfer in flight");
   busy_ = false;
+  const IcapTransferResult result{inflight_corrupted_, inflight_timed_out_};
   total_bytes_ += inflight_bytes_;
   inflight_bytes_ = 0;
-  ++transfers_;
+  inflight_corrupted_ = false;
+  inflight_timed_out_ = false;
+  if (result.ok()) {
+    ++transfers_;
+  } else {
+    if (result.corrupted) ++corrupted_;
+    if (result.timed_out) ++timed_out_;
+  }
+  return result;
 }
 
 sim::Picoseconds IcapPort::min_transfer_time_ps(std::int64_t bytes) const {

@@ -2,7 +2,9 @@
 // (connect/disconnect, reconfiguration of idle PRRs, clock gating and
 // retuning, source bursts) against a streaming system. Invariants: the
 // model never drops a word, never throws on a legal operation sequence,
-// and simulated time keeps advancing.
+// and simulated time keeps advancing. A second sweep repeats the churn
+// with low-probability recoverable ICAP faults injected: the self-
+// healing reconfiguration path must preserve the same invariants.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -10,6 +12,7 @@
 
 #include "core/stats.hpp"
 #include "core/system.hpp"
+#include "sim/fault.hpp"
 #include "sim/random.hpp"
 
 namespace vapres::core {
@@ -17,10 +20,8 @@ namespace {
 
 using comm::Word;
 
-class FuzzSweep : public ::testing::TestWithParam<int> {};
-
-TEST_P(FuzzSweep, ControlPlaneChurnNeverDropsData) {
-  sim::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 48271);
+void control_plane_churn(int seed) {
+  sim::SplitMix64 rng(static_cast<std::uint64_t>(seed) * 48271);
 
   SystemParams params = SystemParams::prototype();
   params.device = fabric::DeviceGeometry::xc4vlx60();
@@ -131,7 +132,29 @@ TEST_P(FuzzSweep, ControlPlaneChurnNeverDropsData) {
   EXPECT_GT(stats.dcr_accesses, 20u);
 }
 
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, ControlPlaneChurnNeverDropsData) {
+  control_plane_churn(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 9));
+
+class FaultyFuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultyFuzzSweep, RecoverableIcapFaultsPreserveInvariants) {
+  // Same churn, but every ICAP transfer has a small chance of corruption
+  // or timeout. These are recoverable faults — the default retry policy
+  // (3 attempts per source, CF fallback) absorbs them — so the no-drop /
+  // no-throw invariants must hold unchanged; only simulated time grows.
+  sim::ScopedFaultInjection faults(
+      static_cast<std::uint64_t>(GetParam()) * 0x9E3779B97F4A7C15ULL);
+  faults->set_probability(sim::FaultSite::kIcapBitstreamCorruption, 0.05);
+  faults->set_probability(sim::FaultSite::kIcapTransferTimeout, 0.05);
+  control_plane_churn(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultyFuzzSweep, ::testing::Range(1, 5));
 
 }  // namespace
 }  // namespace vapres::core

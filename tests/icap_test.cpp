@@ -1,0 +1,95 @@
+// ICAP port unit tests: occupancy rules (the EAPR flow serializes all
+// configuration through one port), transfer-size validation, and the
+// port-level fault detection (CRC mismatch / timeout) results.
+#include <gtest/gtest.h>
+
+#include "fabric/icap.hpp"
+#include "sim/fault.hpp"
+
+namespace vapres::fabric {
+namespace {
+
+TEST(Icap, DoubleBeginThrowsAndReportsInflightBytes) {
+  IcapPort port;
+  port.begin_transfer(4096);
+  EXPECT_TRUE(port.busy());
+  EXPECT_EQ(port.inflight_bytes(), 4096);
+  try {
+    port.begin_transfer(128);
+    FAIL() << "second begin_transfer must throw";
+  } catch (const ModelError& e) {
+    // The busy violation names the in-flight transfer so the caller can
+    // see what is hogging the port.
+    EXPECT_NE(std::string(e.what()).find("4096 bytes in flight"),
+              std::string::npos)
+        << e.what();
+  }
+  // The failed begin did not disturb the in-flight transfer.
+  EXPECT_TRUE(port.busy());
+  EXPECT_EQ(port.inflight_bytes(), 4096);
+  EXPECT_TRUE(port.end_transfer().ok());
+  EXPECT_EQ(port.completed_transfers(), 1);
+  EXPECT_EQ(port.total_bytes_configured(), 4096);
+}
+
+TEST(Icap, ZeroAndNegativeByteTransfersThrow) {
+  IcapPort port;
+  EXPECT_THROW(port.begin_transfer(0), ModelError);
+  EXPECT_THROW(port.begin_transfer(-4), ModelError);
+  EXPECT_FALSE(port.busy());
+}
+
+TEST(Icap, EndWithoutBeginThrows) {
+  IcapPort port;
+  EXPECT_THROW(port.end_transfer(), ModelError);
+}
+
+TEST(Icap, ArmedCorruptionIsDetectedAtEndTransfer) {
+  IcapPort port;
+  sim::ScopedFaultInjection faults(0xC0FFEEu);
+  faults->arm(sim::FaultSite::kIcapBitstreamCorruption, /*nth=*/0);
+
+  port.begin_transfer(1024);
+  const IcapTransferResult bad = port.end_transfer();
+  EXPECT_TRUE(bad.corrupted);
+  EXPECT_FALSE(bad.timed_out);
+  EXPECT_FALSE(bad.ok());
+  // A corrupted transfer still moved bytes but does not count completed.
+  EXPECT_EQ(port.completed_transfers(), 0);
+  EXPECT_EQ(port.corrupted_transfers(), 1);
+  EXPECT_EQ(port.total_bytes_configured(), 1024);
+
+  // The window was one opportunity wide: the retry is clean.
+  port.begin_transfer(1024);
+  EXPECT_TRUE(port.end_transfer().ok());
+  EXPECT_EQ(port.completed_transfers(), 1);
+}
+
+TEST(Icap, ArmedTimeoutIsDetectedAtEndTransfer) {
+  IcapPort port;
+  sim::ScopedFaultInjection faults(7u);
+  faults->arm(sim::FaultSite::kIcapTransferTimeout, /*nth=*/1);
+
+  port.begin_transfer(64);
+  EXPECT_TRUE(port.end_transfer().ok());
+  port.begin_transfer(64);
+  const IcapTransferResult bad = port.end_transfer();
+  EXPECT_TRUE(bad.timed_out);
+  EXPECT_FALSE(bad.corrupted);
+  EXPECT_EQ(port.timed_out_transfers(), 1);
+  EXPECT_EQ(port.completed_transfers(), 1);
+}
+
+TEST(Icap, DisabledInjectionLeavesTransfersClean) {
+  IcapPort port;
+  for (int i = 0; i < 10; ++i) {
+    port.begin_transfer(256);
+    EXPECT_TRUE(port.end_transfer().ok());
+  }
+  EXPECT_EQ(port.completed_transfers(), 10);
+  EXPECT_EQ(port.corrupted_transfers(), 0);
+  EXPECT_EQ(port.timed_out_transfers(), 0);
+}
+
+}  // namespace
+}  // namespace vapres::fabric

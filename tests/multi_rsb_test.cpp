@@ -78,7 +78,7 @@ TEST(MultiRsb, IcapSerializesAcrossRsbs) {
   sys.preload_sdram("passthrough", 1, 0);
   bool done = false;
   sys.reconfig().array2icap(
-      "passthrough@" + sys.rsb(0).prr(0).name(), [&done] { done = true; });
+      "passthrough@" + sys.rsb(0).prr(0).name(), [&done](const ReconfigOutcome&) { done = true; });
   EXPECT_THROW(sys.reconfig().array2icap(
                    "passthrough@" + sys.rsb(1).prr(0).name()),
                ModelError);

@@ -1,12 +1,18 @@
 // Shared test harnesses.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "comm/module_interface.hpp"
 #include "comm/switch_fabric.hpp"
+#include "core/switching.hpp"
+#include "core/system.hpp"
 #include "hwmodule/hw_module.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace vapres::test {
@@ -70,6 +76,66 @@ struct FabricRig {
  private:
   int ko_ = 1;
   int ki_ = 1;
+};
+
+/// Full-system module-switch rig with fault injection armed: `module_a`
+/// streaming in PRR 0 through IOM channels, `module_b` staged in SDRAM
+/// (and, implicitly, on CompactFlash — the fallback source) for the
+/// spare PRR 1. Injection is enabled with `seed` only *after* bring-up,
+/// so the setup itself is fault-free and two rigs built with the same
+/// seed replay identically.
+struct FaultRig {
+  std::unique_ptr<core::VapresSystem> sys;
+  core::ChannelId upstream = 0;
+  core::ChannelId downstream = 0;
+  std::optional<sim::ScopedFaultInjection> faults;
+
+  explicit FaultRig(std::uint64_t seed,
+                    const std::string& module_a = "passthrough",
+                    const std::string& module_b = "gain_x2") {
+    core::SystemParams p = core::SystemParams::prototype();
+    p.rsbs[0].prr_width_clbs = 4;  // small PRRs: tests stay fast
+    sys = std::make_unique<core::VapresSystem>(std::move(p));
+    sys->bring_up_all_sites();
+    sys->reconfigure_now(0, 0, module_a);
+    sys->preload_sdram(module_b, 0, 1);
+    core::Rsb& rsb = sys->rsb();
+    upstream = *sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+    downstream = *sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+    faults.emplace(seed);
+  }
+
+  sim::FaultInjector& injector() { return sim::FaultInjector::instance(); }
+  core::Iom& iom() { return sys->rsb().iom(0); }
+
+  core::SwitchRequest request(const std::string& module_b) const {
+    core::SwitchRequest req;
+    req.src_prr = 0;
+    req.dst_prr = 1;
+    req.new_module_id = module_b;
+    req.upstream = upstream;
+    req.downstream = downstream;
+    req.eos_iom = 0;
+    return req;
+  }
+
+  /// Feeds an incrementing 0, 1, 2, ... stream into the IOM source, one
+  /// word every `interval` cycles.
+  void stream_counter(int interval = 4) {
+    iom().set_source_generator(
+        [n = 0]() mutable -> std::optional<comm::Word> {
+          return static_cast<comm::Word>(n++);
+        },
+        interval);
+  }
+
+  /// Begins the switch and runs until it terminates — completed OR
+  /// rolled back. Returns false only on simulated-time exhaustion.
+  bool run_until_finished(core::ModuleSwitcher& sw) {
+    sw.begin();
+    return sys->sim().run_until([&] { return sw.finished(); },
+                                sim::kPsPerSecond * 120);
+  }
 };
 
 /// In-memory ModulePorts for unit-testing behaviours without a wrapper.
