@@ -1,0 +1,205 @@
+// Ablation A5 — runtime multi-application scheduling policies.
+//
+// Replays one deterministic, fixed-seed workload (phased arrivals and
+// departures of streaming apps on a fragmentation-prone fabric: two
+// 640-slice PRRs, two 256-slice PRRs) against three scheduler configs:
+//
+//   first-fit            no defrag, no preemption (the naive baseline)
+//   first-fit + defrag   live relocation through the 9-step switch
+//   best-fit  + defrag   + waste-minimizing placement
+//
+// The point of the table: the defragmenting scheduler *admits apps the
+// baseline rejects* on the same fabric at the same offered load — small
+// early apps squat in the big PRRs, and only relocation can make room
+// for the late 300-slice requests. A second table prices admission
+// itself (MicroBlaze cycles from decision to streaming) by chain
+// length. Both tables are bit-for-bit reproducible: same seed, same
+// numbers. See docs/SCHEDULER.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/system.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace vapres;
+
+constexpr std::uint64_t kWorkloadSeed = 0x5EED5EEDULL;
+
+core::SystemParams frag_params() {
+  core::SystemParams p;
+  p.name = "benchsys";
+  core::RsbParams& r = p.rsbs[0];
+  r.num_prrs = 4;
+  r.num_ioms = 3;
+  r.ki = 1;
+  r.ko = 1;
+  r.kr = 3;
+  r.kl = 3;
+  p.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
+                 fabric::ClbRect{16, 0, 16, 10},
+                 fabric::ClbRect{32, 0, 16, 4},
+                 fabric::ClbRect{48, 0, 16, 4}};
+  return p;
+}
+
+struct WorkloadResult {
+  int submitted = 0;
+  int admitted = 0;
+  int admitted_after_defrag = 0;
+  int rejected = 0;
+  int defrag_migrations = 0;
+  double mean_utilization = 0.0;
+  /// Signature for the determinism check: per-app verdict names.
+  std::vector<std::string> verdicts;
+};
+
+/// One phased workload, replayed identically for every config: 12
+/// arrivals; small modules early (they land in the big PRRs), 300-slice
+/// ma8 requests late; random departures free IOM channels in between.
+WorkloadResult run_workload(sched::PlacementPolicy policy,
+                            bool enable_defrag) {
+  core::VapresSystem sys(frag_params());
+  sys.bring_up_all_sites();
+  sched::ApplicationScheduler::Options opt;
+  opt.policy = policy;
+  opt.enable_defrag = enable_defrag;
+  opt.enable_preemption = false;
+  sched::ApplicationScheduler sched(sys, opt);
+
+  sim::SplitMix64 rng(kWorkloadSeed);
+  const std::vector<std::string> small = {"passthrough", "gain_x2",
+                                          "offset_100", "checksum"};
+  const std::vector<std::string> big = {"ma8", "fir4_smooth"};
+
+  double util_sum = 0.0;
+  int samples = 0;
+  for (int i = 0; i < 12; ++i) {
+    // Early phase: small apps. Late phase: big (640-slice-only) apps.
+    const bool late = i >= 6;
+    const auto& menu = late && rng.chance(0.75) ? big : small;
+    sched::AppRequest req;
+    req.name = "app" + std::to_string(i);
+    req.modules = {menu[rng.next_below(menu.size())]};
+    req.priority = 1;
+    req.source_interval_cycles = static_cast<int>(2 << rng.next_below(3));
+    sched.submit(req);
+    sched.run_admission();
+    sys.run_system_cycles(300);
+    util_sum += sched.fabric_utilization();
+    ++samples;
+
+    // Departures keep IOM channels turning over (but leave the small
+    // squatters in place — that is the fragmentation).
+    const auto running = sched.running_apps();
+    if (running.size() >= 3 ||
+        (running.size() >= 2 && rng.chance(0.5))) {
+      sched.stop(running[rng.next_below(running.size())]);
+    }
+  }
+
+  const core::SchedulerAccounting acc = sched.accounting();
+  WorkloadResult r;
+  r.submitted = acc.submitted;
+  r.admitted = acc.admitted;
+  r.admitted_after_defrag = acc.admitted_after_defrag;
+  r.rejected = acc.rejected;
+  r.defrag_migrations = acc.defrag_migrations;
+  r.mean_utilization = util_sum / samples;
+  for (const core::AppAccounting& a : acc.apps) r.verdicts.push_back(a.verdict);
+  return r;
+}
+
+/// MicroBlaze cycles from the admission decision to a streaming app,
+/// by chain length (includes placement, bitstream staging, PR, routing).
+sim::Cycles admission_cycles(int chain_len) {
+  core::VapresSystem sys(frag_params());
+  sys.bring_up_all_sites();
+  sched::ApplicationScheduler sched(sys);
+  sched::AppRequest req;
+  req.name = "probe";
+  const std::vector<std::string> chain = {"gain_x2", "offset_100",
+                                          "passthrough"};
+  for (int i = 0; i < chain_len; ++i) {
+    req.modules.push_back(chain[static_cast<std::size_t>(i)]);
+  }
+  sched.submit(req);
+  sched.run_admission();
+  return sched.app(0).admission_mb_cycles;
+}
+
+void print_tables() {
+  std::printf("\n=== A5: scheduling policy vs accepted load "
+              "(12-app fixed-seed workload, 2x640 + 2x256-slice PRRs) "
+              "===\n");
+  std::printf("%-20s %9s %9s %9s %12s %10s\n", "policy", "admitted",
+              "rejected", "via-dfrg", "migrations", "mean util");
+  struct Config {
+    const char* name;
+    sched::PlacementPolicy policy;
+    bool defrag;
+  };
+  const Config configs[] = {
+      {"first-fit", sched::PlacementPolicy::kFirstFit, false},
+      {"first-fit + defrag", sched::PlacementPolicy::kFirstFit, true},
+      {"best-fit  + defrag", sched::PlacementPolicy::kBestFit, true},
+  };
+  WorkloadResult baseline, defragged;
+  for (const Config& c : configs) {
+    const WorkloadResult r = run_workload(c.policy, c.defrag);
+    if (!c.defrag) baseline = r;
+    if (c.defrag && c.policy == sched::PlacementPolicy::kFirstFit) {
+      defragged = r;
+    }
+    std::printf("%-20s %9d %9d %9d %12d %9.1f%%\n", c.name, r.admitted,
+                r.rejected, r.admitted_after_defrag, r.defrag_migrations,
+                100.0 * r.mean_utilization);
+  }
+  std::printf("\nShape check: identical offered load, identical fabric — "
+              "the defragmenting\nconfigs admit %d more app(s) than the "
+              "first-fit baseline (%d vs %d) by\nrelocating live modules "
+              "out of the big PRRs.\n",
+              defragged.admitted - baseline.admitted, defragged.admitted,
+              baseline.admitted);
+
+  const WorkloadResult replay =
+      run_workload(sched::PlacementPolicy::kFirstFit, true);
+  std::printf("Determinism check: replaying the seed gives %s verdicts.\n",
+              replay.verdicts == defragged.verdicts ? "identical"
+                                                    : "DIFFERENT (BUG)");
+
+  std::printf("\n--- admission latency by chain length (decision + "
+              "staging + PR + routing) ---\n");
+  std::printf("%-14s %18s %14s\n", "chain length", "MB cycles",
+              "ms @ 100 MHz");
+  for (int k = 1; k <= 3; ++k) {
+    const sim::Cycles c = admission_cycles(k);
+    std::printf("%-14d %18llu %14.2f\n", k,
+                static_cast<unsigned long long>(c),
+                static_cast<double>(c) / 100e3);
+  }
+  std::printf("\n");
+}
+
+void BM_AdmitSingleApp(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  sim::Cycles cycles = 0;
+  for (auto _ : state) cycles = admission_cycles(k);
+  state.counters["mb_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_AdmitSingleApp)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -78,7 +78,8 @@ int main() {
   if (!build.unplaceable_modules.empty()) {
     std::printf("unplaceable modules:\n");
     for (const auto& m : build.unplaceable_modules) {
-      std::printf("  %s\n", m.c_str());
+      std::printf("  %s [%s]: %s\n", m.module_id.c_str(),
+                  flow::unplaceable_reason_name(m.reason), m.detail.c_str());
     }
   }
 

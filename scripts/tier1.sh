@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the standard build + full test suite (the exact command
+# sequence from ROADMAP.md), then one pass of the scheduler/defrag tests
+# under AddressSanitizer + UBSan — the sched label exercises live module
+# relocation and preemption teardown, the paths most likely to hide
+# lifetime bugs.
+#
+# Usage: scripts/tier1.sh [build-dir] [sanitizer-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SAN_BUILD="${2:-build-asan}"
+
+echo "=== tier-1: standard build + full ctest ==="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo
+echo "=== tier-1: sched-labeled tests under address,undefined ==="
+cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
+cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test
+ctest --test-dir "$SAN_BUILD" -L sched --output-on-failure
+
+echo
+echo "tier-1: all green"

@@ -144,4 +144,23 @@ SystemStats collect_stats(VapresSystem& sys) {
   return stats;
 }
 
+std::string SchedulerAccounting::to_string() const {
+  std::ostringstream os;
+  os << "=== scheduler accounting ===\n";
+  os << "submitted " << submitted << ", admitted " << admitted << " (defrag "
+     << admitted_after_defrag << ", preempt " << admitted_after_preempt
+     << "), rejected " << rejected << "\n";
+  os << "preemptions " << preemptions << ", migrations " << defrag_migrations
+     << " (+" << migration_rollbacks << " rolled back), fabric utilization "
+     << static_cast<int>(100.0 * fabric_utilization) << "%\n";
+  for (const AppAccounting& a : apps) {
+    os << "  #" << a.app_id << " " << a.name << " prio " << a.priority << " ["
+       << a.state << "/" << a.verdict << "] slices " << a.module_slices
+       << ", words " << a.words_in << "->" << a.words_out << ", migrations "
+       << a.migrations << ", admission " << a.admission_mb_cycles
+       << " MB cycles\n";
+  }
+  return os.str();
+}
+
 }  // namespace vapres::core

@@ -76,4 +76,48 @@ struct SystemStats {
 /// Snapshots every counter in `sys`.
 SystemStats collect_stats(VapresSystem& sys);
 
+// ---- Scheduler accounting ------------------------------------------------
+//
+// Per-application books kept by sched::ApplicationScheduler. The structs
+// live here (not in sched/) so reporting tooling depends only on core;
+// the scheduler fills them in ApplicationScheduler::accounting().
+
+/// One application's ledger row.
+struct AppAccounting {
+  int app_id = -1;
+  std::string name;
+  int priority = 1;
+  std::string state;    ///< sched::state_name of the app's state
+  std::string verdict;  ///< sched::verdict_name of the admission verdict
+
+  sim::Cycles submitted_at = 0;
+  sim::Cycles launched_at = 0;  ///< 0 when never launched
+  sim::Cycles stopped_at = 0;   ///< 0 while running / never launched
+  /// MicroBlaze cycles its admission decision + launch cost.
+  sim::Cycles admission_mb_cycles = 0;
+
+  std::uint64_t words_in = 0;   ///< source words emitted for this app
+  std::uint64_t words_out = 0;  ///< sink words received for this app
+  int migrations = 0;           ///< live relocations survived
+  int module_slices = 0;        ///< total footprint of the app's chain
+};
+
+/// Aggregate scheduler counters plus the per-app rows.
+struct SchedulerAccounting {
+  std::vector<AppAccounting> apps;
+
+  int submitted = 0;
+  int admitted = 0;  ///< all admissions, any path
+  int admitted_after_defrag = 0;
+  int admitted_after_preempt = 0;
+  int rejected = 0;
+  int preemptions = 0;         ///< apps evicted for higher priority
+  int defrag_migrations = 0;   ///< completed live relocations
+  int migration_rollbacks = 0; ///< relocations aborted by PR failure
+
+  double fabric_utilization = 0.0;  ///< occupied slices / PRR slices
+
+  std::string to_string() const;
+};
+
 }  // namespace vapres::core

@@ -1,5 +1,6 @@
 #include "flow/app_flow.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "bitstream/bitgen.hpp"
@@ -40,15 +41,46 @@ AppBuildResult ApplicationFlow::build(const core::KpnAppSpec& app) const {
   for (const std::string& module_id : module_ids) {
     const auto& info = library_.info(module_id);
     bool placed_somewhere = false;
+    int max_prr_slices = 0;
     for (const PlacedPrr& prr : base_.floorplan.prrs) {
+      max_prr_slices = std::max(max_prr_slices, prr.rect.slices());
       if (!info.resources.fits_in(prr.rect.resources())) continue;
       result.bitstreams.push_back(bitstream::generate_partial_bitstream(
           module_id, info.resources, prr.name, prr.rect));
       placed_somewhere = true;
     }
-    if (!placed_somewhere) result.unplaceable_modules.push_back(module_id);
+    if (!placed_somewhere) {
+      UnplaceableModule u;
+      u.module_id = module_id;
+      if (info.resources.slices > max_prr_slices) {
+        u.reason = UnplaceableModule::Reason::kResourceOverflow;
+        u.detail = module_id + " needs " +
+                   std::to_string(info.resources.slices) +
+                   " slices; the largest PRR offers " +
+                   std::to_string(max_prr_slices);
+      } else {
+        u.reason = UnplaceableModule::Reason::kNoFootprintMatch;
+        u.detail = module_id + " fits by slices (" +
+                   std::to_string(info.resources.slices) + " <= " +
+                   std::to_string(max_prr_slices) +
+                   ") but needs " + std::to_string(info.resources.brams) +
+                   " BRAM / " + std::to_string(info.resources.dsps) +
+                   " DSP, and the PRR rectangles carry CLB fabric only";
+      }
+      result.unplaceable_modules.push_back(std::move(u));
+    }
   }
   return result;
+}
+
+const char* unplaceable_reason_name(UnplaceableModule::Reason r) {
+  switch (r) {
+    case UnplaceableModule::Reason::kResourceOverflow:
+      return "resource-overflow";
+    case UnplaceableModule::Reason::kNoFootprintMatch:
+      return "no-footprint-match";
+  }
+  return "?";
 }
 
 bitstream::RelocatingStore ApplicationFlow::build_relocating(

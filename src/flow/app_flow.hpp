@@ -22,12 +22,32 @@
 
 namespace vapres::flow {
 
+/// One module the flow could not place, and why.
+struct UnplaceableModule {
+  enum class Reason {
+    /// The module's slice count exceeds every PRR rectangle — no
+    /// floorplan of this base system can host it (re-floorplan needed).
+    kResourceOverflow,
+    /// Slices would fit some PRR, but the module's resource mix (BRAM /
+    /// DSP columns) matches no PRR footprint: the rectangles carry CLB
+    /// fabric only.
+    kNoFootprintMatch,
+  };
+
+  std::string module_id;
+  Reason reason = Reason::kResourceOverflow;
+  std::string detail;  ///< human-readable explanation with the numbers
+};
+
+const char* unplaceable_reason_name(UnplaceableModule::Reason r);
+
 struct AppBuildResult {
   std::string app_name;
   /// One partial bitstream per (module, PRR) pair where the module fits.
   std::vector<bitstream::PartialBitstream> bitstreams;
-  /// Modules that fit no PRR at all (build failure unless empty).
-  std::vector<std::string> unplaceable_modules;
+  /// Modules that fit no PRR at all (build failure unless empty), with
+  /// the reason for each.
+  std::vector<UnplaceableModule> unplaceable_modules;
 
   bool ok() const { return unplaceable_modules.empty(); }
 };

@@ -1,0 +1,78 @@
+#include "sched/defrag.hpp"
+
+#include <algorithm>
+
+namespace vapres::sched {
+
+namespace {
+
+/// Frees (tentatively, on `map`) one slot fitting `need`. Returns the
+/// slot index, appending the moves to `steps`, or -1 within `budget`.
+/// `in_chain` guards against relocation cycles.
+int free_slot_for(FabricMap& map, const fabric::ResourceVector& need,
+                  PlacementPolicy policy, int& budget,
+                  std::vector<MigrationStep>& steps,
+                  std::vector<char>& in_chain) {
+  const int direct = map.find_free(need, policy);
+  if (direct >= 0) return direct;
+  if (budget <= 0) return -1;
+
+  // Donor candidates: occupied slots that would fit `need`, cheapest
+  // occupant first (fewest slices to move), then tightest rectangle.
+  std::vector<int> donors;
+  for (int p = 0; p < map.num_slots(); ++p) {
+    const PrrSlot& s = map.slot(p);
+    if (s.free || !s.migratable || in_chain[static_cast<std::size_t>(p)]) {
+      continue;
+    }
+    if (map.fits(need, p)) donors.push_back(p);
+  }
+  std::sort(donors.begin(), donors.end(), [&map](int a, int b) {
+    const PrrSlot& sa = map.slot(a);
+    const PrrSlot& sb = map.slot(b);
+    if (sa.module_slices != sb.module_slices) {
+      return sa.module_slices < sb.module_slices;
+    }
+    if (sa.rect.slices() != sb.rect.slices()) {
+      return sa.rect.slices() < sb.rect.slices();
+    }
+    return a < b;
+  });
+
+  for (int d : donors) {
+    const PrrSlot& occ = map.slot(d);
+    const fabric::ResourceVector occ_need{occ.module_slices, 0, 0};
+    in_chain[static_cast<std::size_t>(d)] = 1;
+    --budget;
+    const std::size_t mark = steps.size();
+    const int target =
+        free_slot_for(map, occ_need, policy, budget, steps, in_chain);
+    if (target >= 0) {
+      steps.push_back(MigrationStep{d, target, occ.app_id, occ.module_id});
+      map.move(d, target);
+      in_chain[static_cast<std::size_t>(d)] = 0;
+      return d;
+    }
+    // Undo this donor's exploration and try the next one.
+    steps.resize(mark);
+    ++budget;
+    in_chain[static_cast<std::size_t>(d)] = 0;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<MigrationStep> DefragPlanner::plan(
+    FabricMap& map, const fabric::ResourceVector& need,
+    PlacementPolicy policy, int max_steps, int* freed_prr) {
+  std::vector<MigrationStep> steps;
+  std::vector<char> in_chain(static_cast<std::size_t>(map.num_slots()), 0);
+  int budget = max_steps;
+  const int freed = free_slot_for(map, need, policy, budget, steps, in_chain);
+  if (freed_prr != nullptr) *freed_prr = freed;
+  if (freed < 0) steps.clear();
+  return steps;
+}
+
+}  // namespace vapres::sched

@@ -1,0 +1,43 @@
+// Relocation-based defragmentation planning.
+//
+// Fragmentation in the slot-based PRR model: a module needs a large PRR,
+// all large PRRs host small modules, and the free slots are too small —
+// total capacity exists, but in the wrong footprint classes ("Maintaining
+// Virtual Areas on FPGAs using Strip Packing with Delays", Angermeier et
+// al., frames exactly this anti-fragmentation layer). The planner picks a
+// sequence of live-module relocations (executed hitlessly by the
+// scheduler through the 9-step core::ModuleSwitcher) that frees a
+// fitting slot; it works on a FabricMap copy and commits nothing itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/resources.hpp"
+#include "sched/placement.hpp"
+
+namespace vapres::sched {
+
+/// One planned live relocation: move `app_id`'s module out of `src_prr`
+/// into the (currently free) `dst_prr`.
+struct MigrationStep {
+  int src_prr = -1;
+  int dst_prr = -1;
+  int app_id = -1;
+  std::string module_id;
+};
+
+class DefragPlanner {
+ public:
+  /// Plans relocations on `map` (mutated tentatively: each planned step
+  /// is applied with FabricMap::move) that free a slot fitting `need`.
+  /// Returns the steps and sets `freed_prr` to the slot they free, or
+  /// returns empty with `freed_prr = -1` when no plan exists within
+  /// `max_steps`. Only `migratable` occupants are considered.
+  static std::vector<MigrationStep> plan(FabricMap& map,
+                                         const fabric::ResourceVector& need,
+                                         PlacementPolicy policy,
+                                         int max_steps, int* freed_prr);
+};
+
+}  // namespace vapres::sched

@@ -1,0 +1,112 @@
+#include "sched/placement.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::sched {
+
+const char* policy_name(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kBestFit: return "best-fit";
+  }
+  return "?";
+}
+
+FabricMap::FabricMap(std::vector<fabric::ClbRect> rects) {
+  slots_.reserve(rects.size());
+  for (const fabric::ClbRect& rect : rects) {
+    PrrSlot slot;
+    slot.rect = rect;
+    slots_.push_back(std::move(slot));
+    total_slices_ += rect.slices();
+  }
+}
+
+const PrrSlot& FabricMap::slot(int prr) const {
+  VAPRES_REQUIRE(prr >= 0 && prr < num_slots(), "PRR slot out of range");
+  return slots_[static_cast<std::size_t>(prr)];
+}
+
+bool FabricMap::fits(const fabric::ResourceVector& need, int prr) const {
+  return need.fits_in(slot(prr).rect.resources());
+}
+
+int FabricMap::find_free(const fabric::ResourceVector& need,
+                         PlacementPolicy policy) const {
+  int chosen = -1;
+  int chosen_waste = 0;
+  for (int p = 0; p < num_slots(); ++p) {
+    const PrrSlot& s = slots_[static_cast<std::size_t>(p)];
+    if (!s.free || !need.fits_in(s.rect.resources())) continue;
+    if (policy == PlacementPolicy::kFirstFit) return p;
+    const int waste = s.rect.slices() - need.slices;
+    if (chosen < 0 || waste < chosen_waste) {
+      chosen = p;
+      chosen_waste = waste;
+    }
+  }
+  return chosen;
+}
+
+bool FabricMap::fits_somewhere(const fabric::ResourceVector& need) const {
+  for (int p = 0; p < num_slots(); ++p) {
+    if (need.fits_in(slot(p).rect.resources())) return true;
+  }
+  return false;
+}
+
+void FabricMap::occupy(int prr, int app_id, int chain_pos,
+                       const std::string& module_id, int module_slices,
+                       bool migratable) {
+  VAPRES_REQUIRE(prr >= 0 && prr < num_slots(), "PRR slot out of range");
+  PrrSlot& s = slots_[static_cast<std::size_t>(prr)];
+  VAPRES_REQUIRE(s.free, "occupying a non-free PRR slot");
+  s.free = false;
+  s.app_id = app_id;
+  s.chain_pos = chain_pos;
+  s.module_id = module_id;
+  s.module_slices = module_slices;
+  s.migratable = migratable;
+}
+
+void FabricMap::release(int prr) {
+  VAPRES_REQUIRE(prr >= 0 && prr < num_slots(), "PRR slot out of range");
+  PrrSlot& s = slots_[static_cast<std::size_t>(prr)];
+  s.free = true;
+  s.app_id = -1;
+  s.chain_pos = -1;
+  s.module_id.clear();
+  s.module_slices = 0;
+  s.migratable = false;
+}
+
+void FabricMap::move(int src, int dst) {
+  VAPRES_REQUIRE(src >= 0 && src < num_slots() && dst >= 0 &&
+                     dst < num_slots() && src != dst,
+                 "bad relocation slots");
+  PrrSlot& s = slots_[static_cast<std::size_t>(src)];
+  PrrSlot& d = slots_[static_cast<std::size_t>(dst)];
+  VAPRES_REQUIRE(!s.free && d.free, "relocation needs occupied src, free dst");
+  d.free = false;
+  d.app_id = s.app_id;
+  d.chain_pos = s.chain_pos;
+  d.module_id = s.module_id;
+  d.module_slices = s.module_slices;
+  d.migratable = s.migratable;
+  release(src);
+}
+
+int FabricMap::free_count() const {
+  int n = 0;
+  for (const PrrSlot& s : slots_) n += s.free ? 1 : 0;
+  return n;
+}
+
+double FabricMap::utilization() const {
+  if (total_slices_ == 0) return 0.0;
+  int used = 0;
+  for (const PrrSlot& s : slots_) used += s.free ? 0 : s.module_slices;
+  return static_cast<double>(used) / total_slices_;
+}
+
+}  // namespace vapres::sched

@@ -1,0 +1,58 @@
+#include "sched/request.hpp"
+
+namespace vapres::sched {
+
+core::KpnAppSpec AppRequest::to_kpn(int source_iom, int sink_iom) const {
+  core::KpnAppSpec spec;
+  spec.name = name;
+  const int k = static_cast<int>(modules.size());
+  for (int i = 0; i < k; ++i) {
+    spec.nodes.push_back(core::KpnNodeSpec{node_name(i), modules[i]});
+  }
+  const std::string src = "iom:" + std::to_string(source_iom);
+  const std::string dst = "iom:" + std::to_string(sink_iom);
+  if (k == 0) {
+    spec.edges.push_back(core::KpnEdgeSpec{src, dst, 0, 0});
+    return spec;
+  }
+  spec.edges.push_back(core::KpnEdgeSpec{src, node_name(0), 0, 0});
+  for (int i = 0; i + 1 < k; ++i) {
+    spec.edges.push_back(core::KpnEdgeSpec{node_name(i), node_name(i + 1),
+                                           0, 0});
+  }
+  spec.edges.push_back(core::KpnEdgeSpec{node_name(k - 1), dst, 0, 0});
+  return spec;
+}
+
+const char* verdict_name(AdmissionVerdict v) {
+  switch (v) {
+    case AdmissionVerdict::kPending: return "pending";
+    case AdmissionVerdict::kAdmitted: return "admitted";
+    case AdmissionVerdict::kAdmittedAfterDefrag: return "admitted-after-defrag";
+    case AdmissionVerdict::kAdmittedAfterPreempt:
+      return "admitted-after-preempt";
+    case AdmissionVerdict::kRejectedBadSpec: return "rejected-bad-spec";
+    case AdmissionVerdict::kRejectedRateInfeasible:
+      return "rejected-rate-infeasible";
+    case AdmissionVerdict::kRejectedNoIomChannel:
+      return "rejected-no-iom-channel";
+    case AdmissionVerdict::kRejectedNoPrrFit: return "rejected-no-prr-fit";
+    case AdmissionVerdict::kRejectedFragmented: return "rejected-fragmented";
+    case AdmissionVerdict::kRejectedNoRoute: return "rejected-no-route";
+    case AdmissionVerdict::kRejectedPrFailure: return "rejected-pr-failure";
+  }
+  return "?";
+}
+
+const char* state_name(AppState s) {
+  switch (s) {
+    case AppState::kQueued: return "queued";
+    case AppState::kRunning: return "running";
+    case AppState::kRejected: return "rejected";
+    case AppState::kPreempted: return "preempted";
+    case AppState::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+}  // namespace vapres::sched

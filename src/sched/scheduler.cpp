@@ -1,0 +1,608 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "bitstream/bitgen.hpp"
+#include "core/prsocket.hpp"
+#include "core/switching.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::sched {
+
+namespace {
+
+/// MicroBlaze cycles charged for one admission decision's bookkeeping
+/// (placement scan + tables); the launch itself is timed for real.
+sim::Cycles decision_cycles(int num_slots, int chain_length) {
+  return 64 + 16 * static_cast<sim::Cycles>(num_slots) +
+         32 * static_cast<sim::Cycles>(chain_length);
+}
+
+}  // namespace
+
+ApplicationScheduler::ApplicationScheduler(core::VapresSystem& sys)
+    : ApplicationScheduler(sys, Options{}) {}
+
+ApplicationScheduler::ApplicationScheduler(core::VapresSystem& sys,
+                                           Options options)
+    : sys_(sys), opt_(options), analyzer_(sys.library()) {
+  VAPRES_REQUIRE(opt_.rsb_index >= 0 && opt_.rsb_index < sys_.num_rsbs(),
+                 "scheduler RSB index out of range");
+  // Slice this RSB's portion out of the RSB-major floorplan.
+  int offset = 0;
+  for (int i = 0; i < opt_.rsb_index; ++i) {
+    offset += sys_.params().rsbs[static_cast<std::size_t>(i)].num_prrs;
+  }
+  const int n = rsb().num_prrs();
+  const auto& floorplan = sys_.prr_floorplan();
+  std::vector<fabric::ClbRect> rects(
+      floorplan.begin() + offset, floorplan.begin() + offset + n);
+  map_ = FabricMap(std::move(rects));
+
+  for (int i = 0; i < rsb().num_ioms(); ++i) {
+    core::Iom& iom = rsb().iom(i);
+    source_busy_.emplace_back(
+        static_cast<std::size_t>(iom.num_producers()), false);
+    sink_busy_.emplace_back(
+        static_cast<std::size_t>(iom.num_consumers()), false);
+  }
+}
+
+int ApplicationScheduler::submit(AppRequest request) {
+  AppRecord rec;
+  rec.id = static_cast<int>(apps_.size());
+  rec.request = std::move(request);
+  rec.submitted_at = sys_.mb().cycle();
+  apps_.push_back(std::move(rec));
+  return apps_.back().id;
+}
+
+int ApplicationScheduler::run_admission() {
+  std::vector<int> queue;
+  for (const AppRecord& a : apps_) {
+    if (a.state == AppState::kQueued) queue.push_back(a.id);
+  }
+  std::stable_sort(queue.begin(), queue.end(), [this](int a, int b) {
+    return apps_[static_cast<std::size_t>(a)].request.priority >
+           apps_[static_cast<std::size_t>(b)].request.priority;
+  });
+  int launched = 0;
+  for (int id : queue) {
+    if (try_admit(apps_[static_cast<std::size_t>(id)])) ++launched;
+  }
+  return launched;
+}
+
+void ApplicationScheduler::stop(int app_id) {
+  VAPRES_REQUIRE(app_id >= 0 && app_id < num_apps(),
+                 "app id out of range");
+  AppRecord& a = apps_[static_cast<std::size_t>(app_id)];
+  VAPRES_REQUIRE(a.running(), "app " + std::to_string(app_id) +
+                                  " is not running");
+  teardown(a, AppState::kStopped);
+}
+
+const AppRecord& ApplicationScheduler::app(int app_id) const {
+  VAPRES_REQUIRE(app_id >= 0 && app_id < num_apps(),
+                 "app id out of range");
+  return apps_[static_cast<std::size_t>(app_id)];
+}
+
+std::vector<int> ApplicationScheduler::running_apps() const {
+  std::vector<int> out;
+  for (const AppRecord& a : apps_) {
+    if (a.running()) out.push_back(a.id);
+  }
+  return out;
+}
+
+bool ApplicationScheduler::source_done(int app_id) const {
+  const AppRecord& a = app(app_id);
+  if (!a.running() || a.request.source_words == 0) return false;
+  return !sys_.rsb(opt_.rsb_index)
+              .iom(a.source.iom)
+              .source_active(a.source.channel);
+}
+
+std::vector<comm::Word> ApplicationScheduler::received_words(
+    int app_id) const {
+  const AppRecord& a = app(app_id);
+  VAPRES_REQUIRE(a.launched_at != 0 || a.running(),
+                 "app " + std::to_string(app_id) + " never launched");
+  const auto& all =
+      sys_.rsb(opt_.rsb_index).iom(a.sink.iom).received(a.sink.channel);
+  const std::size_t begin = std::min(a.base_words_received, all.size());
+  const std::size_t end =
+      a.running() ? all.size()
+                  : std::min(begin + static_cast<std::size_t>(
+                                         a.final_words_out),
+                             all.size());
+  return std::vector<comm::Word>(all.begin() + static_cast<std::ptrdiff_t>(
+                                                   begin),
+                                 all.begin() +
+                                     static_cast<std::ptrdiff_t>(end));
+}
+
+// ---- Admission -----------------------------------------------------------
+
+bool ApplicationScheduler::try_admit(AppRecord& app) {
+  const sim::Cycles t0 = sys_.mb().cycle();
+  const int k = static_cast<int>(app.request.modules.size());
+  sys_.mb().busy_for(decision_cycles(map_.num_slots(), k));
+
+  auto reject = [&](AdmissionVerdict v, const std::string& why) {
+    app.state = AppState::kRejected;
+    app.verdict = v;
+    app.reject_reason = why;
+    app.admission_mb_cycles = sys_.mb().cycle() - t0;
+    return false;
+  };
+
+  // 1. Spec validation: a linear chain of known 1-in/1-out modules.
+  if (k == 0) {
+    return reject(AdmissionVerdict::kRejectedBadSpec, "empty module chain");
+  }
+  if (app.request.source_interval_cycles < 1) {
+    return reject(AdmissionVerdict::kRejectedBadSpec,
+                  "source interval must be >= 1 cycle");
+  }
+  for (const std::string& m : app.request.modules) {
+    if (!sys_.library().contains(m)) {
+      return reject(AdmissionVerdict::kRejectedBadSpec,
+                    "unknown module " + m);
+    }
+    const hwmodule::NetlistInfo& info = sys_.library().info(m);
+    if (info.num_inputs != 1 || info.num_outputs != 1) {
+      return reject(AdmissionVerdict::kRejectedBadSpec,
+                    "module " + m + " is not a 1-in/1-out chain stage");
+    }
+  }
+
+  // 2. Rate feasibility: some ladder clock must sustain every stage at
+  // the requested stream rate (flow::RateAnalyzer, Section IV).
+  flow::RateReport report;
+  try {
+    report = analyzer_.analyze(app.request.to_kpn(0, 0));
+  } catch (const ModelError& e) {
+    return reject(AdmissionVerdict::kRejectedBadSpec, e.what());
+  }
+  try {
+    const double source_mwords_per_s =
+        sys_.params().system_clock_mhz /
+        static_cast<double>(app.request.source_interval_cycles);
+    const auto chosen = report.assign_clocks(
+        source_mwords_per_s,
+        {sys_.params().prr_clock_a_mhz, sys_.params().prr_clock_b_mhz});
+    app.clocks_mhz.clear();
+    for (int i = 0; i < k; ++i) {
+      app.clocks_mhz.push_back(chosen.at(AppRequest::node_name(i)));
+    }
+  } catch (const ModelError& e) {
+    return reject(AdmissionVerdict::kRejectedRateInfeasible, e.what());
+  }
+
+  // 3-5. IOM + placement, with preemption retries.
+  bool preempted_any = false;
+  for (;;) {
+    const bool ioms_ok = allocate_ioms(app);
+    ChainPlan plan;
+    if (ioms_ok) {
+      plan = plan_chain(app);
+      if (plan.ok) {
+        bool migration_failed = false;
+        for (const MigrationStep& s : plan.steps) {
+          if (!execute_migration(s)) {
+            migration_failed = true;
+            break;
+          }
+        }
+        if (migration_failed) {
+          // Completed relocations stay (the fabric only got tidier);
+          // this admission gives up.
+          free_ioms(app);
+          return reject(
+              AdmissionVerdict::kRejectedFragmented,
+              "live relocation rolled back (permanent PR failure)");
+        }
+        if (!launch(app, plan.prrs)) {
+          free_ioms(app);
+          app.admission_mb_cycles = sys_.mb().cycle() - t0;
+          return false;  // verdict + reason set by launch()
+        }
+        app.state = AppState::kRunning;
+        app.verdict = preempted_any
+                          ? AdmissionVerdict::kAdmittedAfterPreempt
+                          : (plan.steps.empty()
+                                 ? AdmissionVerdict::kAdmitted
+                                 : AdmissionVerdict::kAdmittedAfterDefrag);
+        app.launched_at = sys_.mb().cycle();
+        app.admission_mb_cycles = app.launched_at - t0;
+        return true;
+      }
+      free_ioms(app);
+      if (plan.fail_verdict == AdmissionVerdict::kRejectedNoPrrFit) {
+        // Fabric-capability failure: no eviction can create a fit.
+        return reject(plan.fail_verdict, plan.reason);
+      }
+    }
+    const AdmissionVerdict blocked =
+        ioms_ok ? plan.fail_verdict
+                : AdmissionVerdict::kRejectedNoIomChannel;
+    const std::string why =
+        ioms_ok ? plan.reason : "all IOM source or sink channels busy";
+    if (!opt_.enable_preemption) return reject(blocked, why);
+    const int victim = pick_victim(app.request.priority);
+    if (victim < 0) {
+      return reject(blocked, why + " (no lower-priority app to preempt)");
+    }
+    teardown(apps_[static_cast<std::size_t>(victim)], AppState::kPreempted);
+    ++preemptions_;
+    preempted_any = true;
+  }
+}
+
+ApplicationScheduler::ChainPlan ApplicationScheduler::plan_chain(
+    const AppRecord& app) const {
+  ChainPlan plan;
+  FabricMap copy = map_;
+  int budget = opt_.enable_defrag ? opt_.max_defrag_migrations : 0;
+  const int k = static_cast<int>(app.request.modules.size());
+  for (int i = 0; i < k; ++i) {
+    const std::string& m = app.request.modules[i];
+    const fabric::ResourceVector need = sys_.library().info(m).resources;
+    int p = copy.find_free(need, opt_.policy);
+    if (p < 0 && !copy.fits_somewhere(need)) {
+      plan.fail_verdict = AdmissionVerdict::kRejectedNoPrrFit;
+      plan.reason = "module " + m + " (" + std::to_string(need.slices) +
+                    " slices) fits no PRR of this fabric";
+      return plan;
+    }
+    if (p < 0 && budget > 0) {
+      std::vector<MigrationStep> steps =
+          DefragPlanner::plan(copy, need, opt_.policy, budget, &p);
+      if (p >= 0) {
+        budget -= static_cast<int>(steps.size());
+        plan.steps.insert(plan.steps.end(), steps.begin(), steps.end());
+      }
+    }
+    if (p < 0) {
+      plan.fail_verdict = AdmissionVerdict::kRejectedFragmented;
+      plan.reason = "module " + m + " (" + std::to_string(need.slices) +
+                    " slices): capacity exists only in occupied or "
+                    "too-small slots";
+      return plan;
+    }
+    // Tentative occupancy; migratable=false so the planner never tries
+    // to relocate a module that is not launched yet.
+    copy.occupy(p, app.id, i, m, need.slices, /*migratable=*/false);
+    plan.prrs.push_back(p);
+  }
+  plan.ok = true;
+  return plan;
+}
+
+bool ApplicationScheduler::allocate_ioms(AppRecord& app) {
+  int s_iom = -1, s_ch = -1, k_iom = -1, k_ch = -1;
+  for (std::size_t i = 0; i < source_busy_.size() && s_iom < 0; ++i) {
+    for (std::size_t c = 0; c < source_busy_[i].size(); ++c) {
+      if (!source_busy_[i][c]) {
+        s_iom = static_cast<int>(i);
+        s_ch = static_cast<int>(c);
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < sink_busy_.size() && k_iom < 0; ++i) {
+    for (std::size_t c = 0; c < sink_busy_[i].size(); ++c) {
+      if (!sink_busy_[i][c]) {
+        k_iom = static_cast<int>(i);
+        k_ch = static_cast<int>(c);
+        break;
+      }
+    }
+  }
+  if (s_iom < 0 || k_iom < 0) return false;
+  source_busy_[static_cast<std::size_t>(s_iom)]
+              [static_cast<std::size_t>(s_ch)] = true;
+  sink_busy_[static_cast<std::size_t>(k_iom)]
+            [static_cast<std::size_t>(k_ch)] = true;
+  app.source = IomChannelRef{s_iom, s_ch};
+  app.sink = IomChannelRef{k_iom, k_ch};
+  return true;
+}
+
+void ApplicationScheduler::free_ioms(const AppRecord& app) {
+  source_busy_[static_cast<std::size_t>(app.source.iom)]
+              [static_cast<std::size_t>(app.source.channel)] = false;
+  sink_busy_[static_cast<std::size_t>(app.sink.iom)]
+            [static_cast<std::size_t>(app.sink.channel)] = false;
+}
+
+int ApplicationScheduler::pick_victim(int priority) const {
+  int victim = -1;
+  for (const AppRecord& a : apps_) {
+    if (!a.running() || a.request.priority >= priority) continue;
+    if (victim < 0) {
+      victim = a.id;
+      continue;
+    }
+    const AppRecord& v = apps_[static_cast<std::size_t>(victim)];
+    // Lowest priority first; youngest among equals (LIFO eviction).
+    if (a.request.priority < v.request.priority ||
+        (a.request.priority == v.request.priority && a.id > v.id)) {
+      victim = a.id;
+    }
+  }
+  return victim;
+}
+
+// ---- Migration (defragmentation) -----------------------------------------
+
+bool ApplicationScheduler::execute_migration(const MigrationStep& step) {
+  AppRecord& owner = apps_[static_cast<std::size_t>(step.app_id)];
+  VAPRES_REQUIRE(owner.running(), "relocation donor is not running");
+  int pos = -1;
+  for (std::size_t i = 0; i < owner.prrs.size(); ++i) {
+    if (owner.prrs[i] == step.src_prr) pos = static_cast<int>(i);
+  }
+  VAPRES_REQUIRE(pos == static_cast<int>(owner.prrs.size()) - 1,
+                 "only tail-of-chain modules are hitlessly migratable");
+
+  stage_bitstream(step.module_id, step.dst_prr);
+  // Keep the module's clock choice across the move (the switcher
+  // read-modify-writes the dst socket, preserving CLK_sel).
+  set_prr_clock(step.dst_prr,
+                owner.clocks_mhz[static_cast<std::size_t>(pos)]);
+
+  core::SwitchRequest req;
+  req.rsb_index = opt_.rsb_index;
+  req.src_prr = step.src_prr;
+  req.dst_prr = step.dst_prr;
+  req.new_module_id = step.module_id;
+  req.upstream = owner.channels[static_cast<std::size_t>(pos)];
+  req.downstream = owner.channels[static_cast<std::size_t>(pos) + 1];
+  req.eos_iom = owner.sink.iom;
+  req.source = opt_.source;
+
+  core::ModuleSwitcher sw(sys_, req);
+  sw.begin();
+  const bool done = sys_.sim().run_until([&sw] { return sw.finished(); },
+                                         sim::kPsPerSecond * 120);
+  VAPRES_REQUIRE(done, "live relocation did not finish");
+  if (sw.aborted()) {
+    // Rollback: the donor app keeps streaming on its old PRR; only the
+    // scheduler's hope of a tidier fabric is gone.
+    ++migration_rollbacks_;
+    return false;
+  }
+  owner.channels[static_cast<std::size_t>(pos)] = sw.new_upstream();
+  owner.channels[static_cast<std::size_t>(pos) + 1] = sw.new_downstream();
+  owner.prrs[static_cast<std::size_t>(pos)] = step.dst_prr;
+  ++owner.migrations;
+  map_.move(step.src_prr, step.dst_prr);
+  blank_prr(step.src_prr);
+  ++defrag_migrations_;
+  return true;
+}
+
+// ---- Launch / teardown ---------------------------------------------------
+
+void ApplicationScheduler::stage_bitstream(const std::string& module_id,
+                                           int prr) {
+  core::Prr& target = rsb().prr(prr);
+  const fabric::ClbRect& rect = target.rect();
+  if (!store_.has_master(module_id, rect)) {
+    const hwmodule::NetlistInfo& info = sys_.library().info(module_id);
+    store_.add_master(bitstream::generate_partial_bitstream(
+        module_id, info.resources, target.name(), rect));
+  }
+  const bitstream::PartialBitstream bs =
+      store_.materialize(module_id, target.name(), rect);
+  // The streaming FAR rewrite runs on the MicroBlaze.
+  sys_.mb().busy_for(static_cast<sim::Cycles>(
+      std::llround(bitstream::relocation_cycles(bs.size_bytes))));
+  const std::string filename =
+      bitstream::bitstream_filename(module_id, target.name());
+  if (!sys_.compact_flash().contains(filename)) {
+    sys_.compact_flash().store(filename, bs);
+  }
+  const std::string key = module_id + "@" + target.name();
+  if (!sys_.sdram().contains(key)) sys_.sdram().store(key, bs);
+}
+
+bool ApplicationScheduler::launch(AppRecord& app,
+                                  const std::vector<int>& prrs) {
+  core::Rsb& r = rsb();
+  const int k = static_cast<int>(prrs.size());
+  std::vector<int> configured;
+
+  auto rollback = [&](AdmissionVerdict v, const std::string& why) {
+    for (auto it = app.channels.rbegin(); it != app.channels.rend(); ++it) {
+      sys_.disconnect(opt_.rsb_index, *it);
+    }
+    app.channels.clear();
+    for (int p : configured) blank_prr(p);
+    app.prrs.clear();
+    app.state = AppState::kRejected;
+    app.verdict = v;
+    app.reject_reason = why;
+    return false;
+  };
+
+  for (int i = 0; i < k; ++i) {
+    const std::string& m = app.request.modules[static_cast<std::size_t>(i)];
+    const int p = prrs[static_cast<std::size_t>(i)];
+    try {
+      stage_bitstream(m, p);
+      sys_.reconfigure_now(opt_.rsb_index, p, m, opt_.source);
+    } catch (const ModelError& e) {
+      return rollback(AdmissionVerdict::kRejectedPrFailure,
+                      "PR of " + m + " failed: " + e.what());
+    }
+    // Re-enable the site (eviction blanking clears its socket bits).
+    sys_.socket_set_bits(r.prr_socket_address(p),
+                         core::PrSocket::kSmEn | core::PrSocket::kClkEn |
+                             core::PrSocket::kFifoWen,
+                         true);
+    set_prr_clock(p, app.clocks_mhz[static_cast<std::size_t>(i)]);
+    configured.push_back(p);
+  }
+
+  // Route source -> chain -> sink.
+  for (int i = 0; i <= k; ++i) {
+    const core::ChannelEndpoint producer =
+        i == 0 ? r.iom_producer(app.source.iom, app.source.channel)
+               : r.prr_producer(prrs[static_cast<std::size_t>(i) - 1], 0);
+    const core::ChannelEndpoint consumer =
+        i == k ? r.iom_consumer(app.sink.iom, app.sink.channel)
+               : r.prr_consumer(prrs[static_cast<std::size_t>(i)], 0);
+    const std::optional<core::ChannelId> id =
+        sys_.connect(opt_.rsb_index, producer, consumer);
+    if (!id) {
+      return rollback(AdmissionVerdict::kRejectedNoRoute,
+                      "switch-box lane capacity exhausted");
+    }
+    app.channels.push_back(*id);
+  }
+
+  for (int i = 0; i < k; ++i) {
+    const std::string& m = app.request.modules[static_cast<std::size_t>(i)];
+    map_.occupy(prrs[static_cast<std::size_t>(i)], app.id, i, m,
+                sys_.library().info(m).resources.slices,
+                /*migratable=*/i == k - 1);
+  }
+  app.prrs = prrs;
+
+  core::Iom& src_iom = r.iom(app.source.iom);
+  app.base_words_emitted = src_iom.words_emitted(app.source.channel);
+  app.base_words_received =
+      r.iom(app.sink.iom).received(app.sink.channel).size();
+  const std::uint64_t limit = app.request.source_words;
+  src_iom.set_source_generator(
+      [n = std::uint64_t{0}, limit]() mutable -> std::optional<comm::Word> {
+        if (limit > 0 && n >= limit) return std::nullopt;
+        // Mask below the all-ones EOS word so data is never EOS.
+        return static_cast<comm::Word>((n++) & 0x7FFFFFFFu);
+      },
+      app.request.source_interval_cycles, app.source.channel);
+  return true;
+}
+
+void ApplicationScheduler::teardown(AppRecord& app, AppState final_state) {
+  VAPRES_REQUIRE(app.running(), "teardown of a non-running app");
+  core::Rsb& r = rsb();
+  core::Iom& src_iom = r.iom(app.source.iom);
+  src_iom.stop_source(app.source.channel);
+  app.final_words_in =
+      src_iom.words_emitted(app.source.channel) - app.base_words_emitted;
+  // Disconnect sink-side first; each disconnect quiesces its producer
+  // and lets in-flight words land before the route is released.
+  for (auto it = app.channels.rbegin(); it != app.channels.rend(); ++it) {
+    sys_.disconnect(opt_.rsb_index, *it);
+  }
+  app.final_words_out =
+      r.iom(app.sink.iom).received(app.sink.channel).size() -
+      app.base_words_received;
+  app.channels.clear();
+  for (int p : app.prrs) {
+    blank_prr(p);
+    map_.release(p);
+  }
+  app.prrs.clear();
+  free_ioms(app);
+  app.stopped_at = sys_.mb().cycle();
+  app.state = final_state;
+}
+
+void ApplicationScheduler::blank_prr(int prr) {
+  core::Rsb& r = rsb();
+  const comm::DcrAddress addr = r.prr_socket_address(prr);
+  // Isolate and gate the site, back to clock A.
+  sys_.socket_set_bits(addr,
+                       core::PrSocket::kSmEn | core::PrSocket::kClkEn |
+                           core::PrSocket::kFifoWen |
+                           core::PrSocket::kFifoRen |
+                           core::PrSocket::kClkSel,
+                       false);
+  // Pulse the FIFO/FSL resets so no stale words leak into the next app.
+  sys_.socket_set_bits(
+      addr, core::PrSocket::kFifoReset | core::PrSocket::kFslReset, true);
+  sys_.socket_set_bits(
+      addr, core::PrSocket::kFifoReset | core::PrSocket::kFslReset, false);
+  core::Prr& p = r.prr(prr);
+  if (p.wrapper().loaded()) p.wrapper().unload();
+}
+
+void ApplicationScheduler::set_prr_clock(int prr, double mhz) {
+  const bool use_b =
+      std::abs(mhz - sys_.params().prr_clock_b_mhz) < 1e-9 &&
+      std::abs(sys_.params().prr_clock_a_mhz -
+               sys_.params().prr_clock_b_mhz) > 1e-9;
+  sys_.socket_set_bits(rsb().prr_socket_address(prr),
+                       core::PrSocket::kClkSel, use_b);
+}
+
+// ---- Accounting ----------------------------------------------------------
+
+core::SchedulerAccounting ApplicationScheduler::accounting() const {
+  core::SchedulerAccounting acc;
+  acc.submitted = num_apps();
+  acc.preemptions = preemptions_;
+  acc.defrag_migrations = defrag_migrations_;
+  acc.migration_rollbacks = migration_rollbacks_;
+  acc.fabric_utilization = map_.utilization();
+  for (const AppRecord& a : apps_) {
+    core::AppAccounting row;
+    row.app_id = a.id;
+    row.name = a.request.name;
+    row.priority = a.request.priority;
+    row.state = state_name(a.state);
+    row.verdict = verdict_name(a.verdict);
+    row.submitted_at = a.submitted_at;
+    row.launched_at = a.launched_at;
+    row.stopped_at = a.stopped_at;
+    row.admission_mb_cycles = a.admission_mb_cycles;
+    row.migrations = a.migrations;
+    for (const std::string& m : a.request.modules) {
+      if (sys_.library().contains(m)) {
+        row.module_slices += sys_.library().info(m).resources.slices;
+      }
+    }
+    if (a.running()) {
+      core::Rsb& r = sys_.rsb(opt_.rsb_index);
+      row.words_in =
+          r.iom(a.source.iom).words_emitted(a.source.channel) -
+          a.base_words_emitted;
+      row.words_out =
+          r.iom(a.sink.iom).received(a.sink.channel).size() -
+          a.base_words_received;
+    } else {
+      row.words_in = a.final_words_in;
+      row.words_out = a.final_words_out;
+    }
+    switch (a.verdict) {
+      case AdmissionVerdict::kAdmitted:
+        ++acc.admitted;
+        break;
+      case AdmissionVerdict::kAdmittedAfterDefrag:
+        ++acc.admitted;
+        ++acc.admitted_after_defrag;
+        break;
+      case AdmissionVerdict::kAdmittedAfterPreempt:
+        ++acc.admitted;
+        ++acc.admitted_after_preempt;
+        break;
+      case AdmissionVerdict::kPending:
+        break;
+      default:
+        ++acc.rejected;
+        break;
+    }
+    acc.apps.push_back(std::move(row));
+  }
+  return acc;
+}
+
+}  // namespace vapres::sched

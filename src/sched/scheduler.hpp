@@ -1,0 +1,148 @@
+// Runtime multi-application scheduler (admission control, online
+// placement, relocation-based defragmentation, priority preemption).
+//
+// The scheduler is the software layer the paper's Section III points at
+// but does not elaborate: the MicroBlaze deciding, at runtime, which
+// requested streaming applications run on the RSB fabric. Admission of
+// one request walks:
+//
+//   1. spec validation + RateAnalyzer feasibility (a PRR clock from the
+//      {clk_a, clk_b} ladder must sustain every module at the requested
+//      stream rate);
+//   2. IOM source/sink channel allocation;
+//   3. placement of the module chain onto free, footprint-compatible
+//      PRRs (first-fit or best-fit over a FabricMap copy);
+//   4. if fragmented: DefragPlanner picks live relocations, executed
+//      hitlessly through the 9-step core::ModuleSwitcher;
+//   5. if still stuck and allowed: evict the lowest-priority running
+//      app and retry;
+//   6. launch — bitstreams materialized from one master per footprint
+//      class (bitstream::RelocatingStore), staged to CF + SDRAM,
+//      configured with VapresSystem::reconfigure_now, channels routed,
+//      the source started.
+//
+// Every failure path is rolled back (partial launches are torn down,
+// aborted relocations leave the donor app streaming untouched), and
+// every decision is deterministic given the same submission sequence.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/relocation.hpp"
+#include "core/stats.hpp"
+#include "core/system.hpp"
+#include "flow/rate_analyzer.hpp"
+#include "sched/defrag.hpp"
+#include "sched/placement.hpp"
+#include "sched/request.hpp"
+
+namespace vapres::sched {
+
+class ApplicationScheduler {
+ public:
+  struct Options {
+    int rsb_index = 0;
+    PlacementPolicy policy = PlacementPolicy::kBestFit;
+    bool enable_defrag = true;
+    bool enable_preemption = true;
+    /// Live relocations one admission may spend (defrag plan budget).
+    int max_defrag_migrations = 4;
+    core::ReconfigSource source = core::ReconfigSource::kSdramArray;
+  };
+
+  explicit ApplicationScheduler(core::VapresSystem& sys);
+  ApplicationScheduler(core::VapresSystem& sys, Options options);
+
+  ApplicationScheduler(const ApplicationScheduler&) = delete;
+  ApplicationScheduler& operator=(const ApplicationScheduler&) = delete;
+
+  /// Queues a request; returns its app id. Call run_admission() to act.
+  int submit(AppRequest request);
+
+  /// Admits queued requests (highest priority first, FIFO within a
+  /// priority). Returns the number of apps launched by this call.
+  int run_admission();
+
+  /// Gracefully stops a running app and frees its fabric resources.
+  void stop(int app_id);
+
+  int num_apps() const { return static_cast<int>(apps_.size()); }
+  const AppRecord& app(int app_id) const;
+  std::vector<int> running_apps() const;
+
+  /// True once a finite-length source (source_words > 0) emitted all of
+  /// its words.
+  bool source_done(int app_id) const;
+
+  /// The words this app's sink IOM channel received while the app has
+  /// been running (the channel's history is sliced per app, since IOM
+  /// channels are reused across admissions).
+  std::vector<comm::Word> received_words(int app_id) const;
+
+  const FabricMap& fabric() const { return map_; }
+  double fabric_utilization() const { return map_.utilization(); }
+  const bitstream::RelocatingStore& store() const { return store_; }
+
+  core::SchedulerAccounting accounting() const;
+
+ private:
+  /// Outcome of planning one chain onto a FabricMap copy.
+  struct ChainPlan {
+    bool ok = false;
+    AdmissionVerdict fail_verdict = AdmissionVerdict::kPending;
+    std::string reason;
+    std::vector<int> prrs;            ///< PRR per chain position
+    std::vector<MigrationStep> steps; ///< relocations to execute first
+  };
+
+  core::Rsb& rsb() { return sys_.rsb(opt_.rsb_index); }
+  const core::Rsb& rsb() const { return sys_.rsb(opt_.rsb_index); }
+
+  bool try_admit(AppRecord& app);
+  ChainPlan plan_chain(const AppRecord& app) const;
+  bool allocate_ioms(AppRecord& app);
+  void free_ioms(const AppRecord& app);
+  /// Lowest-priority (then youngest) running app below `priority`.
+  int pick_victim(int priority) const;
+
+  /// Executes one planned relocation hitlessly (9-step switch). Returns
+  /// false when the spare's PR failed permanently and the switch rolled
+  /// back (the donor app keeps streaming on its old PRR).
+  bool execute_migration(const MigrationStep& step);
+
+  /// Configures PRRs, routes channels, and starts the source. On any
+  /// failure the partial launch is torn down and `app.verdict`/`reason`
+  /// say why. Returns success.
+  bool launch(AppRecord& app, const std::vector<int>& prrs);
+
+  /// Stops the source, disconnects channels, blanks PRRs, frees IOM
+  /// channels and fabric slots, captures final word counts.
+  void teardown(AppRecord& app, AppState final_state);
+
+  /// Materializes (module @ prr) from the footprint-class master and
+  /// stages it to CF and SDRAM for the reconfiguration paths.
+  void stage_bitstream(const std::string& module_id, int prr);
+
+  /// Isolates, resets, and unloads a vacated PRR site.
+  void blank_prr(int prr);
+
+  void set_prr_clock(int prr, double mhz);
+
+  core::VapresSystem& sys_;
+  Options opt_;
+  FabricMap map_;
+  bitstream::RelocatingStore store_;
+  flow::RateAnalyzer analyzer_;
+  std::vector<AppRecord> apps_;
+  /// Busy flags per IOM producer/consumer channel: [iom][channel].
+  std::vector<std::vector<bool>> source_busy_;
+  std::vector<std::vector<bool>> sink_busy_;
+
+  int preemptions_ = 0;
+  int defrag_migrations_ = 0;
+  int migration_rollbacks_ = 0;
+};
+
+}  // namespace vapres::sched

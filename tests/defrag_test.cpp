@@ -1,0 +1,230 @@
+// Online defragmentation: live relocation through the 9-step hitless
+// switch frees a large PRR for an otherwise-rejected app, streams stay
+// loss-free and in order, and a permanent PR failure mid-migration rolls
+// back leaving the donor untouched (ctest label: sched).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "sched/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace vapres::sched {
+namespace {
+
+/// Two large PRRs (16x10 = 640 slices) followed by two small ones
+/// (16x4 = 256): first-fit donors land in the large slots, so a later
+/// 300-slice app finds only small slots free — fragmented, not full.
+core::SystemParams frag_params() {
+  core::SystemParams p;
+  p.name = "fragsys";
+  core::RsbParams& r = p.rsbs[0];
+  r.num_prrs = 4;
+  r.num_ioms = 3;
+  r.ki = 1;
+  r.ko = 1;
+  r.kr = 3;
+  r.kl = 3;
+  p.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
+                 fabric::ClbRect{16, 0, 16, 10},
+                 fabric::ClbRect{32, 0, 16, 4},
+                 fabric::ClbRect{48, 0, 16, 4}};
+  return p;
+}
+
+AppRequest make_app(const std::string& name, const std::string& module,
+                    int interval = 4) {
+  AppRequest req;
+  req.name = name;
+  req.modules = {module};
+  req.priority = 1;
+  req.source_interval_cycles = interval;
+  return req;
+}
+
+/// Submits two first-fit passthrough donors (they occupy both large
+/// PRRs) and lets them stream a while.
+std::vector<int> launch_donors(ApplicationScheduler& sched,
+                               core::VapresSystem& sys) {
+  std::vector<int> donors;
+  donors.push_back(sched.submit(make_app("donor0", "passthrough")));
+  donors.push_back(sched.submit(make_app("donor1", "passthrough")));
+  EXPECT_EQ(sched.run_admission(), 2);
+  EXPECT_EQ(sched.app(donors[0]).prrs, (std::vector<int>{0}));
+  EXPECT_EQ(sched.app(donors[1]).prrs, (std::vector<int>{1}));
+  sys.run_system_cycles(800);
+  return donors;
+}
+
+TEST(Defrag, RelocationAdmitsFragmentedWorkload) {
+  core::VapresSystem sys(frag_params());
+  sys.bring_up_all_sites();
+  ApplicationScheduler::Options opt;
+  opt.policy = PlacementPolicy::kFirstFit;
+  ApplicationScheduler sched(sys, opt);
+  const auto donors = launch_donors(sched, sys);
+
+  // ma8 (300 slices) fits only a large PRR; both are occupied by
+  // 20-slice donors that fit the free small slots -> defrag.
+  const int big = sched.submit(make_app("big", "ma8"));
+  EXPECT_EQ(sched.run_admission(), 1);
+  EXPECT_EQ(sched.app(big).verdict, AdmissionVerdict::kAdmittedAfterDefrag);
+  EXPECT_EQ(sched.app(big).prrs.size(), 1u);
+
+  // Exactly one donor moved, into a small slot, and knows it.
+  const int moved_total = sched.app(donors[0]).migrations +
+                          sched.app(donors[1]).migrations;
+  EXPECT_EQ(moved_total, 1);
+  EXPECT_EQ(sched.accounting().defrag_migrations, 1);
+  for (int d : donors) {
+    ASSERT_TRUE(sched.app(d).running());
+    if (sched.app(d).migrations == 1) {
+      EXPECT_GE(sched.app(d).prrs[0], 2) << "donor moved to a small slot";
+    }
+  }
+
+  // Everyone keeps streaming: donors stay exact counter streams across
+  // the migration (hitless: loss-free and in order), ma8 produces.
+  sys.run_system_cycles(6000);
+  for (int d : donors) {
+    const auto words = sched.received_words(d);
+    EXPECT_GT(words.size(), 200u);
+    std::size_t bad = 0;
+    EXPECT_TRUE(test::in_order_counter_stream(words, 0, &bad))
+        << "donor " << d << " stream broke at index " << bad;
+  }
+  EXPECT_GT(sched.received_words(big).size(), 100u);
+  EXPECT_EQ(core::collect_stats(sys).total_discarded(), 0u);
+  // 20 + 20 + 300 occupied slices over the 1792-slice fabric.
+  EXPECT_NEAR(sched.fabric_utilization(), 340.0 / 1792.0, 1e-9);
+}
+
+TEST(Defrag, DisabledDefragRejectsTheSameWorkload) {
+  core::VapresSystem sys(frag_params());
+  sys.bring_up_all_sites();
+  ApplicationScheduler::Options opt;
+  opt.policy = PlacementPolicy::kFirstFit;
+  opt.enable_defrag = false;
+  ApplicationScheduler sched(sys, opt);
+  launch_donors(sched, sys);
+
+  const int big = sched.submit(make_app("big", "ma8"));
+  EXPECT_EQ(sched.run_admission(), 0);
+  EXPECT_EQ(sched.app(big).verdict, AdmissionVerdict::kRejectedFragmented);
+  EXPECT_NE(sched.app(big).reject_reason.find("occupied or too-small"),
+            std::string::npos);
+}
+
+TEST(Defrag, RelocationReusesOneMasterPerFootprintClass) {
+  core::VapresSystem sys(frag_params());
+  sys.bring_up_all_sites();
+  ApplicationScheduler::Options opt;
+  opt.policy = PlacementPolicy::kFirstFit;
+  ApplicationScheduler sched(sys, opt);
+  const auto donors = launch_donors(sched, sys);
+  (void)donors;
+  sched.submit(make_app("big", "ma8"));
+  EXPECT_EQ(sched.run_admission(), 1);
+  // passthrough needed masters for the large (launch) and small
+  // (migration target) classes; ma8 one for the large class.
+  const fabric::ClbRect large{0, 0, 16, 10};
+  const fabric::ClbRect small_rect{32, 0, 16, 4};
+  EXPECT_TRUE(sched.store().has_master("passthrough", large));
+  EXPECT_TRUE(sched.store().has_master("passthrough", small_rect));
+  EXPECT_TRUE(sched.store().has_master("ma8", large));
+  EXPECT_EQ(sched.store().master_count(), 3u);
+}
+
+// Property: over seeds and stream rates, defrag migrations are hitless
+// for every app in flight — deterministic fault machinery enabled but
+// nothing armed.
+class DefragHitless : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DefragHitless, MigrationKeepsAllStreamsInOrder) {
+  const std::uint64_t seed = GetParam();
+  test::FaultRig rig(seed, frag_params());
+  ApplicationScheduler::Options opt;
+  opt.policy = PlacementPolicy::kFirstFit;
+  ApplicationScheduler sched(*rig.sys, opt);
+
+  const int interval = 2 + static_cast<int>(seed % 5);
+  std::vector<int> donors;
+  donors.push_back(
+      sched.submit(make_app("donor0", "passthrough", interval)));
+  donors.push_back(
+      sched.submit(make_app("donor1", "passthrough", interval)));
+  ASSERT_EQ(sched.run_admission(), 2);
+  rig.sys->run_system_cycles(500 + 100 * static_cast<int>(seed % 7));
+
+  const int big = sched.submit(make_app("big", "ma8", interval));
+  ASSERT_EQ(sched.run_admission(), 1);
+  EXPECT_EQ(sched.app(big).verdict,
+            AdmissionVerdict::kAdmittedAfterDefrag);
+
+  rig.sys->run_system_cycles(4000);
+  for (int d : donors) {
+    const auto words = sched.received_words(d);
+    EXPECT_GT(words.size(), 100u);
+    std::size_t bad = 0;
+    EXPECT_TRUE(test::in_order_counter_stream(words, 0, &bad))
+        << "seed " << seed << ": donor " << d << " broke at " << bad;
+  }
+  EXPECT_EQ(core::collect_stats(*rig.sys).total_discarded(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefragHitless,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Defrag, PermanentPrFailureMidMigrationRollsBack) {
+  test::FaultRig rig(0xD3F4ULL, frag_params());
+  ApplicationScheduler::Options opt;
+  opt.policy = PlacementPolicy::kFirstFit;
+  ApplicationScheduler sched(*rig.sys, opt);
+  const auto donors = launch_donors(sched, *rig.sys);
+
+  // The next ICAP transfer is the migration's PR of the small spare:
+  // corrupt it with retries and CF fallback disabled -> permanent.
+  rig.arm_permanent_pr_failure();
+  const int big = sched.submit(make_app("big", "ma8"));
+  EXPECT_EQ(sched.run_admission(), 0);
+  EXPECT_EQ(sched.app(big).verdict, AdmissionVerdict::kRejectedFragmented);
+  EXPECT_NE(sched.app(big).reject_reason.find("rolled back"),
+            std::string::npos);
+
+  // The 9-step switch aborted at step 3: donors still stream from their
+  // original large PRRs, nothing was rerouted, nothing was dropped.
+  EXPECT_EQ(sched.accounting().migration_rollbacks, 1);
+  EXPECT_EQ(rig.injector().recoveries(sim::RecoveryEvent::kSwitchRollback),
+            1u);
+  EXPECT_EQ(core::collect_stats(*rig.sys).robustness.switch_rollbacks, 1u);
+  for (std::size_t i = 0; i < donors.size(); ++i) {
+    const AppRecord& d = sched.app(donors[i]);
+    ASSERT_TRUE(d.running());
+    EXPECT_EQ(d.migrations, 0);
+    EXPECT_EQ(d.prrs, (std::vector<int>{static_cast<int>(i)}));
+  }
+  rig.sys->run_system_cycles(3000);
+  for (int d : donors) {
+    const auto words = sched.received_words(d);
+    EXPECT_GT(words.size(), 100u);
+    std::size_t bad = 0;
+    EXPECT_TRUE(test::in_order_counter_stream(words, 0, &bad))
+        << "donor " << d << " broke at " << bad;
+  }
+  EXPECT_EQ(core::collect_stats(*rig.sys).total_discarded(), 0u);
+
+  // With the fault disarmed, resubmission defragments and admits.
+  rig.disarm_pr_failures();
+  const int retry = sched.submit(make_app("big_retry", "ma8"));
+  EXPECT_EQ(sched.run_admission(), 1);
+  EXPECT_EQ(sched.app(retry).verdict,
+            AdmissionVerdict::kAdmittedAfterDefrag);
+  rig.sys->run_system_cycles(3000);
+  EXPECT_GT(sched.received_words(retry).size(), 50u);
+}
+
+}  // namespace
+}  // namespace vapres::sched

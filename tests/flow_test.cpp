@@ -237,7 +237,89 @@ TEST(ApplicationFlow, ReportsUnplaceableModules) {
   const auto result = app_flow.build(app);
   EXPECT_FALSE(result.ok());
   ASSERT_EQ(result.unplaceable_modules.size(), 1u);
-  EXPECT_EQ(result.unplaceable_modules[0], "fir16_sharp");
+  const UnplaceableModule& u = result.unplaceable_modules[0];
+  EXPECT_EQ(u.module_id, "fir16_sharp");
+  EXPECT_EQ(u.reason, UnplaceableModule::Reason::kResourceOverflow);
+  EXPECT_NE(u.detail.find("1200"), std::string::npos);
+  EXPECT_NE(u.detail.find("640"), std::string::npos);
+  EXPECT_STREQ(unplaceable_reason_name(u.reason), "resource-overflow");
+}
+
+TEST(ApplicationFlow, DistinguishesFootprintMismatchFromOverflow) {
+  BaseSystemFlow base_flow;
+  const auto base = base_flow.run(core::SystemParams::prototype());
+  auto lib = hwmodule::ModuleLibrary::standard();
+  // A module whose slice count fits a 640-slice PRR but whose BRAM need
+  // matches no CLB-only PRR rectangle.
+  hwmodule::NetlistInfo info;
+  info.type_id = "bram_fft";
+  info.description = "FFT needing block RAM";
+  info.resources = fabric::ResourceVector{400, 4, 0};
+  info.factory = [] { return std::unique_ptr<hwmodule::ModuleBehavior>(); };
+  lib.register_module(info);
+  ApplicationFlow app_flow(base, lib);
+
+  core::KpnAppSpec app;
+  app.name = "needs_bram";
+  app.nodes = {{"f", "bram_fft"}};
+  const auto result = app_flow.build(app);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.unplaceable_modules.size(), 1u);
+  const UnplaceableModule& u = result.unplaceable_modules[0];
+  EXPECT_EQ(u.reason, UnplaceableModule::Reason::kNoFootprintMatch);
+  EXPECT_NE(u.detail.find("BRAM"), std::string::npos);
+  EXPECT_STREQ(unplaceable_reason_name(u.reason), "no-footprint-match");
+}
+
+// The caveat documented on build_relocating(): PRRs with identical
+// dimensions but different row offsets within the clock region land in
+// different footprint classes — they are NOT relocation-compatible, so
+// the store keeps one master per class (no storage saving between them)
+// and cross-class relocation refuses.
+TEST(ApplicationFlow, RelocatingBuildSplitsIncompatibleFootprints) {
+  core::SystemParams p = core::SystemParams::prototype();
+  // Same 16x10 dimensions; rows 0 and 24 => row offsets 0 and 8 within
+  // the 16-row clock region. PRR1 spans regions 1-2, PRR0 region 0, so
+  // the floorplan is legal, but the frame word layouts differ.
+  p.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
+                 fabric::ClbRect{24, 0, 16, 10}};
+  BaseSystemFlow base_flow;
+  const auto base = base_flow.run(p);
+  const auto lib = hwmodule::ModuleLibrary::standard();
+  ApplicationFlow app_flow(base, lib);
+
+  const auto& r0 = base.floorplan.prrs[0].rect;
+  const auto& r1 = base.floorplan.prrs[1].rect;
+  EXPECT_FALSE(bitstream::relocatable(r0, r1));
+  EXPECT_NE(bitstream::footprint_class(r0), bitstream::footprint_class(r1));
+
+  core::KpnAppSpec app;
+  app.name = "split";
+  app.nodes = {{"g", "gain_x2"}};
+  const auto store = app_flow.build_relocating(app);
+  // Two masters — one per class — and no cross-class saving: the store
+  // holds as many bytes as the EAPR build would for these two PRRs.
+  EXPECT_EQ(store.master_count(), 2u);
+  const auto full = app_flow.build(app);
+  std::int64_t eapr_bytes = 0;
+  for (const auto& bs : full.bitstreams) eapr_bytes += bs.size_bytes;
+  EXPECT_EQ(store.stored_bytes(), eapr_bytes);
+  // Both PRRs are still covered (coverage parity with build())...
+  EXPECT_TRUE(store.has_master("gain_x2", r0));
+  EXPECT_TRUE(store.has_master("gain_x2", r1));
+  // ...but a master placed for one class refuses to relocate across.
+  const auto master0 = store.materialize("gain_x2", "prr0", r0);
+  EXPECT_THROW(bitstream::relocate(master0, "prr1", r1), ModelError);
+
+  // Contrast: same offset (rows 0 and 48, both o0) => one shared class.
+  core::SystemParams q = core::SystemParams::prototype();
+  q.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
+                 fabric::ClbRect{48, 0, 16, 10}};
+  const auto base2 = base_flow.run(q);
+  ApplicationFlow app_flow2(base2, lib);
+  const auto store2 = app_flow2.build_relocating(app);
+  EXPECT_EQ(store2.master_count(), 1u);
+  EXPECT_LT(store2.stored_bytes(), eapr_bytes);
 }
 
 TEST(ApplicationFlow, RejectsPortSignatureMismatch) {

@@ -105,6 +105,34 @@ struct FaultRig {
     faults.emplace(seed);
   }
 
+  /// Bare-system variant for scheduler tests: builds `params`, brings
+  /// the sites up, and enables deterministic injection — but stages no
+  /// modules and connects no channels (the scheduler under test does).
+  FaultRig(std::uint64_t seed, core::SystemParams params) {
+    sys = std::make_unique<core::VapresSystem>(std::move(params));
+    sys->bring_up_all_sites();
+    faults.emplace(seed);
+  }
+
+  /// Makes the `nth` upcoming ICAP transfer (counted from *now*, and
+  /// `count - 1` after it) fail *permanently*: corruption armed with
+  /// retries and the CF fallback disabled, so the ReconfigManager
+  /// reports failure on the first corrupted attempt. Used to hit a
+  /// defrag migration mid-flight.
+  void arm_permanent_pr_failure(std::uint64_t nth = 0,
+                                std::uint64_t count = 1) {
+    sys->reconfig().set_retry_policy({.max_attempts = 1,
+                                      .backoff_base_cycles = 256,
+                                      .fallback_to_cf = false});
+    const auto site = sim::FaultSite::kIcapBitstreamCorruption;
+    injector().arm(site, injector().opportunities(site) + nth, count);
+  }
+
+  /// Restores the default (self-healing) retry policy.
+  void disarm_pr_failures() {
+    sys->reconfig().set_retry_policy(core::RetryPolicy{});
+  }
+
   sim::FaultInjector& injector() { return sim::FaultInjector::instance(); }
   core::Iom& iom() { return sys->rsb().iom(0); }
 
@@ -137,6 +165,21 @@ struct FaultRig {
                                 sim::kPsPerSecond * 120);
   }
 };
+
+/// True iff `words` is exactly `start, start+1, ...` — the loss-free,
+/// in-order property of a counter stream (through identity modules).
+/// Sets `*bad_index` (if given) to the first offending position.
+inline bool in_order_counter_stream(const std::vector<comm::Word>& words,
+                                    comm::Word start = 0,
+                                    std::size_t* bad_index = nullptr) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i] != start + static_cast<comm::Word>(i)) {
+      if (bad_index != nullptr) *bad_index = i;
+      return false;
+    }
+  }
+  return true;
+}
 
 /// In-memory ModulePorts for unit-testing behaviours without a wrapper.
 class PortsStub final : public hwmodule::ModulePorts {
