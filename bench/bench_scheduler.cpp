@@ -24,6 +24,7 @@
 #include "core/stats.hpp"
 #include "core/system.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/clock.hpp"
 #include "sim/random.hpp"
 
 namespace {
@@ -56,6 +57,9 @@ struct WorkloadResult {
   int rejected = 0;
   int defrag_migrations = 0;
   double mean_utilization = 0.0;
+  /// Edge-delivery accounting of the activity-driven kernel
+  /// (docs/SIMULATOR.md) over the whole workload replay.
+  sim::KernelStats kernel;
   /// Signature for the determinism check: per-app verdict names.
   std::vector<std::string> verdicts;
 };
@@ -112,6 +116,7 @@ WorkloadResult run_workload(sched::PlacementPolicy policy,
   r.rejected = acc.rejected;
   r.defrag_migrations = acc.defrag_migrations;
   r.mean_utilization = util_sum / samples;
+  r.kernel = sys.sim().kernel_stats();
   for (const core::AppAccounting& a : acc.apps) r.verdicts.push_back(a.verdict);
   return r;
 }
@@ -151,15 +156,34 @@ void print_tables() {
       {"best-fit  + defrag", sched::PlacementPolicy::kBestFit, true},
   };
   WorkloadResult baseline, defragged;
+  std::vector<std::pair<const char*, WorkloadResult>> rows;
   for (const Config& c : configs) {
     const WorkloadResult r = run_workload(c.policy, c.defrag);
     if (!c.defrag) baseline = r;
     if (c.defrag && c.policy == sched::PlacementPolicy::kFirstFit) {
       defragged = r;
     }
+    rows.emplace_back(c.name, r);
     std::printf("%-20s %9d %9d %9d %12d %9.1f%%\n", c.name, r.admitted,
                 r.rejected, r.admitted_after_defrag, r.defrag_migrations,
                 100.0 * r.mean_utilization);
+  }
+
+  std::printf("\n--- activity-driven kernel edge accounting per config "
+              "(docs/SIMULATOR.md) ---\n");
+  std::printf("%-20s %14s %14s %9s %8s %8s\n", "policy", "delivered",
+              "skipped", "elided", "sleeps", "wakes");
+  for (const auto& [name, r] : rows) {
+    const double total = static_cast<double>(r.kernel.edges_delivered +
+                                             r.kernel.edges_skipped);
+    std::printf("%-20s %14llu %14llu %8.1f%% %8llu %8llu\n", name,
+                static_cast<unsigned long long>(r.kernel.edges_delivered),
+                static_cast<unsigned long long>(r.kernel.edges_skipped),
+                total > 0 ? 100.0 * static_cast<double>(
+                                        r.kernel.edges_skipped) / total
+                          : 0.0,
+                static_cast<unsigned long long>(r.kernel.domain_sleeps),
+                static_cast<unsigned long long>(r.kernel.component_wakes));
   }
   std::printf("\nShape check: identical offered load, identical fabric — "
               "the defragmenting\nconfigs admit %d more app(s) than the "

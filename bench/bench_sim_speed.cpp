@@ -1,80 +1,195 @@
-// Tooling benchmark — simulator throughput.
+// Tooling benchmark — simulator throughput and the activity-driven win.
 //
 // Not a paper experiment: measures how fast the discrete-event model
-// itself runs (simulated cycles per wall-clock second) as the system
-// grows, so users can budget experiment runtimes (e.g. a full-prototype
-// cf2icap at 104 M cycles). Reported per configuration via counters.
-#include <benchmark/benchmark.h>
-
+// itself runs, comparing the activity-driven (quiescence-aware) kernel
+// against the exhaustive tick-everything reference (docs/SIMULATOR.md)
+// on two workloads:
+//
+//   idle-heavy    a long PR transfer (vapres_array2icap of a 640-slice
+//                 module) with the other PRR's clock gated, followed by
+//                 an idle-fabric span — the span the quiescence tracking
+//                 exists for;
+//   fully-active  a rate-1 stream saturating an IOM -> PRR -> IOM chain,
+//                 every component busy every cycle — the worst case for
+//                 the poll overhead.
+//
+// Emits BENCH_sim_speed.json (edges delivered/skipped, wall-clock,
+// sim-time/wall-time ratio per workload and kernel) and exits non-zero
+// when the acceptance thresholds regress: >= 5x wall-clock speedup on
+// idle-heavy, <= 10 % slowdown on fully-active. scripts/tier1.sh runs
+// this binary.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "core/system.hpp"
+#include "sim/clock.hpp"
 
 namespace {
 
 using namespace vapres;
 using comm::Word;
 
-std::unique_ptr<core::VapresSystem> make_system(int prrs) {
+struct RunResult {
+  double wall_s = 0.0;
+  double sim_s = 0.0;
+  sim::Cycles cycles = 0;
+  sim::KernelStats stats;
+
+  double sim_wall_ratio() const { return wall_s > 0 ? sim_s / wall_s : 0; }
+};
+
+std::unique_ptr<core::VapresSystem> make_system(bool activity_driven) {
   core::SystemParams p = core::SystemParams::prototype();
-  p.device = fabric::DeviceGeometry::xc4vlx60();
-  p.rsbs[0].num_prrs = prrs;
-  p.rsbs[0].prr_width_clbs = 2;
   auto sys = std::make_unique<core::VapresSystem>(std::move(p));
+  sys->sim().set_activity_driven(activity_driven);
   sys->bring_up_all_sites();
   return sys;
 }
 
-void BM_IdleSystemCycles(benchmark::State& state) {
-  auto sys = make_system(static_cast<int>(state.range(0)));
-  std::uint64_t cycles = 0;
-  for (auto _ : state) {
-    sys->run_system_cycles(10000);
-    cycles += 10000;
-  }
-  state.counters["Mcycles_per_s"] = benchmark::Counter(
-      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+template <typename Fn>
+RunResult timed(core::VapresSystem& sys, Fn&& body) {
+  const sim::Picoseconds ps0 = sys.sim().now();
+  const sim::Cycles c0 = sys.system_clock().cycle_count();
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_s = static_cast<double>(sys.sim().now() - ps0) * 1e-12;
+  r.cycles = sys.system_clock().cycle_count() - c0;
+  r.stats = sys.sim().kernel_stats();
+  return r;
 }
-BENCHMARK(BM_IdleSystemCycles)->Arg(2)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_StreamingSystemCycles(benchmark::State& state) {
-  auto sys = make_system(static_cast<int>(state.range(0)));
-  const int prrs = static_cast<int>(state.range(0));
+/// Long PR transfer with the spare PRR's clock gated, then idle fabric.
+RunResult run_idle_heavy(bool activity_driven) {
+  auto sys = make_system(activity_driven);
+  sys->preload_sdram("fir4_smooth", 0, 0);
+  sys->rsb().prr(1).clock_tree().set_enabled(false);
+  return timed(*sys, [&] {
+    sys->reconfigure_now(0, 0, "fir4_smooth");
+    sys->run_system_cycles(6'000'000);
+  });
+}
+
+/// Rate-1 stream through a passthrough module, everything busy.
+RunResult run_fully_active(bool activity_driven) {
+  auto sys = make_system(activity_driven);
+  sys->reconfigure_now(0, 0, "passthrough");
   core::Rsb& rsb = sys->rsb();
-  for (int p = 0; p < prrs; ++p) {
-    sys->reconfigure_now(0, p, "passthrough");
-  }
-  // One measured chain through PRR 0.
   sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
   sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
   rsb.iom(0).set_source_generator(
       [n = 0]() mutable -> std::optional<Word> {
         return static_cast<Word>(n++);
-      });
-  std::uint64_t cycles = 0;
-  for (auto _ : state) {
-    sys->run_system_cycles(10000);
-    cycles += 10000;
-    rsb.iom(0).take_received();  // keep memory flat
-  }
-  state.counters["Mcycles_per_s"] = benchmark::Counter(
-      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+      },
+      /*interval_cycles=*/1);
+  return timed(*sys, [&] {
+    for (int chunk = 0; chunk < 50; ++chunk) {
+      sys->run_system_cycles(10'000);
+      rsb.iom(0).take_received();  // keep memory flat
+    }
+  });
 }
-BENCHMARK(BM_StreamingSystemCycles)->Arg(2)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_ReconfigurationSimulated(benchmark::State& state) {
-  auto sys = make_system(2);
-  bool toggle = false;
-  for (auto _ : state) {
-    sys->reconfigure_now(0, 0, toggle ? "passthrough" : "offset_100");
-    toggle = !toggle;
-  }
+void print_result(const char* workload, const char* kernel,
+                  const RunResult& r) {
+  std::printf(
+      "%-13s %-10s wall %8.3f s | sim %9.4f s (%8.1fx real time) | "
+      "%llu cycles | edges: %llu delivered, %llu skipped | "
+      "%llu sleeps, %llu wakes\n",
+      workload, kernel, r.wall_s, r.sim_s, r.sim_wall_ratio(),
+      static_cast<unsigned long long>(r.cycles),
+      static_cast<unsigned long long>(r.stats.edges_delivered),
+      static_cast<unsigned long long>(r.stats.edges_skipped),
+      static_cast<unsigned long long>(r.stats.domain_sleeps),
+      static_cast<unsigned long long>(r.stats.component_wakes));
 }
-BENCHMARK(BM_ReconfigurationSimulated)->Unit(benchmark::kMillisecond);
+
+void emit_json_run(std::FILE* f, const char* kernel, const RunResult& r,
+                   bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\n"
+               "      \"wall_seconds\": %.6f,\n"
+               "      \"sim_seconds\": %.6f,\n"
+               "      \"sim_wall_ratio\": %.3f,\n"
+               "      \"system_cycles\": %llu,\n"
+               "      \"edges_delivered\": %llu,\n"
+               "      \"edges_skipped\": %llu,\n"
+               "      \"domain_sleeps\": %llu,\n"
+               "      \"component_wakes\": %llu\n"
+               "    }%s\n",
+               kernel, r.wall_s, r.sim_s, r.sim_wall_ratio(),
+               static_cast<unsigned long long>(r.cycles),
+               static_cast<unsigned long long>(r.stats.edges_delivered),
+               static_cast<unsigned long long>(r.stats.edges_skipped),
+               static_cast<unsigned long long>(r.stats.domain_sleeps),
+               static_cast<unsigned long long>(r.stats.component_wakes),
+               last ? "" : ",");
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::printf("== simulator throughput: activity-driven vs exhaustive ==\n");
+
+  // Best-of-2 wall times per configuration to damp scheduler noise; the
+  // kernel counters are identical across repeats (deterministic model).
+  auto best = [](RunResult a, RunResult b) {
+    return a.wall_s <= b.wall_s ? a : b;
+  };
+  const RunResult idle_fast =
+      best(run_idle_heavy(true), run_idle_heavy(true));
+  const RunResult idle_ref =
+      best(run_idle_heavy(false), run_idle_heavy(false));
+  const RunResult active_fast =
+      best(run_fully_active(true), run_fully_active(true));
+  const RunResult active_ref =
+      best(run_fully_active(false), run_fully_active(false));
+
+  print_result("idle-heavy", "activity", idle_fast);
+  print_result("idle-heavy", "exhaustive", idle_ref);
+  print_result("fully-active", "activity", active_fast);
+  print_result("fully-active", "exhaustive", active_ref);
+
+  const double speedup =
+      idle_fast.wall_s > 0 ? idle_ref.wall_s / idle_fast.wall_s : 0;
+  const double slowdown_pct =
+      active_ref.wall_s > 0
+          ? 100.0 * (active_fast.wall_s - active_ref.wall_s) /
+                active_ref.wall_s
+          : 0;
+  const bool idle_ok = speedup >= 5.0;
+  const bool active_ok = slowdown_pct <= 10.0;
+  std::printf("idle-heavy speedup: %.1fx (threshold >= 5x: %s)\n", speedup,
+              idle_ok ? "PASS" : "FAIL");
+  std::printf("fully-active slowdown: %+.1f%% (threshold <= 10%%: %s)\n",
+              slowdown_pct, active_ok ? "PASS" : "FAIL");
+
+  std::FILE* f = std::fopen("BENCH_sim_speed.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"idle_heavy\": {\n");
+    emit_json_run(f, "activity", idle_fast, false);
+    emit_json_run(f, "exhaustive", idle_ref, true);
+    std::fprintf(f, "  },\n  \"fully_active\": {\n");
+    emit_json_run(f, "activity", active_fast, false);
+    emit_json_run(f, "exhaustive", active_ref, true);
+    std::fprintf(f,
+                 "  },\n"
+                 "  \"idle_heavy_speedup\": %.2f,\n"
+                 "  \"fully_active_slowdown_pct\": %.2f,\n"
+                 "  \"thresholds\": {\"idle_heavy_speedup_min\": 5.0, "
+                 "\"fully_active_slowdown_max_pct\": 10.0},\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 speedup, slowdown_pct,
+                 idle_ok && active_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_sim_speed.json\n");
+  }
+  return idle_ok && active_ok ? 0 : 1;
+}

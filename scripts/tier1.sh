@@ -18,6 +18,13 @@ cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j
 
 echo
+echo "=== tier-1: simulator throughput gate (bench_sim_speed) ==="
+# Fails (non-zero exit) when the activity-driven kernel regresses below
+# the acceptance thresholds; writes BENCH_sim_speed.json in the build dir.
+cmake --build "$BUILD" -j --target bench_sim_speed
+(cd "$BUILD" && ./bench/bench_sim_speed)
+
+echo
 echo "=== tier-1: sched-labeled tests under address,undefined ==="
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
 cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test

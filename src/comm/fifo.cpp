@@ -11,8 +11,18 @@ Fifo::Fifo(std::string name, int capacity)
   VAPRES_REQUIRE(capacity_ > 0, "FIFO capacity must be positive: " + name_);
 }
 
+void Fifo::add_wake_target(sim::Clocked* target) {
+  VAPRES_REQUIRE(target != nullptr, name_ + ": null wake target");
+  wake_targets_.push_back(target);
+}
+
+void Fifo::wake_targets() {
+  for (sim::Clocked* t : wake_targets_) t->wake();
+}
+
 void Fifo::push(Word w) {
   VAPRES_REQUIRE(!full(), "FIFO overflow: " + name_);
+  wake_targets();
   auto& faults = sim::FaultInjector::instance();
   if (faults.enabled()) {
     if (faults.should_fire(sim::FaultSite::kFifoDropWord)) {
@@ -33,6 +43,7 @@ void Fifo::push(Word w) {
 
 Word Fifo::pop() {
   VAPRES_REQUIRE(!empty(), "FIFO underflow: " + name_);
+  wake_targets();
   const Word w = words_.front();
   words_.pop_front();
   ++popped_;
@@ -44,6 +55,9 @@ Word Fifo::front() const {
   return words_.front();
 }
 
-void Fifo::reset() { words_.clear(); }
+void Fifo::reset() {
+  words_.clear();
+  wake_targets();
+}
 
 }  // namespace vapres::comm

@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "comm/flit.hpp"
 #include "sim/check.hpp"
+#include "sim/component.hpp"
 
 namespace vapres::comm {
 
@@ -50,6 +52,13 @@ class Fifo {
   /// Clears contents (PRSocket FIFO_reset / FSL_reset).
   void reset();
 
+  /// Registers a component whose activity depends on this FIFO. Every
+  /// push, pop, and reset calls wake() on each target: a push gives the
+  /// reader work, and a pop changes the fill level that backpressure
+  /// thresholds are computed from. Targets are never unregistered — wire
+  /// only components that outlive the FIFO's use.
+  void add_wake_target(sim::Clocked* target);
+
   std::uint64_t total_pushed() const { return pushed_; }
   std::uint64_t total_popped() const { return popped_; }
   int high_watermark() const { return high_watermark_; }
@@ -59,9 +68,12 @@ class Fifo {
   std::uint64_t fault_duplicated() const { return fault_duplicated_; }
 
  private:
+  void wake_targets();
+
   std::string name_;
   int capacity_;
   std::deque<Word> words_;
+  std::vector<sim::Clocked*> wake_targets_;
   std::uint64_t pushed_ = 0;
   std::uint64_t popped_ = 0;
   std::uint64_t fault_dropped_ = 0;

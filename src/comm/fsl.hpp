@@ -38,6 +38,11 @@ class FslLink {
   /// PRSocket FSL_reset bit.
   void reset() { fifo_.reset(); }
 
+  /// Registers a component to wake whenever the link is written, read,
+  /// or reset (see Fifo::add_wake_target). Lets a clocked reader sleep
+  /// while the link is idle without missing a message.
+  void add_wake_target(sim::Clocked* target) { fifo_.add_wake_target(target); }
+
   int occupancy() const { return fifo_.size(); }
   int capacity() const { return fifo_.capacity(); }
   std::uint64_t total_written() const { return fifo_.total_pushed(); }

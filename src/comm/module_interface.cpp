@@ -9,6 +9,9 @@ ProducerInterface::ProducerInterface(std::string name, int fifo_capacity,
       width_bits_(width_bits) {
   VAPRES_REQUIRE(width_bits_ >= 1 && width_bits_ <= 32,
                  name_ + ": channel width must be 1..32 bits");
+  // The module-side writer (wrapper or IOM source) pushes from another
+  // context; the push must re-arm the fabric-side drain.
+  fifo_.add_wake_target(this);
 }
 
 void ProducerInterface::reset() {
@@ -16,6 +19,13 @@ void ProducerInterface::reset() {
   output_ = kIdleFlit;
   next_output_ = kIdleFlit;
   pop_pending_ = false;
+  wake();
+}
+
+bool ProducerInterface::quiescent() const {
+  const bool feedback = feedback_full_ != nullptr && *feedback_full_;
+  const bool next_idle = !(read_enable_ && !feedback && !fifo_.empty());
+  return !output_.valid && next_idle;
 }
 
 void ProducerInterface::eval() {
@@ -41,7 +51,11 @@ void ProducerInterface::commit() {
 }
 
 ConsumerInterface::ConsumerInterface(std::string name, int fifo_capacity)
-    : name_(std::move(name)), fifo_(name_ + ".fifo", fifo_capacity) {}
+    : name_(std::move(name)), fifo_(name_ + ".fifo", fifo_capacity) {
+  // An external drain (module or IOM sink popping words) changes the fill
+  // level the feedback-full threshold is computed from.
+  fifo_.add_wake_target(this);
+}
 
 void ConsumerInterface::configure_backpressure(int hops,
                                                BackpressurePolicy policy) {
@@ -63,6 +77,7 @@ void ConsumerInterface::configure_backpressure(int hops,
                      "-hop channel under this backpressure policy");
   hops_ = hops;
   policy_ = policy;
+  wake();
 }
 
 void ConsumerInterface::reset() {
@@ -70,6 +85,12 @@ void ConsumerInterface::reset() {
   full_feedback_ = false;
   next_full_feedback_ = false;
   pending_ = kIdleFlit;
+  wake();
+}
+
+bool ConsumerInterface::quiescent() const {
+  const bool input_idle = input_ == nullptr || !input_->valid;
+  return input_idle && full_feedback_ == threshold_reached();
 }
 
 bool ConsumerInterface::threshold_reached() const {

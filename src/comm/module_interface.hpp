@@ -49,12 +49,18 @@ class ProducerInterface final : public sim::Clocked {
   const Fifo& fifo() const { return fifo_; }
 
   /// PRSocket FIFO_ren bit: enables draining the FIFO onto the fabric.
-  void set_read_enable(bool enable) { read_enable_ = enable; }
+  void set_read_enable(bool enable) {
+    read_enable_ = enable;
+    wake();
+  }
   bool read_enable() const { return read_enable_; }
 
   /// Wires the pipelined feedback-full signal (owned by the fabric's
   /// feedback pipeline). Null means "never full".
-  void set_feedback_full_source(const bool* src) { feedback_full_ = src; }
+  void set_feedback_full_source(const bool* src) {
+    feedback_full_ = src;
+    wake();
+  }
 
   /// Fabric-side output register (read by the paired switch box's input
   /// register during its eval).
@@ -67,6 +73,10 @@ class ProducerInterface final : public sim::Clocked {
 
   void eval() override;
   void commit() override;
+  /// Idle output and nothing drainable (empty FIFO, read disabled, or
+  /// stalled on feedback-full): further edges are no-ops until the FIFO
+  /// or a PRSocket bit wakes the interface.
+  bool quiescent() const override;
 
   /// Payload width of the attached channel (w in the paper's Figure 7).
   int width_bits() const { return width_bits_; }
@@ -95,12 +105,18 @@ class ConsumerInterface final : public sim::Clocked {
   const Fifo& fifo() const { return fifo_; }
 
   /// PRSocket FIFO_wen bit: enables writing received words into the FIFO.
-  void set_write_enable(bool enable) { write_enable_ = enable; }
+  void set_write_enable(bool enable) {
+    write_enable_ = enable;
+    wake();
+  }
   bool write_enable() const { return write_enable_; }
 
   /// Wires the fabric-side input (the paired switch box's consumer-channel
   /// output slot). Null reads as idle.
-  void set_input_signal(const Flit* src) { input_ = src; }
+  void set_input_signal(const Flit* src) {
+    input_ = src;
+    wake();
+  }
 
   /// Configures backpressure for an established channel crossing `hops`
   /// switch boxes.
@@ -119,6 +135,9 @@ class ConsumerInterface final : public sim::Clocked {
 
   void eval() override;
   void commit() override;
+  /// Idle fabric input and a settled feedback-full register: further edges
+  /// are no-ops until a flit arrives or the FIFO's fill level changes.
+  bool quiescent() const override;
 
  private:
   bool threshold_reached() const;

@@ -60,6 +60,7 @@ int SwitchBox::output_consumer(int channel) const {
 void SwitchBox::connect_input(int port, const Flit* source) {
   check_input(port);
   sources_[static_cast<std::size_t>(port)] = source;
+  wake();
 }
 
 const Flit* SwitchBox::output_signal(int port) const {
@@ -71,6 +72,7 @@ void SwitchBox::select(int output_port, int input_port) {
   check_output(output_port);
   if (input_port >= 0) check_input(input_port);
   selects_[static_cast<std::size_t>(output_port)] = input_port;
+  wake();
 }
 
 int SwitchBox::selected(int output_port) const {
@@ -80,6 +82,7 @@ int SwitchBox::selected(int output_port) const {
 
 void SwitchBox::park_all_outputs() {
   for (auto& s : selects_) s = -1;
+  wake();
 }
 
 bool SwitchBox::output_stuck(int port) const {
@@ -90,12 +93,28 @@ bool SwitchBox::output_stuck(int port) const {
 void SwitchBox::repair_output(int port) {
   check_output(port);
   stuck_[static_cast<std::size_t>(port)] = false;
+  wake();
 }
 
 int SwitchBox::stuck_output_count() const {
   int n = 0;
   for (bool s : stuck_) n += s ? 1 : 0;
   return n;
+}
+
+bool SwitchBox::quiescent() const {
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const Flit in = sources_[i] != nullptr ? *sources_[i] : kIdleFlit;
+    if (!(in == regs_[i])) return false;
+  }
+  for (std::size_t p = 0; p < outputs_.size(); ++p) {
+    if (stuck_[p]) continue;  // holds its last flit: stable by definition
+    const int sel = selects_[p];
+    const Flit expect =
+        sel >= 0 ? regs_[static_cast<std::size_t>(sel)] : kIdleFlit;
+    if (!(outputs_[p] == expect)) return false;
+  }
+  return true;
 }
 
 void SwitchBox::eval() {

@@ -80,6 +80,12 @@ class SwitchBox final : public sim::Clocked {
 
   void eval() override;
   void commit() override;
+  /// Input registers already equal their sources and every (non-stuck)
+  /// output already equals its mux selection: further edges are no-ops.
+  /// Only meaningful group-wide — the fabric groups its boxes, feedback
+  /// pipelines, and attached interfaces into one ActivityGroup, so a box
+  /// never sleeps while a neighbour could still push a flit into it.
+  bool quiescent() const override;
 
  private:
   void check_input(int port) const;

@@ -29,6 +29,15 @@ void SwitchFabric::FeedbackPipeline::commit() {
   stages_[0] = *source_;
 }
 
+bool SwitchFabric::FeedbackPipeline::quiescent() const {
+  const bool level = *source_;
+  if (output_ != level) return false;
+  for (bool s : stages_) {
+    if (s != level) return false;
+  }
+  return true;
+}
+
 SwitchFabric::SwitchFabric(sim::ClockDomain& static_domain, int num_boxes,
                            SwitchBoxShape shape, std::string name)
     : domain_(static_domain), name_(std::move(name)), shape_(shape) {
@@ -38,6 +47,7 @@ SwitchFabric::SwitchFabric(sim::ClockDomain& static_domain, int num_boxes,
     boxes_.push_back(std::make_unique<SwitchBox>(
         name_ + ".sw" + std::to_string(i), shape_));
     domain_.attach(boxes_.back().get());
+    group_.add(boxes_.back().get());
   }
   producers_.assign(static_cast<std::size_t>(num_boxes),
                     std::vector<ProducerInterface*>(
@@ -91,6 +101,7 @@ void SwitchFabric::attach_producer(int box_index, int channel,
   VAPRES_REQUIRE(slot == nullptr, "producer channel already attached");
   slot = prod;
   b.connect_input(b.input_producer(channel), prod->output_signal());
+  group_.add(prod);
 }
 
 void SwitchFabric::attach_consumer(int box_index, int channel,
@@ -103,6 +114,7 @@ void SwitchFabric::attach_consumer(int box_index, int channel,
   VAPRES_REQUIRE(slot == nullptr, "consumer channel already attached");
   slot = cons;
   cons->set_input_signal(b.output_signal(b.output_consumer(channel)));
+  group_.add(cons);
 }
 
 ProducerInterface* SwitchFabric::producer_at(int box_index,
@@ -242,6 +254,7 @@ RouteId SwitchFabric::establish(const RouteSpec& spec,
       route.consumer->full_feedback_signal(), spec.hops());
   route.producer->set_feedback_full_source(route.feedback->output_signal());
   domain_.attach(route.feedback.get());
+  group_.add(route.feedback.get());
 
   const RouteId id = next_route_id_++;
   for (const auto& key : outputs) output_owner_[key] = id;

@@ -89,6 +89,9 @@ class SwitchFabric {
     const bool* output_signal() const { return &output_; }
     void eval() override;
     void commit() override;
+    /// Every stage (and the output) already equals the source: shifting
+    /// is a no-op until the consumer's full register flips.
+    bool quiescent() const override;
     std::string name() const override { return "feedback"; }
 
    private:
@@ -112,6 +115,13 @@ class SwitchFabric {
   sim::ClockDomain& domain_;
   std::string name_;
   SwitchBoxShape shape_;
+  // The fabric is pull-model wiring over raw flit pointers: a box has no
+  // way to notify its neighbour when a flit enters a lane. Activity is
+  // therefore tracked fabric-wide: boxes, feedback pipelines, and the
+  // attached producer/consumer interfaces share one ActivityGroup that
+  // sleeps all-or-nothing. Declared before the Clocked members it tracks
+  // so it outlives them (their destructors deregister from it).
+  sim::ActivityGroup group_;
   std::vector<std::unique_ptr<SwitchBox>> boxes_;
   // attachment tables: [box][channel]
   std::vector<std::vector<ProducerInterface*>> producers_;

@@ -38,6 +38,11 @@ Iom::Iom(std::string name, const RsbParams& params,
   for (auto& s : sources_) domain_.attach(s.interface.get());
   for (auto& s : sinks_) domain_.attach(s.interface.get());
   domain_.attach(this);
+  // A word landing in a sink FIFO (pushed by the consumer interface) must
+  // re-arm the IOM's drain loop even when the IOM slept through it.
+  for (auto& s : sinks_) s.interface->fifo().add_wake_target(this);
+  // Space freeing up in a source FIFO unblocks a stalled pending word.
+  for (auto& s : sources_) s.interface->fifo().add_wake_target(this);
 }
 
 Iom::~Iom() {
@@ -96,6 +101,7 @@ void Iom::set_source_generator(
   src.interval_cycles = interval_cycles;
   src.next_emit_cycle = domain_.cycle_count();
   src.pending.reset();
+  wake();
 }
 
 void Iom::stop_source(int channel) { source(channel).generator = nullptr; }
@@ -135,6 +141,16 @@ void Iom::reset_gap_stats() {
     s.have_last_arrival = false;
     s.max_gap = 0;
   }
+}
+
+bool Iom::quiescent() const {
+  for (const Source& src : sources_) {
+    if (src.generator != nullptr || src.pending) return false;
+  }
+  for (const Sink& snk : sinks_) {
+    if (!snk.interface->fifo().empty()) return false;
+  }
+  return true;
 }
 
 void Iom::commit() {

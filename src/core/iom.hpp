@@ -86,6 +86,10 @@ class Iom final : public sim::Clocked {
 
   void eval() override {}
   void commit() override;
+  /// Nothing to inject (no generator, no stalled pending word) and
+  /// nothing to drain (all sink FIFOs empty): the IOM sleeps until a
+  /// source is armed or a consumer interface delivers a word.
+  bool quiescent() const override;
 
  private:
   struct Source {

@@ -29,6 +29,9 @@ std::string SystemStats::to_string() const {
      << " bytes configured\n";
   os << "active channels: " << active_channels << ", words discarded: "
      << total_discarded() << "\n";
+  os << "sim kernel: " << kernel.edges_delivered << " edges delivered, "
+     << kernel.edges_skipped << " skipped, " << kernel.domain_sleeps
+     << " domain sleeps, " << kernel.component_wakes << " wakes\n";
   for (const SiteStats& s : sites) {
     os << "  " << s.name;
     if (s.is_prr) {
@@ -83,6 +86,7 @@ SystemStats collect_stats(VapresSystem& sys) {
   stats.dcr_accesses = sys.dcr().total_accesses();
   stats.icap_bytes = sys.icap().total_bytes_configured();
   stats.reconfigurations = sys.icap().completed_transfers();
+  stats.kernel = sys.sim().kernel_stats();
 
   RobustnessStats& rb = stats.robustness;
   const auto& faults = sim::FaultInjector::instance();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "sim/clock.hpp"
 
 namespace vapres::core {
 
@@ -64,6 +65,9 @@ struct SystemStats {
   std::int64_t icap_bytes = 0;
   int reconfigurations = 0;
   RobustnessStats robustness;
+  /// Simulation-kernel counters aggregated over every clock domain:
+  /// edges actually delivered vs. skipped by quiescence tracking.
+  sim::KernelStats kernel;
 
   /// Total words dropped anywhere in the system (0 on a healthy run).
   std::uint64_t total_discarded() const;

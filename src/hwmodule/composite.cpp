@@ -89,6 +89,16 @@ bool CompositeBehavior::pipeline_empty() const {
   return true;
 }
 
+bool CompositeBehavior::quiescent() const {
+  for (const auto& b : buffers_) {
+    if (!b.empty()) return false;
+  }
+  for (const auto& s : stages_) {
+    if (!s->quiescent()) return false;
+  }
+  return true;
+}
+
 std::vector<Word> CompositeBehavior::save_state() const {
   // Frame: per stage [len, words...], then per buffer [len, words...].
   std::vector<Word> out;

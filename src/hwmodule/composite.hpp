@@ -34,6 +34,9 @@ class CompositeBehavior final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override;
+  /// Quiescent only when every stage is and the inter-stage buffers hold
+  /// no words still advancing through the pipeline.
+  bool quiescent() const override;
 
   int num_stages() const { return static_cast<int>(stages_.size()); }
   const ModuleBehavior& stage(int index) const;

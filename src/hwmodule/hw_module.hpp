@@ -64,6 +64,13 @@ class ModuleBehavior {
   /// The wrapper uses this during the drain step of module switching.
   virtual bool pipeline_empty() const { return true; }
 
+  /// True when on_cycle() is a state no-op given no readable input word:
+  /// nothing buffered awaiting emission, nothing produced spontaneously.
+  /// The wrapper only consults this once every consumer FIFO is empty and
+  /// uses it to let the PRR's clock domain sleep; behaviours that source
+  /// words from elsewhere than the consumer ports must keep the default.
+  virtual bool quiescent() const { return false; }
+
   /// State registers (Section III.B.3): captured from the replaced module
   /// and restored into its replacement.
   virtual std::vector<Word> save_state() const { return {}; }

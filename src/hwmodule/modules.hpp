@@ -22,6 +22,7 @@ class Passthrough final : public ModuleBehavior {
  public:
   std::string type_id() const override { return "passthrough"; }
   void on_cycle(ModulePorts& ports) override;
+  bool quiescent() const override { return true; }
 };
 
 /// out[n] = (in[n] * multiplier) >> shift, wrap-around.
@@ -34,6 +35,7 @@ class Gain final : public ModuleBehavior {
   std::vector<Word> save_state() const override { return {multiplier_}; }
   void restore_state(std::span<const Word> state) override;
   void reset() override {}
+  bool quiescent() const override { return true; }
 
   Word multiplier() const { return multiplier_; }
 
@@ -51,6 +53,7 @@ class AddOffset final : public ModuleBehavior {
   void on_cycle(ModulePorts& ports) override;
   std::vector<Word> save_state() const override { return {offset_}; }
   void restore_state(std::span<const Word> state) override;
+  bool quiescent() const override { return true; }
 
  private:
   std::string type_id_;
@@ -73,6 +76,7 @@ class MovingAverage final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override;
+  bool quiescent() const override { return true; }
 
   int window() const { return 1 << window_log2_; }
 
@@ -98,6 +102,7 @@ class FirFilter final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override;
+  bool quiescent() const override { return true; }
 
   const std::vector<std::int32_t>& taps() const { return taps_; }
 
@@ -116,6 +121,7 @@ class Decimator final : public ModuleBehavior {
   std::vector<Word> save_state() const override { return {phase_}; }
   void restore_state(std::span<const Word> state) override;
   void reset() override { phase_ = 0; }
+  bool quiescent() const override { return true; }
 
  private:
   std::string type_id_;
@@ -134,6 +140,8 @@ class Upsampler final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override;
+  /// Mid-burst the held word still has copies to emit without new input.
+  bool quiescent() const override { return pending_ == 0; }
 
  private:
   std::string type_id_;
@@ -151,6 +159,7 @@ class DelayLine final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override;
+  bool quiescent() const override { return true; }
 
  private:
   std::string type_id_;
@@ -168,6 +177,7 @@ class Checksum final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override { sum_ = 0; }
+  bool quiescent() const override { return true; }
 
   std::uint64_t sum() const { return sum_; }
 
@@ -182,6 +192,7 @@ class Adder2 final : public ModuleBehavior {
  public:
   std::string type_id() const override { return "adder2"; }
   void on_cycle(ModulePorts& ports) override;
+  bool quiescent() const override { return true; }
 };
 
 /// One-input, two-output splitter: copies each word to both outputs.
@@ -189,6 +200,7 @@ class Splitter2 final : public ModuleBehavior {
  public:
   std::string type_id() const override { return "splitter2"; }
   void on_cycle(ModulePorts& ports) override;
+  bool quiescent() const override { return true; }
 };
 
 /// Emits only words whose low 31 bits (as magnitude) reach `threshold`;
@@ -201,6 +213,7 @@ class Threshold final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override;
+  bool quiescent() const override { return true; }
 
  private:
   std::string type_id_;
@@ -224,6 +237,7 @@ class IirBiquad final : public ModuleBehavior {
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
   void reset() override;
+  bool quiescent() const override { return true; }
 
   const Coefficients& coefficients() const { return coeffs_; }
 
@@ -239,6 +253,7 @@ class Saturate final : public ModuleBehavior {
   Saturate(std::string type_id, std::int32_t limit);
   std::string type_id() const override { return type_id_; }
   void on_cycle(ModulePorts& ports) override;
+  bool quiescent() const override { return true; }
 
  private:
   std::string type_id_;
@@ -255,6 +270,7 @@ class PeakHold final : public ModuleBehavior {
   std::vector<Word> save_state() const override { return {peak_}; }
   void restore_state(std::span<const Word> state) override;
   void reset() override { peak_ = 0; }
+  bool quiescent() const override { return true; }
 
  private:
   std::string type_id_;
@@ -268,6 +284,7 @@ class FslBridgeOut final : public ModuleBehavior {
  public:
   std::string type_id() const override { return "fsl_bridge_out"; }
   void on_cycle(ModulePorts& ports) override;
+  bool quiescent() const override { return true; }
 };
 
 /// MicroBlaze -> stream bridge: forwards t-link FSL words (non-control
@@ -276,6 +293,9 @@ class FslBridgeIn final : public ModuleBehavior {
  public:
   std::string type_id() const override { return "fsl_bridge_in"; }
   void on_cycle(ModulePorts& ports) override;
+  /// Sources words from the t-link FSL, not the consumer ports — but the
+  /// wrapper stays awake whenever that FSL is readable, so idle is idle.
+  bool quiescent() const override { return true; }
 };
 
 }  // namespace vapres::hwmodule

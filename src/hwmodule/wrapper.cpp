@@ -21,6 +21,12 @@ ModuleWrapper::ModuleWrapper(std::string name,
   }
   VAPRES_REQUIRE(to_mb_ != nullptr && from_mb_ != nullptr,
                  name_ + ": wrapper needs both FSL links");
+  // Writes from the static region (fabric delivering words, MicroBlaze
+  // sending control) and drains of the producer FIFOs (freeing space a
+  // stalled behaviour waits for) must re-arm the wrapper's clock domain.
+  for (auto* in : inputs_) in->fifo().add_wake_target(this);
+  for (auto* out : outputs_) out->fifo().add_wake_target(this);
+  from_mb_->add_wake_target(this);
 }
 
 void ModuleWrapper::load(std::unique_ptr<ModuleBehavior> behavior) {
@@ -32,10 +38,12 @@ void ModuleWrapper::load(std::unique_ptr<ModuleBehavior> behavior) {
   state_cursor_ = 0;
   load_remaining_ = -1;
   state_in_.clear();
+  wake();
 }
 
 std::unique_ptr<ModuleBehavior> ModuleWrapper::unload() {
   phase_ = Phase::kIdle;
+  wake();
   return std::move(behavior_);
 }
 
@@ -51,6 +59,27 @@ void ModuleWrapper::reset() {
   state_cursor_ = 0;
   load_remaining_ = -1;
   state_in_.clear();
+  wake();
+}
+
+bool ModuleWrapper::quiescent() const {
+  if (in_reset_ || isolated_ || behavior_ == nullptr) return true;
+  if (from_mb_->can_read()) return false;  // control or data word pending
+  // Mid LOAD_STATE transfer the wrapper only waits for the next FSL word.
+  if (load_remaining_ != -1) return true;
+  switch (phase_) {
+    case Phase::kIdle:
+    case Phase::kDone:
+      return true;
+    case Phase::kRunning:
+      break;
+    default:
+      return false;  // switching protocol still making progress
+  }
+  for (const auto* in : inputs_) {
+    if (!in->fifo().empty()) return false;
+  }
+  return behavior_->quiescent();
 }
 
 int ModuleWrapper::num_inputs() const {

@@ -63,12 +63,18 @@ class ModuleWrapper final : public sim::Clocked, private ModulePorts {
   void reset();
 
   /// Held in reset? While asserted, the wrapper does nothing per cycle.
-  void set_reset(bool asserted) { in_reset_ = asserted; }
+  void set_reset(bool asserted) {
+    in_reset_ = asserted;
+    wake();
+  }
   bool in_reset() const { return in_reset_; }
 
   /// Slice-macro isolation (PRSocket SM_en = 0): while isolated, the
   /// module cannot reach the static region — no FIFO or FSL activity.
-  void set_isolated(bool isolated) { isolated_ = isolated; }
+  void set_isolated(bool isolated) {
+    isolated_ = isolated;
+    wake();
+  }
   bool isolated() const { return isolated_; }
 
   enum class Phase { kIdle, kRunning, kDraining, kSendEos, kSendState, kDone };
@@ -79,6 +85,11 @@ class ModuleWrapper final : public sim::Clocked, private ModulePorts {
 
   void eval() override {}
   void commit() override;
+  /// True when commit() would be a state no-op: held in reset/isolation,
+  /// no behaviour, no FSL word pending, no words to drain, and the
+  /// behaviour itself has nothing buffered. Re-armed by writes to the
+  /// consumer FIFOs or the t-link FSL (wired in the constructor).
+  bool quiescent() const override;
 
  private:
   // ModulePorts implementation (behaviour-facing).

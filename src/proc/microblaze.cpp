@@ -17,6 +17,7 @@ Microblaze::~Microblaze() { domain_.detach(this); }
 void Microblaze::add_task(SoftwareTask* task) {
   VAPRES_REQUIRE(task != nullptr, "cannot schedule null task");
   tasks_.push_back(task);
+  wake();
 }
 
 void Microblaze::remove_task(SoftwareTask* task) {
@@ -42,6 +43,7 @@ comm::DcrValue Microblaze::dcr_read(comm::DcrAddress addr) {
 void Microblaze::busy_for(sim::Cycles n) {
   busy_remaining_ += n;
   total_busy_cycles_ += n;
+  wake();
 }
 
 void Microblaze::busy_for(sim::Cycles n, std::function<void()> on_complete) {
@@ -57,6 +59,7 @@ void Microblaze::attach_interrupts(InterruptController* intc,
                  name_ + ": interrupt wiring needs intc and handler");
   intc_ = intc;
   interrupt_handler_ = std::move(handler);
+  wake();
 }
 
 void Microblaze::commit() {

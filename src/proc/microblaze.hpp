@@ -103,6 +103,13 @@ class Microblaze final : public sim::Clocked {
 
   void eval() override {}
   void commit() override;
+  /// The core only sleeps when it has nothing schedulable at all: no
+  /// tasks, no busy countdown, and no interrupt controller to sample
+  /// (the intc latches sources every cycle, so attaching one pins the
+  /// core awake). add_task()/busy_for() re-arm the clock domain.
+  bool quiescent() const override {
+    return tasks_.empty() && busy_remaining_ == 0 && intc_ == nullptr;
+  }
 
  private:
   std::string name_;

@@ -5,6 +5,12 @@
 // (PRSocket CLK_en bit), and the list of components clocked by it. The
 // period can be changed at runtime — the model of the MicroBlaze driving
 // the BUFGMUX select through the PRSocket CLK_sel bit.
+//
+// The domain is quiescence-aware (docs/SIMULATOR.md): each tick delivers
+// the edge only to awake components, a post-tick poll deactivates the ones
+// that report quiescent, and a domain whose every component sleeps stops
+// being scheduled at all — the Simulator fast-forwards its cycle counter
+// analytically, so cycle_count()/cycles_to_ps stay exact across sleeps.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,22 @@
 #include "sim/time.hpp"
 
 namespace vapres::sim {
+
+/// Edge-delivery accounting, per domain and aggregated by the Simulator.
+struct KernelStats {
+  std::uint64_t edges_delivered = 0;  ///< component edges actually run
+  std::uint64_t edges_skipped = 0;    ///< component edges elided as quiescent
+  std::uint64_t domain_sleeps = 0;    ///< whole-domain sleep transitions
+  std::uint64_t component_wakes = 0;  ///< sleeping components re-armed
+
+  KernelStats& operator+=(const KernelStats& o) {
+    edges_delivered += o.edges_delivered;
+    edges_skipped += o.edges_skipped;
+    domain_sleeps += o.domain_sleeps;
+    component_wakes += o.component_wakes;
+    return *this;
+  }
+};
 
 class ClockDomain {
  public:
@@ -38,8 +60,12 @@ class ClockDomain {
 
   /// Registers a component. The domain does not own the component; the
   /// owner must outlive the domain's use. Components are clocked in
-  /// registration order (eval pass then commit pass).
+  /// registration order (eval pass then commit pass). A component attached
+  /// mid-tick receives its first edge on the next tick.
   void attach(Clocked* component);
+  /// Deregisters a component. Safe to call from inside a tick (a module
+  /// evicted during its own eval/commit): the slot is nulled immediately
+  /// and compacted after the in-flight passes finish.
   void detach(Clocked* component);
 
   Cycles cycle_count() const { return cycle_count_; }
@@ -48,14 +74,50 @@ class ClockDomain {
   /// current frequency.
   Picoseconds cycles_to_ps(Cycles n) const { return n * period_ps_; }
 
+  /// Components currently receiving edges. 0 on a non-empty enabled domain
+  /// means the domain is asleep and off the schedule.
+  int active_components() const { return active_count_; }
+  bool asleep() const { return !components_.empty() && active_count_ == 0; }
+
+  const KernelStats& kernel_stats() const { return stats_; }
+
  private:
+  friend class Clocked;
   friend class Simulator;
 
   /// Absolute time of the next rising edge, given current time `now`.
   Picoseconds next_edge(Picoseconds now) const;
 
-  /// Delivers one rising edge: eval pass, then commit pass.
+  /// Delivers one rising edge: eval pass, then commit pass, then (every
+  /// few cycles) the quiescence poll. Skips sleeping components unless
+  /// running exhaustively (activity-driven off, or fault injection armed —
+  /// injection draws RNG per commit opportunity, so every commit must run
+  /// to keep replays bit-identical).
   void tick();
+
+  /// Credits one edge without delivering it (whole domain asleep and the
+  /// edge lands exactly on the current instant).
+  void skip_edge(Picoseconds now);
+
+  /// Analytically credits the edges a sleeping domain would have received
+  /// up to `until` (inclusive of an edge exactly at `until` when
+  /// `inclusive`). No-op unless the domain is enabled, non-empty, and
+  /// fully asleep.
+  void fast_forward(Picoseconds until, bool inclusive);
+
+  /// Whether every component must be ticked regardless of activity flags.
+  bool exhaustive() const;
+
+  /// Post-tick sweep: deactivates components whose quiescent() report (or
+  /// whole ActivityGroup) allows sleeping.
+  void poll_quiescence();
+
+  void note_wake(Clocked* component);
+  void compact();
+
+  /// Rebuilds awake_idx_ (slot indices of awake components, ascending) so
+  /// a tick over a mostly-asleep domain costs O(awake), not O(attached).
+  void rebuild_awake_cache();
 
   /// Re-anchors the edge schedule to the current simulation time (set by
   /// the owning Simulator; valid for the domain's whole lifetime).
@@ -64,6 +126,7 @@ class ClockDomain {
   std::string name_;
   Picoseconds period_ps_;
   bool enabled_ = true;
+  bool activity_driven_ = true;  // mirrored from the owning Simulator
   Cycles cycle_count_ = 0;
   // Time of the most recent edge (or frequency-change anchor).
   Picoseconds anchor_ps_ = 0;
@@ -71,6 +134,18 @@ class ClockDomain {
   // frequency changes and clock-enable events.
   const Picoseconds* now_ = nullptr;
   std::vector<Clocked*> components_;
+  int active_count_ = 0;
+  int live_count_ = 0;  // non-null slots in components_
+  bool ticking_ = false;
+  bool pending_compaction_ = false;
+  // Slot indices of awake components, ascending — the tick fast path.
+  // Invalidated by any activity-set change; a wake landing mid-tick
+  // degrades the in-flight passes to full visit-time-flag scans so
+  // delivery order stays identical to the uncached kernel.
+  std::vector<std::size_t> awake_idx_;
+  bool cache_valid_ = false;
+  bool woke_in_tick_ = false;
+  KernelStats stats_;
 };
 
 }  // namespace vapres::sim

@@ -6,15 +6,28 @@
 // evaluates its next state from the *current* outputs of its neighbours
 // (eval), then all components latch simultaneously (commit). This is the
 // standard two-phase simulation of synchronous logic.
+//
+// Activity contract (see docs/SIMULATOR.md): after each commit the kernel
+// may poll quiescent(). A component returning true promises that, until one
+// of its inputs changes, every further eval()/commit() pair is a state
+// no-op with unchanged outputs — so the kernel is free to stop delivering
+// edges to it. Whatever changes such an input (a FIFO push/pop, a PRSocket
+// bit, a mux select) must call wake() on the affected component. The
+// default (never quiescent) keeps unaware components on every edge.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace vapres::sim {
 
+class ActivityGroup;
+class ClockDomain;
+
 class Clocked {
  public:
-  virtual ~Clocked() = default;
+  virtual ~Clocked();
 
   /// Phase 1: compute next state from currently visible outputs.
   virtual void eval() = 0;
@@ -23,8 +36,67 @@ class Clocked {
   /// component's outputs reflect the new cycle.
   virtual void commit() = 0;
 
+  /// Activity report, polled after commit. True promises eval()/commit()
+  /// stay state no-ops with unchanged outputs until an input changes and
+  /// wake() is called. The default keeps the component on every edge.
+  virtual bool quiescent() const { return false; }
+
+  /// Re-arms edge delivery for this component — and, when it belongs to an
+  /// ActivityGroup, for the whole group. Must be called by anything that
+  /// changes an input the component reacts to. Safe before attach.
+  void wake();
+
+  /// Whether the kernel currently delivers edges to this component.
+  bool awake() const { return active_; }
+
   /// Human-readable instance name for traces and error messages.
   virtual std::string name() const { return "<clocked>"; }
+
+ private:
+  friend class ActivityGroup;
+  friend class ClockDomain;
+
+  /// Reactivates just this component (group-unaware half of wake()).
+  void activate();
+
+  ClockDomain* domain_ = nullptr;
+  ActivityGroup* group_ = nullptr;
+  bool active_ = true;
+  // Index of this component's slot in its domain's component list, kept
+  // current whenever the domain's awake-index cache is valid.
+  std::size_t slot_ = 0;
+};
+
+/// Components whose quiescence is only meaningful collectively. The switch
+/// fabric's flit wiring is pull-based (raw `const Flit*` reads with no
+/// subscription), so one box going idle says nothing while a neighbour may
+/// still push a flit into it without any hook firing. Grouped components
+/// therefore sleep all-or-nothing: the kernel deactivates a member only
+/// when every member reports quiescent, and wake() on any member re-arms
+/// them all.
+class ActivityGroup {
+ public:
+  ActivityGroup() = default;
+  ActivityGroup(const ActivityGroup&) = delete;
+  ActivityGroup& operator=(const ActivityGroup&) = delete;
+  ~ActivityGroup();
+
+  /// Registers `c` (not owned). Members remove themselves on destruction.
+  void add(Clocked* c);
+  void remove(Clocked* c);
+
+  /// True when every member reports quiescent. Memoized per poll `epoch`
+  /// so a domain's post-tick sweep evaluates each group once, not once
+  /// per member.
+  bool quiescent(std::uint64_t epoch);
+
+  /// Reactivates every member.
+  void wake_all();
+
+ private:
+  std::vector<Clocked*> members_;
+  std::uint64_t memo_epoch_ = 0;
+  bool memo_quiescent_ = false;
 };
 
 }  // namespace vapres::sim
