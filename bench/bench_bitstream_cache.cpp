@@ -1,0 +1,260 @@
+// Bitstream-cache benchmark — the bitman subsystem's acceptance gates.
+//
+// Not a paper experiment (the paper pre-stages everything in SDRAM and
+// never faces a working set larger than memory): a fixed-seed churn
+// workload over 3 PRRs x 3 modules = 9 (module, PRR) pairs against an
+// SDRAM deliberately sized to 5 arrays, while a live counter stream
+// keeps flowing through a fourth PRR. Round-robin churn with a per-PRR
+// module rotation, so the per-PRR next-module predictor has something
+// honest to learn and the PrefetchEngine stages upcoming bitstreams in
+// the gaps between reconfigurations.
+//
+// Measures, and gates on (scripts/tier1.sh runs this binary):
+//   * warm-hit latency within 10 % of the raw vapres_array2icap path —
+//     the cache adds no cycle cost to the paper's fast path;
+//   * mean managed reconfiguration latency >= 2x better than the
+//     no-cache CompactFlash path over the same churn sequence;
+//   * demand hit rate >= 0.55 despite SDRAM being below the working set;
+//   * zero stream interruption while prefetch stagings and demand
+//     transfers run (in_order_counter_stream over the sink words).
+//
+// Emits BENCH_bitstream_cache.json.
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitman/cache.hpp"
+#include "bitstream/bitstream.hpp"
+#include "core/reconfig.hpp"
+#include "core/system.hpp"
+#include "../tests/test_util.hpp"
+
+namespace {
+
+using namespace vapres;
+using comm::Word;
+
+// 16x1-CLB PRRs: 4632-byte bitstreams keep each simulated transfer in
+// the ~10M-cycle range so the whole churn fits a few simulated seconds.
+constexpr int kChurnPrrs = 3;       // PRRs 1..3 churn; PRR 0 streams
+constexpr int kRotation = 3;        // modules per churning PRR
+constexpr int kEvents = 36;         // 12 per churning PRR
+constexpr int kSdramArrays = 5;     // working set is 9 pairs
+constexpr sim::Cycles kGapCycles = 14'000'000;   // covers one cf2array
+constexpr int kStreamEvents = 3;    // live-stream window (churn events)
+constexpr int kStreamInterval = 128;  // source word spacing (cycles)
+
+// Only modules fitting a 64-slice (16x1 CLB) PRR; one rotation per PRR.
+const char* kModules[kChurnPrrs][kRotation] = {
+    {"decim2", "decim4", "upsample2"},
+    {"offset_100", "splitter2", "adder2"},
+    {"fsl_bridge_out", "fsl_bridge_in", "passthrough"},
+};
+
+std::int64_t array_bytes() {
+  return bitstream::PartialBitstream::create("probe", "p",
+                                             fabric::ClbRect{0, 0, 16, 1})
+      .size_bytes;
+}
+
+std::unique_ptr<core::VapresSystem> make_system() {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].num_prrs = 1 + kChurnPrrs;
+  p.rsbs[0].prr_width_clbs = 1;
+  p.sdram_bytes = kSdramArrays * array_bytes() + 100;
+  auto sys = std::make_unique<core::VapresSystem>(std::move(p));
+  sys->bring_up_all_sites();
+  return sys;
+}
+
+struct ChurnResult {
+  double mean_cycles = 0.0;       // all demand reconfigurations
+  double warm_mean_cycles = 0.0;  // warm hits only (managed run)
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  bitman::BitmanStats stats;
+  std::uint64_t stream_words = 0;
+  bool stream_in_order = true;
+
+  double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Runs the churn sequence through the bitstream cache (kManaged) with
+/// the live counter stream up for the first kStreamEvents events.
+ChurnResult run_managed() {
+  auto sys = make_system();
+  core::Rsb& rsb = sys->rsb();
+
+  // PRR 0: live passthrough stream, IOM -> PRR -> IOM.
+  sys->reconfigure_now(0, 0, "passthrough");
+  sys->connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  sys->connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  rsb.iom(0).take_received();
+  rsb.iom(0).set_source_generator(
+      [n = 0]() mutable -> std::optional<Word> {
+        return static_cast<Word>(n++);
+      },
+      kStreamInterval);
+
+  ChurnResult r;
+  const bitman::BitmanStats& live = sys->bitman().stats();
+  const std::uint64_t hits0 = live.hits;
+  const std::uint64_t misses0 = live.misses;
+  double total = 0.0;
+  double warm_total = 0.0;
+  for (int e = 0; e < kEvents; ++e) {
+    const int prr = 1 + e % kChurnPrrs;
+    const char* module = kModules[prr - 1][(e / kChurnPrrs) % kRotation];
+    const std::uint64_t hits_before = live.hits;
+    const sim::Cycles charged =
+        sys->reconfigure_now(0, prr, module, core::ReconfigSource::kManaged);
+    total += static_cast<double>(charged);
+    if (live.hits > hits_before) {
+      warm_total += static_cast<double>(charged);
+    }
+    if (e + 1 == kStreamEvents) {
+      // End of the overlap window: stop the source, let the pipeline
+      // drain, and check the stream never lost or reordered a word
+      // while demand transfers and prefetch stagings ran.
+      rsb.iom(0).stop_source();
+      sys->run_system_cycles(20'000);
+      const std::vector<Word> words = rsb.iom(0).take_received();
+      r.stream_words = words.size();
+      r.stream_in_order = test::in_order_counter_stream(words);
+    }
+    // The gap until the next request: prefetch staging runs here while
+    // the stream (during the window) keeps flowing.
+    sys->run_system_cycles(kGapCycles);
+  }
+  r.hits = live.hits - hits0;
+  r.misses = live.misses - misses0;
+  r.mean_cycles = total / kEvents;
+  r.warm_mean_cycles = r.hits > 0 ? warm_total / static_cast<double>(r.hits)
+                                  : 0.0;
+  r.stats = live;
+  return r;
+}
+
+/// The no-cache reference: the same churn sequence served with the
+/// paper's classic read-all-then-write CompactFlash path.
+ChurnResult run_cf_reference() {
+  auto sys = make_system();
+  sys->reconfigure_now(0, 0, "passthrough");
+  ChurnResult r;
+  double total = 0.0;
+  for (int e = 0; e < kEvents; ++e) {
+    const int prr = 1 + e % kChurnPrrs;
+    const char* module = kModules[prr - 1][(e / kChurnPrrs) % kRotation];
+    total += static_cast<double>(sys->reconfigure_now(
+        0, prr, module, core::ReconfigSource::kCompactFlash));
+    sys->run_system_cycles(1'000'000);
+  }
+  r.mean_cycles = total / kEvents;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== bitstream cache: LRU + prefetch vs no-cache CF path ==\n");
+  std::printf("working set 9 pairs (4632 B each), SDRAM holds %d; "
+              "%d churn events over %d PRRs\n\n",
+              kSdramArrays, kEvents, kChurnPrrs);
+
+  const ChurnResult managed = run_managed();
+  const ChurnResult cf_ref = run_cf_reference();
+  const double array_ref =
+      core::ReconfigManager::estimate_array2icap(array_bytes())
+          .total_cycles();
+
+  const double warm_delta_pct =
+      array_ref > 0.0
+          ? 100.0 * (managed.warm_mean_cycles - array_ref) / array_ref
+          : 0.0;
+  const double speedup = managed.mean_cycles > 0.0
+                             ? cf_ref.mean_cycles / managed.mean_cycles
+                             : 0.0;
+
+  std::printf("hits %llu / misses %llu (hit rate %.2f)\n",
+              static_cast<unsigned long long>(managed.hits),
+              static_cast<unsigned long long>(managed.misses),
+              managed.hit_rate());
+  std::printf("prefetch: %llu issued, %llu completed, %llu useful; "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(managed.stats.prefetch_issued),
+              static_cast<unsigned long long>(
+                  managed.stats.prefetch_completed),
+              static_cast<unsigned long long>(managed.stats.prefetch_useful),
+              static_cast<unsigned long long>(managed.stats.evictions));
+  std::printf("warm hit mean %.0f cycles vs array path %.0f (%+.2f%%)\n",
+              managed.warm_mean_cycles, array_ref, warm_delta_pct);
+  std::printf("managed mean %.0f cycles vs CF path %.0f (%.2fx)\n",
+              managed.mean_cycles, cf_ref.mean_cycles, speedup);
+  std::printf("stream: %llu words through PRR0 during the overlap window, "
+              "in order: %s\n",
+              static_cast<unsigned long long>(managed.stream_words),
+              managed.stream_in_order ? "yes" : "NO");
+
+  const bool warm_ok = warm_delta_pct <= 10.0 && managed.hits > 0;
+  const bool speedup_ok = speedup >= 2.0;
+  const bool hit_rate_ok = managed.hit_rate() >= 0.55;
+  const bool stream_ok =
+      managed.stream_in_order && managed.stream_words >= 100'000;
+  std::printf("warm-hit delta <= 10%%: %s\n", warm_ok ? "PASS" : "FAIL");
+  std::printf("managed speedup >= 2x: %s\n", speedup_ok ? "PASS" : "FAIL");
+  std::printf("hit rate >= 0.55: %s\n", hit_rate_ok ? "PASS" : "FAIL");
+  std::printf("stream uninterrupted (>= 100k words, in order): %s\n",
+              stream_ok ? "PASS" : "FAIL");
+
+  const bool pass = warm_ok && speedup_ok && hit_rate_ok && stream_ok;
+  std::FILE* f = std::fopen("BENCH_bitstream_cache.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"events\": %d,\n"
+        "  \"sdram_arrays\": %d,\n"
+        "  \"working_set_pairs\": %d,\n"
+        "  \"hits\": %llu,\n"
+        "  \"misses\": %llu,\n"
+        "  \"hit_rate\": %.4f,\n"
+        "  \"evictions\": %llu,\n"
+        "  \"prefetch_issued\": %llu,\n"
+        "  \"prefetch_completed\": %llu,\n"
+        "  \"prefetch_useful\": %llu,\n"
+        "  \"warm_hit_mean_cycles\": %.1f,\n"
+        "  \"array_ref_cycles\": %.1f,\n"
+        "  \"warm_hit_delta_pct\": %.3f,\n"
+        "  \"managed_mean_cycles\": %.1f,\n"
+        "  \"cf_ref_mean_cycles\": %.1f,\n"
+        "  \"managed_speedup\": %.3f,\n"
+        "  \"stream_words\": %llu,\n"
+        "  \"stream_in_order\": %s,\n"
+        "  \"thresholds\": {\"warm_hit_delta_max_pct\": 10.0, "
+        "\"managed_speedup_min\": 2.0, \"hit_rate_min\": 0.55, "
+        "\"stream_words_min\": 100000},\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        kEvents, kSdramArrays, kChurnPrrs * kRotation,
+        static_cast<unsigned long long>(managed.hits),
+        static_cast<unsigned long long>(managed.misses),
+        managed.hit_rate(),
+        static_cast<unsigned long long>(managed.stats.evictions),
+        static_cast<unsigned long long>(managed.stats.prefetch_issued),
+        static_cast<unsigned long long>(managed.stats.prefetch_completed),
+        static_cast<unsigned long long>(managed.stats.prefetch_useful),
+        managed.warm_mean_cycles, array_ref, warm_delta_pct,
+        managed.mean_cycles, cf_ref.mean_cycles, speedup,
+        static_cast<unsigned long long>(managed.stream_words),
+        managed.stream_in_order ? "true" : "false",
+        pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_bitstream_cache.json\n");
+  }
+  return pass ? 0 : 1;
+}

@@ -25,6 +25,16 @@ cmake --build "$BUILD" -j --target bench_sim_speed
 (cd "$BUILD" && ./bench/bench_sim_speed)
 
 echo
+echo "=== tier-1: bitstream cache gate (bench_bitstream_cache) ==="
+# Fails (non-zero exit) when the bitman subsystem regresses: warm-hit
+# latency within 10 % of the raw array path, >= 2x mean latency over the
+# no-cache CF path on the fixed churn, hit rate >= 0.55, and a loss-free
+# stream while prefetch stagings overlap it. Writes
+# BENCH_bitstream_cache.json in the build dir.
+cmake --build "$BUILD" -j --target bench_bitstream_cache
+(cd "$BUILD" && ./bench/bench_bitstream_cache)
+
+echo
 echo "=== tier-1: sched-labeled tests under address,undefined ==="
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
 cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test

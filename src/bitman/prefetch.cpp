@@ -1,0 +1,86 @@
+#include "bitman/prefetch.hpp"
+
+#include <algorithm>
+
+namespace vapres::bitman {
+
+PrefetchEngine::PrefetchEngine(proc::Microblaze& mb,
+                               BitstreamManager& manager)
+    : mb_(mb), man_(manager) {
+  man_.attach_prefetcher(this);
+}
+
+PrefetchEngine::~PrefetchEngine() {
+  if (scheduled_) mb_.remove_task(this);
+  man_.attach_prefetcher(nullptr);
+}
+
+bool PrefetchEngine::queued(const std::string& key) const {
+  for (const Hint& h : queue_) {
+    if (BitstreamManager::key_for(h.module_id, h.prr_name) == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrefetchEngine::hint(const std::string& module_id,
+                          const std::string& prr_name, int tag) {
+  const std::string key = BitstreamManager::key_for(module_id, prr_name);
+  // Drop stale hints eagerly: nothing to do for resident arrays, nothing
+  // possible for uninstalled bitstreams, no point queueing duplicates.
+  if (man_.resident(key) || !man_.installed(module_id, prr_name) ||
+      queued(key)) {
+    return;
+  }
+  queue_.push_back(Hint{module_id, prr_name, tag});
+  if (!scheduled_) {
+    mb_.add_task(this);
+    scheduled_ = true;
+  }
+}
+
+int PrefetchEngine::cancel(int tag) {
+  if (tag == kNoTag) return 0;
+  const auto old_size = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [tag](const Hint& h) { return h.tag == tag; }),
+               queue_.end());
+  const int dropped = static_cast<int>(old_size - queue_.size());
+  if (dropped > 0) {
+    man_.note_prefetch_cancelled(static_cast<std::uint64_t>(dropped));
+  }
+  return dropped;
+}
+
+bool PrefetchEngine::step(proc::Microblaze&) {
+  if (staging_in_flight_) return false;  // cf2array completion pending
+  // Hints can go stale while queued (a demand miss restaged the pair, a
+  // preload landed it): drop them before considering the path.
+  while (!queue_.empty()) {
+    const Hint& front = queue_.front();
+    const std::string key =
+        BitstreamManager::key_for(front.module_id, front.prr_name);
+    if (man_.resident(key) ||
+        !man_.installed(front.module_id, front.prr_name)) {
+      queue_.pop_front();
+      continue;
+    }
+    break;
+  }
+  if (queue_.empty()) {
+    scheduled_ = false;
+    return true;  // deschedule; hint() re-registers
+  }
+  if (man_.transfer_busy()) return false;  // demand traffic has priority
+  const Hint h = queue_.front();
+  queue_.pop_front();
+  staging_in_flight_ = true;
+  man_.stage(
+      h.module_id, h.prr_name,
+      [this](const core::ReconfigOutcome&) { staging_in_flight_ = false; },
+      /*from_prefetch=*/true);
+  return false;
+}
+
+}  // namespace vapres::bitman

@@ -1,0 +1,75 @@
+// Asynchronous bitstream prefetch engine.
+//
+// A cooperative proc::SoftwareTask that drains a queue of (module, PRR)
+// staging hints — from the scheduler's admission queue and defrag plans,
+// from cold-miss restage requests, and from the BitstreamManager's
+// per-PRR next-module predictor — issuing one vapres_cf2array transfer
+// at a time whenever the blocking transfer path is otherwise idle. The
+// staging runs on the MicroBlaze while the RSB fabric keeps streaming
+// (the overlap Section V.B's 14.5x gap makes worthwhile), so a later
+// demand reconfiguration finds the array warm.
+//
+// The engine self-deschedules when its queue drains (step() returns
+// true), keeping the MicroBlaze quiescent for the activity-driven
+// kernel; hint() re-registers it. Hints are tagged so an application
+// teardown or preemption cancels its still-queued prefetches; a staging
+// already in flight is left to complete (the array is useful either
+// way).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "bitman/cache.hpp"
+#include "proc/microblaze.hpp"
+
+namespace vapres::bitman {
+
+class PrefetchEngine final : public proc::SoftwareTask {
+ public:
+  /// Tag for hints not owned by any application (never cancelled as a
+  /// group).
+  static constexpr int kNoTag = -1;
+
+  PrefetchEngine(proc::Microblaze& mb, BitstreamManager& manager);
+  ~PrefetchEngine() override;
+
+  PrefetchEngine(const PrefetchEngine&) = delete;
+  PrefetchEngine& operator=(const PrefetchEngine&) = delete;
+
+  /// Queues a staging hint for an installed (module, PRR) bitstream.
+  /// Already-resident, not-installed, and already-queued pairs are
+  /// dropped immediately (stale hints cost nothing). Registers the task
+  /// with the MicroBlaze when the queue becomes non-empty.
+  void hint(const std::string& module_id, const std::string& prr_name,
+            int tag = kNoTag);
+
+  /// Drops every queued hint carrying `tag` (app teardown/preemption).
+  /// A staging already in flight completes regardless. Returns the
+  /// number of hints dropped.
+  int cancel(int tag);
+
+  int pending() const { return static_cast<int>(queue_.size()); }
+  bool staging() const { return staging_in_flight_; }
+
+  bool step(proc::Microblaze& mb) override;
+  std::string task_name() const override { return "prefetch_engine"; }
+
+ private:
+  struct Hint {
+    std::string module_id;
+    std::string prr_name;
+    int tag = kNoTag;
+  };
+
+  bool queued(const std::string& key) const;
+
+  proc::Microblaze& mb_;
+  BitstreamManager& man_;
+  std::deque<Hint> queue_;
+  bool scheduled_ = false;
+  bool staging_in_flight_ = false;
+};
+
+}  // namespace vapres::bitman

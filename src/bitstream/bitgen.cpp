@@ -1,5 +1,7 @@
 #include "bitstream/bitgen.hpp"
 
+#include <cstdint>
+
 #include "sim/check.hpp"
 
 namespace vapres::bitstream {
@@ -18,7 +20,31 @@ PartialBitstream generate_partial_bitstream(
 
 std::string bitstream_filename(const std::string& module_id,
                                const std::string& prr_name) {
-  return module_id + "_" + prr_name + ".bit";
+  // FNV-1a over "<module>@<prr>", truncated to 24 bits for the name.
+  std::uint32_t h = 2166136261u;
+  const auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 16777619u;
+    }
+  };
+  mix(module_id);
+  mix("@");
+  mix(prr_name);
+
+  std::string base;
+  for (char c : module_id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (ok) base.push_back(c);
+    if (base.size() == 2) break;
+  }
+  while (base.size() < 2) base.push_back('x');
+  static const char* kHex = "0123456789abcdef";
+  for (int shift = 20; shift >= 0; shift -= 4) {
+    base.push_back(kHex[(h >> shift) & 0xF]);
+  }
+  return base + ".bit";
 }
 
 }  // namespace vapres::bitstream

@@ -21,8 +21,12 @@ PartialBitstream generate_partial_bitstream(
     const std::string& module_id, const fabric::ResourceVector& required,
     const std::string& prr_name, const fabric::ClbRect& region);
 
-/// Canonical CF filename for a (module, PRR) bitstream: "<mod>_<prr>.bit"
-/// truncated to the 8.3 convention is not enforced; the name is stable.
+/// Canonical CF filename for a (module, PRR) bitstream. CompactFlash
+/// enforces the FAT 8.3 convention (SystemACE), so the pair is packed
+/// into "mmhhhhhh.bit": two sanitized module characters plus six hex
+/// digits of an FNV-1a hash over "<module>@<prr>". Stable across runs; a
+/// (vanishingly unlikely) hash collision would hand the wrong file to a
+/// PRR and is caught by the bitstream integrity tag at apply time.
 std::string bitstream_filename(const std::string& module_id,
                                const std::string& prr_name);
 

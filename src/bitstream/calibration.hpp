@@ -26,6 +26,8 @@
 // constants model the measured software path.
 #pragma once
 
+#include <cstdint>
+
 namespace vapres::bitstream {
 
 struct Calibration {
@@ -47,6 +49,16 @@ struct Calibration {
   /// Fixed per-call driver setup (file open, ICAP sync sequence). Small
   /// against any real bitstream; keeps zero-byte calls non-instantaneous.
   static constexpr double kCallOverheadCycles = 5000.0;
+
+  /// Chunk size of the pipelined cf2icap streaming driver: one sector
+  /// batch per double-buffer flip (bitman subsystem, docs/BITSTREAMS.md).
+  static constexpr std::int64_t kStreamChunkBytes = 4096;
+
+  /// Per-chunk bookkeeping of the streaming driver (buffer flip, sector
+  /// request issue). The CF read is ~20x slower per byte than the ICAP
+  /// write, so the card read dominates and all but the final chunk's
+  /// ICAP write hides behind it.
+  static constexpr double kStreamChunkOverheadCycles = 32.0;
 };
 
 }  // namespace vapres::bitstream

@@ -4,8 +4,32 @@
 
 namespace vapres::bitstream {
 
+bool CompactFlash::valid_filename(const std::string& filename) {
+  const auto valid_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '~' || c == '-';
+  };
+  const std::size_t dot = filename.find('.');
+  const std::string base = filename.substr(0, dot);
+  const std::string ext =
+      dot == std::string::npos ? "" : filename.substr(dot + 1);
+  if (base.empty() || base.size() > 8 || ext.size() > 3) return false;
+  if (ext.find('.') != std::string::npos) return false;  // one dot only
+  for (char c : base) {
+    if (!valid_char(c)) return false;
+  }
+  for (char c : ext) {
+    if (!valid_char(c)) return false;
+  }
+  return true;
+}
+
 void CompactFlash::store(const std::string& filename, PartialBitstream bs) {
   VAPRES_REQUIRE(!filename.empty(), "CF filename must be non-empty");
+  VAPRES_REQUIRE(valid_filename(filename),
+                 "CF filename '" + filename +
+                     "' violates the FAT 8.3 convention (base <= 8 chars, "
+                     "extension <= 3, one dot, [A-Za-z0-9_~-])");
   VAPRES_REQUIRE(bs.valid(), "refusing to store corrupt bitstream");
   files_[filename] = std::move(bs);
 }
@@ -37,9 +61,17 @@ void Sdram::store(const std::string& key, PartialBitstream bs) {
   VAPRES_REQUIRE(!contains(key), "SDRAM array already staged: " + key);
   VAPRES_REQUIRE(bs.valid(), "refusing to stage corrupt bitstream");
   VAPRES_REQUIRE(bs.size_bytes <= free_bytes(),
-                 "SDRAM capacity exceeded staging " + key);
+                 "SDRAM capacity exceeded staging " + key + ": need " +
+                     std::to_string(bs.size_bytes) + " bytes, " +
+                     std::to_string(free_bytes()) + " of " +
+                     std::to_string(capacity_bytes_) + " free");
   used_bytes_ += bs.size_bytes;
   arrays_[key] = std::move(bs);
+}
+
+void Sdram::replace(const std::string& key, PartialBitstream bs) {
+  if (contains(key)) erase(key);
+  store(key, std::move(bs));
 }
 
 void Sdram::erase(const std::string& key) {

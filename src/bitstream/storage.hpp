@@ -24,7 +24,14 @@ namespace vapres::bitstream {
 /// SystemACE-style byte interface.
 class CompactFlash {
  public:
-  /// Stores `bs` under `filename` (8.3-style names, as on the real card).
+  /// True iff `filename` follows the FAT 8.3 convention the SystemACE
+  /// controller requires: a 1-8 character base, at most one dot, an
+  /// extension of at most 3 characters, all from [A-Za-z0-9_~-].
+  static bool valid_filename(const std::string& filename);
+
+  /// Stores `bs` under `filename`. Names are validated against the 8.3
+  /// convention (ModelError on violation — the real card's FAT layer
+  /// would reject or silently mangle them).
   void store(const std::string& filename, PartialBitstream bs);
 
   bool contains(const std::string& filename) const;
@@ -55,8 +62,13 @@ class Sdram {
   std::int64_t free_bytes() const { return capacity_bytes_ - used_bytes_; }
 
   /// Stores `bs` as the array named `key`. Throws if capacity is exceeded
-  /// or the key exists.
+  /// or the key exists (use replace() to overwrite in place).
   void store(const std::string& key, PartialBitstream bs);
+
+  /// Stores `bs` under `key`, overwriting any existing array (the old
+  /// array's space is reclaimed first — restaging a key never needs more
+  /// free space than a fresh store). Throws if capacity is exceeded.
+  void replace(const std::string& key, PartialBitstream bs);
 
   /// Removes a staged array, reclaiming its space.
   void erase(const std::string& key);

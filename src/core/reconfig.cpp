@@ -65,6 +65,21 @@ double ReconfigManager::estimate_cf2array_cycles(std::int64_t bytes) {
          bitstream::Sdram::write_cycles(bytes);
 }
 
+ReconfigBreakdown ReconfigManager::estimate_cf2icap_streamed(
+    std::int64_t bytes, std::int64_t chunk_bytes) {
+  VAPRES_REQUIRE(chunk_bytes > 0, "stream chunk size must be positive");
+  const std::int64_t chunks = (bytes + chunk_bytes - 1) / chunk_bytes;
+  const std::int64_t tail =
+      bytes == 0 ? 0 : bytes - (chunks - 1) * chunk_bytes;
+  ReconfigBreakdown b;
+  b.storage_cycles =
+      bitstream::CompactFlash::read_cycles(bytes) +
+      static_cast<double>(chunks) * Calibration::kStreamChunkOverheadCycles;
+  b.icap_cycles =
+      static_cast<double>(tail) * Calibration::kIcapWriteCyclesPerByte;
+  return b;
+}
+
 sim::Cycles ReconfigManager::start(const bitstream::PartialBitstream& bs,
                                    const ReconfigBreakdown& base_cost,
                                    bool sdram_source, DoneCallback on_done) {
@@ -181,6 +196,14 @@ sim::Cycles ReconfigManager::cf2icap(const std::string& filename,
                std::move(on_done));
 }
 
+sim::Cycles ReconfigManager::cf2icap_streamed(const std::string& filename,
+                                              std::int64_t chunk_bytes,
+                                              DoneCallback on_done) {
+  const auto& bs = cf_.read(filename);
+  return start(bs, estimate_cf2icap_streamed(bs.size_bytes, chunk_bytes),
+               /*sdram_source=*/false, std::move(on_done));
+}
+
 sim::Cycles ReconfigManager::array2icap(const std::string& key,
                                         DoneCallback on_done) {
   const auto& bs = sdram_.read(key);
@@ -200,7 +223,7 @@ sim::Cycles ReconfigManager::cf2array(const std::string& filename,
   mb_.busy_for(cycles, [this, key, bs_copy = std::move(bs_copy),
                         on_done = std::move(on_done)]() {
     busy_ = false;
-    if (!sdram_.contains(key)) sdram_.store(key, bs_copy);
+    sdram_.replace(key, bs_copy);
     if (on_done) on_done(ReconfigOutcome{});
   });
   return cycles;

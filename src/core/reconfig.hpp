@@ -78,6 +78,13 @@ class ReconfigManager {
   static ReconfigBreakdown estimate_cf2icap(std::int64_t bytes);
   static ReconfigBreakdown estimate_array2icap(std::int64_t bytes);
   static double estimate_cf2array_cycles(std::int64_t bytes);
+  /// Double-buffered chunked cf2icap: the CF read of chunk k+1 overlaps
+  /// the ICAP write of chunk k. The card read is ~20x slower per byte
+  /// than the ICAP write, so only the final chunk's ICAP write is
+  /// exposed; the rest hides behind the card. Storage share = full CF
+  /// read + per-chunk flip overhead, ICAP share = the exposed tail.
+  static ReconfigBreakdown estimate_cf2icap_streamed(std::int64_t bytes,
+                                                     std::int64_t chunk_bytes);
 
   // ---- Timed operations -------------------------------------------------
   // Each returns the cycle cost charged to the MicroBlaze for the first
@@ -88,8 +95,14 @@ class ReconfigManager {
   // paths).
 
   sim::Cycles cf2icap(const std::string& filename, DoneCallback on_done = {});
+  /// Pipelined variant of cf2icap (estimate_cf2icap_streamed timing):
+  /// the cold-miss path of the bitman subsystem (docs/BITSTREAMS.md).
+  sim::Cycles cf2icap_streamed(const std::string& filename,
+                               std::int64_t chunk_bytes,
+                               DoneCallback on_done = {});
   sim::Cycles array2icap(const std::string& key, DoneCallback on_done = {});
-  /// Stages a CF file into SDRAM under `key` (system-startup staging).
+  /// Stages a CF file into SDRAM under `key`, replacing any stale array
+  /// already staged there (system startup and cache restaging).
   sim::Cycles cf2array(const std::string& filename, const std::string& key,
                        DoneCallback on_done = {});
 

@@ -50,6 +50,19 @@ std::string SystemStats::to_string() const {
     if (f.fault_duplicated > 0) os << ", fault-dup " << f.fault_duplicated;
     os << "\n";
   }
+  const bitman::BitmanStats& bc = bitcache;
+  if (bc.hits + bc.misses + bc.staged > 0) {
+    os << "bitstream cache: " << bc.hits << " hits / " << bc.misses
+       << " misses (" << static_cast<int>(100.0 * bc.hit_rate())
+       << "% hit rate), " << bc.evictions << " evictions ("
+       << bc.evicted_bytes << " bytes), " << bc.staged << " staged ("
+       << bc.replaced << " replaced), " << bc.invalidations
+       << " invalidated\n";
+    os << "  prefetch: " << bc.prefetch_issued << " issued, "
+       << bc.prefetch_completed << " completed, " << bc.prefetch_useful
+       << " useful, " << bc.prefetch_cancelled << " cancelled; streamed "
+       << "misses: " << bc.streamed_misses << "\n";
+  }
   const RobustnessStats& rb = robustness;
   if (rb.faults_injected > 0 || rb.total_recoveries() > 0 ||
       rb.reconfig_failures > 0) {
@@ -87,6 +100,7 @@ SystemStats collect_stats(VapresSystem& sys) {
   stats.icap_bytes = sys.icap().total_bytes_configured();
   stats.reconfigurations = sys.icap().completed_transfers();
   stats.kernel = sys.sim().kernel_stats();
+  stats.bitcache = sys.bitman().stats();
 
   RobustnessStats& rb = stats.robustness;
   const auto& faults = sim::FaultInjector::instance();

@@ -65,6 +65,9 @@ struct SystemStats {
   std::int64_t icap_bytes = 0;
   int reconfigurations = 0;
   RobustnessStats robustness;
+  /// Bitstream-cache and prefetch counters (bitman subsystem,
+  /// docs/BITSTREAMS.md): hit/miss/eviction/prefetch-usefulness.
+  bitman::BitmanStats bitcache;
   /// Simulation-kernel counters aggregated over every clock domain:
   /// edges actually delivered vs. skipped by quiescence tracking.
   sim::KernelStats kernel;

@@ -35,6 +35,10 @@ void ModuleSwitcher::begin() {
                      r.channels().active(req_.downstream),
                  "switch request channels are not active");
 
+  // A background prefetch staging may hold the blocking transfer path;
+  // let it finish before the switch claims the driver.
+  sys_.drain_transfer_path();
+
   timeline_.started = sys_.mb().cycle();
   reconfig_complete_ = false;
   reconfig_ok_ = true;
@@ -44,14 +48,25 @@ void ModuleSwitcher::begin() {
     reconfig_complete_ = true;
     reconfig_ok_ = outcome.ok();
   };
-  if (req_.source == ReconfigSource::kSdramArray) {
-    const std::string key =
-        req_.new_module_id + "@" + r.prr(req_.dst_prr).name();
-    sys_.reconfig().array2icap(key, on_done);
-  } else {
-    const std::string filename = bitstream::bitstream_filename(
-        req_.new_module_id, r.prr(req_.dst_prr).name());
-    sys_.reconfig().cf2icap(filename, on_done);
+  const std::string dst_name = r.prr(req_.dst_prr).name();
+  switch (req_.source) {
+    case ReconfigSource::kSdramArray:
+    case ReconfigSource::kManaged:
+      // Resolve through the bitman cache: warm arrays take the fast
+      // array2icap path (pinned against eviction for the transfer),
+      // cold pairs stream from CompactFlash.
+      sys_.bitman().reconfigure(req_.new_module_id, dst_name, on_done);
+      break;
+    case ReconfigSource::kCfStream:
+      sys_.reconfig().cf2icap_streamed(
+          bitstream::bitstream_filename(req_.new_module_id, dst_name),
+          bitstream::Calibration::kStreamChunkBytes, on_done);
+      break;
+    case ReconfigSource::kCompactFlash:
+      sys_.reconfig().cf2icap(
+          bitstream::bitstream_filename(req_.new_module_id, dst_name),
+          on_done);
+      break;
   }
   state_ = State::kReconfiguring;
   sys_.mb().add_task(this);

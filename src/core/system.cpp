@@ -16,6 +16,9 @@ VapresSystem::VapresSystem(SystemParams params,
                                            dcr_);
   reconfig_ = std::make_unique<ReconfigManager>(sim_, *mb_, icap_, cf_,
                                                 *sdram_);
+  bitman_ = std::make_unique<bitman::BitstreamManager>(*reconfig_, cf_,
+                                                       *sdram_);
+  prefetch_ = std::make_unique<bitman::PrefetchEngine>(*mb_, *bitman_);
 
   floorplan_ =
       params_.prr_rects.empty() ? auto_floorplan() : params_.prr_rects;
@@ -142,14 +145,15 @@ std::string VapresSystem::synthesize_to_cf(const std::string& module_id,
 std::string VapresSystem::stage_to_sdram(const std::string& module_id,
                                          int rsb_index, int prr_index) {
   Rsb& r = rsb(rsb_index);
-  const std::string filename =
-      synthesize_to_cf(module_id, rsb_index, prr_index);
+  synthesize_to_cf(module_id, rsb_index, prr_index);
+  const std::string prr_name = r.prr(prr_index).name();
   const std::string key =
-      module_id + "@" + r.prr(prr_index).name();
+      bitman::BitstreamManager::key_for(module_id, prr_name);
   if (sdram_->contains(key)) return key;
+  drain_transfer_path();
   bool done = false;
-  reconfig_->cf2array(filename, key,
-                      [&done](const ReconfigOutcome&) { done = true; });
+  bitman_->stage(module_id, prr_name,
+                 [&done](const ReconfigOutcome&) { done = true; });
   const bool ok = sim_.run_until([&done] { return done; },
                                  sim::kPsPerSecond * 60);
   VAPRES_REQUIRE(ok, "cf2array staging did not complete");
@@ -161,16 +165,17 @@ std::string VapresSystem::preload_sdram(const std::string& module_id,
   Rsb& r = rsb(rsb_index);
   const std::string filename =
       synthesize_to_cf(module_id, rsb_index, prr_index);
-  const std::string key = module_id + "@" + r.prr(prr_index).name();
-  if (!sdram_->contains(key)) {
-    sdram_->store(key, cf_.read(filename));
-  }
+  const std::string key = bitman::BitstreamManager::key_for(
+      module_id, r.prr(prr_index).name());
+  if (!bitman_->resident(key)) bitman_->preload(cf_.read(filename));
   return key;
 }
 
 sim::Cycles VapresSystem::reconfigure_now(int rsb_index, int prr_index,
                                           const std::string& module_id,
                                           ReconfigSource source) {
+  drain_transfer_path();
+  const std::string prr_name = rsb(rsb_index).prr(prr_index).name();
   bool done = false;
   bool configured = false;
   auto on_done = [&done, &configured](const ReconfigOutcome& outcome) {
@@ -178,13 +183,26 @@ sim::Cycles VapresSystem::reconfigure_now(int rsb_index, int prr_index,
     configured = outcome.ok();
   };
   sim::Cycles charged = 0;
-  if (source == ReconfigSource::kSdramArray) {
-    const std::string key = preload_sdram(module_id, rsb_index, prr_index);
-    charged = reconfig_->array2icap(key, on_done);
-  } else {
-    const std::string filename =
-        synthesize_to_cf(module_id, rsb_index, prr_index);
-    charged = reconfig_->cf2icap(filename, on_done);
+  switch (source) {
+    case ReconfigSource::kSdramArray:
+      // Pre-stage (untimed) then resolve through the cache: a warm hit
+      // running the same array2icap driver as before the cache existed.
+      preload_sdram(module_id, rsb_index, prr_index);
+      charged = bitman_->reconfigure(module_id, prr_name, on_done);
+      break;
+    case ReconfigSource::kCompactFlash:
+      charged = reconfig_->cf2icap(
+          synthesize_to_cf(module_id, rsb_index, prr_index), on_done);
+      break;
+    case ReconfigSource::kCfStream:
+      charged = reconfig_->cf2icap_streamed(
+          synthesize_to_cf(module_id, rsb_index, prr_index),
+          bitstream::Calibration::kStreamChunkBytes, on_done);
+      break;
+    case ReconfigSource::kManaged:
+      synthesize_to_cf(module_id, rsb_index, prr_index);
+      charged = bitman_->reconfigure(module_id, prr_name, on_done);
+      break;
   }
   const bool ok = sim_.run_until([&done] { return done; },
                                  sim::kPsPerSecond * 60);
@@ -196,6 +214,13 @@ sim::Cycles VapresSystem::reconfigure_now(int rsb_index, int prr_index,
 
 void VapresSystem::run_system_cycles(sim::Cycles n) {
   sim_.run_cycles(*system_clock_, n);
+}
+
+void VapresSystem::drain_transfer_path() {
+  if (!reconfig_->busy()) return;
+  const bool ok = sim_.run_until([this] { return !reconfig_->busy(); },
+                                 sim::kPsPerSecond * 60);
+  VAPRES_REQUIRE(ok, "bitstream transfer path did not drain");
 }
 
 }  // namespace vapres::core

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "bitman/cache.hpp"
+#include "bitman/prefetch.hpp"
 #include "bitstream/storage.hpp"
 #include "comm/dcr.hpp"
 #include "core/channel.hpp"
@@ -26,7 +28,12 @@
 namespace vapres::core {
 
 /// Which storage a timed reconfiguration reads the bitstream from.
-enum class ReconfigSource { kCompactFlash, kSdramArray };
+enum class ReconfigSource {
+  kCompactFlash,  ///< classic read-all-then-write vapres_cf2icap
+  kSdramArray,    ///< pre-staged vapres_array2icap (through the cache)
+  kCfStream,      ///< pipelined chunked cf2icap (cold-miss streaming path)
+  kManaged,       ///< bitman cache decides: array hit or streamed miss
+};
 
 class VapresSystem {
  public:
@@ -48,6 +55,8 @@ class VapresSystem {
   bitstream::Sdram& sdram() { return *sdram_; }
   fabric::IcapPort& icap() { return icap_; }
   ReconfigManager& reconfig() { return *reconfig_; }
+  bitman::BitstreamManager& bitman() { return *bitman_; }
+  bitman::PrefetchEngine& prefetch() { return *prefetch_; }
 
   int num_rsbs() const { return static_cast<int>(rsbs_.size()); }
   Rsb& rsb(int index = 0);
@@ -110,6 +119,11 @@ class VapresSystem {
   /// Runs `n` system-clock cycles.
   void run_system_cycles(sim::Cycles n);
 
+  /// Runs the simulation until the blocking transfer path is free (a
+  /// background prefetch staging may hold it; demand callers drain
+  /// before issuing their own transfer).
+  void drain_transfer_path();
+
  private:
   std::vector<fabric::ClbRect> auto_floorplan() const;
 
@@ -123,6 +137,8 @@ class VapresSystem {
   fabric::IcapPort icap_;
   std::unique_ptr<proc::Microblaze> mb_;
   std::unique_ptr<ReconfigManager> reconfig_;
+  std::unique_ptr<bitman::BitstreamManager> bitman_;
+  std::unique_ptr<bitman::PrefetchEngine> prefetch_;
   std::vector<fabric::ClbRect> floorplan_;
   std::vector<std::unique_ptr<Rsb>> rsbs_;
 };

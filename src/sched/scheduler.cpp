@@ -56,7 +56,38 @@ int ApplicationScheduler::submit(AppRequest request) {
   rec.request = std::move(request);
   rec.submitted_at = sys_.mb().cycle();
   apps_.push_back(std::move(rec));
-  return apps_.back().id;
+  AppRecord& stored = apps_.back();
+  if (opt_.prefetch_hints &&
+      opt_.source == core::ReconfigSource::kManaged) {
+    hint_request(stored);
+  }
+  return stored.id;
+}
+
+void ApplicationScheduler::hint_request(const AppRecord& app) {
+  // Guess the placement the admission pass would pick right now and warm
+  // those (module, PRR) bitstreams while the request waits in the queue.
+  // The guess can go stale — a wrong hint only costs background staging
+  // time, never correctness.
+  for (const std::string& m : app.request.modules) {
+    if (!sys_.library().contains(m)) return;  // admission will reject
+  }
+  ChainPlan plan;
+  try {
+    plan = plan_chain(app);
+  } catch (const ModelError&) {
+    return;
+  }
+  if (!plan.ok) return;
+  for (const MigrationStep& s : plan.steps) {
+    install_bitstream(s.module_id, s.dst_prr);
+    sys_.prefetch().hint(s.module_id, rsb().prr(s.dst_prr).name(), app.id);
+  }
+  for (std::size_t i = 0; i < plan.prrs.size(); ++i) {
+    const std::string& m = app.request.modules[i];
+    install_bitstream(m, plan.prrs[i]);
+    sys_.prefetch().hint(m, rsb().prr(plan.prrs[i]).name(), app.id);
+  }
 }
 
 int ApplicationScheduler::run_admission() {
@@ -351,6 +382,11 @@ bool ApplicationScheduler::execute_migration(const MigrationStep& step) {
                  "only tail-of-chain modules are hitlessly migratable");
 
   stage_bitstream(step.module_id, step.dst_prr);
+  if (opt_.source == core::ReconfigSource::kManaged) {
+    // Relocations pay the CF->SDRAM staging up front (timed) so the
+    // live switch's PR runs the fast array path even on a cold cache.
+    sys_.stage_to_sdram(step.module_id, opt_.rsb_index, step.dst_prr);
+  }
   // Keep the module's clock choice across the move (the switcher
   // read-modify-writes the dst socket, preserving CLK_sel).
   set_prr_clock(step.dst_prr,
@@ -389,8 +425,8 @@ bool ApplicationScheduler::execute_migration(const MigrationStep& step) {
 
 // ---- Launch / teardown ---------------------------------------------------
 
-void ApplicationScheduler::stage_bitstream(const std::string& module_id,
-                                           int prr) {
+bitstream::PartialBitstream ApplicationScheduler::install_bitstream(
+    const std::string& module_id, int prr) {
   core::Prr& target = rsb().prr(prr);
   const fabric::ClbRect& rect = target.rect();
   if (!store_.has_master(module_id, rect)) {
@@ -403,13 +439,19 @@ void ApplicationScheduler::stage_bitstream(const std::string& module_id,
   // The streaming FAR rewrite runs on the MicroBlaze.
   sys_.mb().busy_for(static_cast<sim::Cycles>(
       std::llround(bitstream::relocation_cycles(bs.size_bytes))));
-  const std::string filename =
-      bitstream::bitstream_filename(module_id, target.name());
-  if (!sys_.compact_flash().contains(filename)) {
-    sys_.compact_flash().store(filename, bs);
+  sys_.bitman().install(bs);
+  return bs;
+}
+
+void ApplicationScheduler::stage_bitstream(const std::string& module_id,
+                                           int prr) {
+  const bitstream::PartialBitstream bs = install_bitstream(module_id, prr);
+  // Under kManaged residency belongs to the cache and the prefetcher;
+  // the other sources keep the pre-cache contract (array preloaded, so
+  // the array path never misses).
+  if (opt_.source != core::ReconfigSource::kManaged) {
+    sys_.bitman().preload(bs);
   }
-  const std::string key = module_id + "@" + target.name();
-  if (!sys_.sdram().contains(key)) sys_.sdram().store(key, bs);
 }
 
 bool ApplicationScheduler::launch(AppRecord& app,
@@ -512,6 +554,9 @@ void ApplicationScheduler::teardown(AppRecord& app, AppState final_state) {
   }
   app.prrs.clear();
   free_ioms(app);
+  // Queued prefetch hints for a torn-down app are dead weight; a staging
+  // already in flight completes (the array may serve someone else).
+  sys_.prefetch().cancel(app.id);
   app.stopped_at = sys_.mb().cycle();
   app.state = final_state;
 }

@@ -50,6 +50,11 @@ class ApplicationScheduler {
     /// Live relocations one admission may spend (defrag plan budget).
     int max_defrag_migrations = 4;
     core::ReconfigSource source = core::ReconfigSource::kSdramArray;
+    /// Feed the PrefetchEngine with admission-queue and defrag-plan
+    /// hints at submit time, so staging overlaps the wait in the queue.
+    /// Only consulted under kManaged (the other sources stage
+    /// synchronously at launch).
+    bool prefetch_hints = true;
   };
 
   explicit ApplicationScheduler(core::VapresSystem& sys);
@@ -122,8 +127,18 @@ class ApplicationScheduler {
   void teardown(AppRecord& app, AppState final_state);
 
   /// Materializes (module @ prr) from the footprint-class master and
-  /// stages it to CF and SDRAM for the reconfiguration paths.
+  /// installs it as a CF file through the BitstreamManager. Returns the
+  /// relocated bitstream.
+  bitstream::PartialBitstream install_bitstream(const std::string& module_id,
+                                                int prr);
+
+  /// install_bitstream + residency: under kManaged the cache/prefetcher
+  /// own residency; otherwise the array is preloaded for the array path.
   void stage_bitstream(const std::string& module_id, int prr);
+
+  /// Queues prefetch hints for the placement the admission pass would
+  /// pick for `app` right now (admission-queue + defrag-plan hints).
+  void hint_request(const AppRecord& app);
 
   /// Isolates, resets, and unloads a vacated PRR site.
   void blank_prr(int prr);

@@ -1,0 +1,360 @@
+// Bitstream-management subsystem (src/bitman/): LRU residency cache in
+// front of CompactFlash, pin-during-transfer semantics, the pipelined
+// CF->ICAP cold-miss path, the async prefetch engine (hints, dedup,
+// cancellation on app teardown), and the fault-integration contract — a
+// CF source fallback means the SDRAM array was poisoned, so the cache
+// invalidates it and restages from the pristine file.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bitman/cache.hpp"
+#include "bitman/prefetch.hpp"
+#include "bitstream/bitgen.hpp"
+#include "bitstream/bitstream.hpp"
+#include "bitstream/calibration.hpp"
+#include "core/reconfig.hpp"
+#include "core/stats.hpp"
+#include "core/system.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/fault.hpp"
+#include "test_util.hpp"
+
+namespace vapres {
+namespace {
+
+using bitman::BitmanStats;
+using bitman::BitstreamManager;
+using bitman::PrefetchEngine;
+using core::ReconfigSource;
+
+// Every rig here uses narrow 16x4-CLB PRRs so the simulated transfers
+// stay short; the matching array size feeds SDRAM capacity budgets.
+std::int64_t array_bytes() {
+  static const std::int64_t n =
+      bitstream::PartialBitstream::create("probe", "p",
+                                          fabric::ClbRect{0, 0, 16, 4})
+          .size_bytes;
+  return n;
+}
+
+/// A prototype system whose SDRAM holds exactly `arrays` partial
+/// bitstreams (plus negligible slack), brought up and ready.
+std::unique_ptr<core::VapresSystem> make_system(int arrays) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 4;
+  p.sdram_bytes = arrays * array_bytes() + 100;
+  auto sys = std::make_unique<core::VapresSystem>(std::move(p));
+  sys->bring_up_all_sites();
+  return sys;
+}
+
+// ----------------------------------------------------------- warm hits
+
+TEST(BitmanCache, WarmHitRunsTheArrayPath) {
+  auto sys = make_system(2);
+  const std::string key = sys->preload_sdram("gain_x2", 0, 0);
+  ASSERT_TRUE(sys->bitman().resident(key));
+  ASSERT_EQ(sys->sdram().read(key).size_bytes, array_bytes());
+
+  const sim::Cycles charged = sys->reconfigure_now(0, 0, "gain_x2");
+  EXPECT_EQ(sys->rsb().prr(0).loaded_module(), "gain_x2");
+
+  // A hit is charged exactly the pre-cache vapres_array2icap cost: the
+  // cache bookkeeping (pin, LRU touch) is free, as for real SDRAM.
+  const auto est = core::ReconfigManager::estimate_array2icap(array_bytes());
+  EXPECT_NEAR(static_cast<double>(charged), est.total_cycles(), 2.0);
+
+  const BitmanStats& st = sys->bitman().stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 0u);
+  EXPECT_FALSE(sys->bitman().pinned(key));  // pin dropped at completion
+}
+
+TEST(BitmanCache, InstallUsesValidCfFilenames) {
+  auto sys = make_system(2);
+  const auto bs = sys->compact_flash().read(
+      sys->synthesize_to_cf("passthrough", 0, 0));
+  const std::string filename = sys->bitman().install(bs);
+  EXPECT_TRUE(bitstream::CompactFlash::valid_filename(filename)) << filename;
+  EXPECT_TRUE(sys->bitman().installed("passthrough",
+                                      sys->rsb().prr(0).name()));
+}
+
+// ------------------------------------------------------------ eviction
+
+TEST(BitmanCache, EvictsLeastRecentlyUsedUnderPressure) {
+  auto sys = make_system(2);
+  const std::string a = sys->preload_sdram("passthrough", 0, 0);
+  const std::string b = sys->preload_sdram("gain_x2", 0, 1);
+  // Touch `a` (a warm demand hit) so `b` becomes the LRU entry.
+  sys->reconfigure_now(0, 0, "passthrough");
+
+  const std::string c = sys->preload_sdram("offset_100", 0, 0);
+  EXPECT_TRUE(sys->bitman().resident(a));
+  EXPECT_FALSE(sys->bitman().resident(b));  // LRU victim
+  EXPECT_TRUE(sys->bitman().resident(c));
+  EXPECT_EQ(sys->bitman().resident_count(), 2);
+
+  const BitmanStats& st = sys->bitman().stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.evicted_bytes, array_bytes());
+}
+
+TEST(BitmanCache, PinnedEntrySurvivesEvictionPressure) {
+  auto sys = make_system(1);
+  const std::string key = sys->preload_sdram("gain_x2", 0, 0);
+
+  // Open the demand reconfiguration but do not run it to completion:
+  // the entry stays pinned while the transfer is in flight.
+  bool done = false;
+  sys->bitman().reconfigure(
+      "gain_x2", sys->rsb().prr(0).name(),
+      [&done](const core::ReconfigOutcome&) { done = true; });
+  ASSERT_TRUE(sys->bitman().pinned(key));
+
+  // With the only resident array pinned, staging pressure must fail
+  // loudly instead of yanking the bitstream out from under the ICAP.
+  const auto bs = sys->compact_flash().read(
+      sys->synthesize_to_cf("passthrough", 0, 1));
+  EXPECT_THROW(sys->bitman().preload(bs), ModelError);
+  EXPECT_TRUE(sys->bitman().resident(key));
+  // invalidate() likewise refuses pinned entries.
+  EXPECT_FALSE(sys->bitman().invalidate(key));
+
+  // Once the transfer lands the pin drops and eviction proceeds.
+  ASSERT_TRUE(sys->sim().run_until([&done] { return done; },
+                                   sim::kPsPerSecond * 60));
+  EXPECT_EQ(sys->rsb().prr(0).loaded_module(), "gain_x2");
+  EXPECT_FALSE(sys->bitman().pinned(key));
+  EXPECT_NO_THROW(sys->bitman().preload(bs));
+  EXPECT_FALSE(sys->bitman().resident(key));
+  EXPECT_EQ(sys->bitman().stats().evictions, 1u);
+}
+
+// ---------------------------------------------------------- cold misses
+
+TEST(BitmanCache, ColdMissStreamsFromCfThenRestages) {
+  auto sys = make_system(2);
+  sys->synthesize_to_cf("gain_x2", 0, 0);
+  const std::string key =
+      BitstreamManager::key_for("gain_x2", sys->rsb().prr(0).name());
+  ASSERT_FALSE(sys->bitman().resident(key));
+
+  sys->reconfigure_now(0, 0, "gain_x2", ReconfigSource::kManaged);
+  EXPECT_EQ(sys->rsb().prr(0).loaded_module(), "gain_x2");
+
+  const BitmanStats& st = sys->bitman().stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.streamed_misses, 1u);
+  EXPECT_EQ(st.hits, 0u);
+
+  // stage_on_miss queued a background restage; the prefetcher lands it
+  // in otherwise-idle time, and the repeat request is warm.
+  ASSERT_TRUE(sys->sim().run_until(
+      [&] { return sys->bitman().resident(key); }, sim::kPsPerSecond * 5));
+  sys->reconfigure_now(0, 0, "gain_x2", ReconfigSource::kManaged);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(BitmanCache, StreamedEstimateOverlapsCfReadWithIcapWrites) {
+  // Double-buffered chunking hides every ICAP write under the (much
+  // slower) CF read of the next chunk; only the final chunk's write and
+  // the per-chunk dispatch overhead stay exposed.
+  const std::int64_t bytes = 37104;  // prototype 16x10 bitstream
+  const auto classic = core::ReconfigManager::estimate_cf2icap(bytes);
+  const auto streamed = core::ReconfigManager::estimate_cf2icap_streamed(
+      bytes, bitstream::Calibration::kStreamChunkBytes);
+  EXPECT_LT(streamed.total_cycles(), classic.total_cycles());
+  EXPECT_LT(streamed.icap_cycles, classic.icap_cycles);
+  // The CF read itself is irreducible: streaming cannot beat it.
+  EXPECT_GT(streamed.total_cycles(), classic.storage_cycles);
+}
+
+// ----------------------------------------------------------- prediction
+
+TEST(BitmanCache, PredictorLearnsPerPrrTransitions) {
+  auto sys = make_system(3);
+  sys->preload_sdram("passthrough", 0, 0);
+  sys->preload_sdram("gain_x2", 0, 0);
+  const std::string prr = sys->rsb().prr(0).name();
+
+  sys->reconfigure_now(0, 0, "passthrough");
+  sys->reconfigure_now(0, 0, "gain_x2");
+  sys->reconfigure_now(0, 0, "passthrough");
+
+  EXPECT_EQ(sys->bitman().predicted_next(prr, "passthrough"), "gain_x2");
+  EXPECT_EQ(sys->bitman().predicted_next(prr, "gain_x2"), "passthrough");
+  EXPECT_EQ(sys->bitman().predicted_next(prr, "offset_100"), "");
+  EXPECT_EQ(sys->bitman().predicted_next("no.such.prr", "passthrough"), "");
+}
+
+TEST(BitmanCache, PredictedNextModuleIsPrefetched) {
+  auto sys = make_system(3);
+  sys->preload_sdram("passthrough", 0, 0);
+  const std::string b = sys->preload_sdram("gain_x2", 0, 0);
+
+  // Teach the predictor the passthrough <-> gain_x2 alternation.
+  sys->reconfigure_now(0, 0, "passthrough");
+  sys->reconfigure_now(0, 0, "gain_x2");
+  sys->reconfigure_now(0, 0, "passthrough");
+
+  // Drop gain_x2 so the predictor's hint has work to do; reloading
+  // passthrough hints gain_x2@prr0 to the prefetch engine.
+  ASSERT_TRUE(sys->bitman().invalidate(b));
+  sys->reconfigure_now(0, 0, "passthrough");
+  ASSERT_TRUE(sys->sim().run_until(
+      [&] { return sys->bitman().resident(b); }, sim::kPsPerSecond * 5));
+
+  const BitmanStats& st = sys->bitman().stats();
+  EXPECT_GE(st.prefetch_issued, 1u);
+  EXPECT_GE(st.prefetch_completed, 1u);
+
+  // The prefetched array serves the next demand request warm.
+  sys->reconfigure_now(0, 0, "gain_x2", ReconfigSource::kManaged);
+  EXPECT_EQ(st.misses, 0u);
+  EXPECT_GE(st.prefetch_useful, 1u);
+}
+
+// ------------------------------------------------------ prefetch engine
+
+TEST(BitmanPrefetch, HintsDedupAndDropStalePairs) {
+  auto sys = make_system(4);
+  const std::string prr0 = sys->rsb().prr(0).name();
+  const std::string prr1 = sys->rsb().prr(1).name();
+  sys->synthesize_to_cf("gain_x2", 0, 0);
+  sys->synthesize_to_cf("passthrough", 0, 1);
+  PrefetchEngine& pf = sys->prefetch();
+
+  pf.hint("gain_x2", prr0, /*tag=*/7);
+  pf.hint("gain_x2", prr0, 7);    // duplicate pair: dropped
+  pf.hint("passthrough", prr1, 7);
+  pf.hint("no_such_module", prr0, 7);  // not installed: dropped
+  EXPECT_EQ(pf.pending(), 2);
+
+  // Already-resident pairs are stale on arrival.
+  sys->preload_sdram("offset_100", 0, 0);
+  pf.hint("offset_100", prr0, 7);
+  EXPECT_EQ(pf.pending(), 2);
+}
+
+TEST(BitmanPrefetch, CancelDropsOnlyTheGivenTag) {
+  auto sys = make_system(4);
+  const std::string prr0 = sys->rsb().prr(0).name();
+  const std::string prr1 = sys->rsb().prr(1).name();
+  sys->synthesize_to_cf("gain_x2", 0, 0);
+  sys->synthesize_to_cf("passthrough", 0, 1);
+  sys->synthesize_to_cf("offset_100", 0, 0);
+  PrefetchEngine& pf = sys->prefetch();
+
+  pf.hint("gain_x2", prr0, /*tag=*/7);
+  pf.hint("passthrough", prr1, 7);
+  pf.hint("offset_100", prr0);  // kNoTag: never group-cancelled
+  EXPECT_EQ(pf.pending(), 3);
+
+  EXPECT_EQ(pf.cancel(9), 0);  // no such tag
+  EXPECT_EQ(pf.cancel(7), 2);
+  EXPECT_EQ(pf.cancel(PrefetchEngine::kNoTag), 0);
+  EXPECT_EQ(pf.pending(), 1);
+  EXPECT_EQ(sys->bitman().stats().prefetch_cancelled, 2u);
+}
+
+TEST(BitmanPrefetch, InFlightStagingSurvivesCancellation) {
+  auto sys = make_system(2);
+  const std::string prr0 = sys->rsb().prr(0).name();
+  const std::string prr1 = sys->rsb().prr(1).name();
+  sys->synthesize_to_cf("gain_x2", 0, 0);
+  sys->synthesize_to_cf("passthrough", 0, 1);
+  const std::string a = BitstreamManager::key_for("gain_x2", prr0);
+  const std::string b = BitstreamManager::key_for("passthrough", prr1);
+  PrefetchEngine& pf = sys->prefetch();
+
+  pf.hint("gain_x2", prr0, /*tag=*/3);
+  sys->run_system_cycles(10000);  // engine pops the hint, opens staging
+  ASSERT_TRUE(pf.staging());
+  pf.hint("passthrough", prr1, 3);
+
+  // Cancelling the tag drops the queued hint but leaves the transfer
+  // already on the wire to complete (the array is useful either way).
+  EXPECT_EQ(pf.cancel(3), 1);
+  ASSERT_TRUE(sys->sim().run_until(
+      [&] { return sys->bitman().resident(a); }, sim::kPsPerSecond * 5));
+  EXPECT_FALSE(sys->bitman().resident(b));
+
+  const BitmanStats& st = sys->bitman().stats();
+  EXPECT_EQ(st.prefetch_issued, 1u);
+  EXPECT_EQ(st.prefetch_completed, 1u);
+  EXPECT_EQ(st.prefetch_cancelled, 1u);
+}
+
+TEST(BitmanPrefetch, SchedulerTeardownCancelsItsQueuedHints) {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 4;
+  core::VapresSystem sys(std::move(p));
+  sys.bring_up_all_sites();
+  sched::ApplicationScheduler::Options opt;
+  opt.source = ReconfigSource::kManaged;
+  sched::ApplicationScheduler sched(sys, opt);
+
+  sched::AppRequest req;
+  req.name = "cam";
+  req.modules = {"passthrough", "gain_x2"};
+  req.source_interval_cycles = 4;
+  req.source_words = 32;
+  const int id = sched.submit(req);
+  // Submission hinted the planned (module, PRR) pairs for this app.
+  EXPECT_EQ(sys.prefetch().pending(), 2);
+
+  ASSERT_EQ(sched.run_admission(), 1);
+  sched.stop(id);
+
+  // Teardown cancelled everything still queued under the app's tag
+  // (preemption takes the same path); a staging the engine had already
+  // opened is allowed to finish. Nothing of the app's remains queued.
+  EXPECT_EQ(sys.prefetch().pending(), 0);
+  const BitmanStats& st = sys.bitman().stats();
+  EXPECT_EQ(st.prefetch_issued + st.prefetch_cancelled, 2u);
+}
+
+// ----------------------------------------------------- fault integration
+
+TEST(BitmanFault, CfFallbackInvalidatesAndRestagesPoisonedArray) {
+  test::FaultRig rig(0xB17CAC4Eu);
+  const std::string key =
+      BitstreamManager::key_for("gain_x2", rig.sys->rsb().prr(1).name());
+  ASSERT_TRUE(rig.sys->bitman().resident(key));
+  const BitmanStats before = rig.sys->bitman().stats();
+
+  // Corrupt every SDRAM-sourced attempt of the next PR: the retry
+  // machinery exhausts the array source and rescues the transfer from
+  // the pristine CF file.
+  rig.arm_array_source_fallback();
+  rig.sys->reconfigure_now(0, 1, "gain_x2");
+  EXPECT_EQ(rig.sys->rsb().prr(1).loaded_module(), "gain_x2");
+  EXPECT_EQ(rig.sys->reconfig().fallbacks(), 1);
+
+  // The fallback is the cache's poison signal: the array was dropped
+  // and queued for restage from CompactFlash.
+  const BitmanStats& st = rig.sys->bitman().stats();
+  EXPECT_EQ(st.invalidations, before.invalidations + 1);
+  ASSERT_TRUE(rig.sys->sim().run_until(
+      [&] { return rig.sys->bitman().resident(key); },
+      sim::kPsPerSecond * 5));
+  EXPECT_EQ(st.staged, before.staged + 1);
+
+  // The restaged copy serves the next demand request warm, fault-free.
+  rig.sys->reconfigure_now(0, 1, "gain_x2");
+  EXPECT_EQ(st.hits, before.hits + 2);
+  EXPECT_GE(st.prefetch_useful, 1u);
+  EXPECT_EQ(rig.sys->reconfig().fallbacks(), 1);  // no new faults
+
+  // Counters surface through the system-wide stats report.
+  const auto sysstats = core::collect_stats(*rig.sys);
+  EXPECT_EQ(sysstats.bitcache.invalidations, st.invalidations);
+  EXPECT_NE(sysstats.to_string().find("bitstream cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vapres

@@ -70,6 +70,52 @@ TEST(Sdram, RejectsDuplicateKey) {
   EXPECT_THROW(sdram.store("a", bs), ModelError);
 }
 
+TEST(Sdram, ReplaceOverwritesInPlace) {
+  // Capacity for one array only: replace must reclaim the old array
+  // before accounting the new one, so restaging never needs 2x space.
+  const auto bs = PartialBitstream::create("m", "prr0", kPrototypePrr);
+  Sdram sdram(bs.size_bytes + 100);
+  sdram.store("a", bs);
+  const auto bs2 = PartialBitstream::create("m2", "prr0", kPrototypePrr);
+  sdram.replace("a", bs2);
+  EXPECT_EQ(sdram.read("a").module_id, "m2");
+  EXPECT_EQ(sdram.used_bytes(), bs2.size_bytes);
+  // replace() on a fresh key behaves like store().
+  EXPECT_THROW(sdram.replace("b", bs), ModelError);  // would exceed capacity
+}
+
+TEST(Sdram, CapacityErrorReportsSizes) {
+  const auto bs = PartialBitstream::create("m", "prr0", kPrototypePrr);
+  Sdram sdram(40000);
+  sdram.store("a", bs);
+  try {
+    sdram.store("b", bs);
+    FAIL() << "expected capacity error";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(bs.size_bytes)), std::string::npos)
+        << what;  // requested size
+    EXPECT_NE(what.find(std::to_string(40000 - bs.size_bytes)),
+              std::string::npos)
+        << what;  // free bytes
+  }
+}
+
+TEST(CompactFlash, Enforces83Filenames) {
+  EXPECT_TRUE(CompactFlash::valid_filename("fi3a9c21.bit"));
+  EXPECT_TRUE(CompactFlash::valid_filename("A1_~-b"));
+  EXPECT_FALSE(CompactFlash::valid_filename("toolongbase.bit"));
+  EXPECT_FALSE(CompactFlash::valid_filename("base.long"));
+  EXPECT_FALSE(CompactFlash::valid_filename("two.dots.bit"));
+  EXPECT_FALSE(CompactFlash::valid_filename(".bit"));
+  EXPECT_FALSE(CompactFlash::valid_filename("sp ace.bit"));
+
+  CompactFlash cf;
+  const auto bs = PartialBitstream::create("m", "prr0", kPrototypePrr);
+  EXPECT_THROW(cf.store("fir8_sys.rsb0.prr1.bit", bs), ModelError);
+  EXPECT_NO_THROW(cf.store("fi3a9c21.bit", bs));
+}
+
 // ------------------------------------------------------------------- Bitgen
 
 TEST(Bitgen, FitChecked) {
@@ -81,9 +127,21 @@ TEST(Bitgen, FitChecked) {
                ModelError);
 }
 
-TEST(Bitgen, FilenameStable) {
-  EXPECT_EQ(bitstream_filename("fir8", "sys.rsb0.prr1"),
-            "fir8_sys.rsb0.prr1.bit");
+TEST(Bitgen, FilenameStableAnd83) {
+  const std::string name = bitstream_filename("fir8", "sys.rsb0.prr1");
+  // Deterministic, FAT-8.3 compliant, module-prefixed, .bit extension.
+  EXPECT_EQ(name, bitstream_filename("fir8", "sys.rsb0.prr1"));
+  EXPECT_TRUE(CompactFlash::valid_filename(name)) << name;
+  EXPECT_EQ(name.substr(0, 2), "fi");
+  EXPECT_EQ(name.size(), std::string("fi000000.bit").size());
+  EXPECT_EQ(name.substr(name.size() - 4), ".bit");
+}
+
+TEST(Bitgen, FilenameDistinguishesPairs) {
+  EXPECT_NE(bitstream_filename("fir8", "sys.rsb0.prr0"),
+            bitstream_filename("fir8", "sys.rsb0.prr1"));
+  EXPECT_NE(bitstream_filename("fir8", "sys.rsb0.prr0"),
+            bitstream_filename("fir4", "sys.rsb0.prr0"));
 }
 
 // ------------------------------------------------- Section V.B calibration

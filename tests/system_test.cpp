@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "bitstream/bitgen.hpp"
 #include "core/api.hpp"
 #include "core/system.hpp"
 #include "proc/timer.hpp"
@@ -103,8 +104,8 @@ TEST(System, WrongPrrBitstreamRejected) {
   // Hand the PRR-0 bitstream to PRR 1's target via the manager: the
   // target name routes it to PRR 0, so this succeeds; mismatch is only
   // possible by corrupting the bitstream record.
-  auto bs = sys->compact_flash().read("ma4_" +
-                                      sys->rsb().prr(0).name() + ".bit");
+  auto bs = sys->compact_flash().read(
+      bitstream::bitstream_filename("ma4", sys->rsb().prr(0).name()));
   bs.target_prr = sys->rsb().prr(1).name();
   EXPECT_FALSE(bs.valid());
   EXPECT_THROW(sys->rsb().prr(1).apply_bitstream(bs, sys->library()),

@@ -133,6 +133,16 @@ struct FaultRig {
     sys->reconfig().set_retry_policy(core::RetryPolicy{});
   }
 
+  /// Poisons the SDRAM-array source of the next PR: corruption armed
+  /// for the default policy's full per-source budget (3 attempts), so
+  /// the ReconfigManager rescues the transfer from the pristine CF file
+  /// (one source fallback) — after which the bitstream cache must
+  /// invalidate the poisoned array and restage it.
+  void arm_array_source_fallback(std::uint64_t nth = 0) {
+    const auto site = sim::FaultSite::kIcapBitstreamCorruption;
+    injector().arm(site, injector().opportunities(site) + nth, 3);
+  }
+
   sim::FaultInjector& injector() { return sim::FaultInjector::instance(); }
   core::Iom& iom() { return sys->rsb().iom(0); }
 
