@@ -14,11 +14,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
+#include <string>
 
 #include "bitstream/calibration.hpp"
 #include "core/reconfig.hpp"
+#include "core/switching.hpp"
 #include "core/system.hpp"
 #include "fabric/frame.hpp"
+#include "obs/metrics.hpp"
 #include "proc/timer.hpp"
 
 namespace {
@@ -163,6 +167,63 @@ void print_paper_table() {
   std::printf("\n");
 }
 
+/// One hitless module switch (bench_switching's Figure 5 scenario at a
+/// 16x1-CLB PRR) so the nine per-step latency histograms have samples.
+void run_one_switch() {
+  core::VapresSystem sys(prototype_with_width(1));
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "passthrough");
+  sys.preload_sdram("offset_100", 0, 1);
+  core::Rsb& rsb = sys.rsb();
+  const auto up = *sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  const auto down =
+      *sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  rsb.iom(0).set_source_generator(
+      [n = 0]() mutable -> std::optional<comm::Word> {
+        return static_cast<comm::Word>(n++);
+      },
+      /*interval_cycles=*/4);
+  sys.run_system_cycles(200);
+
+  core::SwitchRequest req;
+  req.src_prr = 0;
+  req.dst_prr = 1;
+  req.new_module_id = "offset_100";
+  req.upstream = up;
+  req.downstream = down;
+  core::ModuleSwitcher sw(sys, req);
+  sw.begin();
+  sys.sim().run_until([&] { return sw.done(); }, sim::kPsPerSecond * 300);
+  sys.run_system_cycles(1000);
+}
+
+/// Per-step latency histograms from the metrics registry. The reconfig.*
+/// rows were fed by the simulations above; the switch.* rows (the nine
+/// protocol steps of Figure 5 plus the total) by run_one_switch(). All
+/// durations are MicroBlaze cycles at 100 MHz.
+void print_registry_histograms() {
+  run_one_switch();
+
+  std::printf("--- control-path latency histograms (obs registry, "
+              "MicroBlaze cycles) ---\n");
+  std::printf("%-34s %7s %12s %12s %12s %12s %12s\n", "histogram", "count",
+              "min", "p50", "p90", "max", "mean");
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  for (const obs::HistogramSummary& h : snap.histograms) {
+    if (h.count == 0) continue;
+    if (h.name.rfind("reconfig.", 0) != 0 && h.name.rfind("switch.", 0) != 0)
+      continue;
+    std::printf("%-34s %7llu %12llu %12llu %12llu %12llu %12.1f\n",
+                h.name.c_str(), static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.min),
+                static_cast<unsigned long long>(h.p50),
+                static_cast<unsigned long long>(h.p90),
+                static_cast<unsigned long long>(h.max), h.mean);
+  }
+  std::printf("(pN = upper bound of the log2 bucket holding the "
+              "N-th percentile)\n\n");
+}
+
 // Wall-clock cost of simulating one full prototype array2icap transfer.
 void BM_SimulatedArray2Icap(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
@@ -191,6 +252,7 @@ BENCHMARK(BM_EstimateReconfig);
 
 int main(int argc, char** argv) {
   print_paper_table();
+  print_registry_histograms();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,188 @@
+// Tooling benchmark — disabled-tracing overhead gate.
+//
+// The observability layer's contract (docs/OBSERVABILITY.md) is that
+// with the event bus disabled every hook costs one mask load and
+// branch. This bench enforces that as a tier-1 gate:
+//
+//   1. measure the per-hook disabled cost directly: a tight loop over
+//      EventBus::instance().instant() with the mask cold — the exact
+//      shape of a real call site;
+//   2. replay a control-path-heavy scenario (a rate-4 stream with the
+//      module hitlessly switched back and forth between two PRRs) once
+//      with every subsystem enabled, to count how many hooks fire;
+//   3. gate on the projection: hooks x per-hook cost must stay <= 1 %
+//      of the scenario's traced-off wall time.
+//
+// The projection is gated instead of a direct A/B wall-clock diff
+// because the true overhead sits below timer noise — a diff of two
+// nearly equal multi-second runs would gate on scheduler jitter, not
+// on the code. The direct diff is still printed for reference.
+//
+// Emits BENCH_trace_overhead.json; exits non-zero on regression.
+// scripts/tier1.sh runs this binary.
+#include <chrono>
+#include <cstdio>
+#include <optional>
+
+#include "core/switching.hpp"
+#include "core/system.hpp"
+#include "obs/bus.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace vapres;
+using comm::Word;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Per-call cost of a disabled hook, in nanoseconds. The loop calls
+/// through EventBus::instance() every iteration — instance() is opaque
+/// to the optimizer (defined in another TU), so the mask reload and
+/// branch cannot be hoisted; this is exactly what an inlined call site
+/// in the model pays.
+double measure_disabled_hook_ns() {
+  obs::EventBus::instance().disable();
+  constexpr std::uint64_t kCalls = 1u << 25;
+  double best_s = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kCalls; ++i) {
+      obs::EventBus::instance().instant(obs::Subsystem::kSwitch,
+                                        obs::ev::kStep1Reconfigure,
+                                        /*track=*/0,
+                                        static_cast<sim::Picoseconds>(i), i);
+    }
+    const double s = seconds_since(t0);
+    if (s < best_s) best_s = s;
+  }
+  return best_s / static_cast<double>(kCalls) * 1e9;
+}
+
+struct ScenarioResult {
+  double wall_s = 0.0;
+  std::uint64_t hooks = 0;  ///< events emitted (traced run only)
+  int switches = 0;
+};
+
+/// The control-path-heavy workload: a continuous rate-4 stream whose
+/// processing module is relocated (full 9-step hitless protocol,
+/// including one PR per switch) between PRR0 and PRR1, ten times. The
+/// same stateful module on both sides keeps the step-6 state transfer
+/// shape-compatible in either direction.
+ScenarioResult run_switch_scenario(bool traced) {
+  if (traced) {
+    obs::EventBus::instance().enable(~0u);
+  } else {
+    obs::EventBus::instance().disable();
+  }
+
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 1;  // fast PR keeps the bench short
+  core::VapresSystem sys(p);
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "offset_100");
+  core::Rsb& rsb = sys.rsb();
+  core::ChannelId up =
+      *sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  core::ChannelId down =
+      *sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  rsb.iom(0).set_source_generator(
+      [n = 0]() mutable -> std::optional<Word> {
+        return static_cast<Word>(n++);
+      },
+      /*interval_cycles=*/4);
+  sys.run_system_cycles(200);
+
+  ScenarioResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  int src = 0;
+  for (int i = 0; i < 10; ++i) {
+    const int dst = 1 - src;
+    sys.preload_sdram("offset_100", 0, dst);
+    core::SwitchRequest req;
+    req.src_prr = src;
+    req.dst_prr = dst;
+    req.new_module_id = "offset_100";
+    req.upstream = up;
+    req.downstream = down;
+    core::ModuleSwitcher sw(sys, req);
+    sw.begin();
+    sys.sim().run_until([&] { return sw.finished(); },
+                        sim::kPsPerSecond * 300);
+    if (!sw.done()) break;
+    up = sw.new_upstream();
+    down = sw.new_downstream();
+    src = dst;
+    ++r.switches;
+    rsb.iom(0).take_received();  // keep memory flat
+  }
+  sys.run_system_cycles(2'000);
+  r.wall_s = seconds_since(t0);
+  if (traced) r.hooks = obs::EventBus::instance().total_emitted();
+  obs::EventBus::instance().disable();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== tracing overhead: disabled hooks vs scenario ==\n");
+
+  const double hook_ns = measure_disabled_hook_ns();
+  std::printf("disabled hook cost: %.3f ns/call (mask load + branch)\n",
+              hook_ns);
+
+  // Hook census first (also warms the page cache for the timed runs).
+  const ScenarioResult traced = run_switch_scenario(/*traced=*/true);
+  obs::Registry::instance().reset();
+  const ScenarioResult off_a = run_switch_scenario(/*traced=*/false);
+  obs::Registry::instance().reset();
+  const ScenarioResult off_b = run_switch_scenario(/*traced=*/false);
+  const double off_wall = off_a.wall_s < off_b.wall_s ? off_a.wall_s
+                                                      : off_b.wall_s;
+
+  std::printf("scenario: %d hitless switches; %llu hooks fire when every "
+              "subsystem is traced\n",
+              traced.switches,
+              static_cast<unsigned long long>(traced.hooks));
+  std::printf("traced-off wall: %.3f s (best of 2), traced-on wall: %.3f s "
+              "(direct diff %+.1f%%, reference only)\n",
+              off_wall, traced.wall_s,
+              off_wall > 0
+                  ? 100.0 * (traced.wall_s - off_wall) / off_wall
+                  : 0.0);
+
+  const double projected_s =
+      static_cast<double>(traced.hooks) * hook_ns * 1e-9;
+  const double projected_pct =
+      off_wall > 0 ? 100.0 * projected_s / off_wall : 100.0;
+  const bool pass = traced.switches == 10 && projected_pct <= 1.0;
+  std::printf("projected disabled-tracing overhead: %.4f%% of scenario "
+              "wall time (threshold <= 1%%: %s)\n",
+              projected_pct, pass ? "PASS" : "FAIL");
+
+  std::FILE* f = std::fopen("BENCH_trace_overhead.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"disabled_hook_ns\": %.4f,\n"
+                 "  \"scenario_switches\": %d,\n"
+                 "  \"scenario_hooks\": %llu,\n"
+                 "  \"scenario_wall_off_seconds\": %.6f,\n"
+                 "  \"scenario_wall_traced_seconds\": %.6f,\n"
+                 "  \"projected_overhead_pct\": %.6f,\n"
+                 "  \"thresholds\": {\"projected_overhead_max_pct\": 1.0},\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 hook_ns, traced.switches,
+                 static_cast<unsigned long long>(traced.hooks), off_wall,
+                 traced.wall_s, projected_pct, pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_trace_overhead.json\n");
+  }
+  return pass ? 0 : 1;
+}

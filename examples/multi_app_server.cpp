@@ -10,11 +10,16 @@
 // every IOM channel busy. The final accounting table shows, per app,
 // what was decided and why, and what each admission cost the MicroBlaze.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/stats.hpp"
 #include "core/system.hpp"
+#include "obs/bus.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/random.hpp"
 
@@ -43,7 +48,23 @@ core::SystemParams server_params() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=<file>: capture every subsystem on the event bus and export
+  // a Chrome trace_event JSON (load it in Perfetto / chrome://tracing).
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+  if (!trace_path.empty()) {
+    // Everything except the kernel lane: a full server run emits tens
+    // of thousands of domain sleep/wake instants, which would evict the
+    // control-plane spans (scheduler decisions, switch steps, cache
+    // traffic) from the bounded ring. With the kernel lane off, the
+    // default 64Ki ring holds the whole run.
+    obs::EventBus::instance().enable(
+        ~0u & ~obs::EventBus::bit(obs::Subsystem::kKernel));
+  }
+
   core::VapresSystem sys(server_params());
   sys.bring_up_all_sites();
   sched::ApplicationScheduler sched(sys);  // best-fit, defrag, preemption
@@ -108,5 +129,16 @@ int main() {
   const auto stats = core::collect_stats(sys);
   std::printf("words discarded fabric-wide: %llu (hitless: must be 0)\n",
               static_cast<unsigned long long>(stats.total_discarded()));
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    obs::write_chrome_trace(out);
+    std::printf("\nwrote Chrome trace (%zu events, %llu dropped) to %s\n",
+                obs::EventBus::instance().size(),
+                static_cast<unsigned long long>(
+                    obs::EventBus::instance().dropped()),
+                trace_path.c_str());
+    std::printf("%s\n", obs::Registry::instance().to_string().c_str());
+  }
   return 0;
 }

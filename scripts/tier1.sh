@@ -35,6 +35,38 @@ cmake --build "$BUILD" -j --target bench_bitstream_cache
 (cd "$BUILD" && ./bench/bench_bitstream_cache)
 
 echo
+echo "=== tier-1: tracing overhead gate (bench_trace_overhead) ==="
+# Fails (non-zero exit) when disabled tracing hooks project to > 1 % of
+# the traced-off wall time of a switch-heavy scenario. Writes
+# BENCH_trace_overhead.json in the build dir.
+cmake --build "$BUILD" -j --target bench_trace_overhead
+(cd "$BUILD" && ./bench/bench_trace_overhead)
+
+echo
+echo "=== tier-1: Chrome trace export smoke (multi_app_server) ==="
+# The exported trace_event JSON must parse and contain events — the
+# format chrome://tracing / Perfetto loads (docs/OBSERVABILITY.md).
+cmake --build "$BUILD" -j --target multi_app_server
+TRACE_JSON="$BUILD/trace_smoke.json"
+"$BUILD/examples/multi_app_server" --trace="$TRACE_JSON" > /dev/null
+python3 - "$TRACE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+events = d["traceEvents"]
+assert events, "trace has no events"
+phases = {e["ph"] for e in events}
+assert {"B", "E"} <= phases, f"no duration spans in trace: {phases}"
+# The fixed-seed server run defragments with live relocations: every
+# step of the 9-step switch protocol must appear as a named span.
+begins = {e["name"] for e in events if e["ph"] == "B"}
+missing = [s for s in ("step%d" % i for i in range(1, 10))
+           if not any(n.startswith(s + ".") for n in begins)]
+assert not missing, f"switch steps missing from trace: {missing}"
+print(f"trace OK: {len(events)} events, all 9 switch steps present")
+EOF
+
+echo
 echo "=== tier-1: sched-labeled tests under address,undefined ==="
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
 cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test

@@ -2,9 +2,21 @@
 
 #include "bitman/prefetch.hpp"
 #include "bitstream/bitgen.hpp"
+#include "obs/bus.hpp"
+#include "obs/metrics.hpp"
 #include "sim/check.hpp"
 
 namespace vapres::bitman {
+
+namespace {
+
+/// Cache decisions share one trace lane; stagings serialize on the
+/// transfer path, so stage spans never overlap within it.
+std::uint32_t bitman_track() {
+  return obs::EventBus::instance().track("bitman");
+}
+
+}  // namespace
 
 BitstreamManager::BitstreamManager(core::ReconfigManager& reconfig,
                                    bitstream::CompactFlash& cf,
@@ -67,6 +79,10 @@ void BitstreamManager::ensure_capacity(std::int64_t bytes,
     entries_.erase(victim);
     ++stats_.evictions;
     stats_.evicted_bytes += sz;
+    obs::EventBus::instance().instant(
+        obs::Subsystem::kBitman, obs::ev::kEvict, bitman_track(),
+        reconfig_.now(), static_cast<std::uint64_t>(sz), stats_.evictions);
+    obs::Registry::instance().counter("bitman.evictions").add();
   }
 }
 
@@ -90,6 +106,9 @@ bool BitstreamManager::invalidate(const std::string& key) {
   sdram_.erase(key);
   entries_.erase(it);
   ++stats_.invalidations;
+  obs::EventBus::instance().instant(
+      obs::Subsystem::kBitman, obs::ev::kInvalidate, bitman_track(),
+      reconfig_.now(), stats_.invalidations);
   return true;
 }
 
@@ -112,11 +131,21 @@ sim::Cycles BitstreamManager::stage(const std::string& module_id,
     reserved_bytes_ += bytes;
   }
   staging_.insert(key);
-  if (from_prefetch) ++stats_.prefetch_issued;
+  if (from_prefetch) {
+    ++stats_.prefetch_issued;
+    obs::EventBus::instance().instant(
+        obs::Subsystem::kBitman, obs::ev::kPrefetchIssue, bitman_track(),
+        reconfig_.now(), static_cast<std::uint64_t>(bytes));
+  }
+  obs::Span stage_span = obs::Span::begin(
+      obs::Subsystem::kBitman, obs::ev::kStage, bitman_track(),
+      reconfig_.now(), static_cast<std::uint64_t>(bytes));
+  const sim::Cycles stage_t0 = reconfig_.mb_cycle();
   return reconfig_.cf2array(
       filename, key,
-      [this, key, bytes, restage, from_prefetch,
-       on_done = std::move(on_done)](const core::ReconfigOutcome& outcome) {
+      [this, key, bytes, restage, from_prefetch, stage_span, stage_t0,
+       on_done = std::move(on_done)](const core::ReconfigOutcome& outcome)
+          mutable {
         staging_.erase(key);
         if (!restage) reserved_bytes_ -= bytes;
         Entry& e = entries_[key];
@@ -125,7 +154,17 @@ sim::Cycles BitstreamManager::stage(const std::string& module_id,
         e.demand_hit_seen = false;
         ++stats_.staged;
         if (restage) ++stats_.replaced;
-        if (from_prefetch) ++stats_.prefetch_completed;
+        stage_span.end(
+            reconfig_.now(),
+            &obs::Registry::instance().histogram("bitman.stage.cycles"),
+            static_cast<std::int64_t>(reconfig_.mb_cycle() - stage_t0));
+        if (from_prefetch) {
+          ++stats_.prefetch_completed;
+          obs::EventBus::instance().instant(
+              obs::Subsystem::kBitman, obs::ev::kPrefetchComplete,
+              bitman_track(), reconfig_.now(),
+              static_cast<std::uint64_t>(bytes));
+        }
         if (on_done) on_done(outcome);
       });
 }
@@ -141,6 +180,10 @@ sim::Cycles BitstreamManager::reconfigure(
     // Warm hit: fast array path, entry pinned for the transfer.
     Entry& e = it->second;
     ++stats_.hits;
+    obs::EventBus::instance().instant(
+        obs::Subsystem::kBitman, obs::ev::kHit, bitman_track(),
+        reconfig_.now(), stats_.hits);
+    obs::Registry::instance().counter("bitman.hits").add();
     if (e.prefetched && !e.demand_hit_seen) ++stats_.prefetch_useful;
     e.demand_hit_seen = true;
     touch(e);
@@ -168,6 +211,10 @@ sim::Cycles BitstreamManager::reconfigure(
   // request for this pair is warm.
   ++stats_.misses;
   ++stats_.streamed_misses;
+  obs::EventBus::instance().instant(
+      obs::Subsystem::kBitman, obs::ev::kMiss, bitman_track(),
+      reconfig_.now(), stats_.misses);
+  obs::Registry::instance().counter("bitman.misses").add();
   const std::string filename =
       bitstream::bitstream_filename(module_id, prr_name);
   VAPRES_REQUIRE(cf_.contains(filename),

@@ -24,8 +24,11 @@ void ProducerInterface::reset() {
 
 bool ProducerInterface::quiescent() const {
   const bool feedback = feedback_full_ != nullptr && *feedback_full_;
+  // A stalled producer (word ready, blocked on feedback-full) must keep
+  // ticking so stall_cycles_ counts every blocked edge.
+  const bool stalled = read_enable_ && feedback && !fifo_.empty();
   const bool next_idle = !(read_enable_ && !feedback && !fifo_.empty());
-  return !output_.valid && next_idle;
+  return !output_.valid && next_idle && !stalled;
 }
 
 void ProducerInterface::eval() {
@@ -36,6 +39,7 @@ void ProducerInterface::eval() {
     next_output_ = Flit{fifo_.front() & payload_mask(width_bits_), true};
     pop_pending_ = true;
   } else {
+    if (read_enable_ && feedback && !fifo_.empty()) ++stall_cycles_;
     next_output_ = kIdleFlit;
     pop_pending_ = false;
   }

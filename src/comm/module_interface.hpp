@@ -70,6 +70,14 @@ class ProducerInterface final : public sim::Clocked {
   void reset();
 
   std::uint64_t words_sent() const { return words_sent_; }
+  /// Clock edges on which the interface had a word ready to drain but
+  /// was blocked by the feedback-full backpressure signal. A rising
+  /// count with a flat words_sent() is the software-visible signature
+  /// of a congested channel (exposed over DCR by core::PerfCounters).
+  /// Edges skipped while the whole domain is quiescent are not stalls:
+  /// a stalled producer with a non-empty FIFO is kept non-quiescent so
+  /// the count stays cycle-accurate.
+  std::uint64_t stall_cycles() const { return stall_cycles_; }
 
   void eval() override;
   void commit() override;
@@ -91,6 +99,7 @@ class ProducerInterface final : public sim::Clocked {
   Flit next_output_{};
   bool pop_pending_ = false;
   std::uint64_t words_sent_ = 0;
+  std::uint64_t stall_cycles_ = 0;
 };
 
 /// Consumer interface: fabric flit input -> module-side FIFO.

@@ -71,4 +71,51 @@ bool StreamMonitor::step(proc::Microblaze& mb) {
   return fired_;
 }
 
+DcrCounterMonitor::DcrCounterMonitor(std::string name,
+                                     comm::DcrAddress perf_address,
+                                     comm::DcrValue counter_select,
+                                     Trigger trigger, Action action,
+                                     int period_quanta)
+    : name_(std::move(name)),
+      address_(perf_address),
+      select_(counter_select),
+      trigger_(std::move(trigger)),
+      action_(std::move(action)),
+      period_(period_quanta) {
+  VAPRES_REQUIRE(trigger_ != nullptr && action_ != nullptr,
+                 name_ + ": monitor needs trigger and action");
+  VAPRES_REQUIRE(period_quanta >= 1,
+                 name_ + ": sampling period must be >= 1 quanta");
+}
+
+void DcrCounterMonitor::start_polling(proc::Microblaze& mb) {
+  mb.add_task(this);
+}
+
+bool DcrCounterMonitor::step(proc::Microblaze& mb) {
+  if (countdown_ > 0) {
+    --countdown_;
+    return fired_;
+  }
+  countdown_ = period_ - 1;
+
+  // Another task may have re-pointed the shared select register since
+  // our last sample; always re-select before reading.
+  mb.dcr_write(address_, select_);
+  const comm::DcrValue raw = mb.dcr_read(address_);
+  // Unsigned 32-bit subtraction: correct across counter wrap.
+  const comm::DcrValue delta = raw - last_raw_;
+  last_raw_ = raw;
+  if (!primed_) {
+    primed_ = true;
+    return fired_;
+  }
+  ++samples_;
+  if (!fired_ && trigger_(delta)) {
+    fired_ = true;
+    action_();
+  }
+  return fired_;
+}
+
 }  // namespace vapres::core

@@ -17,6 +17,7 @@
 #include <functional>
 #include <string>
 
+#include "comm/dcr.hpp"
 #include "comm/fsl.hpp"
 #include "proc/interrupt.hpp"
 #include "proc/microblaze.hpp"
@@ -81,6 +82,49 @@ class StreamMonitor final : public proc::SoftwareTask {
   Action action_;
   bool fired_ = false;
   std::uint64_t words_seen_ = 0;
+};
+
+/// Periodic sampler over a PRR's DCR-mapped performance counters
+/// (core/perfcounter.hpp): every `period_quanta` task quanta it selects
+/// the counter over the PLB-to-DCR bridge, reads the 32-bit value, and
+/// feeds the *delta since the previous read* to the trigger. The delta
+/// is computed with unsigned 32-bit subtraction, so a counter wrapping
+/// past 2^32 between samples still yields the correct rate. The first
+/// read only primes the baseline; no trigger evaluation happens on it.
+class DcrCounterMonitor final : public proc::SoftwareTask {
+ public:
+  using Trigger = std::function<bool(comm::Word)>;
+  using Action = std::function<void()>;
+
+  DcrCounterMonitor(std::string name, comm::DcrAddress perf_address,
+                    comm::DcrValue counter_select, Trigger trigger,
+                    Action action, int period_quanta = 64);
+
+  /// Registers as a polling task on `mb`.
+  void start_polling(proc::Microblaze& mb);
+
+  /// One quantum: either burns down the sampling period or performs a
+  /// select-write + value-read over the bridge and evaluates the
+  /// trigger. One-shot: the task deschedules after the action fires.
+  bool step(proc::Microblaze& mb) override;
+  std::string task_name() const override { return name_; }
+
+  bool fired() const { return fired_; }
+  std::uint64_t samples() const { return samples_; }
+  comm::DcrValue last_raw() const { return last_raw_; }
+
+ private:
+  std::string name_;
+  comm::DcrAddress address_;
+  comm::DcrValue select_;
+  Trigger trigger_;
+  Action action_;
+  int period_;
+  int countdown_ = 0;
+  bool primed_ = false;
+  bool fired_ = false;
+  comm::DcrValue last_raw_ = 0;
+  std::uint64_t samples_ = 0;
 };
 
 }  // namespace vapres::core

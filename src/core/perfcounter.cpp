@@ -1,0 +1,24 @@
+#include "core/perfcounter.hpp"
+
+namespace vapres::core {
+
+void PerfCounters::set_source(Select sel, Source source) {
+  VAPRES_REQUIRE(sel < kNumSelects, name_ + ": bad counter selector");
+  sources_[static_cast<std::size_t>(sel)] = std::move(source);
+}
+
+std::uint64_t PerfCounters::raw(Select sel) const {
+  VAPRES_REQUIRE(sel < kNumSelects, name_ + ": bad counter selector");
+  const Source& src = sources_[static_cast<std::size_t>(sel)];
+  return src ? src() : 0;
+}
+
+comm::DcrValue PerfCounters::dcr_read() const {
+  return static_cast<comm::DcrValue>(raw(select_) & 0xFFFFFFFFu);
+}
+
+void PerfCounters::dcr_write(comm::DcrValue value) {
+  if (value < kNumSelects) select_ = static_cast<Select>(value);
+}
+
+}  // namespace vapres::core

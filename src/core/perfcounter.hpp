@@ -1,0 +1,63 @@
+// DCR-mapped per-site performance counters.
+//
+// The PRSocket gives software *control* over a site (Table 1 bits);
+// this unit gives software *visibility*: four free-running stream
+// counters behind one DCR register, mapped next to the socket. A DCR
+// write selects which counter the register exposes; a DCR read returns
+// the selected counter's low 32 bits. Counters wrap naturally at 2^32
+// — readers compute deltas with unsigned 32-bit subtraction, so wrap
+// costs nothing (DcrCounterMonitor in core/monitor.hpp does exactly
+// that before feeding samples to a ThresholdTrigger).
+//
+// Counter values come from `Source` callables wired by the owning PRR
+// (producer words-sent, consumer words-received, producer stall
+// cycles, consumer words-discarded); tests can wire arbitrary fakes to
+// exercise wrap behaviour without simulating 2^32 words.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "comm/dcr.hpp"
+
+namespace vapres::core {
+
+class PerfCounters final : public comm::DcrSlave {
+ public:
+  using Source = std::function<std::uint64_t()>;
+
+  /// Counter selectors (DCR write values).
+  enum Select : comm::DcrValue {
+    kSelWordsOut = 0,     ///< producer words drained onto the fabric
+    kSelWordsIn = 1,      ///< consumer words accepted into the FIFO
+    kSelStallCycles = 2,  ///< producer cycles blocked on feedback-full
+    kSelDiscarded = 3,    ///< consumer words dropped on a full FIFO
+    kNumSelects = 4,
+  };
+
+  explicit PerfCounters(std::string name) : name_(std::move(name)) {}
+
+  /// Wires the value source for one selector. Unwired selectors read 0.
+  void set_source(Select sel, Source source);
+
+  /// Full 64-bit value of one counter (model-side, not DCR-visible).
+  std::uint64_t raw(Select sel) const;
+
+  /// DCR read: low 32 bits of the selected counter (wrapping).
+  comm::DcrValue dcr_read() const override;
+  /// DCR write: selects the counter exposed by subsequent reads.
+  /// Out-of-range selects are ignored (the register keeps its value).
+  void dcr_write(comm::DcrValue value) override;
+  std::string dcr_name() const override { return name_; }
+
+  Select selected() const { return select_; }
+
+ private:
+  std::string name_;
+  std::array<Source, kNumSelects> sources_{};
+  Select select_ = kSelWordsOut;
+};
+
+}  // namespace vapres::core

@@ -56,6 +56,31 @@ Prr::Prr(std::string name, int index, const fabric::ClbRect& rect,
   socket_ = std::make_unique<PrSocket>(name_ + ".socket", box, prods, cons,
                                        fsl_to_mb_.get(), fsl_from_mb_.get(),
                                        wrapper_.get(), clock_tree_.get());
+
+  // Stream counters sum across all of this PRR's channels; the sources
+  // read the interfaces lazily, so the values stay live without any
+  // per-cycle bookkeeping here.
+  perf_ = std::make_unique<PerfCounters>(name_ + ".perf");
+  perf_->set_source(PerfCounters::kSelWordsOut, [this] {
+    std::uint64_t total = 0;
+    for (const auto& p : producers_) total += p->words_sent();
+    return total;
+  });
+  perf_->set_source(PerfCounters::kSelWordsIn, [this] {
+    std::uint64_t total = 0;
+    for (const auto& c : consumers_) total += c->words_received();
+    return total;
+  });
+  perf_->set_source(PerfCounters::kSelStallCycles, [this] {
+    std::uint64_t total = 0;
+    for (const auto& p : producers_) total += p->stall_cycles();
+    return total;
+  });
+  perf_->set_source(PerfCounters::kSelDiscarded, [this] {
+    std::uint64_t total = 0;
+    for (const auto& c : consumers_) total += c->words_discarded();
+    return total;
+  });
 }
 
 Prr::~Prr() {

@@ -16,6 +16,7 @@
 #include "comm/fsl.hpp"
 #include "comm/module_interface.hpp"
 #include "core/params.hpp"
+#include "core/perfcounter.hpp"
 #include "core/prsocket.hpp"
 #include "fabric/clocking.hpp"
 #include "hwmodule/library.hpp"
@@ -55,6 +56,10 @@ class Prr {
 
   hwmodule::ModuleWrapper& wrapper() { return *wrapper_; }
   PrSocket& socket() { return *socket_; }
+  /// DCR-mapped stream counters (words in/out, stalls, discards summed
+  /// across this PRR's channels). Mapped by the owning RSB next to the
+  /// socket; read by StreamMonitor-style software over the bridge.
+  PerfCounters& perf_counters() { return *perf_; }
 
   /// Applies a partial bitstream: validates it targets this PRR (name,
   /// rectangle, integrity tag) and instantiates the module from the
@@ -79,6 +84,7 @@ class Prr {
   std::unique_ptr<comm::FslLink> fsl_from_mb_;
   std::unique_ptr<hwmodule::ModuleWrapper> wrapper_;
   std::unique_ptr<PrSocket> socket_;
+  std::unique_ptr<PerfCounters> perf_;
   sim::ClockDomain* static_domain_;
   std::string loaded_module_;
   int reconfigurations_ = 0;

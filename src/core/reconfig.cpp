@@ -4,6 +4,7 @@
 
 #include "bitstream/bitgen.hpp"
 #include "bitstream/calibration.hpp"
+#include "obs/metrics.hpp"
 #include "sim/check.hpp"
 #include "sim/fault.hpp"
 #include "sim/trace.hpp"
@@ -11,17 +12,6 @@
 namespace vapres::core {
 
 using bitstream::Calibration;
-
-namespace {
-
-void trace_recovery(sim::Simulator& sim, const std::string& message) {
-  auto& hub = sim::Trace::instance();
-  if (hub.enabled(sim::TraceLevel::kInfo)) {
-    hub.emit(sim.now(), "reconfig", message);
-  }
-}
-
-}  // namespace
 
 ReconfigManager::ReconfigManager(sim::Simulator& sim, proc::Microblaze& mb,
                                  fabric::IcapPort& icap,
@@ -82,7 +72,9 @@ ReconfigBreakdown ReconfigManager::estimate_cf2icap_streamed(
 
 sim::Cycles ReconfigManager::start(const bitstream::PartialBitstream& bs,
                                    const ReconfigBreakdown& base_cost,
-                                   bool sdram_source, DoneCallback on_done) {
+                                   bool sdram_source,
+                                   std::uint16_t path_code,
+                                   DoneCallback on_done) {
   VAPRES_REQUIRE(!busy_, "reconfiguration already in flight");
   auto target_it = targets_.find(bs.target_prr);
   VAPRES_REQUIRE(target_it != targets_.end(),
@@ -100,6 +92,13 @@ sim::Cycles ReconfigManager::start(const bitstream::PartialBitstream& bs,
   inflight_->apply = target_it->second;
   inflight_->on_done = std::move(on_done);
   inflight_->outcome.attempts = 0;  // counted per launch_attempt()
+  inflight_->path_code = path_code;
+  inflight_->started_cycle = mb_.cycle();
+  // All timed paths serialize on the ICAP port: one "icap" track.
+  inflight_->span = obs::Span::begin(
+      obs::Subsystem::kReconfig, path_code,
+      obs::EventBus::instance().track("icap"), sim_.now(),
+      static_cast<std::uint64_t>(bs.size_bytes));
   if (sdram_source) {
     // The pristine file the SDRAM array was staged from, if it exists.
     const std::string filename =
@@ -136,12 +135,15 @@ void ReconfigManager::complete_attempt() {
     const sim::Cycles backoff =
         policy_.backoff_base_cycles
         << static_cast<unsigned>(fl.attempts_this_source - 1);
-    trace_recovery(sim_, std::string("transfer ") +
-                             (result.timed_out ? "timed out" : "corrupt") +
-                             "; retry " +
-                             std::to_string(fl.attempts_this_source) +
-                             " after " + std::to_string(backoff) +
-                             "-cycle backoff");
+    obs::EventBus::instance().instant(
+        obs::Subsystem::kReconfig, obs::ev::kRetry,
+        obs::EventBus::instance().track("icap"), sim_.now(),
+        static_cast<std::uint64_t>(fl.attempts_this_source), backoff);
+    VAPRES_TRACE_INFO(sim_.now(), "reconfig",
+                      "transfer "
+                          << (result.timed_out ? "timed out" : "corrupt")
+                          << "; retry " << fl.attempts_this_source
+                          << " after " << backoff << "-cycle backoff");
     mb_.busy_for(backoff, [this] { launch_attempt(); });
     return;
   }
@@ -159,18 +161,26 @@ void ReconfigManager::complete_attempt() {
     fl.cost = estimate_cf2icap(fl.bs.size_bytes);
     if (verify_) fl.cost.icap_cycles *= 2.0;
     last_ = fl.cost;
-    trace_recovery(sim_, "SDRAM source exhausted " +
-                             std::to_string(policy_.max_attempts) +
-                             " attempts; falling back to CF file " +
-                             fl.cf_fallback);
+    obs::EventBus::instance().instant(
+        obs::Subsystem::kReconfig, obs::ev::kSourceFallback,
+        obs::EventBus::instance().track("icap"), sim_.now());
+    VAPRES_TRACE_INFO(sim_.now(), "reconfig",
+                      "SDRAM source exhausted "
+                          << policy_.max_attempts
+                          << " attempts; falling back to CF file "
+                          << fl.cf_fallback);
     const sim::Cycles backoff = policy_.backoff_base_cycles;
     mb_.busy_for(backoff, [this] { launch_attempt(); });
     return;
   }
 
-  trace_recovery(sim_, "reconfiguration failed permanently after " +
-                           std::to_string(fl.outcome.attempts) +
-                           " attempts");
+  obs::EventBus::instance().instant(
+      obs::Subsystem::kReconfig, obs::ev::kPermanentFailure,
+      obs::EventBus::instance().track("icap"), sim_.now(),
+      static_cast<std::uint64_t>(fl.outcome.attempts));
+  VAPRES_TRACE_INFO(sim_.now(), "reconfig",
+                    "reconfiguration failed permanently after "
+                        << fl.outcome.attempts << " attempts");
   finish(/*success=*/false);
 }
 
@@ -180,6 +190,12 @@ void ReconfigManager::finish(bool success) {
   std::unique_ptr<Inflight> fl = std::move(inflight_);
   busy_ = false;
   fl->outcome.success = success;
+  obs::Histogram& hist = obs::Registry::instance().histogram(
+      std::string("reconfig.") +
+      obs::event_name(obs::Subsystem::kReconfig, fl->path_code) +
+      ".cycles");
+  fl->span.end(sim_.now(), &hist,
+               static_cast<std::int64_t>(mb_.cycle() - fl->started_cycle));
   if (success) {
     ++completed_;
     fl->apply(fl->bs);
@@ -193,7 +209,7 @@ sim::Cycles ReconfigManager::cf2icap(const std::string& filename,
                                      DoneCallback on_done) {
   const auto& bs = cf_.read(filename);
   return start(bs, estimate_cf2icap(bs.size_bytes), /*sdram_source=*/false,
-               std::move(on_done));
+               obs::ev::kCf2Icap, std::move(on_done));
 }
 
 sim::Cycles ReconfigManager::cf2icap_streamed(const std::string& filename,
@@ -201,14 +217,16 @@ sim::Cycles ReconfigManager::cf2icap_streamed(const std::string& filename,
                                               DoneCallback on_done) {
   const auto& bs = cf_.read(filename);
   return start(bs, estimate_cf2icap_streamed(bs.size_bytes, chunk_bytes),
-               /*sdram_source=*/false, std::move(on_done));
+               /*sdram_source=*/false, obs::ev::kCfStream,
+               std::move(on_done));
 }
 
 sim::Cycles ReconfigManager::array2icap(const std::string& key,
                                         DoneCallback on_done) {
   const auto& bs = sdram_.read(key);
   return start(bs, estimate_array2icap(bs.size_bytes),
-               /*sdram_source=*/true, std::move(on_done));
+               /*sdram_source=*/true, obs::ev::kArray2Icap,
+               std::move(on_done));
 }
 
 sim::Cycles ReconfigManager::cf2array(const std::string& filename,
@@ -219,10 +237,20 @@ sim::Cycles ReconfigManager::cf2array(const std::string& filename,
   const auto cycles = static_cast<sim::Cycles>(
       std::llround(estimate_cf2array_cycles(bs.size_bytes)));
   busy_ = true;
+  auto span = obs::Span::begin(obs::Subsystem::kReconfig,
+                               obs::ev::kCf2Array,
+                               obs::EventBus::instance().track("icap"),
+                               sim_.now(),
+                               static_cast<std::uint64_t>(bs.size_bytes));
+  const sim::Cycles started_cycle = mb_.cycle();
   auto bs_copy = bs;
-  mb_.busy_for(cycles, [this, key, bs_copy = std::move(bs_copy),
-                        on_done = std::move(on_done)]() {
+  mb_.busy_for(cycles, [this, key, span, started_cycle,
+                        bs_copy = std::move(bs_copy),
+                        on_done = std::move(on_done)]() mutable {
     busy_ = false;
+    span.end(sim_.now(),
+             &obs::Registry::instance().histogram("reconfig.cf2array.cycles"),
+             static_cast<std::int64_t>(mb_.cycle() - started_cycle));
     sdram_.replace(key, bs_copy);
     if (on_done) on_done(ReconfigOutcome{});
   });

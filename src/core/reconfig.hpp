@@ -24,6 +24,7 @@
 
 #include "bitstream/storage.hpp"
 #include "fabric/icap.hpp"
+#include "obs/bus.hpp"
 #include "proc/microblaze.hpp"
 #include "sim/simulator.hpp"
 
@@ -107,6 +108,13 @@ class ReconfigManager {
                        DoneCallback on_done = {});
 
   bool busy() const { return busy_; }
+
+  /// Simulation-time / MicroBlaze-cycle passthroughs so the bitman layer
+  /// can stamp observability events without holding its own Simulator or
+  /// processor reference.
+  sim::Picoseconds now() const { return sim_.now(); }
+  sim::Cycles mb_cycle() const { return mb_.cycle(); }
+
   const ReconfigBreakdown& last_breakdown() const { return last_; }
   int completed() const { return completed_; }
 
@@ -137,11 +145,15 @@ class ReconfigManager {
     ReconfigOutcome outcome;
     std::function<void(const bitstream::PartialBitstream&)> apply;
     DoneCallback on_done;
+    // observability: one span per transfer, spanning retries/fallbacks
+    obs::Span span;
+    std::uint16_t path_code = 0;
+    sim::Cycles started_cycle = 0;
   };
 
   sim::Cycles start(const bitstream::PartialBitstream& bs,
                     const ReconfigBreakdown& cost, bool sdram_source,
-                    DoneCallback on_done);
+                    std::uint16_t path_code, DoneCallback on_done);
   sim::Cycles launch_attempt();
   void complete_attempt();
   void finish(bool success);

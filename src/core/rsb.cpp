@@ -49,6 +49,7 @@ Rsb::Rsb(std::string name, const RsbParams& params,
       fabric_->attach_consumer(box_index, c, &prr->consumer(c));
     }
     dcr_.map(socket_address(box_index), &prr->socket());
+    dcr_.map(prr_perf_address(i), &prr->perf_counters());
     prrs_.push_back(std::move(prr));
   }
 }
@@ -59,6 +60,7 @@ Rsb::~Rsb() {
   }
   for (int i = 0; i < num_prrs(); ++i) {
     dcr_.unmap(socket_address(params_.box_of_prr(i)));
+    dcr_.unmap(prr_perf_address(i));
   }
 }
 
@@ -92,6 +94,14 @@ comm::DcrAddress Rsb::prr_socket_address(int prr_index) const {
 
 comm::DcrAddress Rsb::iom_socket_address(int iom_index) const {
   return socket_address(params_.box_of_iom(iom_index));
+}
+
+comm::DcrAddress Rsb::prr_perf_address(int prr_index) const {
+  VAPRES_REQUIRE(params_.num_attachments() <=
+                     static_cast<int>(kPerfBankOffset),
+                 name_ + ": socket bank would overlap the perf bank");
+  return dcr_base_ + kPerfBankOffset +
+         static_cast<comm::DcrAddress>(params_.box_of_prr(prr_index));
 }
 
 ChannelEndpoint Rsb::prr_producer(int prr_index, int channel) const {

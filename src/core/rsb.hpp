@@ -50,6 +50,13 @@ class Rsb {
   comm::DcrAddress prr_socket_address(int prr_index) const;
   comm::DcrAddress iom_socket_address(int iom_index) const;
 
+  /// PRR performance-counter registers live in a second bank above the
+  /// sockets: dcr_base + kPerfBankOffset + box_index. The offset leaves
+  /// room for any realistic number of sockets below the bank while
+  /// staying inside the 0x40 address stride the system allots per RSB.
+  static constexpr comm::DcrAddress kPerfBankOffset = 0x20;
+  comm::DcrAddress prr_perf_address(int prr_index) const;
+
   /// Channel endpoints of module ports, for ChannelManager::establish.
   ChannelEndpoint prr_producer(int prr_index, int channel = 0) const;
   ChannelEndpoint prr_consumer(int prr_index, int channel = 0) const;

@@ -5,17 +5,6 @@
 
 namespace vapres::core {
 
-namespace {
-
-void trace_scrub(VapresSystem& sys, const std::string& message) {
-  auto& hub = sim::Trace::instance();
-  if (hub.enabled(sim::TraceLevel::kInfo)) {
-    hub.emit(sys.sim().now(), "scrubber", message);
-  }
-}
-
-}  // namespace
-
 ScrubberTask::ScrubberTask(VapresSystem& sys, sim::Cycles period_cycles)
     : sys_(sys), period_(period_cycles) {
   VAPRES_REQUIRE(period_cycles > 0, "scrub period must be positive");
@@ -47,8 +36,9 @@ bool ScrubberTask::step(proc::Microblaze& mb) {
         ++frame_repairs_;
         faults.note_recovery(sim::RecoveryEvent::kScrubRepair);
         charged += kRewriteCyclesPerFrame;
-        trace_scrub(sys_, "frame upset in " + rsb.prr(p).name() +
-                              "; frame rewritten");
+        VAPRES_TRACE_INFO(sys_.sim().now(), "scrubber",
+                          "frame upset in " << rsb.prr(p).name()
+                                            << "; frame rewritten");
       }
     }
     // Mux scan: a stuck switch-box output is a flipped MUX_sel bit in
@@ -62,8 +52,9 @@ bool ScrubberTask::step(proc::Microblaze& mb) {
         ++mux_repairs_;
         faults.note_recovery(sim::RecoveryEvent::kScrubRepair);
         charged += kRewriteCyclesPerFrame;
-        trace_scrub(sys_, box.name() + " output " + std::to_string(port) +
-                              " stuck; mux frame rewritten");
+        VAPRES_TRACE_INFO(sys_.sim().now(), "scrubber",
+                          box.name() << " output " << port
+                                     << " stuck; mux frame rewritten");
       }
     }
   }

@@ -31,7 +31,14 @@ std::string SystemStats::to_string() const {
      << total_discarded() << "\n";
   os << "sim kernel: " << kernel.edges_delivered << " edges delivered, "
      << kernel.edges_skipped << " skipped, " << kernel.domain_sleeps
-     << " domain sleeps, " << kernel.component_wakes << " wakes\n";
+     << " domain sleeps, " << kernel.component_wakes << " wakes; cycles "
+     << kernel.cycles_active << " active / " << kernel.cycles_quiescent
+     << " quiescent\n";
+  for (const DomainStats& d : domains) {
+    os << "  domain " << d.name << " @ " << d.frequency_mhz << " MHz: "
+       << d.cycles << " cycles (" << d.cycles_active << " active, "
+       << d.cycles_quiescent << " quiescent), " << d.sleeps << " sleeps\n";
+  }
   for (const SiteStats& s : sites) {
     os << "  " << s.name;
     if (s.is_prr) {
@@ -39,13 +46,14 @@ std::string SystemStats::to_string() const {
          << ", " << s.reconfigurations << " PRs]";
     }
     os << ": in " << s.words_in << ", out " << s.words_out;
+    if (s.stall_cycles > 0) os << ", stalled " << s.stall_cycles;
     if (s.words_discarded > 0) os << ", DISCARDED " << s.words_discarded;
     os << "\n";
   }
   for (const FifoStats& f : fifos) {
     if (f.pushed == 0) continue;
-    os << "  fifo " << f.name << ": " << f.pushed << " pushed, watermark "
-       << f.high_watermark << "/" << f.capacity;
+    os << "  fifo " << f.name << ": " << f.pushed << " pushed, " << f.popped
+       << " popped, watermark " << f.high_watermark << "/" << f.capacity;
     if (f.fault_dropped > 0) os << ", fault-dropped " << f.fault_dropped;
     if (f.fault_duplicated > 0) os << ", fault-dup " << f.fault_duplicated;
     os << "\n";
@@ -101,6 +109,16 @@ SystemStats collect_stats(VapresSystem& sys) {
   stats.reconfigurations = sys.icap().completed_transfers();
   stats.kernel = sys.sim().kernel_stats();
   stats.bitcache = sys.bitman().stats();
+  for (const auto& d : sys.sim().domains()) {
+    DomainStats ds;
+    ds.name = d->name();
+    ds.frequency_mhz = d->frequency_mhz();
+    ds.cycles = d->cycle_count();
+    ds.cycles_active = d->kernel_stats().cycles_active;
+    ds.cycles_quiescent = d->kernel_stats().cycles_quiescent;
+    ds.sleeps = d->kernel_stats().domain_sleeps;
+    stats.domains.push_back(std::move(ds));
+  }
 
   RobustnessStats& rb = stats.robustness;
   const auto& faults = sim::FaultInjector::instance();
@@ -127,6 +145,7 @@ SystemStats collect_stats(VapresSystem& sys) {
       }
       for (int c = 0; c < iom.num_producers(); ++c) {
         site.words_out += iom.producer(c).words_sent();
+        site.stall_cycles += iom.producer(c).stall_cycles();
         stats.fifos.push_back(fifo_stats(iom.producer(c).fifo()));
       }
       stats.sites.push_back(site);
@@ -145,6 +164,7 @@ SystemStats collect_stats(VapresSystem& sys) {
       }
       for (int c = 0; c < prr.num_producers(); ++c) {
         site.words_out += prr.producer(c).words_sent();
+        site.stall_cycles += prr.producer(c).stall_cycles();
         stats.fifos.push_back(fifo_stats(prr.producer(c).fifo()));
       }
       stats.sites.push_back(site);
@@ -176,7 +196,8 @@ std::string SchedulerAccounting::to_string() const {
        << a.state << "/" << a.verdict << "] slices " << a.module_slices
        << ", words " << a.words_in << "->" << a.words_out << ", migrations "
        << a.migrations << ", admission " << a.admission_mb_cycles
-       << " MB cycles\n";
+       << " MB cycles, t=" << a.submitted_at << "/" << a.launched_at << "/"
+       << a.stopped_at << "\n";
   }
   return os.str();
 }

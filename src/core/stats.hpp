@@ -53,11 +53,25 @@ struct SiteStats {
   std::uint64_t words_in = 0;   // consumer interfaces, received
   std::uint64_t words_out = 0;  // producer interfaces, sent
   std::uint64_t words_discarded = 0;
+  /// Producer cycles spent blocked on downstream backpressure.
+  std::uint64_t stall_cycles = 0;
+};
+
+/// Per-clock-domain kernel accounting (the aggregate lives in
+/// SystemStats::kernel).
+struct DomainStats {
+  std::string name;
+  double frequency_mhz = 0.0;
+  sim::Cycles cycles = 0;
+  std::uint64_t cycles_active = 0;
+  std::uint64_t cycles_quiescent = 0;
+  std::uint64_t sleeps = 0;
 };
 
 struct SystemStats {
   std::vector<SiteStats> sites;
   std::vector<FifoStats> fifos;
+  std::vector<DomainStats> domains;
   std::size_t active_channels = 0;
   std::uint64_t dcr_accesses = 0;
   std::uint64_t mb_busy_cycles = 0;

@@ -1,6 +1,7 @@
 #include "core/switching.hpp"
 
 #include "bitstream/bitgen.hpp"
+#include "obs/metrics.hpp"
 #include "sim/check.hpp"
 #include "sim/fault.hpp"
 #include "sim/trace.hpp"
@@ -17,16 +18,24 @@ ModuleSwitcher::ModuleSwitcher(VapresSystem& sys, SwitchRequest req)
                  "unknown module: " + req_.new_module_id);
 }
 
-namespace {
-
-void trace_step(VapresSystem& sys, const std::string& message) {
-  auto& hub = sim::Trace::instance();
-  if (hub.enabled(sim::TraceLevel::kInfo)) {
-    hub.emit(sys.sim().now(), "switcher", message);
-  }
+void ModuleSwitcher::close_step() {
+  if (!step_span_.open()) return;
+  obs::Histogram& hist = obs::Registry::instance().histogram(
+      std::string("switch.") +
+      obs::event_name(obs::Subsystem::kSwitch, step_code_) + ".cycles");
+  step_span_.end(sys_.sim().now(), &hist,
+                 static_cast<std::int64_t>(sys_.mb().cycle() -
+                                           step_begin_cycle_));
 }
 
-}  // namespace
+void ModuleSwitcher::enter_step(std::uint16_t code) {
+  close_step();
+  step_code_ = code;
+  step_begin_cycle_ = sys_.mb().cycle();
+  step_span_ = obs::Span::begin(obs::Subsystem::kSwitch, code, obs_track_,
+                                sys_.sim().now(),
+                                static_cast<std::uint64_t>(req_.dst_prr));
+}
 
 void ModuleSwitcher::begin() {
   VAPRES_REQUIRE(state_ == State::kIdle, "switcher already started");
@@ -69,9 +78,13 @@ void ModuleSwitcher::begin() {
       break;
   }
   state_ = State::kReconfiguring;
+  obs_track_ = obs::EventBus::instance().track(
+      r.prr(req_.src_prr).name() + ".switch");
+  enter_step(obs::ev::kStep1Reconfigure);
   sys_.mb().add_task(this);
-  trace_step(sys_, "step 3: reconfiguring spare PRR with " +
-                        req_.new_module_id);
+  VAPRES_TRACE_INFO(sys_.sim().now(), "switcher",
+                    "step 3: reconfiguring spare PRR with "
+                        << req_.new_module_id);
 }
 
 void ModuleSwitcher::reroute(ChannelId old_channel,
@@ -112,13 +125,20 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
         sim::FaultInjector::instance().note_recovery(
             sim::RecoveryEvent::kSwitchRollback);
         timeline_.aborted = mb.cycle();
-        trace_step(sys_, "step 3 FAILED: PR of spare PRR gave up; switch "
-                         "rolled back, source module keeps streaming");
+        close_step();
+        obs::EventBus::instance().instant(
+            obs::Subsystem::kSwitch, obs::ev::kSwitchRollback, obs_track_,
+            sys_.sim().now(), static_cast<std::uint64_t>(req_.dst_prr));
+        obs::Registry::instance().counter("switch.rollbacks").add();
+        VAPRES_TRACE_INFO(sys_.sim().now(), "switcher",
+                          "step 3 FAILED: PR of spare PRR gave up; switch "
+                          "rolled back, source module keeps streaming");
         state_ = State::kAborted;
         return true;  // task finished; source path untouched
       }
       timeline_.reconfig_done = mb.cycle();
-      trace_step(sys_, "step 3 done: PR complete, bringing up dst site");
+      VAPRES_TRACE_INFO(sys_.sim().now(), "switcher",
+                        "step 3 done: PR complete, bringing up dst site");
       // Bring up the dst site with the module held in reset: slice macros
       // on, clock on, consumer writes accepted, PRR_reset asserted.
       const comm::DcrAddress dst = r.prr_socket_address(req_.dst_prr);
@@ -132,12 +152,14 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
       mb.dcr_write(up_sock, mb.dcr_read(up_sock) & ~PrSocket::kFifoRen);
       mb.busy_for(static_cast<sim::Cycles>(up.hops()) + 4);
       state_ = State::kQuiesceUpstream;
+      enter_step(obs::ev::kStep2QuiesceUpstream);
       return false;
     }
 
     case State::kQuiesceUpstream: {
       // Pipeline is flushed (the busy_for above elapsed).
       state_ = State::kRerouteUpstream;
+      enter_step(obs::ev::kStep3RerouteUpstream);
       return false;
     }
 
@@ -148,8 +170,10 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
               r.prr_consumer(req_.dst_prr), new_upstream_, mb,
               /*enable_producer=*/true);
       timeline_.input_rerouted = mb.cycle();
-      trace_step(sys_, "step 4: input re-routed to the new module");
+      VAPRES_TRACE_INFO(sys_.sim().now(), "switcher",
+                        "step 4: input re-routed to the new module");
       state_ = State::kSendFlush;
+      enter_step(obs::ev::kStep4SendFlush);
       return false;
     }
 
@@ -162,6 +186,7 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
       saw_header_ = false;
       expected_words_ = -1;
       state_ = State::kCollectState;
+      enter_step(obs::ev::kStep5CollectState);
       return false;
     }
 
@@ -185,10 +210,11 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
         if (saw_header_ && expected_words_ >= 0 &&
             static_cast<int>(collected_state_.size()) == expected_words_) {
           timeline_.state_collected = mb.cycle();
-          trace_step(sys_, "step 6: " +
-                               std::to_string(collected_state_.size()) +
-                               " state words collected");
+          VAPRES_TRACE_INFO(sys_.sim().now(), "switcher",
+                            "step 6: " << collected_state_.size()
+                                       << " state words collected");
           state_ = State::kInitNewModule;
+          enter_step(obs::ev::kStep6InitNewModule);
           return false;
         }
       }
@@ -210,8 +236,10 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
       const comm::DcrAddress dst = r.prr_socket_address(req_.dst_prr);
       mb.dcr_write(dst, mb.dcr_read(dst) & ~PrSocket::kPrrReset);
       timeline_.module_initialized = mb.cycle();
-      trace_step(sys_, "step 7: new module initialized");
+      VAPRES_TRACE_INFO(sys_.sim().now(), "switcher",
+                        "step 7: new module initialized");
       state_ = State::kWaitIomEos;
+      enter_step(obs::ev::kStep7WaitIomEos);
       return false;
     }
 
@@ -230,6 +258,7 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
                        mb.dcr_read(src_sock) & ~PrSocket::kFifoRen);
           mb.busy_for(static_cast<sim::Cycles>(down.hops()) + 4);
           state_ = State::kQuiesceSrc;
+          enter_step(obs::ev::kStep8QuiesceSrc);
           return false;
         }
       }
@@ -238,6 +267,7 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
 
     case State::kQuiesceSrc:
       state_ = State::kRerouteDownstream;
+      enter_step(obs::ev::kStep9RerouteDownstream);
       return false;
 
     case State::kRerouteDownstream: {
@@ -251,7 +281,13 @@ bool ModuleSwitcher::step(proc::Microblaze& mb) {
                             ~(PrSocket::kSmEn | PrSocket::kClkEn |
                               PrSocket::kFifoWen | PrSocket::kFifoRen));
       timeline_.completed = mb.cycle();
-      trace_step(sys_, "step 9: output re-routed; switch complete");
+      close_step();
+      obs::Registry::instance().counter("switch.completed").add();
+      obs::Registry::instance()
+          .histogram("switch.total.cycles")
+          .record(timeline_.completed - timeline_.started);
+      VAPRES_TRACE_INFO(sys_.sim().now(), "switcher",
+                        "step 9: output re-routed; switch complete");
       state_ = State::kDone;
       return true;  // task finished; MicroBlaze descheduules it
     }

@@ -35,6 +35,7 @@
 
 #include "core/system.hpp"
 #include "hwmodule/wrapper.hpp"
+#include "obs/bus.hpp"
 #include "proc/microblaze.hpp"
 
 namespace vapres::core {
@@ -118,6 +119,12 @@ class ModuleSwitcher final : public proc::SoftwareTask {
                ChannelEndpoint new_consumer, ChannelId& out,
                proc::Microblaze& mb, bool enable_producer);
 
+  /// Closes the current step span (feeding its MicroBlaze-cycle duration
+  /// to the per-step registry histogram) and opens the next one. Each of
+  /// the nine protocol states is one named span on this switcher's track.
+  void enter_step(std::uint16_t code);
+  void close_step();
+
   VapresSystem& sys_;
   SwitchRequest req_;
   State state_ = State::kIdle;
@@ -131,6 +138,11 @@ class ModuleSwitcher final : public proc::SoftwareTask {
   int expected_words_ = -1;
   ChannelId new_upstream_ = 0;
   ChannelId new_downstream_ = 0;
+  // observability: one span per protocol step, on a per-switcher track
+  obs::Span step_span_;
+  std::uint16_t step_code_ = 0;
+  std::uint32_t obs_track_ = 0;
+  sim::Cycles step_begin_cycle_ = 0;
 };
 
 }  // namespace vapres::core

@@ -2,6 +2,7 @@
 
 #include "bitstream/bitgen.hpp"
 #include "sim/check.hpp"
+#include "sim/fault.hpp"
 
 namespace vapres::core {
 
@@ -9,6 +10,9 @@ VapresSystem::VapresSystem(SystemParams params,
                            hwmodule::ModuleLibrary library)
     : params_(std::move(params)), library_(std::move(library)) {
   params_.validate();
+
+  // Fault inject/recover events carry this system's simulation time.
+  sim::FaultInjector::instance().set_time_source(sim_.now_ptr());
 
   system_clock_ = &sim_.create_domain("clk_sys", params_.system_clock_mhz);
   sdram_ = std::make_unique<bitstream::Sdram>(params_.sdram_bytes);
@@ -47,6 +51,12 @@ VapresSystem::VapresSystem(SystemParams params,
           });
     }
   }
+}
+
+VapresSystem::~VapresSystem() {
+  // The FaultInjector outlives this system; stop it from dereferencing
+  // our (about-to-die) simulation clock.
+  sim::FaultInjector::instance().set_time_source(nullptr);
 }
 
 std::vector<fabric::ClbRect> VapresSystem::auto_floorplan() const {

@@ -43,6 +43,7 @@ class VapresSystem {
 
   VapresSystem(const VapresSystem&) = delete;
   VapresSystem& operator=(const VapresSystem&) = delete;
+  ~VapresSystem();
 
   const SystemParams& params() const { return params_; }
   const hwmodule::ModuleLibrary& library() const { return library_; }

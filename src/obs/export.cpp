@@ -1,0 +1,149 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/vcd.hpp"
+
+namespace vapres::obs {
+
+namespace {
+
+const char* phase_of(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInstant: return "i";
+    case EventKind::kBegin: return "B";
+    case EventKind::kEnd: return "E";
+    case EventKind::kCounter: return "C";
+  }
+  return "i";
+}
+
+/// JSON string escaping for names (tracks come from user-visible
+/// component names; keep the exporter robust).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const EventBus& bus) {
+  const std::vector<Event> events = bus.snapshot();
+  const std::vector<std::string>& tracks = bus.track_names();
+
+  // ts is microseconds; six decimals keep the full ps resolution.
+  out << std::fixed << std::setprecision(6);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Metadata: subsystem -> process name, (subsystem, track) -> thread
+  // name, emitted only for lanes that actually carry events.
+  std::set<unsigned> pids;
+  std::set<std::pair<unsigned, std::uint32_t>> lanes;
+  for (const Event& e : events) {
+    const auto pid = static_cast<unsigned>(e.subsystem);
+    pids.insert(pid);
+    lanes.insert({pid, e.track});
+  }
+  for (const unsigned pid : pids) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+        << subsystem_name(static_cast<Subsystem>(pid)) << "\"}}";
+  }
+  for (const auto& [pid, tid] : lanes) {
+    const std::string& name =
+        tid < tracks.size() ? tracks[tid] : "track?";
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(name) << "\"}}";
+  }
+
+  for (const Event& e : events) {
+    const auto pid = static_cast<unsigned>(e.subsystem);
+    sep();
+    out << "{\"ph\":\"" << phase_of(e.kind) << "\",\"pid\":" << pid
+        << ",\"tid\":" << e.track << ",\"ts\":"
+        // trace_event timestamps are microseconds; keep ps resolution
+        // as a fraction.
+        << static_cast<double>(e.time_ps) / 1e6 << ",\"name\":\""
+        << event_name(e.subsystem, e.code) << "\"";
+    if (e.kind == EventKind::kInstant) out << ",\"s\":\"t\"";
+    out << ",\"args\":{\"arg0\":" << e.arg0 << ",\"arg1\":" << e.arg1
+        << "}}";
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped\":"
+      << bus.dropped() << "}}\n";
+}
+
+void write_vcd_trace(std::ostream& out, const EventBus& bus) {
+  const std::vector<Event> events = bus.snapshot();
+  const std::vector<std::string>& tracks = bus.track_names();
+
+  // One VCD word signal per (subsystem, track) lane, value = active code.
+  std::map<std::pair<unsigned, std::uint32_t>, std::size_t> lane_index;
+  for (const Event& e : events) {
+    lane_index.emplace(
+        std::pair<unsigned, std::uint32_t>{
+            static_cast<unsigned>(e.subsystem), e.track},
+        lane_index.size());
+  }
+
+  std::vector<std::uint32_t> state(lane_index.size(), 0);
+  sim::VcdWriter vcd(out);
+  for (const auto& [lane, index] : lane_index) {
+    const std::string& track_name =
+        lane.second < tracks.size() ? tracks[lane.second] : "track?";
+    vcd.add_word(
+        std::string("obs.") +
+            subsystem_name(static_cast<Subsystem>(lane.first)) + "." +
+            track_name,
+        &state[index]);
+  }
+  vcd.write_header();
+
+  // Chronological walk, batching coincident events before each sample.
+  std::size_t i = 0;
+  const std::size_t n = events.size();
+  while (i < n) {
+    const sim::Picoseconds t = events[i].time_ps;
+    for (; i < n && events[i].time_ps == t; ++i) {
+      const Event& e = events[i];
+      const std::size_t lane = lane_index.at(
+          {static_cast<unsigned>(e.subsystem), e.track});
+      state[lane] = e.kind == EventKind::kEnd ? 0 : e.code;
+    }
+    vcd.sample(t);
+  }
+}
+
+}  // namespace vapres::obs

@@ -1,0 +1,27 @@
+// Event-trace exporters.
+//
+// write_chrome_trace() renders the bus's retained events as Chrome
+// trace_event JSON (the "JSON Array Format" with metadata): open the
+// file in Perfetto (ui.perfetto.dev) or chrome://tracing. Subsystems
+// map to processes, tracks (clock domains, PRRs, software tasks) to
+// threads, kBegin/kEnd spans to "B"/"E" duration events.
+//
+// write_vcd_trace() renders the same events through the existing
+// sim::VcdWriter: one 32-bit signal per (subsystem, track) lane whose
+// value is the active event code (0 = idle), so any waveform viewer
+// shows the control-path activity next to the data-path dumps.
+#pragma once
+
+#include <ostream>
+
+#include "obs/bus.hpp"
+
+namespace vapres::obs {
+
+void write_chrome_trace(std::ostream& out,
+                        const EventBus& bus = EventBus::instance());
+
+void write_vcd_trace(std::ostream& out,
+                     const EventBus& bus = EventBus::instance());
+
+}  // namespace vapres::obs

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/bus.hpp"
 #include "sim/check.hpp"
 
 namespace vapres::proc {
+
+namespace {
+
+/// Tracks are registered per task name, so each software task gets its
+/// own lane in the exported trace. Guarded by the bus mask: no string
+/// work when the proc subsystem is not being captured.
+void note_task_event(std::uint16_t code, SoftwareTask* task,
+                     sim::ClockDomain& domain) {
+  auto& bus = obs::EventBus::instance();
+  if (!bus.enabled(obs::Subsystem::kProc)) return;
+  bus.instant(obs::Subsystem::kProc, code, bus.track(task->task_name()),
+              domain.now(), domain.cycle_count());
+}
+
+}  // namespace
 
 Microblaze::Microblaze(std::string name, sim::ClockDomain& domain,
                        comm::DcrBus& dcr)
@@ -17,12 +33,14 @@ Microblaze::~Microblaze() { domain_.detach(this); }
 void Microblaze::add_task(SoftwareTask* task) {
   VAPRES_REQUIRE(task != nullptr, "cannot schedule null task");
   tasks_.push_back(task);
+  note_task_event(obs::ev::kTaskScheduled, task, domain_);
   wake();
 }
 
 void Microblaze::remove_task(SoftwareTask* task) {
   auto it = std::find(tasks_.begin(), tasks_.end(), task);
   if (it == tasks_.end()) return;
+  note_task_event(obs::ev::kTaskDescheduled, task, domain_);
   const auto idx = static_cast<std::size_t>(it - tasks_.begin());
   tasks_.erase(it);
   if (next_task_ > idx) --next_task_;

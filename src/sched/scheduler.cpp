@@ -7,6 +7,8 @@
 #include "bitstream/bitgen.hpp"
 #include "core/prsocket.hpp"
 #include "core/switching.hpp"
+#include "obs/bus.hpp"
+#include "obs/metrics.hpp"
 #include "sim/check.hpp"
 
 namespace vapres::sched {
@@ -18,6 +20,12 @@ namespace {
 sim::Cycles decision_cycles(int num_slots, int chain_length) {
   return 64 + 16 * static_cast<sim::Cycles>(num_slots) +
          32 * static_cast<sim::Cycles>(chain_length);
+}
+
+/// All scheduler decisions land on one trace lane: admissions are
+/// serialized on the MicroBlaze, so spans never overlap within it.
+std::uint32_t sched_track() {
+  return obs::EventBus::instance().track("scheduler");
 }
 
 }  // namespace
@@ -57,6 +65,10 @@ int ApplicationScheduler::submit(AppRequest request) {
   rec.submitted_at = sys_.mb().cycle();
   apps_.push_back(std::move(rec));
   AppRecord& stored = apps_.back();
+  obs::EventBus::instance().instant(
+      obs::Subsystem::kSched, obs::ev::kSubmit, sched_track(),
+      sys_.sim().now(), static_cast<std::uint64_t>(stored.id),
+      static_cast<std::uint64_t>(stored.request.priority));
   if (opt_.prefetch_hints &&
       opt_.source == core::ReconfigSource::kManaged) {
     hint_request(stored);
@@ -163,11 +175,28 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
   const int k = static_cast<int>(app.request.modules.size());
   sys_.mb().busy_for(decision_cycles(map_.num_slots(), k));
 
+  auto& bus = obs::EventBus::instance();
+  const std::uint32_t track = sched_track();
+  obs::Span admission =
+      obs::Span::begin(obs::Subsystem::kSched, obs::ev::kAdmission, track,
+                       sys_.sim().now(), static_cast<std::uint64_t>(app.id));
+  auto close_admission = [&]() {
+    admission.end(
+        sys_.sim().now(),
+        &obs::Registry::instance().histogram("sched.admission.cycles"),
+        static_cast<std::int64_t>(app.admission_mb_cycles));
+  };
+
   auto reject = [&](AdmissionVerdict v, const std::string& why) {
     app.state = AppState::kRejected;
     app.verdict = v;
     app.reject_reason = why;
     app.admission_mb_cycles = sys_.mb().cycle() - t0;
+    close_admission();
+    bus.instant(obs::Subsystem::kSched, obs::ev::kReject, track,
+                sys_.sim().now(), static_cast<std::uint64_t>(app.id),
+                static_cast<std::uint64_t>(v));
+    obs::Registry::instance().counter("sched.rejected").add();
     return false;
   };
 
@@ -240,6 +269,11 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
         if (!launch(app, plan.prrs)) {
           free_ioms(app);
           app.admission_mb_cycles = sys_.mb().cycle() - t0;
+          close_admission();
+          bus.instant(obs::Subsystem::kSched, obs::ev::kReject, track,
+                      sys_.sim().now(), static_cast<std::uint64_t>(app.id),
+                      static_cast<std::uint64_t>(app.verdict));
+          obs::Registry::instance().counter("sched.rejected").add();
           return false;  // verdict + reason set by launch()
         }
         app.state = AppState::kRunning;
@@ -250,6 +284,11 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
                                  : AdmissionVerdict::kAdmittedAfterDefrag);
         app.launched_at = sys_.mb().cycle();
         app.admission_mb_cycles = app.launched_at - t0;
+        close_admission();
+        bus.instant(obs::Subsystem::kSched, obs::ev::kLaunch, track,
+                    sys_.sim().now(), static_cast<std::uint64_t>(app.id),
+                    static_cast<std::uint64_t>(app.prrs.size()));
+        obs::Registry::instance().counter("sched.launched").add();
         return true;
       }
       free_ioms(app);
@@ -268,8 +307,12 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
     if (victim < 0) {
       return reject(blocked, why + " (no lower-priority app to preempt)");
     }
+    bus.instant(obs::Subsystem::kSched, obs::ev::kPreempt, track,
+                sys_.sim().now(), static_cast<std::uint64_t>(victim),
+                static_cast<std::uint64_t>(app.id));
     teardown(apps_[static_cast<std::size_t>(victim)], AppState::kPreempted);
     ++preemptions_;
+    obs::Registry::instance().counter("sched.preemptions").add();
     preempted_any = true;
   }
 }
@@ -374,6 +417,15 @@ int ApplicationScheduler::pick_victim(int priority) const {
 bool ApplicationScheduler::execute_migration(const MigrationStep& step) {
   AppRecord& owner = apps_[static_cast<std::size_t>(step.app_id)];
   VAPRES_REQUIRE(owner.running(), "relocation donor is not running");
+  const sim::Cycles mig_t0 = sys_.mb().cycle();
+  obs::Span mig = obs::Span::begin(
+      obs::Subsystem::kSched, obs::ev::kMigrate, sched_track(),
+      sys_.sim().now(), static_cast<std::uint64_t>(step.app_id));
+  auto close_migration = [&]() {
+    mig.end(sys_.sim().now(),
+            &obs::Registry::instance().histogram("sched.migration.cycles"),
+            static_cast<std::int64_t>(sys_.mb().cycle() - mig_t0));
+  };
   int pos = -1;
   for (std::size_t i = 0; i < owner.prrs.size(); ++i) {
     if (owner.prrs[i] == step.src_prr) pos = static_cast<int>(i);
@@ -411,6 +463,7 @@ bool ApplicationScheduler::execute_migration(const MigrationStep& step) {
     // Rollback: the donor app keeps streaming on its old PRR; only the
     // scheduler's hope of a tidier fabric is gone.
     ++migration_rollbacks_;
+    close_migration();
     return false;
   }
   owner.channels[static_cast<std::size_t>(pos)] = sw.new_upstream();
@@ -420,6 +473,7 @@ bool ApplicationScheduler::execute_migration(const MigrationStep& step) {
   map_.move(step.src_prr, step.dst_prr);
   blank_prr(step.src_prr);
   ++defrag_migrations_;
+  close_migration();
   return true;
 }
 
@@ -559,6 +613,10 @@ void ApplicationScheduler::teardown(AppRecord& app, AppState final_state) {
   sys_.prefetch().cancel(app.id);
   app.stopped_at = sys_.mb().cycle();
   app.state = final_state;
+  obs::EventBus::instance().instant(
+      obs::Subsystem::kSched, obs::ev::kStop, sched_track(), sys_.sim().now(),
+      static_cast<std::uint64_t>(app.id),
+      static_cast<std::uint64_t>(final_state));
 }
 
 void ApplicationScheduler::blank_prr(int prr) {

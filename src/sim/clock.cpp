@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/bus.hpp"
 #include "sim/check.hpp"
 #include "sim/fault.hpp"
 
@@ -182,6 +183,15 @@ bool ClockDomain::exhaustive() const {
 }
 
 void ClockDomain::note_wake(Clocked* component) {
+  if (active_count_ == 0 && !components_.empty()) {
+    // The whole domain was asleep; this wake re-arms it.
+    auto& bus = obs::EventBus::instance();
+    if (bus.enabled(obs::Subsystem::kKernel)) {
+      bus.instant(obs::Subsystem::kKernel, obs::ev::kDomainWake,
+                  bus.track(name_), now_ != nullptr ? *now_ : anchor_ps_,
+                  cycle_count_);
+    }
+  }
   ++active_count_;
   ++stats_.component_wakes;
   // A wake landing while this domain's own passes are in flight must
@@ -274,6 +284,7 @@ void ClockDomain::tick() {
   ticking_ = false;
   if (pending_compaction_) compact();
   ++cycle_count_;
+  ++stats_.cycles_active;
   stats_.edges_delivered += delivered;
   // `present` is from tick start; a component that committed and then
   // detached itself mid-tick can make delivered exceed it.
@@ -303,11 +314,20 @@ void ClockDomain::poll_quiescence() {
   } else {
     for (Clocked* c : components_) (void)stays_awake(c);
   }
-  if (active_count_ == 0) ++stats_.domain_sleeps;
+  if (active_count_ == 0) {
+    ++stats_.domain_sleeps;
+    auto& bus = obs::EventBus::instance();
+    if (bus.enabled(obs::Subsystem::kKernel)) {
+      bus.instant(obs::Subsystem::kKernel, obs::ev::kDomainSleep,
+                  bus.track(name_), now_ != nullptr ? *now_ : anchor_ps_,
+                  cycle_count_);
+    }
+  }
 }
 
 void ClockDomain::skip_edge(Picoseconds now) {
   ++cycle_count_;
+  ++stats_.cycles_quiescent;
   anchor_ps_ = now;
   stats_.edges_skipped += static_cast<std::uint64_t>(live_count_);
 }
@@ -320,6 +340,7 @@ void ClockDomain::fast_forward(Picoseconds until, bool inclusive) {
   const Picoseconds span = until - anchor_ps_;
   const Cycles k = inclusive ? span / period_ps_ : (span - 1) / period_ps_;
   cycle_count_ += k;
+  stats_.cycles_quiescent += k;
   anchor_ps_ += k * period_ps_;
   stats_.edges_skipped += k * static_cast<std::uint64_t>(live_count_);
 }

@@ -28,12 +28,19 @@ struct KernelStats {
   std::uint64_t edges_skipped = 0;    ///< component edges elided as quiescent
   std::uint64_t domain_sleeps = 0;    ///< whole-domain sleep transitions
   std::uint64_t component_wakes = 0;  ///< sleeping components re-armed
+  /// Domain cycles on which at least one component received the edge.
+  std::uint64_t cycles_active = 0;
+  /// Domain cycles credited while the whole domain slept (skipped or
+  /// fast-forwarded). cycles_active + cycles_quiescent == cycle_count().
+  std::uint64_t cycles_quiescent = 0;
 
   KernelStats& operator+=(const KernelStats& o) {
     edges_delivered += o.edges_delivered;
     edges_skipped += o.edges_skipped;
     domain_sleeps += o.domain_sleeps;
     component_wakes += o.component_wakes;
+    cycles_active += o.cycles_active;
+    cycles_quiescent += o.cycles_quiescent;
     return *this;
   }
 };
@@ -69,6 +76,11 @@ class ClockDomain {
   void detach(Clocked* component);
 
   Cycles cycle_count() const { return cycle_count_; }
+
+  /// Current simulation time of the owning Simulator (anchor time before
+  /// the domain is owned). Lets clocked components stamp observability
+  /// events without holding a Simulator reference.
+  Picoseconds now() const { return now_ != nullptr ? *now_ : anchor_ps_; }
 
   /// Converts a duration in this domain's cycles to picoseconds at the
   /// current frequency.

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/bus.hpp"
 #include "sim/check.hpp"
 
 namespace vapres::sim {
@@ -87,12 +88,20 @@ bool FaultInjector::should_fire(FaultSite site) {
   } else if (s.probability > 0.0 && rng_.chance(s.probability)) {
     fire = true;
   }
-  if (fire) ++s.injected;
+  if (fire) {
+    ++s.injected;
+    obs::EventBus::instance().instant(
+        obs::Subsystem::kFault, obs::ev::kInject, /*track=*/0, now(),
+        static_cast<std::uint64_t>(site), s.injected);
+  }
   return fire;
 }
 
 void FaultInjector::note_recovery(RecoveryEvent event) {
   ++recoveries_[event_index(event)];
+  obs::EventBus::instance().instant(
+      obs::Subsystem::kFault, obs::ev::kRecover, /*track=*/0, now(),
+      static_cast<std::uint64_t>(event), recoveries_[event_index(event)]);
 }
 
 std::uint64_t FaultInjector::injected(FaultSite site) const {

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "sim/random.hpp"
+#include "sim/time.hpp"
 
 namespace vapres::sim {
 
@@ -77,6 +78,12 @@ class FaultInjector {
   /// Recovery scoreboard, reported by the self-healing subsystems.
   void note_recovery(RecoveryEvent event);
 
+  /// Wires the simulation clock used to stamp inject/recover events on
+  /// the obs::EventBus. The pointer must stay valid until cleared (the
+  /// owning VapresSystem sets it in its constructor and clears it in its
+  /// destructor). Null — the default — stamps events at time 0.
+  void set_time_source(const Picoseconds* now) { now_ = now; }
+
   std::uint64_t injected(FaultSite site) const;
   std::uint64_t opportunities(FaultSite site) const;
   std::uint64_t total_injected() const;
@@ -97,7 +104,10 @@ class FaultInjector {
 
   FaultInjector() = default;
 
+  Picoseconds now() const { return now_ != nullptr ? *now_ : 0; }
+
   bool enabled_ = false;
+  const Picoseconds* now_ = nullptr;
   SplitMix64 rng_{};
   std::array<SitePlan, kNumFaultSites> sites_{};
   std::array<std::uint64_t, kNumRecoveryEvents> recoveries_{};

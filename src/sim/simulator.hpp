@@ -36,6 +36,9 @@ class Simulator {
   ClockDomain& create_domain(std::string name, double frequency_mhz);
 
   Picoseconds now() const { return now_; }
+  /// Stable pointer to the simulation clock, for hubs that must stamp
+  /// events without holding a Simulator reference (sim::FaultInjector).
+  const Picoseconds* now_ptr() const { return &now_; }
 
   /// Schedules a one-shot callback `delay` picoseconds from now.
   EventQueue::EventId schedule_after(Picoseconds delay,

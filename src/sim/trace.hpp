@@ -1,9 +1,15 @@
 // Minimal tracing facility. Components emit trace records tagged with the
 // current simulation time; tests and examples can subscribe a sink. Tracing
 // is off by default and costs one branch per call when disabled.
+//
+// For structured (typed, ring-buffered, exportable) tracing see
+// obs/bus.hpp; this hub remains the human-readable message channel.
+// Emit through VAPRES_TRACE_INFO so the message string is only built
+// when a sink is attached at the required level.
 #pragma once
 
 #include <functional>
+#include <sstream>
 #include <string>
 
 #include "sim/time.hpp"
@@ -45,3 +51,19 @@ class Trace {
 };
 
 }  // namespace vapres::sim
+
+/// Emits a kInfo trace message. `streamed` is a `<<`-chain tail, e.g.
+///   VAPRES_TRACE_INFO(sim.now(), "reconfig", "retry " << n << " queued");
+/// The whole argument — including every std::to_string/concatenation it
+/// contains — is evaluated only when a sink is attached at kInfo, so
+/// disabled tracing really is one branch.
+#define VAPRES_TRACE_INFO(time_ps, tag, streamed)                        \
+  do {                                                                   \
+    ::vapres::sim::Trace& vapres_trace_hub_ =                            \
+        ::vapres::sim::Trace::instance();                                \
+    if (vapres_trace_hub_.enabled(::vapres::sim::TraceLevel::kInfo)) {   \
+      std::ostringstream vapres_trace_os_;                               \
+      vapres_trace_os_ << streamed;                                      \
+      vapres_trace_hub_.emit((time_ps), (tag), vapres_trace_os_.str());  \
+    }                                                                    \
+  } while (0)

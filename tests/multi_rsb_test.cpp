@@ -26,7 +26,10 @@ TEST(MultiRsb, ConstructionAndDcrWindows) {
   // Disjoint PRSocket address windows.
   EXPECT_EQ(sys.rsb(0).socket_address(0), 0x100u);
   EXPECT_EQ(sys.rsb(1).socket_address(0), 0x140u);
-  EXPECT_EQ(sys.dcr().slave_count(), 6u);
+  // 3 sockets + 2 PRR perf-counter registers per RSB, and the second
+  // RSB's perf bank stays inside its own 0x40 window.
+  EXPECT_EQ(sys.rsb(1).prr_perf_address(0), 0x140u + 0x20u + 1u);
+  EXPECT_EQ(sys.dcr().slave_count(), 10u);
   // Four PRRs, all in distinct clock regions.
   EXPECT_EQ(sys.prr_floorplan().size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {

@@ -1,0 +1,501 @@
+// Observability-layer tests: event bus ring semantics, span nesting,
+// metrics registry, exporters, DCR performance counters, and the
+// end-to-end guarantee that a module switch traces all nine protocol
+// steps without interrupting the stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/perfcounter.hpp"
+#include "core/switching.hpp"
+#include "core/system.hpp"
+#include "obs/bus.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace vapres {
+namespace {
+
+using obs::Event;
+using obs::EventBus;
+using obs::EventKind;
+using obs::Subsystem;
+
+/// Every bus test starts from a clean, fully-enabled bus and leaves it
+/// disabled so unrelated tests pay only the mask check.
+struct BusGuard {
+  explicit BusGuard(std::uint32_t mask = ~0u,
+                    std::size_t capacity = EventBus::kDefaultCapacity) {
+    EventBus::instance().enable(mask, capacity);
+  }
+  ~BusGuard() { EventBus::instance().disable(); }
+};
+
+// ------------------------------------------------------------ EventBus
+
+TEST(EventBus, DisabledEmitIsDropped) {
+  BusGuard guard(0u);
+  auto& bus = EventBus::instance();
+  bus.instant(Subsystem::kSwitch, obs::ev::kStep1Reconfigure, 0, 100);
+  EXPECT_EQ(bus.size(), 0u);
+  EXPECT_EQ(bus.total_emitted(), 0u);
+}
+
+TEST(EventBus, MaskFiltersPerSubsystem) {
+  BusGuard guard(EventBus::bit(Subsystem::kSwitch));
+  auto& bus = EventBus::instance();
+  bus.instant(Subsystem::kSched, obs::ev::kSubmit, 0, 10);
+  bus.instant(Subsystem::kSwitch, obs::ev::kStep1Reconfigure, 0, 20);
+  bus.instant(Subsystem::kBitman, obs::ev::kHit, 0, 30);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].subsystem, Subsystem::kSwitch);
+  EXPECT_EQ(events[0].time_ps, 20);
+}
+
+TEST(EventBus, RingOverflowDropsOldestKeepsNewest) {
+  BusGuard guard(~0u, /*capacity=*/8);
+  auto& bus = EventBus::instance();
+  ASSERT_EQ(bus.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 21; ++i) {
+    bus.instant(Subsystem::kKernel, obs::ev::kDomainSleep, 0,
+                static_cast<sim::Picoseconds>(i * 10), /*arg0=*/i);
+  }
+  EXPECT_EQ(bus.total_emitted(), 21u);
+  EXPECT_EQ(bus.dropped(), 13u);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first window of the 8 most recent records.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg0, 13u + i);
+  }
+}
+
+TEST(EventBus, CapacityRoundsUpToPowerOfTwo) {
+  BusGuard guard(~0u, /*capacity=*/100);
+  EXPECT_EQ(EventBus::instance().capacity(), 128u);
+}
+
+TEST(EventBus, TracksAreStableAndNamed) {
+  BusGuard guard;
+  auto& bus = EventBus::instance();
+  const std::uint32_t a = bus.track("prr0.switch");
+  const std::uint32_t b = bus.track("icap");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(bus.track("prr0.switch"), a);
+  EXPECT_EQ(bus.track_names()[0], "main");
+  EXPECT_EQ(bus.track_names()[a], "prr0.switch");
+}
+
+TEST(EventBus, SpanNestingEmitsBalancedBeginEnd) {
+  BusGuard guard;
+  auto& bus = EventBus::instance();
+  const std::uint32_t track = bus.track("nest");
+  obs::Span outer = obs::Span::begin(Subsystem::kSched, obs::ev::kAdmission,
+                                     track, 1000, 7);
+  obs::Span inner = obs::Span::begin(Subsystem::kSched, obs::ev::kMigrate,
+                                     track, 1500);
+  EXPECT_TRUE(outer.open());
+  EXPECT_TRUE(inner.open());
+  EXPECT_EQ(inner.end(2500), 1000);
+  EXPECT_EQ(outer.end(4000), 3000);
+  EXPECT_FALSE(outer.open());
+  // Ending a closed span is a harmless no-op.
+  EXPECT_EQ(outer.end(9000), 0);
+
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, EventKind::kBegin);
+  EXPECT_EQ(events[0].code, obs::ev::kAdmission);
+  EXPECT_EQ(events[1].kind, EventKind::kBegin);
+  EXPECT_EQ(events[1].code, obs::ev::kMigrate);
+  EXPECT_EQ(events[2].kind, EventKind::kEnd);
+  EXPECT_EQ(events[2].code, obs::ev::kMigrate);
+  EXPECT_EQ(events[3].kind, EventKind::kEnd);
+  EXPECT_EQ(events[3].code, obs::ev::kAdmission);
+}
+
+TEST(EventBus, SpanEndFeedsHistogramInCycles) {
+  BusGuard guard;
+  obs::Histogram hist;
+  obs::Span span = obs::Span::begin(Subsystem::kReconfig,
+                                    obs::ev::kArray2Icap, 0, 0);
+  span.end(5'000'000, &hist, /*cycles=*/123);
+  ASSERT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.sum(), 123u);  // cycles, not picoseconds
+}
+
+// ------------------------------------------------------------ Registry
+
+TEST(Registry, CounterGaugeHistogramRoundTrip) {
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  reg.counter("t.counter").add(3);
+  reg.counter("t.counter").add();
+  reg.gauge("t.gauge").set(-42);
+  auto& h = reg.histogram("t.hist");
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 100u, 1024u}) h.record(v);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto counter_it =
+      std::find_if(snap.counters.begin(), snap.counters.end(),
+                   [](const auto& p) { return p.first == "t.counter"; });
+  ASSERT_NE(counter_it, snap.counters.end());
+  EXPECT_EQ(counter_it->second, 4u);
+  const auto gauge_it =
+      std::find_if(snap.gauges.begin(), snap.gauges.end(),
+                   [](const auto& p) { return p.first == "t.gauge"; });
+  ASSERT_NE(gauge_it, snap.gauges.end());
+  EXPECT_EQ(gauge_it->second, -42);
+  const auto hist_it =
+      std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                   [](const auto& s) { return s.name == "t.hist"; });
+  ASSERT_NE(hist_it, snap.histograms.end());
+  EXPECT_EQ(hist_it->count, 6u);
+  EXPECT_EQ(hist_it->min, 0u);
+  EXPECT_EQ(hist_it->max, 1024u);
+
+  const std::string text = snap.to_string();
+  EXPECT_NE(text.find("t.counter"), std::string::npos);
+  EXPECT_NE(text.find("t.gauge"), std::string::npos);
+  EXPECT_NE(text.find("t.hist"), std::string::npos);
+
+  // reset() zeroes values but keeps registrations (references stay valid).
+  reg.reset();
+  EXPECT_EQ(reg.counter("t.counter").value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, HistogramLog2BucketsAndPercentiles) {
+  obs::Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  h.record(1);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  h.record(2);
+  h.record(3);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  h.record(1024);  // [2^10, 2^11)
+  EXPECT_EQ(h.buckets()[11], 1u);
+  h.record(~std::uint64_t{0});  // top bucket; never clips
+  EXPECT_EQ(h.buckets()[64], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  // p50 of {0,1,2,3,1024,max}: third value (3) lives in bucket 2,
+  // upper bound 2^2 - 1... percentile reports the bucket upper bound.
+  EXPECT_LE(h.percentile(0.5), 3u);
+  EXPECT_GE(h.percentile(1.0), 1024u);
+}
+
+// ----------------------------------------------------------- Exporters
+
+TEST(Exporters, ChromeTraceIsStructurallyValidJson) {
+  BusGuard guard;
+  auto& bus = EventBus::instance();
+  const std::uint32_t track = bus.track("prr\"quoted\"");  // escaping
+  obs::Span span = obs::Span::begin(Subsystem::kSwitch,
+                                    obs::ev::kStep1Reconfigure, track, 100);
+  bus.instant(Subsystem::kBitman, obs::ev::kHit, 0, 150, 1, 2);
+  span.end(900);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string json = os.str();
+
+  // Structural checks a JSON parser would enforce: balanced braces and
+  // brackets, no unescaped quote from the track name, the expected
+  // phases and names present. (tier1 additionally runs a real parser
+  // over the example-produced trace.)
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("step1.reconfigure"), std::string::npos);
+  EXPECT_NE(json.find("prr\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+}
+
+TEST(Exporters, VcdTraceHasLanesAndSamples) {
+  BusGuard guard;
+  auto& bus = EventBus::instance();
+  const std::uint32_t track = bus.track("icap");
+  obs::Span span = obs::Span::begin(Subsystem::kReconfig,
+                                    obs::ev::kArray2Icap, track, 1000);
+  span.end(5000);
+
+  std::ostringstream os;
+  obs::write_vcd_trace(os);
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$var"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("icap"), std::string::npos);
+}
+
+// ------------------------------------------- DCR performance counters
+
+TEST(PerfCounters, SelectsAndWrapsAt32Bits) {
+  core::PerfCounters pc("pc");
+  std::uint64_t words = 0;
+  pc.set_source(core::PerfCounters::kSelWordsOut, [&] { return words; });
+
+  EXPECT_EQ(pc.dcr_read(), 0u);  // unwired default select reads source
+  words = 7;
+  EXPECT_EQ(pc.dcr_read(), 7u);
+  words = (1ull << 32) + 5;  // model counts 64-bit, DCR window wraps
+  EXPECT_EQ(pc.dcr_read(), 5u);
+  EXPECT_EQ(pc.raw(core::PerfCounters::kSelWordsOut), (1ull << 32) + 5);
+
+  pc.dcr_write(core::PerfCounters::kSelStallCycles);
+  EXPECT_EQ(pc.dcr_read(), 0u);  // unwired selector reads 0
+  pc.dcr_write(99);              // out of range: ignored
+  EXPECT_EQ(pc.selected(), core::PerfCounters::kSelStallCycles);
+}
+
+// One small-PRR system shared by the full-system tests below.
+core::SystemParams small_prr_params() {
+  core::SystemParams p = core::SystemParams::prototype();
+  p.rsbs[0].prr_width_clbs = 4;
+  return p;
+}
+
+TEST(PerfCounters, PrrCountersReadableOverDcrBus) {
+  core::VapresSystem sys(small_prr_params());
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "passthrough");
+  core::Rsb& rsb = sys.rsb();
+  auto up = sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  auto down = sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  ASSERT_TRUE(up && down);
+  rsb.iom(0).set_source_generator(
+      [n = 0]() mutable -> std::optional<comm::Word> {
+        return static_cast<comm::Word>(n++);
+      },
+      /*interval=*/4);
+  sys.run_system_cycles(4000);
+
+  const comm::DcrAddress addr = rsb.prr_perf_address(0);
+  // The perf bank must not collide with the socket bank.
+  EXPECT_NE(addr, rsb.prr_socket_address(0));
+
+  sys.dcr().write(addr, core::PerfCounters::kSelWordsOut);
+  const comm::DcrValue words_out = sys.dcr().read(addr);
+  sys.dcr().write(addr, core::PerfCounters::kSelWordsIn);
+  const comm::DcrValue words_in = sys.dcr().read(addr);
+  EXPECT_GT(words_in, 0u);
+  EXPECT_GT(words_out, 0u);
+  EXPECT_EQ(words_out,
+            static_cast<comm::DcrValue>(
+                rsb.prr(0).producer(0).words_sent() & 0xFFFFFFFFull));
+
+  // The software path reads the same register through the bridge.
+  sys.mb().dcr_write(addr, core::PerfCounters::kSelWordsIn);
+  EXPECT_EQ(sys.mb().dcr_read(addr), words_in);
+}
+
+TEST(DcrCounterMonitor, DeltaSurvivesCounterWrap) {
+  sim::Simulator sim;
+  sim::ClockDomain& clk = sim.create_domain("clk", 100.0);
+  comm::DcrBus dcr;
+  proc::Microblaze mb("mb", clk, dcr);
+
+  core::PerfCounters pc("pc");
+  std::uint64_t value = 0xFFFFFE00ull;  // low 32 bits near wrap
+  pc.set_source(core::PerfCounters::kSelWordsOut, [&] { return value; });
+  dcr.map(0x180, &pc);
+
+  std::vector<comm::Word> deltas;
+  core::DcrCounterMonitor mon(
+      "mon", 0x180, core::PerfCounters::kSelWordsOut,
+      [&deltas](comm::Word d) {
+        deltas.push_back(d);
+        return false;  // never fire: keep sampling
+      },
+      [] {}, /*period_quanta=*/1);
+  mon.start_polling(mb);
+
+  // Each select+read pair holds the bridge ~12 cycles, so 5-cycle steps
+  // land at most one new sample per iteration.
+  auto next_delta = [&](std::uint64_t inc) {
+    const std::size_t before = deltas.size();
+    value += inc;
+    while (deltas.size() == before) sim.run_cycles(clk, 5);
+    return deltas.back();
+  };
+
+  // The priming read sets the baseline without evaluating the trigger;
+  // the first evaluated sample of an idle counter reads a zero delta.
+  while (deltas.empty()) sim.run_cycles(clk, 5);
+  EXPECT_EQ(deltas.front(), 0u);
+
+  EXPECT_EQ(next_delta(0x100), 0x100u);  // still below 2^32
+  // Cross the 32-bit boundary: raw DCR value wraps, delta must not.
+  EXPECT_EQ(next_delta(0x300), 0x300u);
+  EXPECT_EQ(value & 0xFFFFFFFFull, 0x200ull);  // proves we wrapped
+  dcr.unmap(0x180);
+  mb.remove_task(&mon);
+}
+
+TEST(DcrCounterMonitor, ThresholdTriggerRearmsAcrossWrap) {
+  // The standard hysteresis trigger fed with monitor-computed deltas:
+  // an excursion before the wrap fires, low deltas re-arm, and the
+  // wrap-crossing excursion fires again — rate monitoring is oblivious
+  // to the 32-bit window.
+  sim::Simulator sim;
+  sim::ClockDomain& clk = sim.create_domain("clk", 100.0);
+  comm::DcrBus dcr;
+  proc::Microblaze mb("mb", clk, dcr);
+
+  core::PerfCounters pc("pc");
+  std::uint64_t value = 0xFFFFF000ull;
+  pc.set_source(core::PerfCounters::kSelWordsOut, [&] { return value; });
+  dcr.map(0x180, &pc);
+
+  core::ThresholdTrigger trig(/*high=*/0x200, /*low=*/0x40);
+  std::vector<bool> fires;
+  core::DcrCounterMonitor mon(
+      "mon", 0x180, core::PerfCounters::kSelWordsOut,
+      [&](comm::Word d) {
+        fires.push_back(trig(d));
+        return false;  // record, never deschedule
+      },
+      [] {}, /*period_quanta=*/1);
+  mon.start_polling(mb);
+
+  // Advance the counter and wait for the trigger verdict on exactly the
+  // next sample (each sample holds the bridge ~12 cycles, so 5-cycle
+  // steps cannot skip one).
+  auto sample_with_increment = [&](std::uint64_t inc) {
+    const std::size_t before = fires.size();
+    value += inc;
+    while (fires.size() == before) sim.run_cycles(clk, 5);
+    return static_cast<bool>(fires.back());
+  };
+
+  while (mon.samples() == 0) sim.run_cycles(clk, 5);  // prime
+  EXPECT_TRUE(sample_with_increment(0x300));   // excursion: fires
+  EXPECT_FALSE(sample_with_increment(0x10));   // below low: re-arms
+  // This increment carries the low 32 bits across 2^32.
+  ASSERT_LT(0xFFFFFFFFull - (value & 0xFFFFFFFFull), 0x2000ull);
+  EXPECT_TRUE(sample_with_increment(0x1500));  // wrap excursion: refires
+  dcr.unmap(0x180);
+  mb.remove_task(&mon);
+}
+
+// ------------------------------------- full-system switch observability
+
+TEST(SwitchTrace, AllNineStepsTracedWithZeroStreamGap) {
+  // Kernel sleep/wake instants are frequent over a multi-ms run; a deep
+  // ring keeps the early protocol spans from being overwritten.
+  BusGuard guard(~0u, /*capacity=*/1u << 20);
+  obs::Registry::instance().reset();
+
+  core::VapresSystem sys(small_prr_params());
+  sys.bring_up_all_sites();
+  sys.reconfigure_now(0, 0, "passthrough");
+  sys.preload_sdram("passthrough", 0, 1);
+  core::Rsb& rsb = sys.rsb();
+  auto up = sys.connect(0, rsb.iom_producer(0), rsb.prr_consumer(0));
+  auto down = sys.connect(0, rsb.prr_producer(0), rsb.iom_consumer(0));
+  ASSERT_TRUE(up && down);
+  rsb.iom(0).set_source_generator(
+      [n = 0]() mutable -> std::optional<comm::Word> {
+        return static_cast<comm::Word>(n++);
+      },
+      /*interval=*/4);
+
+  core::SwitchRequest req;
+  req.src_prr = 0;
+  req.dst_prr = 1;
+  req.new_module_id = "passthrough";
+  req.upstream = *up;
+  req.downstream = *down;
+  req.eos_iom = 0;
+  core::ModuleSwitcher sw(sys, req);
+  sw.begin();
+  ASSERT_TRUE(sys.sim().run_until([&] { return sw.done(); },
+                                  sim::kPsPerSecond * 120));
+  ASSERT_FALSE(sw.aborted());
+  sys.run_system_cycles(2000);  // post-switch streaming
+
+  // Every one of the nine steps appears as a balanced span on the
+  // switch's own track, in protocol order.
+  std::vector<std::uint16_t> begins;
+  std::map<std::uint16_t, int> balance;
+  std::uint64_t sleeps = 0;
+  for (const Event& e : EventBus::instance().snapshot()) {
+    if (e.subsystem == Subsystem::kKernel &&
+        e.code == obs::ev::kDomainSleep) {
+      ++sleeps;
+    }
+    if (e.subsystem != Subsystem::kSwitch) continue;
+    if (e.kind == EventKind::kBegin) {
+      begins.push_back(e.code);
+      ++balance[e.code];
+    }
+    if (e.kind == EventKind::kEnd) --balance[e.code];
+  }
+  ASSERT_EQ(begins.size(),
+            static_cast<std::size_t>(obs::ev::kNumSwitchSteps));
+  for (std::uint16_t step = 1; step <= obs::ev::kNumSwitchSteps; ++step) {
+    EXPECT_EQ(begins[step - 1], step) << "step order broken at " << step;
+    EXPECT_EQ(balance[step], 0) << "unbalanced span for step " << step;
+  }
+  // Activity-driven kernel: the domains slept somewhere in a run this
+  // long, and the sleeps are on the trace.
+  EXPECT_GT(sleeps, 0u);
+
+  // Per-step latency histograms landed in the registry.
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  std::set<std::string> names;
+  for (const auto& h : snap.histograms) names.insert(h.name);
+  for (std::uint16_t step = 1; step <= obs::ev::kNumSwitchSteps; ++step) {
+    const std::string name =
+        std::string("switch.") +
+        obs::event_name(Subsystem::kSwitch, step) + ".cycles";
+    EXPECT_TRUE(names.count(name)) << "missing histogram " << name;
+  }
+  EXPECT_TRUE(names.count("switch.total.cycles"));
+  EXPECT_TRUE(names.count("reconfig.array2icap.cycles"));
+
+  // Zero stream gap: the sink saw every word exactly once, in order,
+  // across the switch (the EOS control word is filtered by the IOM).
+  const std::vector<comm::Word>& words = rsb.iom(0).received(0);
+  ASSERT_GT(words.size(), 100u);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ASSERT_EQ(words[i], static_cast<comm::Word>(i))
+        << "stream gap at index " << i;
+  }
+  EXPECT_EQ(rsb.iom(0).eos_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace vapres

@@ -47,7 +47,11 @@ TEST(System, SocketsMappedOnDcr) {
   EXPECT_TRUE(sys->dcr().mapped(rsb.iom_socket_address(0)));
   EXPECT_TRUE(sys->dcr().mapped(rsb.prr_socket_address(0)));
   EXPECT_TRUE(sys->dcr().mapped(rsb.prr_socket_address(1)));
-  EXPECT_EQ(sys->dcr().slave_count(), 3u);
+  // Each PRR maps a perf-counter register next to its socket
+  // (docs/OBSERVABILITY.md): 3 sockets + 2 perf banks.
+  EXPECT_TRUE(sys->dcr().mapped(rsb.prr_perf_address(0)));
+  EXPECT_TRUE(sys->dcr().mapped(rsb.prr_perf_address(1)));
+  EXPECT_EQ(sys->dcr().slave_count(), 5u);
 }
 
 TEST(System, ReconfigureLoadsModule) {

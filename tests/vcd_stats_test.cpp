@@ -124,6 +124,98 @@ TEST(Stats, SnapshotCoversStreamingRun) {
   EXPECT_NE(report.find("active channels: 2"), std::string::npos);
 }
 
+// Round-trip guard against report drift: every counter family the model
+// keeps must survive into to_string(). Distinctive values catch a field
+// silently dropped from (or mislabeled in) the printer.
+TEST(Stats, ToStringPrintsEveryField) {
+  core::SystemStats s;
+  s.system_cycles = 424242;
+  s.mb_busy_cycles = 131313;
+  s.dcr_accesses = 7770;
+  s.icap_bytes = 999111;
+  s.reconfigurations = 17;
+  s.active_channels = 5;
+  s.kernel = {1111, 2222, 33, 44, 5555, 6666};
+  s.domains.push_back({"dom_a", 125.0, 7777, 8181, 9191, 3});
+  s.sites.push_back(
+      {"prr_x", true, "fir4_smooth", 4, 1212, 3434, 5656, 787878});
+  s.fifos.push_back({"fifo_y", 2468, 1357, 9, 16, 11, 12});
+  s.bitcache = {21, 22, 23, 24, 2525, 26, 27, 28, 291, 292, 293, 294};
+  s.robustness = {41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51};
+
+  const std::string r = s.to_string();
+  for (const char* needle :
+       {// header + processor + ICAP + channels
+        "cycle 424242", "busy: 131313", "DCR accesses: 7770",
+        "17 reconfigurations", "999111 bytes", "active channels: 5",
+        // kernel aggregate incl. active/quiescent cycle split
+        "1111 edges delivered", "2222 skipped", "33 domain sleeps",
+        "44 wakes", "5555 active", "6666 quiescent",
+        // per-domain row
+        "domain dom_a @ 125", "7777 cycles", "8181 active",
+        "9191 quiescent", "3 sleeps",
+        // site row incl. discards and producer stalls
+        "prr_x [fir4_smooth, 4 PRs]", "in 1212", "out 3434",
+        "stalled 787878", "DISCARDED 5656",
+        // fifo row incl. popped and fault injections
+        "fifo fifo_y: 2468 pushed, 1357 popped", "watermark 9/16",
+        "fault-dropped 11", "fault-dup 12",
+        // bitstream cache + prefetch
+        "21 hits / 22 misses", "24 evictions", "2525 bytes", "26 staged",
+        "27 replaced", "28 invalidated", "291 issued", "292 completed",
+        "294 useful", "293 cancelled", "misses: 23",
+        // robustness
+        "41 faults injected", "42 corrupted", "43 timed out",
+        "44 retries", "45 source fallbacks", "46 permanent failures",
+        "47 rollbacks", "48 repairs", "49 dropped", "50 duplicated",
+        "stuck ports now: 51"}) {
+    EXPECT_NE(r.find(needle), std::string::npos)
+        << "report lost \"" << needle << "\":\n" << r;
+  }
+}
+
+// Same guard for the scheduler ledger, including the per-app
+// submit/launch/stop timestamps.
+TEST(Stats, SchedulerAccountingPrintsEveryField) {
+  core::SchedulerAccounting acc;
+  acc.submitted = 61;
+  acc.admitted = 62;
+  acc.admitted_after_defrag = 63;
+  acc.admitted_after_preempt = 64;
+  acc.rejected = 65;
+  acc.preemptions = 66;
+  acc.defrag_migrations = 67;
+  acc.migration_rollbacks = 68;
+  acc.fabric_utilization = 0.71;
+  core::AppAccounting a;
+  a.app_id = 9;
+  a.name = "crc-9";
+  a.priority = 2;
+  a.state = "running";
+  a.verdict = "admitted";
+  a.submitted_at = 1001;
+  a.launched_at = 1002;
+  a.stopped_at = 1003;
+  a.admission_mb_cycles = 1004;
+  a.words_in = 1005;
+  a.words_out = 1006;
+  a.migrations = 7;
+  a.module_slices = 8;
+  acc.apps.push_back(a);
+
+  const std::string r = acc.to_string();
+  for (const char* needle :
+       {"submitted 61", "admitted 62", "defrag 63", "preempt 64",
+        "rejected 65", "preemptions 66", "migrations 67",
+        "+68 rolled back", "utilization 71%",
+        "#9 crc-9 prio 2 [running/admitted]", "slices 8",
+        "words 1005->1006", "migrations 7", "admission 1004 MB cycles",
+        "t=1001/1002/1003"}) {
+    EXPECT_NE(r.find(needle), std::string::npos)
+        << "ledger lost \"" << needle << "\":\n" << r;
+  }
+}
+
 TEST(Stats, VcdProbesIntegrateWithSystem) {
   core::SystemParams p = core::SystemParams::prototype();
   p.rsbs[0].prr_width_clbs = 4;
