@@ -18,6 +18,10 @@ VapresSystem::VapresSystem(SystemParams params,
   sdram_ = std::make_unique<bitstream::Sdram>(params_.sdram_bytes);
   mb_ = std::make_unique<proc::Microblaze>("microblaze", *system_clock_,
                                            dcr_);
+  // Lets long driver calls (PR transfers) sleep the core instead of
+  // ticking every busy cycle. mb_ is destroyed before sim_, so the wake
+  // event is always cancelled in time.
+  mb_->set_simulator(&sim_);
   reconfig_ = std::make_unique<ReconfigManager>(sim_, *mb_, icap_, cf_,
                                                 *sdram_);
   bitman_ = std::make_unique<bitman::BitstreamManager>(*reconfig_, cf_,

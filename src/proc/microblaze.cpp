@@ -4,6 +4,7 @@
 
 #include "obs/bus.hpp"
 #include "sim/check.hpp"
+#include "sim/simulator.hpp"
 
 namespace vapres::proc {
 
@@ -28,7 +29,10 @@ Microblaze::Microblaze(std::string name, sim::ClockDomain& domain,
   domain_.attach(this);
 }
 
-Microblaze::~Microblaze() { domain_.detach(this); }
+Microblaze::~Microblaze() {
+  disarm_busy_wake();
+  domain_.detach(this);
+}
 
 void Microblaze::add_task(SoftwareTask* task) {
   VAPRES_REQUIRE(task != nullptr, "cannot schedule null task");
@@ -59,9 +63,27 @@ comm::DcrValue Microblaze::dcr_read(comm::DcrAddress addr) {
 }
 
 void Microblaze::busy_for(sim::Cycles n) {
-  busy_remaining_ += n;
+  busy_pending_ += n;
   total_busy_cycles_ += n;
   wake();
+}
+
+void Microblaze::arm_busy_wake() {
+  if (sim_ == nullptr) return;  // no skip; the core just stays awake
+  if (busy_wake_.has_value() && busy_wake_cycle_ == busy_last_cycle_) return;
+  disarm_busy_wake();
+  const sim::Cycles delta = busy_last_cycle_ - domain_.cycle_count();
+  busy_wake_cycle_ = busy_last_cycle_;
+  busy_wake_ = sim_->schedule_after_cycles(domain_, delta, [this] {
+    busy_wake_.reset();
+    wake();
+  });
+}
+
+void Microblaze::disarm_busy_wake() {
+  if (!busy_wake_.has_value()) return;
+  if (sim_ != nullptr) sim_->cancel(*busy_wake_);
+  busy_wake_.reset();
 }
 
 void Microblaze::busy_for(sim::Cycles n, std::function<void()> on_complete) {
@@ -85,9 +107,30 @@ void Microblaze::commit() {
   // busy — pending interrupts latch and wait.
   if (intc_ != nullptr) intc_->sample();
 
-  if (busy_remaining_ > 0) {
-    --busy_remaining_;
-    if (busy_remaining_ == 0 && on_idle_) {
+  // Fold newly-charged busy time into the absolute expiry cycle. Work
+  // charged during a previous commit on edge E first reaches this fold on
+  // edge E+1, so anchoring n cycles here ends on edge E+n — exactly where
+  // a per-edge countdown started at E would hit zero.
+  if (busy_pending_ > 0) {
+    if (busy_anchored_) {
+      busy_last_cycle_ += busy_pending_;
+    } else {
+      busy_anchored_ = true;
+      busy_last_cycle_ = domain_.cycle_count() + busy_pending_ - 1;
+    }
+    busy_pending_ = 0;
+  }
+
+  if (busy_anchored_) {
+    if (domain_.cycle_count() < busy_last_cycle_) {
+      // Still busy: arm (or retarget) the expiry wake so the activity
+      // kernel may sleep the core through the remainder of the span.
+      arm_busy_wake();
+      return;
+    }
+    busy_anchored_ = false;
+    disarm_busy_wake();
+    if (on_idle_) {
       auto fn = std::move(on_idle_);
       on_idle_ = nullptr;
       fn();

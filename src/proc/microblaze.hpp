@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,11 @@
 #include "proc/interrupt.hpp"
 #include "sim/clock.hpp"
 #include "sim/component.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vapres::sim {
+class Simulator;
+}  // namespace vapres::sim
 
 namespace vapres::proc {
 
@@ -74,13 +80,22 @@ class Microblaze final : public sim::Clocked {
   void dcr_write(comm::DcrAddress addr, comm::DcrValue value);
   comm::DcrValue dcr_read(comm::DcrAddress addr);
 
-  /// Marks the core busy for `n` cycles (a blocking driver call).
+  /// Marks the core busy for `n` cycles (a blocking driver call). The
+  /// span is tracked analytically: the next commit anchors an expiry
+  /// cycle instead of decrementing a counter every edge, so a long
+  /// driver call (a PR transfer is millions of cycles) costs O(1) host
+  /// work when the activity kernel can sleep the core through it.
   void busy_for(sim::Cycles n);
 
   /// Busy for `n` cycles, then run `on_complete` (still on this core).
   void busy_for(sim::Cycles n, std::function<void()> on_complete);
 
-  bool busy() const { return busy_remaining_ > 0; }
+  bool busy() const { return busy_pending_ > 0 || busy_anchored_; }
+
+  /// Wires the owning simulator so busy spans can be slept through: the
+  /// expiry edge is delivered by a scheduled wake event. Without it the
+  /// core simply stays awake while busy — identical behaviour, no skip.
+  void set_simulator(sim::Simulator* sim) { sim_ = sim; }
 
   // ---- Interrupts ------------------------------------------------------
 
@@ -103,21 +118,45 @@ class Microblaze final : public sim::Clocked {
 
   void eval() override {}
   void commit() override;
-  /// The core only sleeps when it has nothing schedulable at all: no
-  /// tasks, no busy countdown, and no interrupt controller to sample
-  /// (the intc latches sources every cycle, so attaching one pins the
-  /// core awake). add_task()/busy_for() re-arm the clock domain.
+  /// The core sleeps when it has nothing schedulable: no tasks, no
+  /// un-anchored busy work, and no interrupt controller to sample (the
+  /// intc latches sources every cycle, so attaching one pins the core
+  /// awake). An *anchored* busy span may be slept through — but only
+  /// once the expiry wake event is armed for the current expiry cycle,
+  /// otherwise the expiry edge would never be delivered.
+  /// add_task()/busy_for() re-arm the clock domain.
   bool quiescent() const override {
-    return tasks_.empty() && busy_remaining_ == 0 && intc_ == nullptr;
+    if (intc_ != nullptr || busy_pending_ > 0) return false;
+    if (busy_anchored_) {
+      return busy_wake_.has_value() && busy_wake_cycle_ == busy_last_cycle_;
+    }
+    return tasks_.empty();
   }
 
  private:
+  /// Schedules (or reschedules) the wake event for the expiry edge.
+  /// Called from commit(), so "now" is edge-aligned and the event lands
+  /// exactly on the expiry edge — events run before coincident edges,
+  /// so the woken core receives that edge. No-op without a simulator.
+  void arm_busy_wake();
+  void disarm_busy_wake();
+
   std::string name_;
   sim::ClockDomain& domain_;
   comm::DcrBus& dcr_;
+  sim::Simulator* sim_ = nullptr;
   std::vector<SoftwareTask*> tasks_;
   std::size_t next_task_ = 0;
-  sim::Cycles busy_remaining_ = 0;
+  // Busy time is two-stage: busy_for() accumulates into busy_pending_,
+  // and the next commit folds it into the absolute expiry cycle
+  // busy_last_cycle_ (the last edge on which the core is still busy;
+  // on_idle_ fires on that edge). Cycle-for-cycle equivalent to the old
+  // per-edge decrement, but sleepable.
+  sim::Cycles busy_pending_ = 0;
+  bool busy_anchored_ = false;
+  sim::Cycles busy_last_cycle_ = 0;
+  std::optional<sim::EventQueue::EventId> busy_wake_;
+  sim::Cycles busy_wake_cycle_ = 0;
   std::uint64_t total_busy_cycles_ = 0;
   std::function<void()> on_idle_;
   InterruptController* intc_ = nullptr;

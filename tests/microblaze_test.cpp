@@ -16,9 +16,13 @@ struct Rig {
   comm::DcrBus dcr;
   std::unique_ptr<Microblaze> mb;
 
-  Rig() {
+  /// `wired` hands the core the simulator, enabling the analytic
+  /// (sleepable) busy path that VapresSystem uses; unwired rigs keep the
+  /// core awake through busy spans.
+  explicit Rig(bool wired = false) {
     clk = &sim.create_domain("clk_sys", 100.0);
     mb = std::make_unique<Microblaze>("mb", *clk, dcr);
+    if (wired) mb->set_simulator(&sim);
   }
   void run(sim::Cycles n) { sim.run_cycles(*clk, n); }
 };
@@ -92,6 +96,68 @@ TEST(Microblaze, BusyCompletionCallbackFires) {
   EXPECT_FALSE(fired);
   rig.run(1);
   EXPECT_TRUE(fired);
+}
+
+TEST(Microblaze, AnalyticBusySleepsCoreAndFiresOnExactCycle) {
+  Rig rig(/*wired=*/true);
+  sim::Cycles fired_at = 0;
+  // Anchored on edge 0, so the last busy edge — where the completion
+  // fires — is edge 99, identical to the per-edge countdown.
+  rig.mb->busy_for(100, [&] { fired_at = rig.clk->cycle_count(); });
+  rig.run(100);
+  EXPECT_EQ(fired_at, 99u);
+  EXPECT_FALSE(rig.mb->busy());
+  // The span must actually have been slept through, not ticked.
+  EXPECT_GT(rig.clk->kernel_stats().cycles_quiescent, 50u);
+}
+
+TEST(Microblaze, AnalyticBusyMatchesCountdownTaskTiming) {
+  // Wired and unwired rigs must schedule task quanta on identical
+  // cycles: one step, then `cost` busy edges, repeating.
+  auto steps_after = [](bool wired, sim::Cycles horizon) {
+    Rig rig(wired);
+    int steps = 0;
+    FunctionTask task("w", [&](Microblaze& mb) {
+      ++steps;
+      mb.busy_for(37);
+      return false;
+    });
+    rig.mb->add_task(&task);
+    rig.run(horizon);
+    return steps;
+  };
+  for (sim::Cycles horizon : {1u, 37u, 38u, 39u, 1000u}) {
+    EXPECT_EQ(steps_after(true, horizon), steps_after(false, horizon))
+        << "horizon " << horizon;
+  }
+}
+
+TEST(Microblaze, BusyExtensionWhileAnchoredRetargetsExpiry) {
+  Rig rig(/*wired=*/true);
+  sim::Cycles fired_at = 0;
+  rig.mb->busy_for(50, [&] { fired_at = rig.clk->cycle_count(); });
+  rig.run(20);  // mid-span; the core is asleep on the analytic path
+  // An external event source piles on more work: the countdown model
+  // would now expire on edge 49 + 30 = 79.
+  rig.mb->busy_for(30);
+  rig.run(60);
+  EXPECT_EQ(fired_at, 79u);
+  EXPECT_FALSE(rig.mb->busy());
+}
+
+TEST(Microblaze, AnalyticBusyResumesTasksAfterSleep) {
+  Rig rig(/*wired=*/true);
+  int steps = 0;
+  FunctionTask task("t", [&](Microblaze&) {
+    ++steps;
+    return false;
+  });
+  rig.mb->add_task(&task);
+  rig.mb->busy_for(500);
+  rig.run(500);  // entirely busy: edges 0..499
+  EXPECT_EQ(steps, 0);
+  rig.run(10);  // idle again: one quantum per cycle
+  EXPECT_EQ(steps, 10);
 }
 
 TEST(Microblaze, SecondPendingCompletionRejected) {
