@@ -123,9 +123,23 @@ const std::vector<comm::Word>& Iom::received(int channel) const {
 }
 
 std::vector<comm::Word> Iom::take_received(int channel) {
+  Sink& snk = sink(channel);
   std::vector<comm::Word> out;
-  out.swap(sink(channel).received);
+  out.swap(snk.received);
+  snk.dropped += out.size();  // absolute indexing stays consistent
   return out;
+}
+
+std::uint64_t Iom::words_received(int channel) const {
+  return sink(channel).words_received;
+}
+
+std::uint64_t Iom::received_dropped(int channel) const {
+  return sink(channel).dropped;
+}
+
+void Iom::set_received_history_limit(std::size_t max_words) {
+  history_limit_ = max_words;
 }
 
 std::uint64_t Iom::eos_seen(int channel) const {
@@ -141,6 +155,12 @@ void Iom::reset_gap_stats() {
     s.have_last_arrival = false;
     s.max_gap = 0;
   }
+}
+
+void Iom::reset_gap_stats(int channel) {
+  Sink& s = sink(channel);
+  s.have_last_arrival = false;
+  s.max_gap = 0;
 }
 
 bool Iom::quiescent() const {
@@ -190,7 +210,17 @@ void Iom::commit() {
       }
       snk.last_arrival = now;
       snk.have_last_arrival = true;
+      ++snk.words_received;
       snk.received.push_back(w);
+      if (history_limit_ > 0 && snk.received.size() > history_limit_) {
+        // Age out the older half in one move: O(1) amortized per word,
+        // and the window never shrinks below half the limit.
+        const std::size_t drop = snk.received.size() / 2;
+        snk.received.erase(snk.received.begin(),
+                           snk.received.begin() +
+                               static_cast<std::ptrdiff_t>(drop));
+        snk.dropped += drop;
+      }
     }
   }
 }

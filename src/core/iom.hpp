@@ -74,15 +74,36 @@ class Iom final : public sim::Clocked {
 
   // ---- Sink halves (external output streams), per consumer channel ---
 
+  /// Words retained in the history window (everything ever received
+  /// unless a history limit is set). Word `received(ch)[i]` is the
+  /// `received_dropped(ch) + i`-th word the sink ever drained.
   const std::vector<comm::Word>& received(int channel = 0) const;
   std::vector<comm::Word> take_received(int channel = 0);
   std::uint64_t eos_seen(int channel = 0) const;
+
+  /// Monotone count of (non-EOS) words ever drained on the channel.
+  /// Unlike received().size(), unaffected by history capping or
+  /// take_received() — the right basis for long-run accounting.
+  std::uint64_t words_received(int channel = 0) const;
+
+  /// Words discarded from the front of the history window (by the
+  /// history limit or take_received()).
+  std::uint64_t received_dropped(int channel = 0) const;
+
+  /// Caps the per-channel received-word history at roughly `max_words`
+  /// (0 = unlimited, the default). When the cap is exceeded the older
+  /// half of the window is dropped, so a soak run over millions of
+  /// words holds memory flat while recent output stays inspectable.
+  void set_received_history_limit(std::size_t max_words);
 
   /// Largest gap (in static-domain cycles) between consecutive output
   /// words since the last reset_gap_stats(). The output-stream
   /// interruption metric of experiment E3.
   sim::Cycles max_output_gap(int channel = 0) const;
   void reset_gap_stats();
+  /// Per-channel variant: forgets gap state for one sink only, so
+  /// concurrent apps on sibling channels keep their statistics.
+  void reset_gap_stats(int channel);
 
   void eval() override {}
   void commit() override;
@@ -104,6 +125,8 @@ class Iom final : public sim::Clocked {
   struct Sink {
     std::unique_ptr<comm::ConsumerInterface> interface;
     std::vector<comm::Word> received;
+    std::uint64_t words_received = 0;  // monotone; never decreases
+    std::uint64_t dropped = 0;         // words aged out of `received`
     std::uint64_t eos_seen = 0;
     bool have_last_arrival = false;
     sim::Cycles last_arrival = 0;
@@ -118,6 +141,7 @@ class Iom final : public sim::Clocked {
   std::string name_;
   sim::ClockDomain& domain_;
   int width_bits_ = 32;
+  std::size_t history_limit_ = 0;  // 0 = unlimited
   std::vector<Source> sources_;
   std::vector<Sink> sinks_;
   std::unique_ptr<comm::FslLink> fsl_to_mb_;
