@@ -99,7 +99,7 @@ struct AppRecord {
 
   /// IOM counters at launch (the channels are reused across apps).
   std::uint64_t base_words_emitted = 0;
-  std::size_t base_words_received = 0;
+  std::uint64_t base_words_received = 0;
   /// Final word counts, captured when the app stops / is preempted.
   std::uint64_t final_words_in = 0;
   std::uint64_t final_words_out = 0;

@@ -60,7 +60,7 @@ ApplicationScheduler::ApplicationScheduler(core::VapresSystem& sys,
 
 int ApplicationScheduler::submit(AppRequest request) {
   AppRecord rec;
-  rec.id = static_cast<int>(apps_.size());
+  rec.id = num_apps();
   rec.request = std::move(request);
   rec.submitted_at = sys_.mb().cycle();
   apps_.push_back(std::move(rec));
@@ -108,29 +108,68 @@ int ApplicationScheduler::run_admission() {
     if (a.state == AppState::kQueued) queue.push_back(a.id);
   }
   std::stable_sort(queue.begin(), queue.end(), [this](int a, int b) {
-    return apps_[static_cast<std::size_t>(a)].request.priority >
-           apps_[static_cast<std::size_t>(b)].request.priority;
+    return record(a).request.priority > record(b).request.priority;
   });
   int launched = 0;
   for (int id : queue) {
-    if (try_admit(apps_[static_cast<std::size_t>(id)])) ++launched;
+    if (try_admit(record(id))) ++launched;
   }
   return launched;
 }
 
 void ApplicationScheduler::stop(int app_id) {
-  VAPRES_REQUIRE(app_id >= 0 && app_id < num_apps(),
-                 "app id out of range");
-  AppRecord& a = apps_[static_cast<std::size_t>(app_id)];
+  AppRecord& a = record(app_id);
   VAPRES_REQUIRE(a.running(), "app " + std::to_string(app_id) +
                                   " is not running");
   teardown(a, AppState::kStopped);
 }
 
+int ApplicationScheduler::retire_terminal() {
+  int retired = 0;
+  while (!apps_.empty()) {
+    const AppRecord& a = apps_.front();
+    if (a.state == AppState::kQueued || a.state == AppState::kRunning) break;
+    switch (a.verdict) {
+      case AdmissionVerdict::kAdmitted:
+        ++retired_admitted_;
+        break;
+      case AdmissionVerdict::kAdmittedAfterDefrag:
+        ++retired_admitted_;
+        ++retired_admitted_after_defrag_;
+        break;
+      case AdmissionVerdict::kAdmittedAfterPreempt:
+        ++retired_admitted_;
+        ++retired_admitted_after_preempt_;
+        break;
+      case AdmissionVerdict::kPending:
+        break;
+      default:
+        ++retired_rejected_;
+        break;
+    }
+    apps_.pop_front();
+    ++first_id_;
+    ++retired;
+  }
+  return retired;
+}
+
+AppRecord& ApplicationScheduler::record(int app_id) {
+  VAPRES_REQUIRE(app_id >= first_id_ && app_id < num_apps(),
+                 "app id " + std::to_string(app_id) +
+                     " out of range or retired");
+  return apps_[static_cast<std::size_t>(app_id - first_id_)];
+}
+
+const AppRecord& ApplicationScheduler::record(int app_id) const {
+  VAPRES_REQUIRE(app_id >= first_id_ && app_id < num_apps(),
+                 "app id " + std::to_string(app_id) +
+                     " out of range or retired");
+  return apps_[static_cast<std::size_t>(app_id - first_id_)];
+}
+
 const AppRecord& ApplicationScheduler::app(int app_id) const {
-  VAPRES_REQUIRE(app_id >= 0 && app_id < num_apps(),
-                 "app id out of range");
-  return apps_[static_cast<std::size_t>(app_id)];
+  return record(app_id);
 }
 
 std::vector<int> ApplicationScheduler::running_apps() const {
@@ -154,18 +193,23 @@ std::vector<comm::Word> ApplicationScheduler::received_words(
   const AppRecord& a = app(app_id);
   VAPRES_REQUIRE(a.launched_at != 0 || a.running(),
                  "app " + std::to_string(app_id) + " never launched");
-  const auto& all =
-      sys_.rsb(opt_.rsb_index).iom(a.sink.iom).received(a.sink.channel);
-  const std::size_t begin = std::min(a.base_words_received, all.size());
-  const std::size_t end =
-      a.running() ? all.size()
-                  : std::min(begin + static_cast<std::size_t>(
-                                         a.final_words_out),
-                             all.size());
-  return std::vector<comm::Word>(all.begin() + static_cast<std::ptrdiff_t>(
-                                                   begin),
-                                 all.begin() +
-                                     static_cast<std::ptrdiff_t>(end));
+  const core::Iom& iom = sys_.rsb(opt_.rsb_index).iom(a.sink.iom);
+  const auto& all = iom.received(a.sink.channel);
+  const std::uint64_t dropped = iom.received_dropped(a.sink.channel);
+  // The app's words occupy absolute sink indices
+  // [base_words_received, base + final_words_out); map them into the
+  // retained window (words before `dropped` have been aged out).
+  const std::uint64_t abs_end =
+      a.running() ? dropped + all.size()
+                  : a.base_words_received + a.final_words_out;
+  const std::uint64_t lo =
+      std::max<std::uint64_t>(a.base_words_received, dropped);
+  const std::uint64_t hi = std::min<std::uint64_t>(
+      std::max(abs_end, dropped), dropped + all.size());
+  if (hi <= lo) return {};
+  return std::vector<comm::Word>(
+      all.begin() + static_cast<std::ptrdiff_t>(lo - dropped),
+      all.begin() + static_cast<std::ptrdiff_t>(hi - dropped));
 }
 
 // ---- Admission -----------------------------------------------------------
@@ -284,6 +328,11 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
                                  : AdmissionVerdict::kAdmittedAfterDefrag);
         app.launched_at = sys_.mb().cycle();
         app.admission_mb_cycles = app.launched_at - t0;
+        // Queue wait + decision + launch, end to end — the latency an
+        // external submitter observes (soak gates its p99).
+        obs::Registry::instance()
+            .histogram("sched.submit_to_launch.cycles")
+            .record(app.launched_at - app.submitted_at);
         close_admission();
         bus.instant(obs::Subsystem::kSched, obs::ev::kLaunch, track,
                     sys_.sim().now(), static_cast<std::uint64_t>(app.id),
@@ -310,7 +359,7 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
     bus.instant(obs::Subsystem::kSched, obs::ev::kPreempt, track,
                 sys_.sim().now(), static_cast<std::uint64_t>(victim),
                 static_cast<std::uint64_t>(app.id));
-    teardown(apps_[static_cast<std::size_t>(victim)], AppState::kPreempted);
+    teardown(record(victim), AppState::kPreempted);
     ++preemptions_;
     obs::Registry::instance().counter("sched.preemptions").add();
     preempted_any = true;
@@ -394,6 +443,22 @@ void ApplicationScheduler::free_ioms(const AppRecord& app) {
             [static_cast<std::size_t>(app.sink.channel)] = false;
 }
 
+int ApplicationScheduler::busy_source_channels() const {
+  int n = 0;
+  for (const auto& iom : source_busy_) {
+    for (const bool b : iom) n += b ? 1 : 0;
+  }
+  return n;
+}
+
+int ApplicationScheduler::busy_sink_channels() const {
+  int n = 0;
+  for (const auto& iom : sink_busy_) {
+    for (const bool b : iom) n += b ? 1 : 0;
+  }
+  return n;
+}
+
 int ApplicationScheduler::pick_victim(int priority) const {
   int victim = -1;
   for (const AppRecord& a : apps_) {
@@ -402,7 +467,7 @@ int ApplicationScheduler::pick_victim(int priority) const {
       victim = a.id;
       continue;
     }
-    const AppRecord& v = apps_[static_cast<std::size_t>(victim)];
+    const AppRecord& v = record(victim);
     // Lowest priority first; youngest among equals (LIFO eviction).
     if (a.request.priority < v.request.priority ||
         (a.request.priority == v.request.priority && a.id > v.id)) {
@@ -415,7 +480,7 @@ int ApplicationScheduler::pick_victim(int priority) const {
 // ---- Migration (defragmentation) -----------------------------------------
 
 bool ApplicationScheduler::execute_migration(const MigrationStep& step) {
-  AppRecord& owner = apps_[static_cast<std::size_t>(step.app_id)];
+  AppRecord& owner = record(step.app_id);
   VAPRES_REQUIRE(owner.running(), "relocation donor is not running");
   const sim::Cycles mig_t0 = sys_.mb().cycle();
   obs::Span mig = obs::Span::begin(
@@ -574,7 +639,7 @@ bool ApplicationScheduler::launch(AppRecord& app,
   core::Iom& src_iom = r.iom(app.source.iom);
   app.base_words_emitted = src_iom.words_emitted(app.source.channel);
   app.base_words_received =
-      r.iom(app.sink.iom).received(app.sink.channel).size();
+      r.iom(app.sink.iom).words_received(app.sink.channel);
   const std::uint64_t limit = app.request.source_words;
   src_iom.set_source_generator(
       [n = std::uint64_t{0}, limit]() mutable -> std::optional<comm::Word> {
@@ -599,7 +664,7 @@ void ApplicationScheduler::teardown(AppRecord& app, AppState final_state) {
     sys_.disconnect(opt_.rsb_index, *it);
   }
   app.final_words_out =
-      r.iom(app.sink.iom).received(app.sink.channel).size() -
+      r.iom(app.sink.iom).words_received(app.sink.channel) -
       app.base_words_received;
   app.channels.clear();
   for (int p : app.prrs) {
@@ -656,6 +721,11 @@ core::SchedulerAccounting ApplicationScheduler::accounting() const {
   acc.defrag_migrations = defrag_migrations_;
   acc.migration_rollbacks = migration_rollbacks_;
   acc.fabric_utilization = map_.utilization();
+  // Retired records contribute to the totals but have no per-app row.
+  acc.admitted = retired_admitted_;
+  acc.admitted_after_defrag = retired_admitted_after_defrag_;
+  acc.admitted_after_preempt = retired_admitted_after_preempt_;
+  acc.rejected = retired_rejected_;
   for (const AppRecord& a : apps_) {
     core::AppAccounting row;
     row.app_id = a.id;
@@ -679,7 +749,7 @@ core::SchedulerAccounting ApplicationScheduler::accounting() const {
           r.iom(a.source.iom).words_emitted(a.source.channel) -
           a.base_words_emitted;
       row.words_out =
-          r.iom(a.sink.iom).received(a.sink.channel).size() -
+          r.iom(a.sink.iom).words_received(a.sink.channel) -
           a.base_words_received;
     } else {
       row.words_in = a.final_words_in;

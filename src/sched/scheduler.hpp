@@ -26,6 +26,7 @@
 // every decision is deterministic given the same submission sequence.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,9 +74,26 @@ class ApplicationScheduler {
   /// Gracefully stops a running app and frees its fabric resources.
   void stop(int app_id);
 
-  int num_apps() const { return static_cast<int>(apps_.size()); }
+  /// Total apps ever submitted (retired records included).
+  int num_apps() const {
+    return first_id_ + static_cast<int>(apps_.size());
+  }
+  /// Records still held in memory (ids >= first_live_id()).
+  int live_records() const { return static_cast<int>(apps_.size()); }
+  int first_live_id() const { return first_id_; }
+  /// Requires first_live_id() <= app_id < num_apps(); retired records
+  /// are gone (their contribution lives on in accounting() totals).
   const AppRecord& app(int app_id) const;
   std::vector<int> running_apps() const;
+
+  /// Drops terminal records (rejected / stopped / preempted) from the
+  /// front of the history, folding their verdicts into retained
+  /// aggregate totals. Keeps everything from the oldest still-queued or
+  /// still-running app onward, so ids stay dense. Returns the number
+  /// retired. A sustained-load driver calls this periodically to hold
+  /// scheduler memory (and per-admission scan cost) at O(live apps)
+  /// instead of O(lifetimes).
+  int retire_terminal();
 
   /// True once a finite-length source (source_words > 0) emitted all of
   /// its words.
@@ -88,6 +106,10 @@ class ApplicationScheduler {
 
   const FabricMap& fabric() const { return map_; }
   double fabric_utilization() const { return map_.utilization(); }
+  /// IOM channels currently allocated to running apps — the leak-check
+  /// counterpart of FabricMap occupancy.
+  int busy_source_channels() const;
+  int busy_sink_channels() const;
   const bitstream::RelocatingStore& store() const { return store_; }
 
   core::SchedulerAccounting accounting() const;
@@ -145,12 +167,18 @@ class ApplicationScheduler {
 
   void set_prr_clock(int prr, double mhz);
 
+  AppRecord& record(int app_id);
+  const AppRecord& record(int app_id) const;
+
   core::VapresSystem& sys_;
   Options opt_;
   FabricMap map_;
   bitstream::RelocatingStore store_;
   flow::RateAnalyzer analyzer_;
-  std::vector<AppRecord> apps_;
+  /// Live + recent records; record for app id `i` sits at index
+  /// `i - first_id_`. Retired prefixes are popped from the front.
+  std::deque<AppRecord> apps_;
+  int first_id_ = 0;
   /// Busy flags per IOM producer/consumer channel: [iom][channel].
   std::vector<std::vector<bool>> source_busy_;
   std::vector<std::vector<bool>> sink_busy_;
@@ -158,6 +186,12 @@ class ApplicationScheduler {
   int preemptions_ = 0;
   int defrag_migrations_ = 0;
   int migration_rollbacks_ = 0;
+  // Aggregate verdicts of retired records (accounting() totals stay
+  // exact after retirement; only the per-app rows are dropped).
+  int retired_admitted_ = 0;
+  int retired_admitted_after_defrag_ = 0;
+  int retired_admitted_after_preempt_ = 0;
+  int retired_rejected_ = 0;
 };
 
 }  // namespace vapres::sched
