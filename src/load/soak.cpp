@@ -1,0 +1,307 @@
+#include "load/soak.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/fault.hpp"
+
+namespace vapres::load {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+/// The FaultInjector is process-global; never leak an enabled storm
+/// into whatever runs after the soak (other tests in the same binary).
+struct StormGuard {
+  ~StormGuard() { sim::FaultInjector::instance().disable(); }
+};
+
+}  // namespace
+
+std::uint64_t read_rss_kb() {
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t total_pages = 0;
+  std::uint64_t resident_pages = 0;
+  if (!(statm >> total_pages >> resident_pages)) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return resident_pages * static_cast<std::uint64_t>(page) / 1024u;
+}
+
+std::string SoakResult::summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "soak: %llu lifetimes (%llu submitted, %llu admitted, "
+                "%llu rejected) in %.2fs = %.0f lifetimes/s\n",
+                static_cast<unsigned long long>(lifetimes_completed),
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(rejected), wall_seconds,
+                lifetimes_per_second);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  churn stops %llu, preemptions %llu, migrations %llu, "
+                "faults %llu/%llu, %llu system cycles\n",
+                static_cast<unsigned long long>(churn_stops),
+                static_cast<unsigned long long>(preemptions),
+                static_cast<unsigned long long>(defrag_migrations),
+                static_cast<unsigned long long>(faults_injected),
+                static_cast<unsigned long long>(fault_opportunities),
+                static_cast<unsigned long long>(final_cycle));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  submit->launch p50 %llu / p99 %llu mb-cycles; rss kB "
+                "start %llu mid %llu end %llu peak %llu\n",
+                static_cast<unsigned long long>(p50_submit_to_launch),
+                static_cast<unsigned long long>(p99_submit_to_launch),
+                static_cast<unsigned long long>(rss_kb_start),
+                static_cast<unsigned long long>(rss_kb_mid),
+                static_cast<unsigned long long>(rss_kb_end),
+                static_cast<unsigned long long>(rss_kb_peak));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  digest %016llx\n  %s",
+                static_cast<unsigned long long>(digest),
+                invariants.to_string().c_str());
+  out += buf;
+  return out;
+}
+
+SoakResult run_soak(const SoakOptions& opt) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  SoakResult res;
+  res.digest = kFnvOffset;
+
+  // Per-run latency percentiles need a clean histogram; registrations
+  // survive, values zero.
+  obs::Registry::instance().reset();
+
+  core::VapresSystem sys(server_params());
+  sys.bring_up_all_sites();
+  core::Rsb& rsb = sys.rsb(0);
+  for (int i = 0; i < rsb.num_ioms(); ++i) {
+    rsb.iom(i).set_received_history_limit(opt.history_limit_words);
+  }
+  sched::ApplicationScheduler sched(sys);
+
+  ScenarioSpec spec = opt.scenario ? *opt.scenario
+                                   : ScenarioSpec::standard(opt.seed,
+                                                            opt.lifetimes);
+  spec.seed = opt.seed;
+  ScenarioGenerator gen(std::move(spec));
+
+  sim::FaultInjector& injector = sim::FaultInjector::instance();
+  StormGuard storm_guard;
+  bool storm_on = false;
+
+  MonotoneClockCheck clock_check;
+  std::vector<std::uint64_t> rss_samples;
+  // Apps whose sink gap statistics were reset at launch (gap numbers
+  // must not inherit the channel's previous tenant).
+  std::unordered_set<int> gap_armed;
+  // Oldest id whose terminal word counts were already conservation
+  // checked; records behind a long-running app get swept once.
+  int conservation_watermark = 0;
+
+  // Pre-stop checks that need the app's channel still routed: read the
+  // live sink gap, then stop.
+  auto stop_checked = [&](int id) {
+    const sched::AppRecord& a = sched.app(id);
+    core::Iom& iom = rsb.iom(a.sink.iom);
+    check_stream_gap(a.request.name, iom.max_output_gap(a.sink.channel),
+                     opt.gap_bound_cycles, res.invariants);
+    sched.stop(id);
+    const sched::AppRecord& done = sched.app(id);
+    fold(res.digest, static_cast<std::uint64_t>(id));
+    fold(res.digest, done.final_words_in);
+    fold(res.digest, done.final_words_out);
+    gap_armed.erase(id);
+  };
+
+  // Departure schedule: launch cycle + the event's resident hold. Apps
+  // sit quiescent on the fabric (holding PRRs and IOM channels) until
+  // their hold expires — that residency is what makes concurrent
+  // arrivals contend. Entries for apps the scheduler already tore down
+  // (preempted) are dropped when popped.
+  std::multimap<sim::Cycles, int> departures;
+  auto stop_departed = [&]() {
+    const sim::Cycles now = sys.system_clock().cycle_count();
+    while (!departures.empty() && departures.begin()->first <= now) {
+      const int id = departures.begin()->second;
+      departures.erase(departures.begin());
+      if (id >= sched.first_live_id() && sched.app(id).running()) {
+        stop_checked(id);
+      }
+    }
+  };
+
+  auto checkpoint = [&]() {
+    // Conservation for records that went terminal since the last sweep
+    // (reaped, churned, or preempted by the scheduler itself).
+    for (int id = std::max(conservation_watermark, sched.first_live_id());
+         id < sched.num_apps(); ++id) {
+      const sched::AppRecord& a = sched.app(id);
+      if (a.state == sched::AppState::kQueued || a.running()) break;
+      if (a.state != sched::AppState::kRejected) {
+        check_word_conservation(a, res.invariants, opt.pipeline_slack_words);
+      }
+      conservation_watermark = id + 1;
+    }
+    sched.retire_terminal();
+    check_resource_ledger(sched, res.invariants);
+    check_accounting(sched, res.invariants);
+    clock_check.observe(sys, res.invariants);
+    const std::uint64_t rss = read_rss_kb();
+    rss_samples.push_back(rss);
+    res.rss_kb_peak = std::max(res.rss_kb_peak, rss);
+  };
+
+  std::size_t last_phase = static_cast<std::size_t>(-1);
+  while (std::optional<WorkloadEvent> ev = gen.next()) {
+    const Phase& ph = gen.spec().phases[ev->phase_index];
+    if (opt.verbose && ev->phase_index != last_phase) {
+      std::printf("soak: phase '%s' (%llu submissions)\n", ph.name.c_str(),
+                  static_cast<unsigned long long>(ph.submissions));
+      last_phase = ev->phase_index;
+    }
+
+    // Fault-storm phases drive the ICAP corruption site; the reconfig
+    // layer self-heals, so streams stay checkable through the storm.
+    const bool want_storm = ph.icap_fault_probability > 0.0;
+    if (want_storm && !storm_on) {
+      injector.enable(opt.seed ^ 0x5107A1C0FFEEULL);
+      injector.set_probability(sim::FaultSite::kIcapBitstreamCorruption,
+                               ph.icap_fault_probability);
+      storm_on = true;
+    } else if (!want_storm && storm_on) {
+      injector.disable();
+      storm_on = false;
+    }
+
+    // Advance the fabric to the arrival instant (admission work may
+    // already have pushed the clock past slow-phase gaps), then free
+    // whatever tenants departed in the meantime.
+    const sim::Cycles now = sys.system_clock().cycle_count();
+    if (ev->at_cycle > now) sys.run_system_cycles(ev->at_cycle - now);
+    stop_departed();
+
+    fold(res.digest, ev->sequence);
+    fold(res.digest, ev->at_cycle);
+    fold(res.digest, static_cast<std::uint64_t>(ev->class_index));
+    fold(res.digest, static_cast<std::uint64_t>(ev->request.priority));
+    fold(res.digest,
+         static_cast<std::uint64_t>(ev->request.source_interval_cycles));
+    fold(res.digest, ev->request.source_words);
+    fold(res.digest, ev->hold_cycles);
+    fold(res.digest, ev->churn_stop ? 1u : 0u);
+
+    const int id = sched.submit(ev->request);
+    sched.run_admission();
+    fold(res.digest, static_cast<std::uint64_t>(id));
+    fold(res.digest, static_cast<std::uint64_t>(sched.app(id).verdict));
+    if (sched.app(id).running()) {
+      departures.emplace(sys.system_clock().cycle_count() + ev->hold_cycles,
+                         id);
+    }
+
+    // Arm gap statistics for every fresh launch: the sink channel is
+    // reused across tenants, the gap window must start at this one.
+    std::vector<int> running = sched.running_apps();
+    for (auto it = gap_armed.begin(); it != gap_armed.end();) {
+      const int armed_id = *it;
+      const bool still_running =
+          std::find(running.begin(), running.end(), armed_id) != running.end();
+      it = still_running ? std::next(it) : gap_armed.erase(it);
+    }
+    for (const int rid : running) {
+      if (gap_armed.insert(rid).second) {
+        const sched::AppRecord& a = sched.app(rid);
+        rsb.iom(a.sink.iom).reset_gap_stats(a.sink.channel);
+      }
+    }
+
+    // Adversarial churn: tear down the oldest runner right as fresh
+    // work lands on the fabric.
+    if (ev->churn_stop) {
+      running = sched.running_apps();
+      if (!running.empty()) {
+        stop_checked(running.front());
+        ++res.churn_stops;
+      }
+    }
+
+    if ((ev->sequence + 1) % opt.checkpoint_interval == 0) checkpoint();
+  }
+
+  // The storm ends with its phase's last submission; disarm before the
+  // drain so the multi-M-cycle advances to the remaining departures run
+  // on the activity-driven kernel, not the exhaustive one.
+  if (storm_on) {
+    injector.disable();
+    storm_on = false;
+  }
+
+  // Drain: advance to each remaining departure and retire the tenant.
+  while (!departures.empty()) {
+    const sim::Cycles next = departures.begin()->first;
+    const sim::Cycles now = sys.system_clock().cycle_count();
+    if (next > now) sys.run_system_cycles(next - now);
+    stop_departed();
+  }
+  for (const int id : sched.running_apps()) stop_checked(id);
+  checkpoint();
+
+  const core::SchedulerAccounting acc = sched.accounting();
+  res.submitted = static_cast<std::uint64_t>(acc.submitted);
+  res.admitted = static_cast<std::uint64_t>(acc.admitted);
+  res.rejected = static_cast<std::uint64_t>(acc.rejected);
+  res.lifetimes_completed =
+      res.submitted - static_cast<std::uint64_t>(sched.running_apps().size());
+  res.preemptions = static_cast<std::uint64_t>(acc.preemptions);
+  res.defrag_migrations = static_cast<std::uint64_t>(acc.defrag_migrations);
+  res.faults_injected =
+      injector.injected(sim::FaultSite::kIcapBitstreamCorruption);
+  res.fault_opportunities =
+      injector.opportunities(sim::FaultSite::kIcapBitstreamCorruption);
+  res.final_cycle = sys.system_clock().cycle_count();
+
+  const obs::Histogram& lat =
+      obs::Registry::instance().histogram("sched.submit_to_launch.cycles");
+  res.p50_submit_to_launch = lat.percentile(0.50);
+  res.p99_submit_to_launch = lat.percentile(0.99);
+
+  if (!rss_samples.empty()) {
+    res.rss_kb_start = rss_samples.front();
+    res.rss_kb_mid = rss_samples[rss_samples.size() / 2];
+    res.rss_kb_end = rss_samples.back();
+  }
+
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  res.lifetimes_per_second =
+      res.wall_seconds > 0.0
+          ? static_cast<double>(res.lifetimes_completed) / res.wall_seconds
+          : 0.0;
+  return res;
+}
+
+}  // namespace vapres::load

@@ -1,0 +1,94 @@
+// Sustained-load soak harness.
+//
+// Drives one scheduler + fabric through 10^4..10^6 complete application
+// lifetimes (submit -> admit/reject -> launch -> stream -> teardown)
+// from a seeded ScenarioGenerator, continuously checking the soak
+// invariants (resource-leak, accounting, word-conservation, stream-gap,
+// monotone kernel time) and sampling RSS so a run can assert memory
+// stability on top of correctness. Deterministic per seed: the run
+// digest folds every workload event and every terminal verdict, so two
+// runs with the same options must produce the same digest bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "load/invariants.hpp"
+#include "load/scenario.hpp"
+#include "sim/time.hpp"
+
+namespace vapres::load {
+
+struct SoakOptions {
+  std::uint64_t lifetimes = 100'000;
+  std::uint64_t seed = 1;
+  /// Largest tolerated gap between consecutive sink words on a live
+  /// channel, in system cycles (covers slow rate classes and hitless
+  /// relocations of the app's own modules).
+  sim::Cycles gap_bound_cycles = 2000;
+  /// Words a chain may legitimately hold in flight at teardown (module
+  /// state, channel FIFOs) before conservation counts them as lost.
+  std::uint64_t pipeline_slack_words = 64;
+  /// Submissions between checkpoint sweeps (retire + invariants + RSS).
+  std::uint64_t checkpoint_interval = 512;
+  /// Per-sink-channel received-word history cap (0 = unlimited; a soak
+  /// run must cap, or sink histories grow with total words streamed).
+  std::size_t history_limit_words = 4096;
+  /// Print per-phase transitions and periodic checkpoint lines.
+  bool verbose = false;
+  /// Override the workload; default is ScenarioSpec::standard(seed,
+  /// lifetimes).
+  std::optional<ScenarioSpec> scenario;
+};
+
+struct SoakResult {
+  InvariantReport invariants;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  /// Submissions that reached a terminal state (stopped, preempted, or
+  /// rejected) — the completed-lifetime count the gates are phrased in.
+  std::uint64_t lifetimes_completed = 0;
+  std::uint64_t churn_stops = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t defrag_migrations = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t fault_opportunities = 0;
+
+  sim::Cycles final_cycle = 0;      ///< system-clock cycles simulated
+  double wall_seconds = 0.0;        ///< host wall-clock for the run
+  double lifetimes_per_second = 0.0;
+
+  /// submit -> launch latency percentiles over admitted apps, in
+  /// MicroBlaze cycles (from the "sched.submit_to_launch.cycles"
+  /// histogram, reset at soak start).
+  std::uint64_t p50_submit_to_launch = 0;
+  std::uint64_t p99_submit_to_launch = 0;
+
+  /// RSS samples (kB) at the first, middle, and last checkpoint plus
+  /// the running peak; 0 when /proc/self/statm is unavailable.
+  std::uint64_t rss_kb_start = 0;
+  std::uint64_t rss_kb_mid = 0;
+  std::uint64_t rss_kb_end = 0;
+  std::uint64_t rss_kb_peak = 0;
+
+  /// FNV-1a fold of the workload stream and every terminal verdict and
+  /// word count: equal options => equal digest, byte for byte.
+  std::uint64_t digest = 0;
+
+  bool ok() const { return invariants.ok(); }
+  std::string summary() const;
+};
+
+/// Runs one soak scenario to completion. Builds its own VapresSystem on
+/// the shared server floorplan; the FaultInjector singleton is enabled
+/// only inside fault-storm phases and always left disabled on return.
+SoakResult run_soak(const SoakOptions& options);
+
+/// Current resident set size in kB (from /proc/self/statm; 0 when the
+/// file is unavailable, e.g. on non-Linux hosts).
+std::uint64_t read_rss_kb();
+
+}  // namespace vapres::load

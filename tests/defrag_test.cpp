@@ -9,11 +9,22 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "load/invariants.hpp"
 #include "sched/scheduler.hpp"
 #include "test_util.hpp"
 
 namespace vapres::sched {
 namespace {
+
+/// The soak harness's leak/accounting sweeps, applied after defrag
+/// scenarios: migrations and rollbacks must leave the resource ledger
+/// exactly consistent with the set of running chains.
+void expect_invariants(const ApplicationScheduler& sched) {
+  load::InvariantReport r;
+  load::check_resource_ledger(sched, r);
+  load::check_accounting(sched, r);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
 
 /// Two large PRRs (16x10 = 640 slices) followed by two small ones
 /// (16x4 = 256): first-fit donors land in the large slots, so a later
@@ -100,6 +111,7 @@ TEST(Defrag, RelocationAdmitsFragmentedWorkload) {
   EXPECT_EQ(core::collect_stats(sys).total_discarded(), 0u);
   // 20 + 20 + 300 occupied slices over the 1792-slice fabric.
   EXPECT_NEAR(sched.fabric_utilization(), 340.0 / 1792.0, 1e-9);
+  expect_invariants(sched);
 }
 
 TEST(Defrag, DisabledDefragRejectsTheSameWorkload) {
@@ -224,6 +236,7 @@ TEST(Defrag, PermanentPrFailureMidMigrationRollsBack) {
             AdmissionVerdict::kAdmittedAfterDefrag);
   rig.sys->run_system_cycles(3000);
   EXPECT_GT(sched.received_words(retry).size(), 50u);
+  expect_invariants(sched);
 }
 
 }  // namespace

@@ -7,12 +7,23 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "load/invariants.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/random.hpp"
 #include "test_util.hpp"
 
 namespace vapres::sched {
 namespace {
+
+/// Runs the soak harness's resource-ledger + accounting sweeps (the same
+/// checkers bench_soak applies at 10^5 lifetimes) against the current
+/// scheduler state.
+void expect_invariants(const ApplicationScheduler& sched) {
+  load::InvariantReport r;
+  load::check_resource_ledger(sched, r);
+  load::check_accounting(sched, r);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
 
 /// Four PRRs on the XC4VLX25, one per clock region, alternating large
 /// (16x10 = 640 slices) and small (16x4 = 256 slices); three IOMs with
@@ -75,6 +86,11 @@ TEST(Scheduler, AdmitsAndStreamsSingleApp) {
   EXPECT_EQ(sched.app(id).final_words_out, 64u);
   EXPECT_EQ(sched.fabric().free_count(), 4);
   EXPECT_EQ(core::collect_stats(sys).total_discarded(), 0u);
+
+  load::InvariantReport r;
+  load::check_word_conservation(sched.app(id), r);
+  load::check_resource_ledger(sched, r);
+  EXPECT_TRUE(r.ok()) << r.to_string();
 }
 
 TEST(Scheduler, ChainComputesEndToEnd) {
@@ -241,6 +257,7 @@ TEST(Scheduler, PreemptsLowestPriorityYoungestFirst) {
   EXPECT_EQ(acc.preemptions, 1);
   EXPECT_EQ(acc.admitted_after_preempt, 1);
   EXPECT_EQ(acc.admitted, 4);
+  expect_invariants(sched);
 }
 
 TEST(Scheduler, StopReleasesEverythingForReuse) {
@@ -264,6 +281,7 @@ TEST(Scheduler, StopReleasesEverythingForReuse) {
       sched.stop(id);
     }
     EXPECT_EQ(sched.fabric().free_count(), 4);
+    expect_invariants(sched);
   }
   EXPECT_EQ(core::collect_stats(sys).total_discarded(), 0u);
 }
@@ -292,6 +310,7 @@ TEST(Scheduler, AccountingReportCoversEveryApp) {
   EXPECT_NE(report.find("bad"), std::string::npos);
   EXPECT_NE(report.find("scheduler accounting"), std::string::npos);
   EXPECT_GT(sched.fabric_utilization(), 0.0);
+  expect_invariants(sched);
 }
 
 // Identical submission sequences against identical systems must replay

@@ -1,0 +1,70 @@
+// Fast soak smoke: the sustained-load harness (src/load/soak.*) at
+// ~10^3 lifetimes — the tier-1 slice of what bench_soak runs at
+// 10^4..10^6. ctest label: soak.
+#include <gtest/gtest.h>
+
+#include "load/soak.hpp"
+
+namespace vapres {
+namespace {
+
+/// Trims the standard scenario's fault-storm phase: armed injection
+/// runs the kernel exhaustively, and two storm launches are enough for
+/// a smoke run that must stay in CI-seconds.
+load::ScenarioSpec trimmed(std::uint64_t seed, std::uint64_t lifetimes,
+                           std::uint64_t storm_submissions) {
+  load::ScenarioSpec spec = load::ScenarioSpec::standard(seed, lifetimes);
+  for (auto& ph : spec.phases) {
+    if (ph.icap_fault_probability > 0.0) ph.submissions = storm_submissions;
+  }
+  return spec;
+}
+
+TEST(Soak, ThousandLifetimesHoldEveryInvariant) {
+  load::SoakOptions opt;
+  opt.seed = 0x50AC;
+  opt.lifetimes = 1'000;
+  opt.scenario = trimmed(opt.seed, opt.lifetimes, 2);
+
+  const load::SoakResult res = load::run_soak(opt);
+  EXPECT_TRUE(res.invariants.ok()) << res.invariants.to_string();
+  EXPECT_GT(res.invariants.checks_run, 1'000u);
+
+  // Every lifetime completes: submit -> verdict -> (stream ->) teardown.
+  EXPECT_EQ(res.submitted, res.lifetimes_completed);
+  EXPECT_EQ(res.submitted, res.admitted + res.rejected);
+
+  // The standard mix must exercise both admission outcomes and the
+  // contention machinery, or the soak is not actually soaking.
+  EXPECT_GT(res.admitted, 0u);
+  EXPECT_GT(res.rejected, 0u);
+  EXPECT_GT(res.preemptions, 0u);
+  EXPECT_GT(res.churn_stops, 0u);
+
+  EXPECT_GT(res.final_cycle, 0u);
+  EXPECT_GT(res.p99_submit_to_launch, 0u);
+  EXPECT_GE(res.p99_submit_to_launch, res.p50_submit_to_launch);
+}
+
+TEST(Soak, DigestIsDeterministicPerSeed) {
+  load::SoakOptions opt;
+  opt.seed = 77;
+  opt.lifetimes = 150;
+  opt.scenario = trimmed(opt.seed, opt.lifetimes, 1);
+
+  const load::SoakResult a = load::run_soak(opt);
+  const load::SoakResult b = load::run_soak(opt);
+  EXPECT_TRUE(a.invariants.ok()) << a.invariants.to_string();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.final_cycle, b.final_cycle);
+  EXPECT_EQ(a.admitted, b.admitted);
+
+  load::SoakOptions other = opt;
+  other.seed = 78;
+  other.scenario = trimmed(other.seed, other.lifetimes, 1);
+  const load::SoakResult c = load::run_soak(other);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+}  // namespace
+}  // namespace vapres
