@@ -1,49 +1,53 @@
 // Multi-application streaming server on one VAPRES fabric.
 //
-// The ApplicationScheduler plays operating system: a fixed-seed random
-// stream of two dozen application requests (different module chains,
-// stream rates, and priorities) arrives over time, apps depart again,
-// and the scheduler keeps the fabric packed — admitting directly when a
+// The ApplicationScheduler plays operating system: a fixed-seed stream
+// of two dozen application requests (different module chains, stream
+// rates, and priorities) arrives over time, apps depart again, and the
+// scheduler keeps the fabric packed — admitting directly when a
 // footprint-compatible PRR is free, defragmenting with live hitless
 // relocations when capacity exists but sits in the wrong slots, and
 // preempting the lowest-priority app when a high-priority request finds
 // every IOM channel busy. The final accounting table shows, per app,
 // what was decided and why, and what each admission cost the MicroBlaze.
+//
+// The workload comes from the same seeded generator the soak harness
+// runs at 10^4..10^6 lifetimes (src/load/scenario.*, docs/LOADGEN.md):
+// this example is the standard class mix on the standard server
+// floorplan, scaled down to a readable 24-submission story.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
-#include <vector>
 
 #include "core/stats.hpp"
 #include "core/system.hpp"
+#include "load/scenario.hpp"
 #include "obs/bus.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
-#include "sim/random.hpp"
 
 using namespace vapres;
 
 namespace {
 
-core::SystemParams server_params() {
-  core::SystemParams p;
-  p.name = "appserver";
-  core::RsbParams& r = p.rsbs[0];
-  r.num_prrs = 4;
-  r.num_ioms = 3;
-  r.ki = 1;
-  r.ko = 1;
-  r.kr = 3;
-  r.kl = 3;
-  // Two big and two small PRRs, one per clock region: a deliberately
-  // fragmentation-prone floorplan.
-  p.prr_rects = {fabric::ClbRect{0, 0, 16, 10},
-                 fabric::ClbRect{16, 0, 16, 10},
-                 fabric::ClbRect{32, 0, 16, 4},
-                 fabric::ClbRect{48, 0, 16, 4}};
-  return p;
+/// The example app mix over one demo-scale Poisson phase: interarrivals
+/// short enough that arrivals pile onto a busy fabric, plus adversarial
+/// churn so departures race fresh admissions. A fixed seed makes every
+/// run print the same story.
+load::ScenarioSpec demo_spec(std::uint64_t seed) {
+  load::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.classes = load::standard_classes();
+  load::Phase ph;
+  ph.name = "demo";
+  ph.arrivals = load::Arrivals::kPoisson;
+  ph.mean_interarrival_cycles = 2'000.0;
+  ph.submissions = 24;
+  ph.churn_stop_probability = 0.45;
+  spec.phases = {ph};
+  return spec;
 }
 
 }  // namespace
@@ -51,9 +55,16 @@ core::SystemParams server_params() {
 int main(int argc, char** argv) {
   // --trace=<file>: capture every subsystem on the event bus and export
   // a Chrome trace_event JSON (load it in Perfetto / chrome://tracing).
+  // --seed=<n>: reroll the workload (the default seed's story includes
+  // direct admissions, a defrag relocation, preemption, and rejection).
   std::string trace_path;
+  std::uint64_t seed = 5;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    }
   }
   if (!trace_path.empty()) {
     // Everything except the kernel lane: a full server run emits tens
@@ -65,37 +76,20 @@ int main(int argc, char** argv) {
         ~0u & ~obs::EventBus::bit(obs::Subsystem::kKernel));
   }
 
-  core::VapresSystem sys(server_params());
+  core::VapresSystem sys(load::server_params());
   sys.bring_up_all_sites();
   sched::ApplicationScheduler sched(sys);  // best-fit, defrag, preemption
 
-  // A fixed seed makes every run of this example print the same story.
-  sim::SplitMix64 rng(0xA5515EEDULL);
-
-  struct Flavor {
-    const char* tag;
-    std::vector<std::string> modules;
-  };
-  const std::vector<Flavor> flavors = {
-      {"tap", {"passthrough"}},
-      {"amp", {"gain_x2"}},
-      {"bias", {"offset_100"}},
-      {"crc", {"checksum"}},
-      {"avg", {"ma8"}},
-      {"smooth", {"fir4_smooth"}},
-      {"amp+bias", {"gain_x2", "offset_100"}},
-  };
-
-  std::printf("=== multi-app server: 24 random arrivals on %s ===\n\n",
+  load::ScenarioGenerator gen(demo_spec(seed));
+  std::printf("=== multi-app server: %llu seeded arrivals on %s ===\n\n",
+              static_cast<unsigned long long>(gen.spec().total_submissions()),
               sys.params().name.c_str());
-  for (int i = 0; i < 24; ++i) {
-    const Flavor& f = flavors[rng.next_below(flavors.size())];
-    sched::AppRequest req;
-    req.name = std::string(f.tag) + "-" + std::to_string(i);
-    req.modules = f.modules;
-    req.priority = 1 + static_cast<int>(rng.next_below(3));
-    req.source_interval_cycles = static_cast<int>(2 << rng.next_below(3));
-    const int id = sched.submit(req);
+
+  while (auto ev = gen.next()) {
+    const sim::Cycles now = sys.system_clock().cycle_count();
+    if (ev->at_cycle > now) sys.run_system_cycles(ev->at_cycle - now);
+
+    const int id = sched.submit(ev->request);
     sched.run_admission();
 
     const sched::AppRecord& a = sched.app(id);
@@ -108,11 +102,12 @@ int main(int argc, char** argv) {
 
     sys.run_system_cycles(400);
 
-    // Random departures: streaming apps finish and free their slots.
+    // Departures come only from the generator's churn draws, so the
+    // fabric fills up and later arrivals must preempt (or get turned
+    // away) — the part of the story worth watching.
     const auto running = sched.running_apps();
-    if (running.size() >= 3 ||
-        (!running.empty() && rng.chance(0.35))) {
-      const int gone = running[rng.next_below(running.size())];
+    if (!running.empty() && ev->churn_stop) {
+      const int gone = running.front();
       std::printf("             %-10s leaves (streamed %zu words)\n",
                   sched.app(gone).request.name.c_str(),
                   sched.received_words(gone).size());
