@@ -43,6 +43,19 @@ cmake --build "$BUILD" -j --target bench_trace_overhead
 (cd "$BUILD" && ./bench/bench_trace_overhead)
 
 echo
+echo "=== tier-1: sustained-load soak gate (bench_soak --quick) ==="
+# 2000 seeded lifetimes through the full scheduler + fabric, replayed
+# twice: fails (non-zero exit) on any invariant violation (resource
+# leaks, accounting drift, word loss, stream gaps), on throughput under
+# 20 lifetimes/s, p99 admission->launch over 32M MB cycles, an RSS
+# plateau breach, or a digest mismatch between the two runs
+# (determinism). Writes BENCH_soak.json in the build dir; the full
+# 10^5-lifetime sweep is `bench_soak --lifetimes=100000 --sweep=3`
+# (docs/LOADGEN.md).
+cmake --build "$BUILD" -j --target bench_soak
+(cd "$BUILD" && ./bench/bench_soak --quick)
+
+echo
 echo "=== tier-1: Chrome trace export smoke (multi_app_server) ==="
 # The exported trace_event JSON must parse and contain events — the
 # format chrome://tracing / Perfetto loads (docs/OBSERVABILITY.md).
@@ -67,10 +80,13 @@ print(f"trace OK: {len(events)} events, all 9 switch steps present")
 EOF
 
 echo
-echo "=== tier-1: sched-labeled tests under address,undefined ==="
+echo "=== tier-1: sched- and soak-labeled tests under address,undefined ==="
+# The soak smoke (soak_test, ~10^3 lifetimes) rides along under ASan:
+# the sustained submit/stop churn is the workload most likely to surface
+# lifetime bugs that the single-scenario sched tests miss.
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
-cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test
-ctest --test-dir "$SAN_BUILD" -L sched --output-on-failure
+cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test soak_test
+ctest --test-dir "$SAN_BUILD" -L 'sched|soak' --output-on-failure
 
 echo
 echo "tier-1: all green"
