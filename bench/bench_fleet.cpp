@@ -1,0 +1,205 @@
+// Fleet virtualization gate — one consolidated fabric vs a sharded
+// heterogeneous fleet under the identical fixed-seed workload (see
+// docs/FLEET.md).
+//
+// Three configurations run the same ScenarioSpec::standard_fleet
+// stream (tenants, migration churn, burst phases):
+//
+//   - mega:       1 consolidated 8-PRR fabric (no routing, the paper's
+//                 single-virtual-architecture baseline);
+//   - fleet-rr:   the 4-fabric heterogeneous fleet routed round-robin
+//                 (blind rotation, fallback in submission order);
+//   - fleet-cost: the same fleet routed by the weighted cost model
+//                 (probe dry runs, capability exclusion, affinity).
+//
+// Gates:
+//   - invariants: zero violations in every configuration;
+//   - routing value: cost-based admissions >= round-robin admissions on
+//     the same fleet and workload (the router must not be worse than
+//     blind rotation);
+//   - migration safety: zero lost apps across every migration churn;
+//   - determinism (--quick): the cost run replays to a bit-identical
+//     digest.
+//
+// Usage: bench_fleet [--lifetimes=N] [--seed=S] [--quick]
+// Emits BENCH_fleet.json; exits non-zero on any gate failure.
+// scripts/tier1.sh runs `bench_fleet --quick`.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/spec.hpp"
+#include "load/fleet_soak.hpp"
+
+namespace {
+
+using namespace vapres;
+
+struct ConfigOutcome {
+  std::string name;
+  load::FleetSoakResult res;
+  double util_spread = 0.0;  ///< max - min mean fabric utilization
+  bool deterministic = true;
+};
+
+ConfigOutcome run_config(const std::string& name, fleet::FleetSpec fs,
+                         const load::ScenarioSpec& scenario,
+                         std::uint64_t seed, bool verbose) {
+  ConfigOutcome out;
+  out.name = name;
+
+  load::FleetSoakOptions opt;
+  opt.seed = seed;
+  opt.verbose = verbose;
+  opt.scenario = scenario;
+  opt.fleet = std::move(fs);
+  out.res = load::run_fleet_soak(opt);
+
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const double u : out.res.fabric_mean_utilization) {
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  out.util_spread = std::max(0.0, hi - lo);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t lifetimes = 5'000;
+  std::uint64_t seed = 1;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--lifetimes=", 12) == 0) {
+      lifetimes = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown arg %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (quick && lifetimes == 5'000) lifetimes = 400;
+
+  // Every configuration replays the same offered load: the workload is
+  // generated for the 4-fabric fleet's capacity, so the consolidated
+  // baseline runs oversubscribed — that is the comparison.
+  fleet::FleetSpec cost_fleet = fleet::FleetSpec::heterogeneous();
+  const load::ScenarioSpec scenario = load::ScenarioSpec::standard_fleet(
+      seed, lifetimes, 3, static_cast<int>(cost_fleet.fabrics.size()));
+
+  fleet::FleetSpec mega;
+  mega.fabrics.push_back(fleet::FabricSpec::mega("mega0"));
+  fleet::FleetSpec rr_fleet = fleet::FleetSpec::heterogeneous();
+  rr_fleet.policy = fleet::RoutePolicy::kRoundRobin;
+
+  std::printf("== fleet: %llu lifetimes, seed %llu%s ==\n",
+              static_cast<unsigned long long>(lifetimes),
+              static_cast<unsigned long long>(seed), quick ? " (quick)" : "");
+
+  std::vector<ConfigOutcome> runs;
+  runs.push_back(
+      run_config("mega", std::move(mega), scenario, seed, !quick));
+  runs.push_back(
+      run_config("fleet-rr", std::move(rr_fleet), scenario, seed, !quick));
+  runs.push_back(run_config("fleet-cost", std::move(cost_fleet), scenario,
+                            seed, !quick));
+  const ConfigOutcome& mega_run = runs[0];
+  const ConfigOutcome& rr = runs[1];
+  ConfigOutcome& cost = runs[2];
+
+  for (const ConfigOutcome& c : runs) {
+    std::printf("\n-- %s --\n%s\n  utilization spread %.0f%%\n",
+                c.name.c_str(), c.res.summary().c_str(),
+                c.util_spread * 100.0);
+  }
+
+  std::vector<std::string> failures;
+  auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) failures.push_back(what);
+  };
+  for (const ConfigOutcome& c : runs) {
+    gate(c.res.invariants.ok(), c.name + ": " + c.res.invariants.to_string());
+    gate(c.res.migrations_lost == 0,
+         c.name + ": " + std::to_string(c.res.migrations_lost) +
+             " apps lost in migration");
+    gate(c.res.lifetimes_completed == c.res.submitted,
+         c.name + ": only " + std::to_string(c.res.lifetimes_completed) +
+             " of " + std::to_string(c.res.submitted) +
+             " lifetimes completed");
+  }
+  gate(cost.res.admitted >= rr.res.admitted,
+       "cost-based routing admitted " + std::to_string(cost.res.admitted) +
+           " < round-robin " + std::to_string(rr.res.admitted) +
+           " on the same fleet and workload");
+  gate(cost.res.admitted > 0 && rr.res.admitted > 0 &&
+           mega_run.res.admitted > 0,
+       "degenerate mix: a configuration admitted nothing");
+
+  if (quick) {
+    load::FleetSoakOptions replay_opt;
+    replay_opt.seed = seed;
+    replay_opt.scenario = scenario;
+    replay_opt.fleet = fleet::FleetSpec::heterogeneous();
+    const load::FleetSoakResult replay = load::run_fleet_soak(replay_opt);
+    cost.deterministic = replay.digest == cost.res.digest;
+    gate(cost.deterministic,
+         "nondeterministic: fleet-cost replay digest differs for seed " +
+             std::to_string(seed));
+  }
+
+  bool pass = failures.empty();
+  for (const std::string& f : failures) {
+    std::printf("GATE FAIL: %s\n", f.c_str());
+  }
+
+  std::FILE* f = std::fopen("BENCH_fleet.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"lifetimes\": %llu,\n  \"seed\": %llu,\n"
+                 "  \"quick\": %s,\n  \"configs\": [\n",
+                 static_cast<unsigned long long>(lifetimes),
+                 static_cast<unsigned long long>(seed),
+                 quick ? "true" : "false");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const ConfigOutcome& c = runs[i];
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"digest\": \"%016llx\", "
+          "\"submitted\": %llu, \"admitted\": %llu, \"rejected\": %llu, "
+          "\"quota_rejected\": %llu, \"fallbacks\": %llu, "
+          "\"migrations_moved\": %llu, \"migrations_rolled_back\": %llu, "
+          "\"migrations_lost\": %llu, \"quota_preemptions\": %llu, "
+          "\"util_spread\": %.4f, \"p50_submit_to_launch\": %llu, "
+          "\"p99_submit_to_launch\": %llu, \"invariant_violations\": %zu, "
+          "\"deterministic\": %s}%s\n",
+          c.name.c_str(), static_cast<unsigned long long>(c.res.digest),
+          static_cast<unsigned long long>(c.res.submitted),
+          static_cast<unsigned long long>(c.res.admitted),
+          static_cast<unsigned long long>(c.res.rejected),
+          static_cast<unsigned long long>(c.res.quota_rejected),
+          static_cast<unsigned long long>(c.res.route_fallbacks),
+          static_cast<unsigned long long>(c.res.migrations_moved),
+          static_cast<unsigned long long>(c.res.migrations_rolled_back),
+          static_cast<unsigned long long>(c.res.migrations_lost),
+          static_cast<unsigned long long>(c.res.quota_preemptions),
+          c.util_spread,
+          static_cast<unsigned long long>(c.res.p50_submit_to_launch),
+          static_cast<unsigned long long>(c.res.p99_submit_to_launch),
+          c.res.invariants.violations.size(),
+          c.deterministic ? "true" : "false",
+          i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"pass\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fleet.json\n");
+  }
+  std::printf("fleet gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -56,6 +56,17 @@ cmake --build "$BUILD" -j --target bench_soak
 (cd "$BUILD" && ./bench/bench_soak --quick)
 
 echo
+echo "=== tier-1: fleet routing gate (bench_fleet --quick) ==="
+# One consolidated fabric vs the 4-fabric heterogeneous fleet on the
+# same seeded multi-tenant workload: fails (non-zero exit) on any
+# invariant violation, on an app lost in cross-fabric migration, when
+# cost-based routing admits fewer apps than blind round-robin rotation,
+# or on a replay digest mismatch (determinism). Writes BENCH_fleet.json
+# in the build dir; the full comparison is `bench_fleet` (docs/FLEET.md).
+cmake --build "$BUILD" -j --target bench_fleet
+(cd "$BUILD" && ./bench/bench_fleet --quick)
+
+echo
 echo "=== tier-1: Chrome trace export smoke (multi_app_server) ==="
 # The exported trace_event JSON must parse and contain events — the
 # format chrome://tracing / Perfetto loads (docs/OBSERVABILITY.md).
@@ -80,13 +91,16 @@ print(f"trace OK: {len(events)} events, all 9 switch steps present")
 EOF
 
 echo
-echo "=== tier-1: sched- and soak-labeled tests under address,undefined ==="
-# The soak smoke (soak_test, ~10^3 lifetimes) rides along under ASan:
-# the sustained submit/stop churn is the workload most likely to surface
-# lifetime bugs that the single-scenario sched tests miss.
+echo "=== tier-1: sched/soak/fleet-labeled tests under address,undefined ==="
+# The soak smoke (soak_test, ~10^3 lifetimes) and the fleet router
+# tests (fleet_test: cross-fabric migration rollback, master adoption,
+# quota preemption) ride along under ASan: sustained submit/stop churn
+# and teardown-on-src + replay-on-dst moves are the workloads most
+# likely to surface lifetime bugs the single-scenario sched tests miss.
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
-cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test soak_test
-ctest --test-dir "$SAN_BUILD" -L 'sched|soak' --output-on-failure
+cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test soak_test \
+  fleet_test
+ctest --test-dir "$SAN_BUILD" -L 'sched|soak|fleet' --output-on-failure
 
 echo
 echo "tier-1: all green"

@@ -65,6 +65,12 @@ PartialBitstream RelocatingStore::materialize(
   return relocate(it->second, prr_name, rect);
 }
 
+void RelocatingStore::absorb(const RelocatingStore& other) {
+  for (const auto& [key, bs] : other.masters_) {
+    masters_.emplace(key, bs);  // existing masters win, same as add_master
+  }
+}
+
 std::int64_t RelocatingStore::stored_bytes() const {
   std::int64_t total = 0;
   for (const auto& [key, bs] : masters_) total += bs.size_bytes;

@@ -65,6 +65,12 @@ class RelocatingStore {
                                const std::string& prr_name,
                                const fabric::ClbRect& rect) const;
 
+  /// Copies every master from `other` that this store lacks (existing
+  /// masters win). Lets a fleet controller seed one scheduler's store
+  /// from another's before a cross-fabric migration, so footprint
+  /// classes shared between fabrics reuse the already-generated master.
+  void absorb(const RelocatingStore& other);
+
   /// Total bytes held (the storage the CF card actually needs).
   std::int64_t stored_bytes() const;
   std::size_t master_count() const { return masters_.size(); }

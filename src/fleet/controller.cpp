@@ -1,0 +1,489 @@
+#include "fleet/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/bus.hpp"
+#include "obs/metrics.hpp"
+#include "sim/check.hpp"
+
+namespace vapres::fleet {
+
+namespace {
+
+obs::Counter& ctr(const char* name) {
+  return obs::Registry::instance().counter(name);
+}
+
+}  // namespace
+
+const char* migrate_outcome_name(MigrateOutcome o) {
+  switch (o) {
+    case MigrateOutcome::kMoved: return "moved";
+    case MigrateOutcome::kRolledBack: return "rolled_back";
+    case MigrateOutcome::kLost: return "lost";
+    case MigrateOutcome::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+FleetController::FleetController(const FleetSpec& spec,
+                                 std::unique_ptr<CostModel> model)
+    : spec_(spec),
+      model_(model ? std::move(model)
+                   : std::make_unique<WeightedCostModel>(spec.weights)),
+      governor_(spec.quota, spec.total_prrs()) {
+  VAPRES_REQUIRE(!spec_.fabrics.empty(), "fleet needs at least one fabric");
+  for (const FabricSpec& fs : spec_.fabrics) {
+    auto f = std::make_unique<Fabric>();
+    f->name = fs.name;
+    f->sys = std::make_unique<core::VapresSystem>(fs.params);
+    f->sys->bring_up_all_sites();
+    f->sched = std::make_unique<sched::ApplicationScheduler>(*f->sys,
+                                                             spec_.scheduler);
+    fabrics_.push_back(std::move(f));
+  }
+}
+
+FleetController::Fabric& FleetController::fabric(int index) {
+  VAPRES_REQUIRE(index >= 0 && index < num_fabrics(), "fabric out of range");
+  return *fabrics_[static_cast<std::size_t>(index)];
+}
+
+const FleetController::Fabric& FleetController::fabric(int index) const {
+  VAPRES_REQUIRE(index >= 0 && index < num_fabrics(), "fabric out of range");
+  return *fabrics_[static_cast<std::size_t>(index)];
+}
+
+const std::string& FleetController::fabric_name(int index) const {
+  return fabric(index).name;
+}
+
+core::VapresSystem& FleetController::system(int index) {
+  return *fabric(index).sys;
+}
+
+sched::ApplicationScheduler& FleetController::scheduler(int index) {
+  return *fabric(index).sched;
+}
+
+const sched::ApplicationScheduler& FleetController::scheduler(
+    int index) const {
+  return *fabric(index).sched;
+}
+
+sim::Picoseconds FleetController::now_ps() const {
+  sim::Picoseconds t = 0;
+  for (const auto& f : fabrics_) t = std::max(t, f->sys->sim().now());
+  return t;
+}
+
+sim::Cycles FleetController::now() const {
+  sim::Cycles c = 0;
+  for (const auto& f : fabrics_) {
+    c = std::max(c, f->sys->system_clock().cycle_count());
+  }
+  return c;
+}
+
+void FleetController::advance_to(sim::Cycles cycle) {
+  for (const auto& f : fabrics_) {
+    const sim::Cycles at = f->sys->system_clock().cycle_count();
+    if (at < cycle) f->sys->run_system_cycles(cycle - at);
+  }
+}
+
+int FleetController::total_prrs() const {
+  int n = 0;
+  for (const auto& f : fabrics_) n += f->sched->fabric().num_slots();
+  return n;
+}
+
+int FleetController::free_prrs() const {
+  int n = 0;
+  for (const auto& f : fabrics_) n += f->sched->fabric().free_count();
+  return n;
+}
+
+FabricSnapshot FleetController::snapshot(
+    int index, const std::string& tenant,
+    const sched::AppRequest& request) const {
+  const Fabric& f = fabric(index);
+  FabricSnapshot snap;
+  snap.fabric = index;
+  snap.probe = f.sched->probe_admit(request);
+  snap.utilization = f.sched->fabric_utilization();
+  const int total_pairs = std::min(f.sched->total_source_channels(),
+                                   f.sched->total_sink_channels());
+  if (total_pairs > 0) {
+    snap.channel_utilization =
+        1.0 - static_cast<double>(f.sched->free_channel_pairs()) /
+                  static_cast<double>(total_pairs);
+  }
+  if (snap.probe.admissible &&
+      snap.probe.prrs.size() == request.modules.size()) {
+    int site_slices = 0;
+    int need_slices = 0;
+    const auto& rects = f.sys->params().prr_rects;
+    for (std::size_t i = 0; i < snap.probe.prrs.size(); ++i) {
+      site_slices += rects[static_cast<std::size_t>(snap.probe.prrs[i])]
+                         .slices();
+      need_slices +=
+          f.sys->library().info(request.modules[i]).resources.slices;
+    }
+    if (site_slices > 0) {
+      snap.fit_waste =
+          static_cast<double>(site_slices - need_slices) / site_slices;
+    }
+  }
+  snap.free_prrs = f.sched->fabric().free_count();
+  snap.total_prrs = f.sched->fabric().num_slots();
+  snap.queued = f.sched->queued_count();
+  sim::Cycles slowest = f.sys->system_clock().cycle_count();
+  for (const auto& other : fabrics_) {
+    slowest = std::min(slowest, other->sys->system_clock().cycle_count());
+  }
+  snap.clock_lead = f.sys->system_clock().cycle_count() - slowest;
+  for (const auto& [id, loc] : live_) {
+    if (loc.fabric != index) continue;
+    if (tenants_.at(id) != tenant) continue;
+    if (f.sched->app(loc.app).running()) ++snap.tenant_running;
+  }
+  return snap;
+}
+
+std::vector<int> FleetController::plan_order(
+    const std::string& tenant, const sched::AppRequest& request) {
+  const int n = num_fabrics();
+  std::vector<int> order;
+  if (spec_.policy == RoutePolicy::kRoundRobin) {
+    // Blind rotation: no probes, no exclusion — the baseline the cost
+    // model is benchmarked against.
+    order.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order.push_back((rr_next_ + i) % n);
+    rr_next_ = (rr_next_ + 1) % n;
+    return order;
+  }
+  std::vector<std::pair<double, int>> scored;
+  for (int i = 0; i < n; ++i) {
+    const double s = model_->score(snapshot(i, tenant, request));
+    if (s != CostModel::kExcluded) scored.emplace_back(s, i);
+  }
+  // Ties break on fabric index: identical fleets route identically.
+  std::stable_sort(scored.begin(), scored.end());
+  order.reserve(scored.size());
+  for (const auto& [s, i] : scored) order.push_back(i);
+  return order;
+}
+
+RouteDecision FleetController::route_once(const std::string& tenant,
+                                          const sched::AppRequest& request,
+                                          std::uint32_t track) {
+  RouteDecision d;
+  d.order = plan_order(tenant, request);
+  if (d.order.empty()) {
+    // Every fabric was excluded by the cost model; report the first
+    // fabric's probe verdict so the caller sees the capability mismatch.
+    const FabricSnapshot snap = snapshot(0, tenant, request);
+    d.verdict = snap.probe.verdict;
+    d.reason = snap.probe.reason.empty() ? "no eligible fabric"
+                                         : snap.probe.reason;
+    return d;
+  }
+  obs::EventBus& bus = obs::EventBus::instance();
+  for (std::size_t k = 0; k < d.order.size(); ++k) {
+    const int fi = d.order[k];
+    Fabric& f = fabric(fi);
+    ++d.attempts;
+    const int local = f.sched->submit(request);
+    f.sched->run_admission();
+    const sched::AppRecord& rec = f.sched->app(local);
+    d.verdict = rec.verdict;
+    d.reason = rec.reject_reason;
+    if (rec.running()) {
+      d.admitted = true;
+      d.fabric = fi;
+      d.fleet_id = next_fleet_id_++;
+      live_[d.fleet_id] = FleetAppId{fi, local};
+      tenants_[d.fleet_id] = tenant;
+      return d;
+    }
+    if (k + 1 < d.order.size()) {
+      ++counters_.fallbacks;
+      ctr("fleet.route.fallbacks").add();
+      bus.instant(obs::Subsystem::kFleet, obs::ev::kFallback, track, now_ps(),
+                  static_cast<std::uint64_t>(fi),
+                  static_cast<std::uint64_t>(rec.verdict));
+    }
+  }
+  return d;
+}
+
+RouteDecision FleetController::submit(const std::string& tenant,
+                                      const sched::AppRequest& request) {
+  ++counters_.submissions;
+  ctr("fleet.route.submissions").add();
+  if (std::find(known_tenants_.begin(), known_tenants_.end(), tenant) ==
+      known_tenants_.end()) {
+    known_tenants_.push_back(tenant);
+  }
+
+  obs::EventBus& bus = obs::EventBus::instance();
+  const std::uint32_t track = bus.track("fleet");
+  obs::Span span =
+      obs::Span::begin(obs::Subsystem::kFleet, obs::ev::kRoute, track,
+                       now_ps(), static_cast<std::uint64_t>(next_fleet_id_));
+
+  const int want = static_cast<int>(request.modules.size());
+  governor_.observe_demand(tenant, want);
+
+  RouteDecision d;
+  if (!governor_.admit(tenant, want, free_prrs())) {
+    d.quota_limited = true;
+    d.reason = "tenant over quota and fleet slack exhausted";
+    ++counters_.quota_rejected;
+    ctr("fleet.route.quota_rejected").add();
+    bus.instant(obs::Subsystem::kFleet, obs::ev::kQuotaReject, track, now_ps(),
+                static_cast<std::uint64_t>(want),
+                static_cast<std::uint64_t>(governor_.budget(tenant)));
+  } else {
+    d = route_once(tenant, request, track);
+    // Starvation relief: the tenant is within budget but every fabric is
+    // capacity-blocked — evict the youngest app of the worst over-quota
+    // tenant and try the route once more.
+    if (!d.admitted && capacity_blocked(d.verdict) &&
+        !governor_.over_quota(tenant) && preempt_over_quota(tenant)) {
+      RouteDecision retry = route_once(tenant, request, track);
+      retry.attempts += d.attempts;
+      retry.preempted_for = true;
+      d = retry;
+    }
+    if (d.admitted) {
+      ++counters_.admitted;
+      ctr("fleet.route.admitted").add();
+    } else {
+      ++counters_.rejected;
+      ctr("fleet.route.rejected").add();
+    }
+  }
+
+  sync_usage();
+  governor_.tick();
+  refresh_gauges();
+  span.end(now_ps());
+  return d;
+}
+
+bool FleetController::preempt_over_quota(const std::string& for_tenant) {
+  // Worst offender: the over-quota tenant with the largest overshoot
+  // (ties resolve to name order, which over_quota_tenants() provides).
+  std::string victim_tenant;
+  int worst_overshoot = 0;
+  for (const std::string& t : governor_.over_quota_tenants()) {
+    if (t == for_tenant) continue;
+    const int overshoot = governor_.usage(t) - governor_.budget(t);
+    if (overshoot > worst_overshoot) {
+      worst_overshoot = overshoot;
+      victim_tenant = t;
+    }
+  }
+  if (victim_tenant.empty()) return false;
+  // Youngest running app of that tenant (largest fleet id).
+  int victim = -1;
+  for (const auto& [id, loc] : live_) {
+    if (tenants_.at(id) != victim_tenant) continue;
+    if (scheduler(loc.fabric).app(loc.app).running()) victim = id;
+  }
+  if (victim < 0) return false;
+  const FleetAppId loc = live_.at(victim);
+  scheduler(loc.fabric).stop(loc.app);
+  ++counters_.quota_preemptions;
+  ctr("fleet.quota.preemptions").add();
+  obs::EventBus::instance().instant(
+      obs::Subsystem::kFleet, obs::ev::kQuotaPreempt,
+      obs::EventBus::instance().track("fleet"), now_ps(),
+      static_cast<std::uint64_t>(victim));
+  sync_usage();
+  return true;
+}
+
+MigrateResult FleetController::migrate(int fleet_id, int dst_fabric,
+                                       bool probe_first) {
+  MigrateResult r;
+  r.fleet_id = fleet_id;
+  r.to_fabric = dst_fabric;
+  VAPRES_REQUIRE(dst_fabric >= 0 && dst_fabric < num_fabrics(),
+                 "migration destination out of range");
+
+  auto skip = [&](const std::string& why) {
+    r.outcome = MigrateOutcome::kSkipped;
+    r.reason = why;
+    ++counters_.migrations_skipped;
+    ctr("fleet.migrate.skipped").add();
+    return r;
+  };
+
+  const auto it = live_.find(fleet_id);
+  if (it == live_.end()) return skip("unknown fleet id");
+  const FleetAppId loc = it->second;
+  r.from_fabric = loc.fabric;
+  if (loc.fabric == dst_fabric) return skip("already on destination");
+  Fabric& src = fabric(loc.fabric);
+  Fabric& dst = fabric(dst_fabric);
+  if (!src.sched->app(loc.app).running()) return skip("app not running");
+  const sched::AppRequest request = src.sched->app(loc.app).request;
+
+  if (probe_first) {
+    const auto probe = dst.sched->probe_admit(request);
+    if (!probe.admissible) {
+      return skip("destination probe: " + probe.reason);
+    }
+  }
+
+  obs::EventBus& bus = obs::EventBus::instance();
+  const std::uint32_t track = bus.track("fleet");
+  obs::Span span =
+      obs::Span::begin(obs::Subsystem::kFleet, obs::ev::kFleetMigrate, track,
+                       now_ps(), static_cast<std::uint64_t>(fleet_id));
+
+  // Seed the destination store first: the replayed admission then
+  // materializes the moved modules from relocated masters instead of
+  // paying a cold regenerate on arrival.
+  dst.sched->adopt_masters(src.sched->store());
+  src.sched->stop(loc.app);
+
+  const int moved = dst.sched->submit(request);
+  dst.sched->run_admission();
+  if (dst.sched->app(moved).running()) {
+    it->second = FleetAppId{dst_fabric, moved};
+    r.outcome = MigrateOutcome::kMoved;
+    ++counters_.migrations_moved;
+    ctr("fleet.migrate.moved").add();
+  } else {
+    r.reason = dst.sched->app(moved).reject_reason;
+    // Rollback: the source just freed this app's resources, so replaying
+    // the admission there restores the pre-migration state.
+    const int back = src.sched->submit(request);
+    src.sched->run_admission();
+    if (src.sched->app(back).running()) {
+      it->second = FleetAppId{loc.fabric, back};
+      r.outcome = MigrateOutcome::kRolledBack;
+      ++counters_.migrations_rolled_back;
+      ctr("fleet.migrate.rolled_back").add();
+    } else {
+      // Source re-admission lost a race with nothing — it should be rare
+      // (another tenant cannot have slipped in between stop and replay),
+      // but a preempting admission on the destination path could have
+      // taken the channel. The app is gone; account it honestly.
+      live_.erase(it);
+      tenants_.erase(fleet_id);
+      r.outcome = MigrateOutcome::kLost;
+      ++counters_.migrations_lost;
+      ctr("fleet.migrate.lost").add();
+    }
+  }
+
+  sync_usage();
+  refresh_gauges();
+  span.end(now_ps());
+  return r;
+}
+
+void FleetController::stop(int fleet_id) {
+  const auto it = live_.find(fleet_id);
+  VAPRES_REQUIRE(it != live_.end(), "stop: unknown fleet id");
+  const FleetAppId loc = it->second;
+  if (scheduler(loc.fabric).app(loc.app).running()) {
+    scheduler(loc.fabric).stop(loc.app);
+  }
+  sync_usage();
+  refresh_gauges();
+}
+
+bool FleetController::running(int fleet_id) const {
+  const auto it = live_.find(fleet_id);
+  if (it == live_.end()) return false;
+  return scheduler(it->second.fabric).app(it->second.app).running();
+}
+
+std::optional<FleetAppId> FleetController::locate(int fleet_id) const {
+  const auto it = live_.find(fleet_id);
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+const sched::AppRecord& FleetController::record_of(int fleet_id) const {
+  const auto it = live_.find(fleet_id);
+  VAPRES_REQUIRE(it != live_.end(), "record_of: unknown fleet id");
+  return scheduler(it->second.fabric).app(it->second.app);
+}
+
+const std::string& FleetController::tenant_of(int fleet_id) const {
+  const auto it = tenants_.find(fleet_id);
+  VAPRES_REQUIRE(it != tenants_.end(), "tenant_of: unknown fleet id");
+  return it->second;
+}
+
+std::vector<int> FleetController::running_ids() const {
+  std::vector<int> out;
+  for (const auto& [id, loc] : live_) {
+    if (scheduler(loc.fabric).app(loc.app).running()) out.push_back(id);
+  }
+  return out;
+}
+
+int FleetController::running_on(int index) const {
+  return static_cast<int>(scheduler(index).running_apps().size());
+}
+
+int FleetController::retire_terminal() {
+  int pruned = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    const sched::AppRecord& rec = scheduler(it->second.fabric).app(
+        it->second.app);
+    const bool terminal =
+        !rec.running() && rec.state != sched::AppState::kQueued;
+    if (terminal) {
+      tenants_.erase(it->first);
+      it = live_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& f : fabrics_) f->sched->retire_terminal();
+  return pruned;
+}
+
+void FleetController::sync_usage() {
+  std::map<std::string, int> use;
+  for (const auto& [id, loc] : live_) {
+    const sched::AppRecord& rec = scheduler(loc.fabric).app(loc.app);
+    if (rec.running()) {
+      use[tenants_.at(id)] += static_cast<int>(rec.prrs.size());
+    }
+  }
+  for (const std::string& t : known_tenants_) {
+    const auto it = use.find(t);
+    governor_.set_usage(t, it != use.end() ? it->second : 0);
+  }
+}
+
+void FleetController::refresh_gauges() {
+  obs::Registry& reg = obs::Registry::instance();
+  for (int i = 0; i < num_fabrics(); ++i) {
+    const Fabric& f = fabric(i);
+    const std::string base = "fleet." + f.name;
+    reg.gauge(base + ".running").set(running_on(i));
+    reg.gauge(base + ".utilization_pct")
+        .set(static_cast<std::int64_t>(
+            std::lround(f.sched->fabric_utilization() * 100.0)));
+    reg.gauge(base + ".occupied_slices")
+        .set(static_cast<std::int64_t>(
+            std::lround(f.sched->fabric_utilization() *
+                        static_cast<double>(f.sched->fabric().total_slices()))));
+  }
+  reg.gauge("fleet.free_prrs").set(free_prrs());
+}
+
+}  // namespace vapres::fleet

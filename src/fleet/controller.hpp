@@ -1,0 +1,196 @@
+// Multi-fabric fleet controller.
+//
+// The FleetController owns N independently-simulated fabrics — each a
+// full core::VapresSystem with its own sched::ApplicationScheduler —
+// and fronts them with a router: every submission is scored against
+// every fabric (a probe_admit dry run plus load signals through the
+// pluggable CostModel) and tried in score order, falling back to the
+// next candidate on rejection. Apps get fleet-wide ids that stay stable
+// across cross-fabric migration; a migration tears the app down on the
+// source fabric and replays its admission on the destination after
+// seeding the destination's RelocatingStore with the source's master
+// bitstreams, so the moved app restreams from a relocated master
+// instead of a cold regenerate. Per-tenant PRR budgets are enforced
+// elastically by the QuotaGovernor; a starved under-budget tenant may
+// preempt the youngest app of an over-budget tenant fleet-wide.
+//
+// Everything is deterministic given the submission sequence: cost ties
+// break on fabric index, round-robin rotates a plain counter, victim
+// selection walks ordered maps.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "fleet/cost.hpp"
+#include "fleet/quota.hpp"
+#include "fleet/spec.hpp"
+#include "sched/scheduler.hpp"
+
+namespace vapres::fleet {
+
+/// Fleet-wide app handle: which fabric, which local scheduler app id.
+struct FleetAppId {
+  int fabric = -1;
+  int app = -1;
+};
+
+/// What the router did with one submission.
+struct RouteDecision {
+  int fleet_id = -1;       ///< stable fleet-wide id (-1 when not admitted)
+  int fabric = -1;         ///< hosting fabric when admitted
+  bool admitted = false;
+  bool quota_limited = false;  ///< refused by the governor, never routed
+  int attempts = 0;        ///< fabrics actually tried (submissions made)
+  bool preempted_for = false;  ///< an over-quota app was evicted for this
+  /// Last scheduler verdict (the blocking one when every fabric
+  /// rejected; kPending when quota-limited or no fabric was eligible).
+  sched::AdmissionVerdict verdict = sched::AdmissionVerdict::kPending;
+  std::string reason;
+  std::vector<int> order;  ///< fabric indices in the order they were tried
+};
+
+enum class MigrateOutcome {
+  kMoved,       ///< running on the destination under the same fleet id
+  kRolledBack,  ///< destination refused; re-admitted on the source
+  kLost,        ///< destination and rollback both failed; app is gone
+  kSkipped,     ///< not attempted (probe said no / app not running / same fabric)
+};
+
+const char* migrate_outcome_name(MigrateOutcome o);
+
+struct MigrateResult {
+  MigrateOutcome outcome = MigrateOutcome::kSkipped;
+  int fleet_id = -1;
+  int from_fabric = -1;
+  int to_fabric = -1;
+  std::string reason;
+};
+
+class FleetController {
+ public:
+  /// Plain (non-obs) decision counters, per controller instance — the
+  /// obs::Registry mirrors of these are process-global and shared across
+  /// controllers.
+  struct Counters {
+    std::uint64_t submissions = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;         ///< routed but every fabric refused
+    std::uint64_t quota_rejected = 0;   ///< refused by the governor
+    std::uint64_t fallbacks = 0;        ///< fabric rejected, next one tried
+    std::uint64_t quota_preemptions = 0;
+    std::uint64_t migrations_moved = 0;
+    std::uint64_t migrations_rolled_back = 0;
+    std::uint64_t migrations_lost = 0;
+    std::uint64_t migrations_skipped = 0;
+  };
+
+  /// Builds every fabric (bring-up included). `model` defaults to a
+  /// WeightedCostModel over `spec.weights`.
+  explicit FleetController(const FleetSpec& spec,
+                           std::unique_ptr<CostModel> model = nullptr);
+
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  int num_fabrics() const { return static_cast<int>(fabrics_.size()); }
+  const std::string& fabric_name(int fabric) const;
+  core::VapresSystem& system(int fabric);
+  sched::ApplicationScheduler& scheduler(int fabric);
+  const sched::ApplicationScheduler& scheduler(int fabric) const;
+
+  /// Routes one submission for `tenant`: quota gate, score + order the
+  /// fabrics, submit + run_admission down the order until one admits.
+  RouteDecision submit(const std::string& tenant,
+                       const sched::AppRequest& request);
+
+  /// Moves a running app to `dst_fabric` (teardown on the source, replay
+  /// admission on the destination, masters adopted first). With
+  /// `probe_first` the move is skipped when the destination's dry run
+  /// says it would not admit; without it a failed destination admission
+  /// exercises the rollback path (re-admission on the source).
+  MigrateResult migrate(int fleet_id, int dst_fabric,
+                        bool probe_first = true);
+
+  /// Stops a running app. The fleet id stays resolvable (terminal
+  /// record) until retire_terminal() prunes it.
+  void stop(int fleet_id);
+
+  bool running(int fleet_id) const;
+  /// Location of a still-resolvable fleet id (live or terminal).
+  std::optional<FleetAppId> locate(int fleet_id) const;
+  /// Scheduler record behind a still-resolvable fleet id.
+  const sched::AppRecord& record_of(int fleet_id) const;
+  const std::string& tenant_of(int fleet_id) const;
+  /// Fleet ids of currently running apps, ascending.
+  std::vector<int> running_ids() const;
+  /// Running apps hosted on `fabric`.
+  int running_on(int fabric) const;
+
+  /// Drops fleet ids whose records went terminal, then retires terminal
+  /// records on every fabric. Returns fleet ids pruned.
+  int retire_terminal();
+
+  /// Runs every fabric that is behind forward to `cycle` (fabrics ahead
+  /// are left untouched — fleet time is the max, never rewound).
+  void advance_to(sim::Cycles cycle);
+  /// Fleet time: the furthest fabric's system-clock cycle count.
+  sim::Cycles now() const;
+
+  int total_prrs() const;
+  int free_prrs() const;
+
+  QuotaGovernor& governor() { return governor_; }
+  const QuotaGovernor& governor() const { return governor_; }
+  const Counters& counters() const { return counters_; }
+  const FleetSpec& spec() const { return spec_; }
+
+ private:
+  struct Fabric {
+    std::string name;
+    std::unique_ptr<core::VapresSystem> sys;
+    std::unique_ptr<sched::ApplicationScheduler> sched;
+  };
+
+  Fabric& fabric(int index);
+  const Fabric& fabric(int index) const;
+
+  sim::Picoseconds now_ps() const;
+  FabricSnapshot snapshot(int index, const std::string& tenant,
+                          const sched::AppRequest& request) const;
+  /// Fabric indices in try order for this submission (cost order or
+  /// round-robin rotation).
+  std::vector<int> plan_order(const std::string& tenant,
+                              const sched::AppRequest& request);
+  RouteDecision route_once(const std::string& tenant,
+                           const sched::AppRequest& request,
+                           std::uint32_t track);
+  /// Evicts the youngest running app of the over-quota tenant with the
+  /// highest usage overshoot (ties: tenant name order). Returns whether
+  /// a victim was found.
+  bool preempt_over_quota(const std::string& for_tenant);
+  /// Rebuilds per-tenant fleet-wide PRR usage and pushes it into the
+  /// governor (tenants with no running apps are zeroed).
+  void sync_usage();
+  void refresh_gauges();
+
+  FleetSpec spec_;
+  std::vector<std::unique_ptr<Fabric>> fabrics_;
+  std::unique_ptr<CostModel> model_;
+  QuotaGovernor governor_;
+  /// fleet id -> location; kept through the terminal state, pruned by
+  /// retire_terminal().
+  std::map<int, FleetAppId> live_;
+  std::map<int, std::string> tenants_;
+  /// Every tenant name ever routed (usage zeroing on departure).
+  std::vector<std::string> known_tenants_;
+  int next_fleet_id_ = 0;
+  int rr_next_ = 0;
+  Counters counters_;
+};
+
+}  // namespace vapres::fleet

@@ -1,0 +1,114 @@
+#include "fleet/spec.hpp"
+
+#include "sim/check.hpp"
+
+namespace vapres::fleet {
+
+namespace {
+
+/// Stacks `widths.size()` PRRs one per 16-row clock region, starting at
+/// `col` (each XC4VLX25 half holds six regions vertically).
+std::vector<fabric::ClbRect> stack_prrs(const std::vector<int>& widths,
+                                        int col, int first_row = 0) {
+  std::vector<fabric::ClbRect> rects;
+  int row = first_row;
+  for (const int w : widths) {
+    rects.push_back(fabric::ClbRect{row, col, 16, w});
+    row += fabric::DeviceGeometry::kClockRegionRows;
+  }
+  return rects;
+}
+
+core::SystemParams base_params(const std::string& name, int num_prrs,
+                               int num_ioms, int lanes) {
+  core::SystemParams p;
+  p.name = name;
+  core::RsbParams& r = p.rsbs[0];
+  r.num_prrs = num_prrs;
+  r.num_ioms = num_ioms;
+  r.ki = 1;
+  r.ko = 1;
+  r.kr = lanes;
+  r.kl = lanes;
+  return p;
+}
+
+}  // namespace
+
+FabricSpec FabricSpec::standard(const std::string& name) {
+  FabricSpec f;
+  f.name = name;
+  f.params = base_params(name, 4, 3, 3);
+  // Two big + two small sites, one per clock region — the same
+  // deliberately fragmentation-prone shape as load::server_params().
+  f.params.prr_rects = stack_prrs({6, 6, 2, 2}, 0);
+  return f;
+}
+
+FabricSpec FabricSpec::big(const std::string& name) {
+  FabricSpec f;
+  f.name = name;
+  // Lanes stay at 3: the PRSocket packs (kr+kl+ki) MUX_sel fields into
+  // one 32-bit DCR, which caps a socket at 3 lanes per direction.
+  f.params = base_params(name, 6, 4, 3);
+  f.params.prr_rects = stack_prrs({6, 6, 6, 6, 2, 2}, 0);
+  return f;
+}
+
+FabricSpec FabricSpec::compact(const std::string& name) {
+  FabricSpec f;
+  f.name = name;
+  f.params = base_params(name, 3, 2, 2);
+  f.params.prr_rects = stack_prrs({2, 2, 2}, 0);
+  // Halved ladder: an interval-2 stream (50 Mwords/s) finds no feasible
+  // PRR clock here, so this tier only hosts relaxed-rate apps.
+  f.params.prr_clock_a_mhz = 25.0;
+  f.params.prr_clock_b_mhz = 12.5;
+  return f;
+}
+
+FabricSpec FabricSpec::mega(const std::string& name) {
+  FabricSpec f;
+  f.name = name;
+  f.params = base_params(name, 8, 5, 3);
+  // Left half: 4 big + 2 small; right half (col 14): 1 big + 1 small.
+  std::vector<fabric::ClbRect> rects = stack_prrs({6, 6, 6, 6, 2, 2}, 0);
+  const std::vector<fabric::ClbRect> right = stack_prrs({6, 2}, 14);
+  rects.insert(rects.end(), right.begin(), right.end());
+  f.params.prr_rects = std::move(rects);
+  return f;
+}
+
+const char* policy_name(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kCostBased: return "cost";
+    case RoutePolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+int FleetSpec::total_prrs() const {
+  int n = 0;
+  for (const FabricSpec& f : fabrics) n += f.params.total_prrs();
+  return n;
+}
+
+FleetSpec FleetSpec::uniform(int n) {
+  VAPRES_REQUIRE(n > 0, "fleet needs at least one fabric");
+  FleetSpec spec;
+  for (int i = 0; i < n; ++i) {
+    spec.fabrics.push_back(FabricSpec::standard("fab" + std::to_string(i)));
+  }
+  return spec;
+}
+
+FleetSpec FleetSpec::heterogeneous() {
+  FleetSpec spec;
+  spec.fabrics.push_back(FabricSpec::big("big0"));
+  spec.fabrics.push_back(FabricSpec::standard("std0"));
+  spec.fabrics.push_back(FabricSpec::standard("std1"));
+  spec.fabrics.push_back(FabricSpec::compact("mini0"));
+  return spec;
+}
+
+}  // namespace vapres::fleet

@@ -1,0 +1,85 @@
+// Sustained-load soak harness for the multi-fabric fleet.
+//
+// Mirrors load::run_soak, but drives a fleet::FleetController instead
+// of one scheduler: every workload event is routed by the fleet router
+// under a tenant name, migration-churn events move running apps across
+// fabrics mid-stream, and the soak invariants (resource-leak,
+// accounting, word-conservation, stream-gap, clock monotonicity) are
+// swept per fabric at every checkpoint. Deterministic per seed: the
+// digest folds the workload stream, every routing decision (chosen
+// fabric, verdict), every migration outcome, and every terminal word
+// count, so two runs with equal options produce bit-identical digests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/spec.hpp"
+#include "load/invariants.hpp"
+#include "load/scenario.hpp"
+#include "sim/time.hpp"
+
+namespace vapres::load {
+
+struct FleetSoakOptions {
+  std::uint64_t lifetimes = 1000;
+  std::uint64_t seed = 1;
+  int num_tenants = 3;
+  sim::Cycles gap_bound_cycles = 2000;
+  std::uint64_t pipeline_slack_words = 64;
+  std::uint64_t checkpoint_interval = 256;
+  std::size_t history_limit_words = 4096;
+  bool verbose = false;
+  /// Override the workload; default is ScenarioSpec::standard_fleet(
+  /// seed, lifetimes, num_tenants, num_fabrics).
+  std::optional<ScenarioSpec> scenario;
+  /// Override the fleet; default is FleetSpec::uniform(2).
+  std::optional<fleet::FleetSpec> fleet;
+};
+
+struct FleetSoakResult {
+  InvariantReport invariants;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;        ///< routed but every fabric refused
+  std::uint64_t quota_rejected = 0;  ///< refused by the quota governor
+  std::uint64_t lifetimes_completed = 0;
+  std::uint64_t churn_stops = 0;
+  std::uint64_t route_fallbacks = 0;
+  std::uint64_t migrations_attempted = 0;
+  std::uint64_t migrations_moved = 0;
+  std::uint64_t migrations_rolled_back = 0;
+  std::uint64_t migrations_skipped = 0;
+  std::uint64_t migrations_lost = 0;
+  std::uint64_t quota_preemptions = 0;
+  std::uint64_t quota_grows = 0;
+  std::uint64_t quota_shrinks = 0;
+
+  /// Mean fabric utilization over checkpoints, one entry per fabric —
+  /// the load-spread signal bench_fleet reports.
+  std::vector<double> fabric_mean_utilization;
+
+  sim::Cycles final_cycle = 0;  ///< fleet time (max fabric clock)
+  double wall_seconds = 0.0;
+  double lifetimes_per_second = 0.0;
+
+  /// submit -> launch latency percentiles over admitted apps, fleet-wide
+  /// (all fabrics share the "sched.submit_to_launch.cycles" histogram).
+  std::uint64_t p50_submit_to_launch = 0;
+  std::uint64_t p99_submit_to_launch = 0;
+
+  std::uint64_t digest = 0;
+
+  bool ok() const { return invariants.ok(); }
+  std::string summary() const;
+};
+
+/// Runs one fleet soak scenario to completion. Builds its own
+/// FleetController; resets the obs registry at start (per-run latency
+/// percentiles need a clean histogram).
+FleetSoakResult run_fleet_soak(const FleetSoakOptions& options);
+
+}  // namespace vapres::load

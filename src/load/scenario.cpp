@@ -116,9 +116,56 @@ ScenarioSpec ScenarioSpec::standard(std::uint64_t seed,
   return s;
 }
 
+ScenarioSpec ScenarioSpec::standard_fleet(std::uint64_t seed,
+                                          std::uint64_t lifetimes,
+                                          int num_tenants, int num_fabrics) {
+  VAPRES_REQUIRE(num_fabrics >= 1, "fleet scenario needs >= 1 fabric");
+  ScenarioSpec s;
+  s.seed = seed;
+  s.classes = standard_classes();
+  s.num_tenants = num_tenants;
+
+  auto phase = [num_fabrics](const char* name, Arrivals a, double mean,
+                             std::uint64_t n) {
+    Phase p;
+    p.name = name;
+    p.arrivals = a;
+    // A fleet with N fabrics has N fabrics' worth of service capacity;
+    // offer it N times the single-fabric arrival rate so the router has
+    // real load to spread.
+    p.mean_interarrival_cycles = mean / static_cast<double>(num_fabrics);
+    p.submissions = n;
+    return p;
+  };
+  // No fault-storm phase: armed injection forces every fabric's kernel
+  // exhaustive, and a fleet multiplies that wall-time cost by N.
+  const std::uint64_t warmup = lifetimes / 20;        // 5%
+  const std::uint64_t bursty = (lifetimes * 3) / 10;  // 30%
+  const std::uint64_t churn = lifetimes / 4;          // 25%
+  const std::uint64_t steady = lifetimes - warmup - bursty - churn;
+
+  s.phases.push_back(phase("warmup", Arrivals::kPoisson, 4.0e6, warmup));
+  s.phases.push_back(phase("steady", Arrivals::kPoisson, 2.5e6, steady));
+  Phase diurnal =
+      phase("bursty-diurnal", Arrivals::kBurstyDiurnal, 3.0e6, bursty);
+  diurnal.burst_fraction = 0.25;
+  diurnal.burst_rate_multiplier = 8.0;
+  diurnal.burst_length = 16;
+  s.phases.push_back(diurnal);
+  Phase churn_phase =
+      phase("migration-churn", Arrivals::kPoisson, 1.5e6, churn);
+  churn_phase.churn_stop_probability = 0.2;
+  churn_phase.migrate_probability = 0.3;
+  s.phases.push_back(churn_phase);
+  return s;
+}
+
 ScenarioGenerator::ScenarioGenerator(ScenarioSpec spec)
-    : spec_(std::move(spec)), rng_(spec_.seed) {
+    : spec_(std::move(spec)),
+      rng_(spec_.seed),
+      side_rng_(spec_.seed ^ 0x9e3779b97f4a7c15ULL) {
   VAPRES_REQUIRE(!spec_.classes.empty(), "scenario needs app classes");
+  VAPRES_REQUIRE(spec_.num_tenants >= 1, "scenario needs >= 1 tenant");
   for (const AppClass& c : spec_.classes) {
     VAPRES_REQUIRE(c.weight > 0.0, "class " + c.tag + ": weight must be > 0");
     VAPRES_REQUIRE(!c.modules.empty(), "class " + c.tag + ": empty chain");
@@ -228,6 +275,11 @@ std::optional<WorkloadEvent> ScenarioGenerator::next() {
   // The churn draw happens unconditionally so event streams only differ
   // where specs differ, never downstream of a skipped draw.
   ev.churn_stop = rng_.chance(ph.churn_stop_probability);
+  // Fleet-era draws live on the side stream (same unconditional-draw
+  // rule): the main stream above stays bit-identical to pre-fleet specs.
+  ev.tenant = static_cast<int>(side_rng_.next_below(
+      static_cast<std::uint64_t>(spec_.num_tenants)));
+  ev.migrate = side_rng_.chance(ph.migrate_probability);
 
   ++emitted_in_phase_;
   return ev;

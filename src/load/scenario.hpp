@@ -76,6 +76,10 @@ struct Phase {
   /// Adversarial churn: probability that a submission is paired with an
   /// early stop of the oldest running app.
   double churn_stop_probability = 0.0;
+  /// Fleet migration churn: probability that a submission is paired with
+  /// a cross-fabric migration of a running app (fleet drivers only;
+  /// single-fabric drivers ignore the flag).
+  double migrate_probability = 0.0;
   /// Per-phase class-mix override: when non-empty must have one weight
   /// per spec class (0 = class never drawn this phase). Empty uses the
   /// global class weights. Fault-storm phases use this to stay on the
@@ -88,6 +92,10 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   std::vector<AppClass> classes;
   std::vector<Phase> phases;
+  /// Tenants submissions are attributed to (round-robin weight-free
+  /// uniform draw per event). Tenancy draws come from a side RNG stream,
+  /// so raising this never perturbs the workload stream itself.
+  int num_tenants = 1;
 
   std::uint64_t total_submissions() const;
 
@@ -95,6 +103,15 @@ struct ScenarioSpec {
   /// steady-Poisson / bursty-diurnal / fault-storm / churn phases,
   /// scaled so the whole scenario submits exactly `lifetimes` apps.
   static ScenarioSpec standard(std::uint64_t seed, std::uint64_t lifetimes);
+
+  /// The fleet soak scenario: multi-tenant, no fault storm (fleet runs
+  /// stay on the activity-driven kernel), with a closing
+  /// migration-churn phase that pairs submissions with cross-fabric
+  /// moves. Interarrival means are divided by `num_fabrics` so an
+  /// N-fabric fleet sees N fabrics' worth of offered load.
+  static ScenarioSpec standard_fleet(std::uint64_t seed,
+                                     std::uint64_t lifetimes,
+                                     int num_tenants, int num_fabrics);
 };
 
 /// The fragmentation-prone 4-PRR / 3-IOM server floorplan shared by the
@@ -112,6 +129,10 @@ struct WorkloadEvent {
   std::size_t phase_index = 0;  ///< into spec().phases
   bool storm = false;           ///< emitted inside a fault-storm phase
   bool churn_stop = false;      ///< pair with an early stop of a runner
+  /// Submitting tenant, in [0, spec().num_tenants).
+  int tenant = 0;
+  /// Pair with a cross-fabric migration of a running app (fleet only).
+  bool migrate = false;
   /// Resident lifetime from launch, in system cycles (see AppClass).
   std::uint64_t hold_cycles = 0;
   sched::AppRequest request;
@@ -134,6 +155,10 @@ class ScenarioGenerator {
 
   ScenarioSpec spec_;
   sim::SplitMix64 rng_;
+  /// Side stream for the fleet-era draws (tenant, migrate). Kept apart
+  /// from rng_ so pre-fleet scenarios replay the exact same workload
+  /// stream — and digests — they did before these fields existed.
+  sim::SplitMix64 side_rng_;
   double total_weight_ = 0.0;
   std::size_t phase_ = 0;
   std::uint64_t emitted_in_phase_ = 0;

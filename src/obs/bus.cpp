@@ -26,6 +26,7 @@ const char* subsystem_name(Subsystem s) {
     case Subsystem::kBitman: return "bitman";
     case Subsystem::kFault: return "fault";
     case Subsystem::kProc: return "proc";
+    case Subsystem::kFleet: return "fleet";
     case Subsystem::kCount: break;
   }
   return "unknown";
@@ -97,6 +98,17 @@ const char* event_name(Subsystem s, std::uint16_t code) {
       switch (code) {
         case ev::kTaskScheduled: return "task_scheduled";
         case ev::kTaskDescheduled: return "task_descheduled";
+      }
+      break;
+    case Subsystem::kFleet:
+      switch (code) {
+        case ev::kRoute: return "route";
+        case ev::kFallback: return "fallback";
+        case ev::kFleetMigrate: return "migrate";
+        case ev::kQuotaReject: return "quota_reject";
+        case ev::kQuotaPreempt: return "quota_preempt";
+        case ev::kQuotaGrow: return "quota_grow";
+        case ev::kQuotaShrink: return "quota_shrink";
       }
       break;
     case Subsystem::kCount:

@@ -23,7 +23,8 @@ enum class Subsystem : unsigned {
   kBitman = 4,   ///< BitstreamManager cache + prefetch
   kFault = 5,    ///< FaultInjector inject/recover
   kProc = 6,     ///< MicroBlaze software-task scheduling
-  kCount = 7,
+  kFleet = 7,    ///< FleetController routing/migration/quota decisions
+  kCount = 8,
 };
 
 const char* subsystem_name(Subsystem s);
@@ -119,6 +120,17 @@ enum : std::uint16_t {
 enum : std::uint16_t {
   kTaskScheduled = 1,   ///< instant: software task added
   kTaskDescheduled = 2, ///< instant: software task removed
+};
+
+// kFleet
+enum : std::uint16_t {
+  kRoute = 1,         ///< span: one routed submission (arg0 = fleet app id)
+  kFallback = 2,      ///< instant: fabric rejected, trying next (arg0 = fabric)
+  kFleetMigrate = 3,  ///< span: cross-fabric move (arg0 = fleet app id)
+  kQuotaReject = 4,   ///< instant: governor refused admission
+  kQuotaPreempt = 5,  ///< instant: over-quota app evicted for a starved tenant
+  kQuotaGrow = 6,     ///< instant: tenant budget grew (arg1 = new budget)
+  kQuotaShrink = 7,   ///< instant: tenant budget shrank (arg1 = new budget)
 };
 
 }  // namespace ev

@@ -180,6 +180,91 @@ std::vector<int> ApplicationScheduler::running_apps() const {
   return out;
 }
 
+int ApplicationScheduler::queued_count() const {
+  int n = 0;
+  for (const AppRecord& a : apps_) {
+    if (a.state == AppState::kQueued) ++n;
+  }
+  return n;
+}
+
+void ApplicationScheduler::adopt_masters(
+    const bitstream::RelocatingStore& other) {
+  store_.absorb(other);
+}
+
+ApplicationScheduler::AdmitProbe ApplicationScheduler::probe_admit(
+    const AppRequest& request) const {
+  AdmitProbe probe;
+  auto blocked = [&](AdmissionVerdict v, std::string why) {
+    probe.verdict = v;
+    probe.reason = std::move(why);
+    return probe;
+  };
+
+  // Spec validation, mirroring try_admit step 1.
+  if (request.modules.empty()) {
+    return blocked(AdmissionVerdict::kRejectedBadSpec, "empty module chain");
+  }
+  if (request.source_interval_cycles < 1) {
+    return blocked(AdmissionVerdict::kRejectedBadSpec,
+                   "source interval must be >= 1 cycle");
+  }
+  for (const std::string& m : request.modules) {
+    if (!sys_.library().contains(m)) {
+      return blocked(AdmissionVerdict::kRejectedBadSpec,
+                     "unknown module " + m);
+    }
+    const hwmodule::NetlistInfo& info = sys_.library().info(m);
+    if (info.num_inputs != 1 || info.num_outputs != 1) {
+      return blocked(AdmissionVerdict::kRejectedBadSpec,
+                     "module " + m + " is not a 1-in/1-out chain stage");
+    }
+  }
+
+  // Rate feasibility against this fabric's clock ladder (step 2).
+  try {
+    const flow::RateReport report = analyzer_.analyze(request.to_kpn(0, 0));
+    const double source_mwords_per_s =
+        sys_.params().system_clock_mhz /
+        static_cast<double>(request.source_interval_cycles);
+    report.assign_clocks(
+        source_mwords_per_s,
+        {sys_.params().prr_clock_a_mhz, sys_.params().prr_clock_b_mhz});
+  } catch (const ModelError& e) {
+    return blocked(AdmissionVerdict::kRejectedRateInfeasible, e.what());
+  }
+
+  // IOM channel availability (step 3's allocation, read-only).
+  bool source_free = false;
+  bool sink_free = false;
+  for (const auto& iom : source_busy_) {
+    for (const bool b : iom) source_free = source_free || !b;
+  }
+  for (const auto& iom : sink_busy_) {
+    for (const bool b : iom) sink_free = sink_free || !b;
+  }
+  probe.iom_available = source_free && sink_free;
+
+  // Placement + defrag planning over a FabricMap copy (steps 3-4).
+  AppRecord tmp;
+  tmp.request = request;
+  const ChainPlan plan = plan_chain(tmp);
+  if (!plan.ok) {
+    return blocked(plan.fail_verdict, plan.reason);
+  }
+  if (!probe.iom_available) {
+    return blocked(AdmissionVerdict::kRejectedNoIomChannel,
+                   "all IOM source or sink channels busy");
+  }
+  probe.admissible = true;
+  probe.verdict = plan.steps.empty() ? AdmissionVerdict::kAdmitted
+                                     : AdmissionVerdict::kAdmittedAfterDefrag;
+  probe.prrs = plan.prrs;
+  probe.defrag_migrations = static_cast<int>(plan.steps.size());
+  return probe;
+}
+
 bool ApplicationScheduler::source_done(int app_id) const {
   const AppRecord& a = app(app_id);
   if (!a.running() || a.request.source_words == 0) return false;
@@ -457,6 +542,23 @@ int ApplicationScheduler::busy_sink_channels() const {
     for (const bool b : iom) n += b ? 1 : 0;
   }
   return n;
+}
+
+int ApplicationScheduler::total_source_channels() const {
+  int n = 0;
+  for (const auto& iom : source_busy_) n += static_cast<int>(iom.size());
+  return n;
+}
+
+int ApplicationScheduler::total_sink_channels() const {
+  int n = 0;
+  for (const auto& iom : sink_busy_) n += static_cast<int>(iom.size());
+  return n;
+}
+
+int ApplicationScheduler::free_channel_pairs() const {
+  return std::min(total_source_channels() - busy_source_channels(),
+                  total_sink_channels() - busy_sink_channels());
 }
 
 int ApplicationScheduler::pick_victim(int priority) const {

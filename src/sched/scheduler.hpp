@@ -58,6 +58,22 @@ class ApplicationScheduler {
     bool prefetch_hints = true;
   };
 
+  /// Outcome of a probe_admit() dry run: would this request launch right
+  /// now, and at what cost? Nothing in the scheduler or the fabric moves
+  /// while computing it, so a fleet router can score many fabrics per
+  /// submission without perturbing any of them.
+  struct AdmitProbe {
+    bool admissible = false;
+    /// kAdmitted / kAdmittedAfterDefrag when admissible; the blocking
+    /// rejection verdict otherwise. Preemption is never considered — a
+    /// probe must not promise an eviction it has no authority to make.
+    AdmissionVerdict verdict = AdmissionVerdict::kPending;
+    std::string reason;
+    std::vector<int> prrs;       ///< placement the plan would commit
+    int defrag_migrations = 0;   ///< live relocations the plan would spend
+    bool iom_available = false;  ///< a source + sink channel pair is free
+  };
+
   explicit ApplicationScheduler(core::VapresSystem& sys);
   ApplicationScheduler(core::VapresSystem& sys, Options options);
 
@@ -66,6 +82,13 @@ class ApplicationScheduler {
 
   /// Queues a request; returns its app id. Call run_admission() to act.
   int submit(AppRequest request);
+
+  /// Feasibility + placement dry run for `request` with no side effects:
+  /// no record is created, no MicroBlaze time is charged, no obs event
+  /// is emitted, and the fabric map is only copied. Walks the same
+  /// admission steps as try_admit (spec validation, rate feasibility,
+  /// IOM availability, placement with defrag planning) minus preemption.
+  AdmitProbe probe_admit(const AppRequest& request) const;
 
   /// Admits queued requests (highest priority first, FIFO within a
   /// priority). Returns the number of apps launched by this call.
@@ -85,6 +108,8 @@ class ApplicationScheduler {
   /// are gone (their contribution lives on in accounting() totals).
   const AppRecord& app(int app_id) const;
   std::vector<int> running_apps() const;
+  /// Submitted-but-undecided records still waiting for run_admission().
+  int queued_count() const;
 
   /// Drops terminal records (rejected / stopped / preempted) from the
   /// front of the history, folding their verdicts into retained
@@ -110,7 +135,19 @@ class ApplicationScheduler {
   /// counterpart of FabricMap occupancy.
   int busy_source_channels() const;
   int busy_sink_channels() const;
+  int total_source_channels() const;
+  int total_sink_channels() const;
+  /// Source+sink channel pairs still allocatable — the hard cap on
+  /// concurrent apps this fabric can host (each app pins one pair).
+  int free_channel_pairs() const;
   const bitstream::RelocatingStore& store() const { return store_; }
+
+  /// Copies every master bitstream from `other` that this scheduler's
+  /// store lacks. A fleet controller seeds the destination scheduler
+  /// with the source's masters before a cross-fabric migration, so the
+  /// moved app restreams from a relocated master instead of paying a
+  /// cold regenerate-and-stage on arrival.
+  void adopt_masters(const bitstream::RelocatingStore& other);
 
   core::SchedulerAccounting accounting() const;
 

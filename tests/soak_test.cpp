@@ -1,8 +1,11 @@
 // Fast soak smoke: the sustained-load harness (src/load/soak.*) at
 // ~10^3 lifetimes — the tier-1 slice of what bench_soak runs at
-// 10^4..10^6. ctest label: soak.
+// 10^4..10^6 — plus the fleet soak (src/load/fleet_soak.*) over a
+// 2-fabric FleetController with a migration-churn phase. ctest label:
+// soak.
 #include <gtest/gtest.h>
 
+#include "load/fleet_soak.hpp"
 #include "load/soak.hpp"
 
 namespace vapres {
@@ -63,6 +66,54 @@ TEST(Soak, DigestIsDeterministicPerSeed) {
   other.seed = 78;
   other.scenario = trimmed(other.seed, other.lifetimes, 1);
   const load::SoakResult c = load::run_soak(other);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(FleetSoak, ThousandLifetimesOnTwoFabricsHoldEveryInvariant) {
+  load::FleetSoakOptions opt;
+  opt.seed = 0xF1EE7;
+  opt.lifetimes = 1'000;
+  opt.num_tenants = 3;
+
+  const load::FleetSoakResult res = load::run_fleet_soak(opt);
+  EXPECT_TRUE(res.invariants.ok()) << res.invariants.to_string();
+  EXPECT_GT(res.invariants.checks_run, 1'000u);
+
+  EXPECT_EQ(res.submitted, res.lifetimes_completed);
+  EXPECT_EQ(res.submitted,
+            res.admitted + res.rejected + res.quota_rejected);
+  EXPECT_GT(res.admitted, 0u);
+
+  // The migration-churn phase must actually move apps across fabrics,
+  // and both fabrics must carry load.
+  EXPECT_GT(res.migrations_attempted, 0u);
+  EXPECT_GT(res.migrations_moved, 0u);
+  EXPECT_EQ(res.migrations_lost, 0u);
+  ASSERT_EQ(res.fabric_mean_utilization.size(), 2u);
+  EXPECT_GT(res.fabric_mean_utilization[0], 0.0);
+  EXPECT_GT(res.fabric_mean_utilization[1], 0.0);
+
+  EXPECT_GT(res.final_cycle, 0u);
+  EXPECT_GE(res.p99_submit_to_launch, res.p50_submit_to_launch);
+}
+
+TEST(FleetSoak, DigestIsDeterministicPerSeed) {
+  load::FleetSoakOptions opt;
+  opt.seed = 99;
+  opt.lifetimes = 200;
+  opt.num_tenants = 2;
+
+  const load::FleetSoakResult a = load::run_fleet_soak(opt);
+  const load::FleetSoakResult b = load::run_fleet_soak(opt);
+  EXPECT_TRUE(a.invariants.ok()) << a.invariants.to_string();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.final_cycle, b.final_cycle);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.migrations_moved, b.migrations_moved);
+
+  load::FleetSoakOptions other = opt;
+  other.seed = 100;
+  const load::FleetSoakResult c = load::run_fleet_soak(other);
   EXPECT_NE(a.digest, c.digest);
 }
 
