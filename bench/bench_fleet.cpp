@@ -1,27 +1,36 @@
 // Fleet virtualization gate — one consolidated fabric vs a sharded
 // heterogeneous fleet under the identical fixed-seed workload (see
-// docs/FLEET.md).
+// docs/FLEET.md and docs/CONTROLPLANE.md).
 //
-// Three configurations run the same ScenarioSpec::standard_fleet
+// Four configurations run the same ScenarioSpec::standard_fleet
 // stream (tenants, migration churn, burst phases):
 //
-//   - mega:       1 consolidated 8-PRR fabric (no routing, the paper's
-//                 single-virtual-architecture baseline);
-//   - fleet-rr:   the 4-fabric heterogeneous fleet routed round-robin
-//                 (blind rotation, fallback in submission order);
-//   - fleet-cost: the same fleet routed by the weighted cost model
-//                 (probe dry runs, capability exclusion, affinity).
+//   - mega:        1 consolidated 8-PRR fabric (no routing, the paper's
+//                  single-virtual-architecture baseline);
+//   - fleet-rr:    the 4-fabric heterogeneous fleet routed round-robin
+//                  (blind rotation, fallback in submission order);
+//   - fleet-cost:  the same fleet routed by the weighted cost model
+//                  (probe dry runs, capability exclusion, affinity);
+//   - fleet-churn: fleet-cost with crash churn — a random control-plane
+//                  agent is killed and restarted at a random journal
+//                  version every few submissions.
 //
 // Gates:
 //   - invariants: zero violations in every configuration;
 //   - routing value: cost-based admissions >= round-robin admissions on
 //     the same fleet and workload (the router must not be worse than
-//     blind rotation);
+//     blind rotation) — checked on the base seed and on every swept
+//     seed (--sweep=K runs seeds S..S+K-1);
 //   - migration safety: zero lost apps across every migration churn;
+//   - crash tolerance: agent kills lose zero apps and zero migrations,
+//     every post-restart reconcile sweep is clean, every journal
+//     replay reproduces the live view, and the churned run admits
+//     exactly what the undisturbed run admitted (restart recovery must
+//     not change routing decisions);
 //   - determinism (--quick): the cost run replays to a bit-identical
 //     digest.
 //
-// Usage: bench_fleet [--lifetimes=N] [--seed=S] [--quick]
+// Usage: bench_fleet [--lifetimes=N] [--seed=S] [--sweep=K] [--quick]
 // Emits BENCH_fleet.json; exits non-zero on any gate failure.
 // scripts/tier1.sh runs `bench_fleet --quick`.
 #include <algorithm>
@@ -47,7 +56,8 @@ struct ConfigOutcome {
 
 ConfigOutcome run_config(const std::string& name, fleet::FleetSpec fs,
                          const load::ScenarioSpec& scenario,
-                         std::uint64_t seed, bool verbose) {
+                         std::uint64_t seed, bool verbose,
+                         std::uint64_t crash_churn_every = 0) {
   ConfigOutcome out;
   out.name = name;
 
@@ -56,6 +66,7 @@ ConfigOutcome run_config(const std::string& name, fleet::FleetSpec fs,
   opt.verbose = verbose;
   opt.scenario = scenario;
   opt.fleet = std::move(fs);
+  opt.crash_churn_every = crash_churn_every;
   out.res = load::run_fleet_soak(opt);
 
   double lo = 1.0;
@@ -68,17 +79,79 @@ ConfigOutcome run_config(const std::string& name, fleet::FleetSpec fs,
   return out;
 }
 
+/// One swept seed: round-robin vs cost on the same workload.
+struct SweepPoint {
+  std::uint64_t seed = 0;
+  std::uint64_t rr_admitted = 0;
+  std::uint64_t cost_admitted = 0;
+  std::uint64_t cost_digest = 0;
+  bool invariants_ok = false;
+};
+
+void print_json_config(std::FILE* f, const ConfigOutcome& c, bool last) {
+  std::fprintf(
+      f,
+      "    {\"name\": \"%s\", \"digest\": \"%016llx\", "
+      "\"submitted\": %llu, \"admitted\": %llu, \"rejected\": %llu, "
+      "\"quota_rejected\": %llu, \"fallbacks\": %llu, "
+      "\"migrations_moved\": %llu, \"migrations_rolled_back\": %llu, "
+      "\"migrations_lost\": %llu, \"quota_preemptions\": %llu, "
+      "\"agent_kills\": %llu, \"replay_checks\": %llu, "
+      "\"reconcile_violations\": %llu, "
+      "\"util_spread\": %.4f, \"p50_submit_to_launch\": %llu, "
+      "\"p99_submit_to_launch\": %llu, \"invariant_violations\": %zu, "
+      "\"deterministic\": %s,\n     \"route_latency\": [",
+      c.name.c_str(), static_cast<unsigned long long>(c.res.digest),
+      static_cast<unsigned long long>(c.res.submitted),
+      static_cast<unsigned long long>(c.res.admitted),
+      static_cast<unsigned long long>(c.res.rejected),
+      static_cast<unsigned long long>(c.res.quota_rejected),
+      static_cast<unsigned long long>(c.res.route_fallbacks),
+      static_cast<unsigned long long>(c.res.migrations_moved),
+      static_cast<unsigned long long>(c.res.migrations_rolled_back),
+      static_cast<unsigned long long>(c.res.migrations_lost),
+      static_cast<unsigned long long>(c.res.quota_preemptions),
+      static_cast<unsigned long long>(c.res.agent_kills),
+      static_cast<unsigned long long>(c.res.replay_checks),
+      static_cast<unsigned long long>(c.res.reconcile_violations),
+      c.util_spread,
+      static_cast<unsigned long long>(c.res.p50_submit_to_launch),
+      static_cast<unsigned long long>(c.res.p99_submit_to_launch),
+      c.res.invariants.violations.size(),
+      c.deterministic ? "true" : "false");
+  for (std::size_t j = 0; j < c.res.route_latency.size(); ++j) {
+    const load::RouteLatency& rl = c.res.route_latency[j];
+    std::fprintf(
+        f,
+        "{\"fabric\": \"%s\", \"first_count\": %llu, "
+        "\"first_p50\": %llu, \"first_p99\": %llu, "
+        "\"fallback_count\": %llu, \"fallback_p50\": %llu, "
+        "\"fallback_p99\": %llu}%s",
+        rl.fabric.c_str(), static_cast<unsigned long long>(rl.first_count),
+        static_cast<unsigned long long>(rl.first_p50),
+        static_cast<unsigned long long>(rl.first_p99),
+        static_cast<unsigned long long>(rl.fallback_count),
+        static_cast<unsigned long long>(rl.fallback_p50),
+        static_cast<unsigned long long>(rl.fallback_p99),
+        j + 1 < c.res.route_latency.size() ? ", " : "");
+  }
+  std::fprintf(f, "]}%s\n", last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t lifetimes = 5'000;
   std::uint64_t seed = 1;
+  std::uint64_t sweep = 1;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--lifetimes=", 12) == 0) {
       lifetimes = std::strtoull(argv[i] + 12, nullptr, 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--sweep=", 8) == 0) {
+      sweep = std::strtoull(argv[i] + 8, nullptr, 10);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else {
@@ -87,6 +160,7 @@ int main(int argc, char** argv) {
     }
   }
   if (quick && lifetimes == 5'000) lifetimes = 400;
+  if (sweep == 0) sweep = 1;
 
   // Every configuration replays the same offered load: the workload is
   // generated for the 4-fabric fleet's capacity, so the consolidated
@@ -100,9 +174,16 @@ int main(int argc, char** argv) {
   fleet::FleetSpec rr_fleet = fleet::FleetSpec::heterogeneous();
   rr_fleet.policy = fleet::RoutePolicy::kRoundRobin;
 
-  std::printf("== fleet: %llu lifetimes, seed %llu%s ==\n",
+  std::printf("== fleet: %llu lifetimes, seed %llu, sweep %llu%s ==\n",
               static_cast<unsigned long long>(lifetimes),
-              static_cast<unsigned long long>(seed), quick ? " (quick)" : "");
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(sweep),
+              quick ? " (quick)" : "");
+
+  // Kill an agent roughly every 20 submissions — frequent enough that
+  // every agent kind dies many times per run, sparse enough that most
+  // kills land mid-operation rather than stacking on one intent.
+  const std::uint64_t kChurnEvery = 20;
 
   std::vector<ConfigOutcome> runs;
   runs.push_back(
@@ -111,9 +192,12 @@ int main(int argc, char** argv) {
       run_config("fleet-rr", std::move(rr_fleet), scenario, seed, !quick));
   runs.push_back(run_config("fleet-cost", std::move(cost_fleet), scenario,
                             seed, !quick));
+  runs.push_back(run_config("fleet-churn", fleet::FleetSpec::heterogeneous(),
+                            scenario, seed, !quick, kChurnEvery));
   const ConfigOutcome& mega_run = runs[0];
   const ConfigOutcome& rr = runs[1];
   ConfigOutcome& cost = runs[2];
+  const ConfigOutcome& churn = runs[3];
 
   for (const ConfigOutcome& c : runs) {
     std::printf("\n-- %s --\n%s\n  utilization spread %.0f%%\n",
@@ -143,6 +227,52 @@ int main(int argc, char** argv) {
            mega_run.res.admitted > 0,
        "degenerate mix: a configuration admitted nothing");
 
+  // Crash-tolerance gates: churn must exercise restarts, lose nothing,
+  // reconcile clean, and leave routing decisions untouched.
+  gate(churn.res.agent_kills > 0,
+       "crash churn executed no agent restarts (kill schedule never fired)");
+  gate(churn.res.reconcile_violations == 0,
+       "crash churn: " + std::to_string(churn.res.reconcile_violations) +
+           " reconcile violations after agent restarts");
+  gate(churn.res.admitted == cost.res.admitted,
+       "crash churn changed routing decisions: admitted " +
+           std::to_string(churn.res.admitted) + " vs undisturbed " +
+           std::to_string(cost.res.admitted));
+
+  // Seed sweep: the routing-value gate must hold on every swept seed,
+  // not just the headline one.
+  std::vector<SweepPoint> series;
+  for (std::uint64_t k = 1; k < sweep; ++k) {
+    const std::uint64_t s = seed + k;
+    const load::ScenarioSpec sc = load::ScenarioSpec::standard_fleet(
+        s, lifetimes, 3,
+        static_cast<int>(fleet::FleetSpec::heterogeneous().fabrics.size()));
+    fleet::FleetSpec rr_k = fleet::FleetSpec::heterogeneous();
+    rr_k.policy = fleet::RoutePolicy::kRoundRobin;
+    const ConfigOutcome rr_run =
+        run_config("fleet-rr", std::move(rr_k), sc, s, false);
+    const ConfigOutcome cost_run = run_config(
+        "fleet-cost", fleet::FleetSpec::heterogeneous(), sc, s, false);
+    SweepPoint pt;
+    pt.seed = s;
+    pt.rr_admitted = rr_run.res.admitted;
+    pt.cost_admitted = cost_run.res.admitted;
+    pt.cost_digest = cost_run.res.digest;
+    pt.invariants_ok =
+        rr_run.res.invariants.ok() && cost_run.res.invariants.ok();
+    series.push_back(pt);
+    std::printf("\n-- sweep seed %llu: rr %llu, cost %llu admitted --\n",
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(pt.rr_admitted),
+                static_cast<unsigned long long>(pt.cost_admitted));
+    gate(pt.invariants_ok,
+         "sweep seed " + std::to_string(s) + ": invariant violations");
+    gate(pt.cost_admitted >= pt.rr_admitted,
+         "sweep seed " + std::to_string(s) + ": cost admitted " +
+             std::to_string(pt.cost_admitted) + " < round-robin " +
+             std::to_string(pt.rr_admitted));
+  }
+
   if (quick) {
     load::FleetSoakOptions replay_opt;
     replay_opt.seed = seed;
@@ -163,38 +293,27 @@ int main(int argc, char** argv) {
   std::FILE* f = std::fopen("BENCH_fleet.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"lifetimes\": %llu,\n  \"seed\": %llu,\n"
-                 "  \"quick\": %s,\n  \"configs\": [\n",
+                 "  \"sweep\": %llu,\n  \"quick\": %s,\n  \"configs\": [\n",
                  static_cast<unsigned long long>(lifetimes),
                  static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(sweep),
                  quick ? "true" : "false");
     for (std::size_t i = 0; i < runs.size(); ++i) {
-      const ConfigOutcome& c = runs[i];
-      std::fprintf(
-          f,
-          "    {\"name\": \"%s\", \"digest\": \"%016llx\", "
-          "\"submitted\": %llu, \"admitted\": %llu, \"rejected\": %llu, "
-          "\"quota_rejected\": %llu, \"fallbacks\": %llu, "
-          "\"migrations_moved\": %llu, \"migrations_rolled_back\": %llu, "
-          "\"migrations_lost\": %llu, \"quota_preemptions\": %llu, "
-          "\"util_spread\": %.4f, \"p50_submit_to_launch\": %llu, "
-          "\"p99_submit_to_launch\": %llu, \"invariant_violations\": %zu, "
-          "\"deterministic\": %s}%s\n",
-          c.name.c_str(), static_cast<unsigned long long>(c.res.digest),
-          static_cast<unsigned long long>(c.res.submitted),
-          static_cast<unsigned long long>(c.res.admitted),
-          static_cast<unsigned long long>(c.res.rejected),
-          static_cast<unsigned long long>(c.res.quota_rejected),
-          static_cast<unsigned long long>(c.res.route_fallbacks),
-          static_cast<unsigned long long>(c.res.migrations_moved),
-          static_cast<unsigned long long>(c.res.migrations_rolled_back),
-          static_cast<unsigned long long>(c.res.migrations_lost),
-          static_cast<unsigned long long>(c.res.quota_preemptions),
-          c.util_spread,
-          static_cast<unsigned long long>(c.res.p50_submit_to_launch),
-          static_cast<unsigned long long>(c.res.p99_submit_to_launch),
-          c.res.invariants.violations.size(),
-          c.deterministic ? "true" : "false",
-          i + 1 < runs.size() ? "," : "");
+      print_json_config(f, runs[i], i + 1 == runs.size());
+    }
+    std::fprintf(f, "  ],\n  \"sweep_series\": [\n");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const SweepPoint& pt = series[i];
+      std::fprintf(f,
+                   "    {\"seed\": %llu, \"rr_admitted\": %llu, "
+                   "\"cost_admitted\": %llu, \"cost_digest\": \"%016llx\", "
+                   "\"invariants_ok\": %s}%s\n",
+                   static_cast<unsigned long long>(pt.seed),
+                   static_cast<unsigned long long>(pt.rr_admitted),
+                   static_cast<unsigned long long>(pt.cost_admitted),
+                   static_cast<unsigned long long>(pt.cost_digest),
+                   pt.invariants_ok ? "true" : "false",
+                   i + 1 < series.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"pass\": %s\n}\n", pass ? "true" : "false");
     std::fclose(f);

@@ -22,6 +22,7 @@
 
 #include "core/stats.hpp"
 #include "core/system.hpp"
+#include "fleet/controlplane.hpp"
 #include "load/scenario.hpp"
 #include "obs/bus.hpp"
 #include "obs/export.hpp"
@@ -50,6 +51,52 @@ load::ScenarioSpec demo_spec(std::uint64_t seed) {
   return spec;
 }
 
+/// --fleet: the same story at fleet scale — a 2-fabric control plane
+/// routes tenant submissions, moves an app across fabrics mid-stream,
+/// and finishes with the operator-facing fleet_status() dump (journal
+/// version, per-agent restart ledger, per-fabric occupancy from the
+/// state table — docs/CONTROLPLANE.md).
+int run_fleet_demo(std::uint64_t seed) {
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+  load::ScenarioSpec spec =
+      load::ScenarioSpec::standard_fleet(seed, 24, 3, fc.num_fabrics());
+  load::ScenarioGenerator gen(spec);
+  std::printf("=== fleet control plane: %llu seeded arrivals on %d "
+              "fabrics ===\n\n",
+              static_cast<unsigned long long>(gen.spec().total_submissions()),
+              fc.num_fabrics());
+
+  while (auto ev = gen.next()) {
+    fc.advance_to(ev->at_cycle);
+    const std::string tenant = "t" + std::to_string(ev->tenant);
+    const fleet::RouteDecision d = fc.submit(tenant, ev->request);
+    std::printf("[t=%9llu] %-3s %-10s -> %-8s %s\n",
+                static_cast<unsigned long long>(fc.now()), tenant.c_str(),
+                ev->request.name.c_str(),
+                d.admitted ? fc.fabric_name(d.fabric).c_str() : "rejected",
+                d.admitted ? "" : d.reason.c_str());
+    if (ev->migrate && !fc.running_ids().empty()) {
+      const int id = fc.running_ids().front();
+      const int dst = (fc.locate(id)->fabric + 1) % fc.num_fabrics();
+      const fleet::MigrateResult mr = fc.migrate(id, dst);
+      std::printf("             fleet app %d -> %s: %s\n", id,
+                  fc.fabric_name(dst).c_str(),
+                  fleet::migrate_outcome_name(mr.outcome));
+    }
+    if (ev->churn_stop && !fc.running_ids().empty()) {
+      const int gone = fc.running_ids().front();
+      std::printf("             fleet app %d (%s) leaves\n", gone,
+                  fc.tenant_of(gone).c_str());
+      fc.stop(gone);
+    }
+  }
+  fc.retire_terminal();
+
+  std::printf("\n%s\n", fc.fleet_status().c_str());
+  std::printf("%s\n", obs::Registry::instance().to_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,15 +104,21 @@ int main(int argc, char** argv) {
   // a Chrome trace_event JSON (load it in Perfetto / chrome://tracing).
   // --seed=<n>: reroll the workload (the default seed's story includes
   // direct admissions, a defrag relocation, preemption, and rejection).
+  // --fleet: route the workload through a 2-fabric control plane
+  // instead and print its fleet_status() dump.
   std::string trace_path;
   std::uint64_t seed = 5;
+  bool fleet_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet_mode = true;
     }
   }
+  if (fleet_mode) return run_fleet_demo(seed);
   if (!trace_path.empty()) {
     // Everything except the kernel lane: a full server run emits tens
     // of thousands of domain sleep/wake instants, which would evict the

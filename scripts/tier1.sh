@@ -61,8 +61,12 @@ echo "=== tier-1: fleet routing gate (bench_fleet --quick) ==="
 # same seeded multi-tenant workload: fails (non-zero exit) on any
 # invariant violation, on an app lost in cross-fabric migration, when
 # cost-based routing admits fewer apps than blind round-robin rotation,
-# or on a replay digest mismatch (determinism). Writes BENCH_fleet.json
-# in the build dir; the full comparison is `bench_fleet` (docs/FLEET.md).
+# on a replay digest mismatch (determinism), or when agent crash churn
+# loses an app, leaves a reconcile violation, or changes a routing
+# decision vs the undisturbed run (docs/CONTROLPLANE.md). Writes
+# BENCH_fleet.json in the build dir; the full comparison is
+# `bench_fleet` and the multi-seed sweep `bench_fleet --sweep=K`
+# (docs/FLEET.md).
 cmake --build "$BUILD" -j --target bench_fleet
 (cd "$BUILD" && ./bench/bench_fleet --quick)
 
@@ -92,14 +96,18 @@ EOF
 
 echo
 echo "=== tier-1: sched/soak/fleet-labeled tests under address,undefined ==="
-# The soak smoke (soak_test, ~10^3 lifetimes) and the fleet router
-# tests (fleet_test: cross-fabric migration rollback, master adoption,
-# quota preemption) ride along under ASan: sustained submit/stop churn
-# and teardown-on-src + replay-on-dst moves are the workloads most
-# likely to surface lifetime bugs the single-scenario sched tests miss.
+# The soak smoke (soak_test, ~10^3 lifetimes, including the
+# agent-crash-churn fleet run), the fleet router tests (fleet_test:
+# cross-fabric migration rollback, master adoption, quota preemption),
+# and the control-plane state-table tests (statedb_test:
+# kill-at-every-journal-step migration sweeps, restart reconvergence)
+# ride along under ASan: sustained submit/stop churn, teardown-on-src +
+# replay-on-dst moves, and agent destroy/reconstruct cycles are the
+# workloads most likely to surface lifetime bugs the single-scenario
+# sched tests miss.
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
 cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test soak_test \
-  fleet_test
+  fleet_test statedb_test
 ctest --test-dir "$SAN_BUILD" -L 'sched|soak|fleet' --output-on-failure
 
 echo

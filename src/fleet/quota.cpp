@@ -104,6 +104,32 @@ int QuotaGovernor::usage(const std::string& name) const {
   return it != tenants_.end() ? it->second.usage : 0;
 }
 
+int QuotaGovernor::pressure(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it != tenants_.end() ? it->second.pressure : 0;
+}
+
+int QuotaGovernor::idle(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it != tenants_.end() ? it->second.idle : 0;
+}
+
+std::vector<std::string> QuotaGovernor::tenant_names() const {
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) out.push_back(name);
+  return out;
+}
+
+void QuotaGovernor::restore(const std::string& name, int budget, int usage,
+                            int pressure, int idle) {
+  Tenant& t = tenant(name);
+  t.budget = clamp_budget(budget);
+  t.usage = usage;
+  t.pressure = pressure;
+  t.idle = idle;
+}
+
 bool QuotaGovernor::over_quota(const std::string& name) const {
   const auto it = tenants_.find(name);
   return it != tenants_.end() && it->second.usage > it->second.budget;

@@ -7,7 +7,7 @@
 // it back. Budgets are elastic rather than hard — an over-budget tenant
 // is still admitted while the fleet has slack beyond a configured
 // reserve, and is only preempted when another tenant is actually
-// starved (the FleetController drives that part). All state transitions
+// starved (the RouterAgent drives that part). All state transitions
 // are deterministic functions of the observation sequence.
 #pragma once
 
@@ -45,7 +45,19 @@ class QuotaGovernor {
 
   int budget(const std::string& tenant) const;
   int usage(const std::string& tenant) const;
+  /// Current grow-side streak (consecutive over-budget observations).
+  int pressure(const std::string& tenant) const;
+  /// Current shrink-side streak (consecutive low-usage ticks).
+  int idle(const std::string& tenant) const;
   bool over_quota(const std::string& tenant) const;
+  /// Every tenant the governor tracks, in name order.
+  std::vector<std::string> tenant_names() const;
+
+  /// Reinstates one tenant's full hysteresis state — the warm-restart
+  /// path: a restarted QuotaAgent rebuilds its governor from journaled
+  /// kTenantState rows so streaks resume mid-count instead of zeroing.
+  void restore(const std::string& tenant, int budget, int usage,
+               int pressure, int idle);
   /// Tenants currently using more than their budget, sorted by name so
   /// preemption victim selection is deterministic.
   std::vector<std::string> over_quota_tenants() const;

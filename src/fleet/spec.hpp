@@ -3,7 +3,7 @@
 // A FleetSpec names N independently-simulated fabrics — each a full
 // VapresSystem (its own MicroBlaze, ICAP, SDRAM, RSB, clock ladder) —
 // plus the routing policy, cost-model weights, and quota configuration
-// the FleetController wires over them. Fabrics are heterogeneous on
+// the ControlPlane wires over them. Fabrics are heterogeneous on
 // purpose: different PRR counts, footprint mixes (big 16x6 sites vs
 // small 16x2 sites), IOM channel counts, and PRR clock ladders, so the
 // router has real capability and capacity differences to reason about.

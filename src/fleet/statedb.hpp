@@ -1,0 +1,272 @@
+// Shared, versioned fleet-state table with an append-only journal.
+//
+// The StateDb is the one place the control-plane agents (fleet/agents.*)
+// meet: every intent (submit / migrate / preempt) and every observation
+// (app locations, tenant quota state, per-fabric occupancy, migration
+// progress) enters the table as a journal entry with a monotonic
+// version, and the materialized view is a pure fold of the journal.
+// That buys two properties the monolithic PR 7 controller lacked:
+//
+//   - *replayability*: StateDb::replay() reconstructs the view from the
+//     retained journal (applied on top of the last truncation snapshot)
+//     and must land on the identical view digest — the determinism gate
+//     bench_fleet --quick and tests/statedb_test.cpp assert;
+//   - *restartability*: an agent's private state is always recoverable
+//     from the table plus read-only queries against the live schedulers,
+//     so killing any one agent at an arbitrary journal version never
+//     resets a fabric — in-flight migrations resume or roll back from
+//     their journaled step (see MigrationAgent).
+//
+// Journal serialization is byte-deterministic (fixed-width little-endian
+// fields, length-prefixed notes): two runs over the same intent stream
+// produce byte-identical journals.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/request.hpp"
+
+namespace vapres::fleet {
+
+/// Journal authorship. Fabric agent i writes as kFabric0 + i.
+enum class AgentId : std::uint8_t {
+  kOrchestrator = 0,  ///< the ControlPlane facade (intent ingress)
+  kRouter = 1,
+  kQuota = 2,
+  kMigration = 3,
+  kFabric0 = 4,
+};
+
+AgentId fabric_agent_id(int fabric);
+/// "router", "quota", "migration", "fabric3", ...
+std::string agent_label(AgentId a);
+
+/// Table operations. Every mutation of the view is one of these.
+enum class Op : std::uint8_t {
+  /// key = intent seq; note = tenant '\x1E' serialized AppRequest.
+  kSubmitIntent = 1,
+  /// key = intent seq; args = {allowed, budget, want_prrs, 0}.
+  kQuotaDecision = 2,
+  /// key = tenant id; args = {budget, usage, pressure, idle};
+  /// note = tenant name on first publication.
+  kTenantState = 3,
+  /// key = intent seq; args = {round, 0, 0, 0}; note = "i,j,k" try order.
+  kRouteOrder = 4,
+  /// key = intent seq; args = {fabric, local app id, verdict, running}.
+  kAdmitResult = 5,
+  /// key = intent seq; args = {admitted, fabric, verdict, flags}
+  /// (flags bit0 = quota_limited, bit1 = preempted_for). Closes the
+  /// intent.
+  kRouteResult = 6,
+  /// key = fleet id; args = {fabric, local app id, tenant id, 0}.
+  kAppLocation = 7,
+  /// key = fleet id; args = {cause, 0, 0, 0} (RemoveCause). Drops the
+  /// row.
+  kAppRemoved = 8,
+  /// key = 0; args = {rr_next, 0, 0, 0}.
+  kRouterCursor = 9,
+  /// key = fleet id; args = {dst_fabric, probe_first, 0, 0}. Opens the
+  /// in-flight migration row.
+  kMigrateIntent = 10,
+  /// key = fleet id; args = {step, aux0, aux1, 0} (MigStep). Terminal
+  /// steps close the row.
+  kMigrateStep = 11,
+  /// key = fabric; args = {free_prrs, queued, running, util_permille}.
+  kFabricState = 12,
+  /// key = victim fleet id; note = starved tenant name.
+  kPreemption = 13,
+  /// key = (int) AgentId of the restarted agent.
+  kAgentRestart = 14,
+};
+
+const char* op_name(Op op);
+
+/// Why an app row left the table.
+enum class RemoveCause : std::uint8_t {
+  kRetired = 0,  ///< terminal record pruned by retire_terminal()
+  kLost = 1,     ///< migration lost the app (gated at zero everywhere)
+};
+
+/// Journaled progress of one cross-fabric migration. The MigrationAgent
+/// performs exactly one step's side effects per poll, journals it, and
+/// returns — so a kill at any journal version leaves a row a restarted
+/// agent resumes or rolls back from.
+enum class MigStep : std::uint8_t {
+  kNone = 0,
+  kPlanned = 1,         ///< intent validated, src recorded
+  kMastersAdopted = 2,  ///< dst store seeded with src masters
+  kSourceStopped = 3,   ///< src app torn down (request recoverable from
+                        ///< the src scheduler's terminal record)
+  kDstAdmitted = 4,     ///< dst replay-admission launched (aux0 = local)
+  kDstRejected = 5,     ///< dst refused; rollback pending
+  // Terminal steps:
+  kMoved = 6,
+  kRolledBack = 7,  ///< re-admitted on the source (aux0 = new local)
+  kSkipped = 8,
+  kLost = 9,
+};
+
+const char* mig_step_name(MigStep s);
+
+struct JournalEntry {
+  std::uint64_t version = 0;  ///< 1-based, monotonic
+  AgentId agent = AgentId::kOrchestrator;
+  Op op = Op::kSubmitIntent;
+  std::int64_t key = 0;
+  std::array<std::int64_t, 4> args{};
+  std::string note;
+
+  /// Deterministic byte serialization (fixed-width LE + length-prefixed
+  /// note).
+  std::string to_bytes() const;
+};
+
+// ---- Materialized view rows --------------------------------------------
+
+struct AppRow {
+  int fabric = -1;
+  int local = -1;   ///< app id on the hosting fabric's scheduler
+  int tenant = -1;  ///< tenant id (see tenant_name())
+};
+
+struct TenantRow {
+  std::string name;
+  int budget = 0;
+  int usage = 0;
+  int pressure = 0;  ///< consecutive over-budget demand observations
+  int idle = 0;      ///< consecutive low-usage ticks
+};
+
+struct FabricRow {
+  int free_prrs = 0;
+  int queued = 0;
+  int running = 0;
+  int util_permille = 0;  ///< occupied slices / total, in 0..1000
+  std::uint64_t version = 0;  ///< journal version of the last publication
+};
+
+/// Routing progress of one open submission intent. Everything a
+/// restarted RouterAgent needs to resume the intent lives here; the
+/// row is dropped when kRouteResult closes it.
+struct IntentRow {
+  std::int64_t seq = 0;
+  int tenant = -1;
+  std::string request_blob;  ///< serialized AppRequest (see below)
+  bool quota_decided = false;
+  bool quota_allowed = false;
+  int round = 0;              ///< 0 = initial route, 1 = post-preemption
+  bool planned = false;       ///< kRouteOrder journaled for this round
+  std::vector<int> order;     ///< fabric try order for the current round
+  int next_try = 0;           ///< index into order of the next attempt
+  int attempts = 0;           ///< admission attempts made (all rounds)
+  int last_verdict = 0;       ///< sched::AdmissionVerdict of the last try
+  bool preempted_for = false;
+};
+
+/// In-flight migration row; at most one migration runs at a time.
+struct MigrationRow {
+  int fleet_id = -1;
+  int src = -1;
+  int dst = -1;
+  bool probe_first = true;
+  MigStep step = MigStep::kNone;
+  int src_local = -1;
+  int dst_local = -1;
+};
+
+/// Serialized AppRequest round-trip for journal notes (unit-separator
+/// fields; module list comma-joined).
+std::string serialize_request(const sched::AppRequest& r);
+sched::AppRequest parse_request(const std::string& blob);
+
+class StateDb {
+ public:
+  explicit StateDb(int num_fabrics);
+
+  /// Appends one journal entry (assigning the next version) and applies
+  /// it to the view. Returns the stored entry.
+  const JournalEntry& append(AgentId agent, Op op, std::int64_t key,
+                             std::array<std::int64_t, 4> args = {},
+                             std::string note = {});
+
+  std::uint64_t version() const { return version_; }
+  /// Entries currently retained (journal depth after truncation).
+  std::size_t journal_depth() const { return journal_.size(); }
+  const std::deque<JournalEntry>& journal() const { return journal_; }
+
+  /// Rolling FNV-1a over the bytes of every entry ever appended —
+  /// stable across truncation, byte-identical across identical runs.
+  std::uint64_t journal_digest() const { return journal_digest_; }
+  /// All retained entries, serialized back to back.
+  std::string serialize_journal() const;
+
+  /// FNV-1a digest of the materialized view (apps, tenants, fabric
+  /// rows, cursors, open intents/migrations).
+  std::uint64_t view_digest() const;
+
+  /// Drops the retained journal prefix, snapshotting the current view
+  /// as the new replay base. journal_digest() is unaffected.
+  void truncate();
+
+  /// Rebuilds a view by folding the retained journal over the last
+  /// truncation snapshot. Equality with view_digest() is the replay
+  /// gate.
+  std::uint64_t replayed_view_digest() const;
+
+  // ---- view accessors --------------------------------------------------
+  int num_fabrics() const { return static_cast<int>(view_.fabrics.size()); }
+  int next_fleet_id() const { return view_.next_fleet_id; }
+  int rr_cursor() const { return view_.rr_cursor; }
+
+  const std::map<int, AppRow>& apps() const { return view_.apps; }
+  const AppRow* app(int fleet_id) const;
+
+  int num_tenants() const { return static_cast<int>(view_.tenants.size()); }
+  /// Tenant id for `name`, creating nothing; -1 when unseen.
+  int tenant_id(const std::string& name) const;
+  const TenantRow& tenant(int id) const;
+  const std::vector<TenantRow>& tenants() const { return view_.tenants; }
+
+  const FabricRow& fabric(int index) const;
+
+  const IntentRow* open_intent() const;
+  const MigrationRow* inflight_migration() const;
+
+  std::uint64_t restarts(AgentId a) const;
+
+  /// Human-readable table dump (fleet_status building block). Fabric
+  /// rows are labeled with `fabric_names` when provided (the table
+  /// itself only knows indices).
+  std::string to_string(
+      const std::vector<std::string>* fabric_names = nullptr) const;
+
+ private:
+  struct View {
+    std::map<int, AppRow> apps;
+    std::vector<TenantRow> tenants;
+    std::map<std::string, int> tenant_ids;
+    std::vector<FabricRow> fabrics;
+    std::optional<IntentRow> intent;
+    std::optional<MigrationRow> migration;
+    int rr_cursor = 0;
+    int next_fleet_id = 0;
+  };
+
+  static void apply(View& v, const JournalEntry& e);
+  static std::uint64_t digest_view(const View& v);
+
+  View view_;
+  View base_;  ///< snapshot at the last truncate()
+  std::deque<JournalEntry> journal_;
+  std::uint64_t version_ = 0;
+  std::uint64_t journal_digest_;
+  std::map<AgentId, std::uint64_t> restarts_;
+};
+
+}  // namespace vapres::fleet

@@ -5,9 +5,10 @@
 #include <cstdio>
 #include <map>
 
-#include "fleet/controller.hpp"
+#include "fleet/controlplane.hpp"
 #include "load/soak.hpp"
 #include "obs/metrics.hpp"
+#include "sim/random.hpp"
 
 namespace vapres::load {
 
@@ -21,6 +22,11 @@ void fold(std::uint64_t& h, std::uint64_t v) {
     h ^= (v >> (8 * i)) & 0xffu;
     h *= kFnvPrime;
   }
+}
+
+std::string route_hist_name(const std::string& fabric, bool first_choice) {
+  return "fleet.route." + fabric +
+         (first_choice ? ".first.cycles" : ".fallback.cycles");
 }
 
 }  // namespace
@@ -53,6 +59,26 @@ std::string FleetSoakResult::summary() const {
                 static_cast<unsigned long long>(quota_grows),
                 static_cast<unsigned long long>(quota_shrinks));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  control plane: %llu agent kills, %llu replay checks, "
+                "%llu reconcile violations\n",
+                static_cast<unsigned long long>(agent_kills),
+                static_cast<unsigned long long>(replay_checks),
+                static_cast<unsigned long long>(reconcile_violations));
+  out += buf;
+  for (const RouteLatency& rl : route_latency) {
+    std::snprintf(buf, sizeof(buf),
+                  "  route latency %s: first-choice p50/p99 %llu/%llu "
+                  "(%llu apps), fallback p50/p99 %llu/%llu (%llu apps)\n",
+                  rl.fabric.c_str(),
+                  static_cast<unsigned long long>(rl.first_p50),
+                  static_cast<unsigned long long>(rl.first_p99),
+                  static_cast<unsigned long long>(rl.first_count),
+                  static_cast<unsigned long long>(rl.fallback_p50),
+                  static_cast<unsigned long long>(rl.fallback_p99),
+                  static_cast<unsigned long long>(rl.fallback_count));
+    out += buf;
+  }
   out += "  fabric mean utilization:";
   for (const double u : fabric_mean_utilization) {
     std::snprintf(buf, sizeof(buf), " %.0f%%", u * 100.0);
@@ -79,7 +105,7 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
 
   const fleet::FleetSpec fleet_spec =
       opt.fleet ? *opt.fleet : fleet::FleetSpec::uniform(2);
-  fleet::FleetController fc(fleet_spec);
+  fleet::ControlPlane fc(fleet_spec);
   const int nf = fc.num_fabrics();
   for (int i = 0; i < nf; ++i) {
     core::Rsb& rsb = fc.system(i).rsb(0);
@@ -110,6 +136,53 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
   // fleet id -> sink location whose gap stats were reset for the app's
   // current incarnation (a migration re-launches on a new channel).
   std::map<int, fleet::FleetAppId> gap_armed;
+
+  // Crash churn: a dedicated draw stream (never shared with the
+  // workload generator) picks which agent dies and how far past the
+  // current journal version the kill lands.
+  sim::SplitMix64 kill_rng(opt.seed ^ 0xc5a5ce55c5a5ce55ULL);
+  std::uint64_t since_kill = 0;
+  std::uint64_t seen_restarts = 0;
+  auto maybe_schedule_kill = [&]() {
+    if (opt.crash_churn_every == 0) return;
+    if (++since_kill < opt.crash_churn_every) return;
+    since_kill = 0;
+    const std::uint64_t pick =
+        kill_rng.next() % static_cast<std::uint64_t>(3 + nf);
+    fleet::AgentId agent = fleet::AgentId::kRouter;
+    if (pick == 1) {
+      agent = fleet::AgentId::kQuota;
+    } else if (pick == 2) {
+      agent = fleet::AgentId::kMigration;
+    } else if (pick >= 3) {
+      agent = fleet::fabric_agent_id(static_cast<int>(pick - 3));
+    }
+    const std::uint64_t offset = 1 + kill_rng.next() % 8;
+    fc.schedule_kill(agent, fc.statedb().version() + offset);
+    fold(res.digest, pick);
+    fold(res.digest, offset);
+  };
+  // After any restart fired mid-pump, prove the restarted plane
+  // reconverged: the table-vs-scheduler sweep is clean on every fabric
+  // and replaying the retained journal reproduces the live view.
+  auto absorb_restarts = [&]() {
+    const std::uint64_t r = fc.agent_restarts();
+    if (r == seen_restarts) return;
+    seen_restarts = r;
+    ++res.invariants.checks_run;
+    for (const std::string& v : fc.reconcile()) {
+      ++res.reconcile_violations;
+      res.invariants.fail("post-restart reconcile: " + v);
+    }
+    ++res.invariants.checks_run;
+    ++res.replay_checks;
+    if (fc.statedb().replayed_view_digest() != fc.statedb().view_digest()) {
+      res.invariants.fail(
+          "journal replay diverged from the live view after an agent "
+          "restart (version " +
+          std::to_string(fc.statedb().version()) + ")");
+    }
+  };
 
   auto stop_checked = [&](int fleet_id) {
     const fleet::FleetAppId loc = *fc.locate(fleet_id);
@@ -174,6 +247,18 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
     last_fleet_now = fleet_now;
     clock_seen = true;
     ++util_samples;
+    // Prove the journal still replays to the live view, then snapshot
+    // it away so retained depth stays bounded by the checkpoint
+    // interval regardless of run length.
+    ++res.invariants.checks_run;
+    ++res.replay_checks;
+    if (fc.statedb().replayed_view_digest() != fc.statedb().view_digest()) {
+      res.invariants.fail(
+          "journal replay diverged from the live view at checkpoint "
+          "(version " +
+          std::to_string(fc.statedb().version()) + ")");
+    }
+    fc.truncate_journal();
   };
 
   std::size_t last_phase = static_cast<std::size_t>(-1);
@@ -201,14 +286,23 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
     fold(res.digest, static_cast<std::uint64_t>(ev->tenant));
     fold(res.digest, ev->migrate ? 1u : 0u);
 
+    maybe_schedule_kill();
     const std::string tenant = "t" + std::to_string(ev->tenant);
     const fleet::RouteDecision d = fc.submit(tenant, ev->request);
+    absorb_restarts();
     fold(res.digest, d.admitted ? 1u : 0u);
     fold(res.digest, static_cast<std::uint64_t>(d.fabric + 1));
     fold(res.digest, static_cast<std::uint64_t>(d.verdict));
     fold(res.digest, d.quota_limited ? 1u : 0u);
     if (d.admitted) {
       departures.emplace(fc.now() + ev->hold_cycles, d.fleet_id);
+      // Route-order tail latency: first-choice admissions vs apps that
+      // only landed through a fallback attempt, per hosting fabric.
+      const sched::AppRecord& rec = fc.record_of(d.fleet_id);
+      const bool first_choice = !d.order.empty() && d.order.front() == d.fabric;
+      obs::Registry::instance()
+          .histogram(route_hist_name(fc.fabric_name(d.fabric), first_choice))
+          .record(rec.launched_at - rec.submitted_at);
     }
 
     // Arm gap statistics per app incarnation: fresh launches and
@@ -258,6 +352,7 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
           }
         }
         const fleet::MigrateResult mr = fc.migrate(victim, dst);
+        absorb_restarts();
         ++res.migrations_attempted;
         fold(res.digest, static_cast<std::uint64_t>(victim));
         fold(res.digest, static_cast<std::uint64_t>(mr.outcome));
@@ -285,7 +380,7 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
   for (const int id : fc.running_ids()) stop_checked(id);
   checkpoint();
 
-  const fleet::FleetController::Counters& c = fc.counters();
+  const fleet::ControlPlane::Counters& c = fc.counters();
   res.submitted = c.submissions;
   res.admitted = c.admitted;
   res.rejected = c.rejected;
@@ -298,6 +393,7 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
   res.quota_preemptions = c.quota_preemptions;
   res.quota_grows = fc.governor().grows();
   res.quota_shrinks = fc.governor().shrinks();
+  res.agent_kills = fc.agent_restarts();
   res.lifetimes_completed =
       res.submitted - static_cast<std::uint64_t>(fc.running_ids().size());
   res.final_cycle = fc.now();
@@ -309,6 +405,22 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
             ? util_sum[static_cast<std::size_t>(i)] /
                   static_cast<double>(util_samples)
             : 0.0;
+  }
+
+  for (int i = 0; i < nf; ++i) {
+    const obs::Histogram& first = obs::Registry::instance().histogram(
+        route_hist_name(fc.fabric_name(i), true));
+    const obs::Histogram& fb = obs::Registry::instance().histogram(
+        route_hist_name(fc.fabric_name(i), false));
+    RouteLatency rl;
+    rl.fabric = fc.fabric_name(i);
+    rl.first_count = first.count();
+    rl.first_p50 = first.percentile(0.50);
+    rl.first_p99 = first.percentile(0.99);
+    rl.fallback_count = fb.count();
+    rl.fallback_p50 = fb.percentile(0.50);
+    rl.fallback_p99 = fb.percentile(0.99);
+    res.route_latency.push_back(rl);
   }
 
   const obs::Histogram& lat =

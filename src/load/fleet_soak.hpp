@@ -1,14 +1,19 @@
 // Sustained-load soak harness for the multi-fabric fleet.
 //
-// Mirrors load::run_soak, but drives a fleet::FleetController instead
+// Mirrors load::run_soak, but drives a fleet::ControlPlane instead
 // of one scheduler: every workload event is routed by the fleet router
 // under a tenant name, migration-churn events move running apps across
 // fabrics mid-stream, and the soak invariants (resource-leak,
 // accounting, word-conservation, stream-gap, clock monotonicity) are
-// swept per fabric at every checkpoint. Deterministic per seed: the
-// digest folds the workload stream, every routing decision (chosen
-// fabric, verdict), every migration outcome, and every terminal word
-// count, so two runs with equal options produce bit-identical digests.
+// swept per fabric at every checkpoint. With crash churn enabled the
+// harness also kills and restarts a random control-plane agent at a
+// random journal version every N submissions, then proves the restarted
+// plane reconverged: reconcile sweeps stay clean and replaying the
+// retained journal reproduces the live view digest. Deterministic per
+// seed: the digest folds the workload stream, every routing decision
+// (chosen fabric, verdict), every migration outcome, every kill draw,
+// and every terminal word count, so two runs with equal options produce
+// bit-identical digests.
 #pragma once
 
 #include <cstdint>
@@ -32,11 +37,29 @@ struct FleetSoakOptions {
   std::uint64_t checkpoint_interval = 256;
   std::size_t history_limit_words = 4096;
   bool verbose = false;
+  /// Crash churn: every N routed submissions, schedule a kill of one
+  /// random control-plane agent at a near-future journal version
+  /// (0 = off). Draws come from a dedicated SplitMix64 stream so
+  /// enabling churn never perturbs the workload stream itself.
+  std::uint64_t crash_churn_every = 0;
   /// Override the workload; default is ScenarioSpec::standard_fleet(
   /// seed, lifetimes, num_tenants, num_fabrics).
   std::optional<ScenarioSpec> scenario;
   /// Override the fleet; default is FleetSpec::uniform(2).
   std::optional<fleet::FleetSpec> fleet;
+};
+
+/// Per-fabric submit->launch latency split by route order: apps the
+/// router landed on its first-choice fabric vs apps admitted through a
+/// fallback attempt (tail-latency cost of routing around a full fabric).
+struct RouteLatency {
+  std::string fabric;
+  std::uint64_t first_count = 0;
+  std::uint64_t first_p50 = 0;
+  std::uint64_t first_p99 = 0;
+  std::uint64_t fallback_count = 0;
+  std::uint64_t fallback_p50 = 0;
+  std::uint64_t fallback_p99 = 0;
 };
 
 struct FleetSoakResult {
@@ -58,9 +81,20 @@ struct FleetSoakResult {
   std::uint64_t quota_grows = 0;
   std::uint64_t quota_shrinks = 0;
 
+  /// Crash-churn ledger: agent restarts actually executed, journal
+  /// replay-vs-live digest comparisons performed (each restart and each
+  /// checkpoint), and reconcile violations found (0 = clean).
+  std::uint64_t agent_kills = 0;
+  std::uint64_t replay_checks = 0;
+  std::uint64_t reconcile_violations = 0;
+
   /// Mean fabric utilization over checkpoints, one entry per fabric —
   /// the load-spread signal bench_fleet reports.
   std::vector<double> fabric_mean_utilization;
+
+  /// Submit->launch percentiles split first-choice vs fallback, one
+  /// entry per fabric.
+  std::vector<RouteLatency> route_latency;
 
   sim::Cycles final_cycle = 0;  ///< fleet time (max fabric clock)
   double wall_seconds = 0.0;
@@ -78,7 +112,7 @@ struct FleetSoakResult {
 };
 
 /// Runs one fleet soak scenario to completion. Builds its own
-/// FleetController; resets the obs registry at start (per-run latency
+/// ControlPlane; resets the obs registry at start (per-run latency
 /// percentiles need a clean histogram).
 FleetSoakResult run_fleet_soak(const FleetSoakOptions& options);
 

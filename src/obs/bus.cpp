@@ -109,6 +109,8 @@ const char* event_name(Subsystem s, std::uint16_t code) {
         case ev::kQuotaPreempt: return "quota_preempt";
         case ev::kQuotaGrow: return "quota_grow";
         case ev::kQuotaShrink: return "quota_shrink";
+        case ev::kAgentRestart: return "agent_restart";
+        case ev::kReconcile: return "reconcile";
       }
       break;
     case Subsystem::kCount:

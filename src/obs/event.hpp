@@ -23,7 +23,7 @@ enum class Subsystem : unsigned {
   kBitman = 4,   ///< BitstreamManager cache + prefetch
   kFault = 5,    ///< FaultInjector inject/recover
   kProc = 6,     ///< MicroBlaze software-task scheduling
-  kFleet = 7,    ///< FleetController routing/migration/quota decisions
+  kFleet = 7,    ///< fleet control-plane routing/migration/quota decisions
   kCount = 8,
 };
 
@@ -131,6 +131,10 @@ enum : std::uint16_t {
   kQuotaPreempt = 5,  ///< instant: over-quota app evicted for a starved tenant
   kQuotaGrow = 6,     ///< instant: tenant budget grew (arg1 = new budget)
   kQuotaShrink = 7,   ///< instant: tenant budget shrank (arg1 = new budget)
+  kAgentRestart = 8,  ///< instant: control-plane agent restarted
+                      ///< (arg0 = AgentId, arg1 = journal version)
+  kReconcile = 9,     ///< instant: table-vs-scheduler reconcile sweep
+                      ///< (arg0 = checks, arg1 = violations)
 };
 
 }  // namespace ev

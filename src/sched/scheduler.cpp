@@ -561,6 +561,21 @@ int ApplicationScheduler::free_channel_pairs() const {
                   total_sink_channels() - busy_sink_channels());
 }
 
+std::vector<int> ApplicationScheduler::prr_owners() const {
+  std::vector<int> owners;
+  owners.reserve(static_cast<std::size_t>(map_.num_slots()));
+  for (int i = 0; i < map_.num_slots(); ++i) {
+    const PrrSlot& s = map_.slot(i);
+    owners.push_back(s.free ? -1 : s.app_id);
+  }
+  return owners;
+}
+
+ApplicationScheduler::ChannelOccupancy
+ApplicationScheduler::channel_occupancy() const {
+  return ChannelOccupancy{source_busy_, sink_busy_};
+}
+
 int ApplicationScheduler::pick_victim(int priority) const {
   int victim = -1;
   for (const AppRecord& a : apps_) {

@@ -140,6 +140,21 @@ class ApplicationScheduler {
   /// Source+sink channel pairs still allocatable — the hard cap on
   /// concurrent apps this fabric can host (each app pins one pair).
   int free_channel_pairs() const;
+
+  /// Owning app id per PRR slot (-1 = free) — a read-only occupancy
+  /// export for control-plane reconciliation: a restarted fleet agent
+  /// checks its journaled app locations against what the fabric
+  /// actually hosts.
+  std::vector<int> prr_owners() const;
+
+  /// Busy flags per IOM channel, [iom][channel] — the channel-side
+  /// reconciliation export matching prr_owners().
+  struct ChannelOccupancy {
+    std::vector<std::vector<bool>> source;
+    std::vector<std::vector<bool>> sink;
+  };
+  ChannelOccupancy channel_occupancy() const;
+
   const bitstream::RelocatingStore& store() const { return store_; }
 
   /// Copies every master bitstream from `other` that this scheduler's

@@ -3,7 +3,7 @@
 // preemption, and probe_admit side-effect freedom. ctest label: fleet.
 #include <gtest/gtest.h>
 
-#include "fleet/controller.hpp"
+#include "fleet/controlplane.hpp"
 #include "load/invariants.hpp"
 #include "load/scenario.hpp"
 #include "sched/scheduler.hpp"
@@ -72,7 +72,7 @@ TEST(ProbeAdmit, ReportsRejectionVerdicts) {
 
 TEST(FleetRouter, DeterministicForFixedSeed) {
   auto run = [](std::vector<std::pair<int, bool>>& decisions) {
-    fleet::FleetController fc(fleet::FleetSpec::heterogeneous());
+    fleet::ControlPlane fc(fleet::FleetSpec::heterogeneous());
     load::ScenarioSpec spec =
         load::ScenarioSpec::standard_fleet(42, 40, 3, fc.num_fabrics());
     load::ScenarioGenerator gen(spec);
@@ -96,7 +96,7 @@ TEST(FleetRouter, CostModelExcludesIncapableFabrics) {
   fleet::FleetSpec spec;
   spec.fabrics.push_back(fleet::FabricSpec::compact("mini"));
   spec.fabrics.push_back(fleet::FabricSpec::standard("std"));
-  fleet::FleetController fc(spec);
+  fleet::ControlPlane fc(spec);
 
   const fleet::RouteDecision d = fc.submit("t0", request("avg", {"ma8"}));
   EXPECT_TRUE(d.admitted);
@@ -112,7 +112,7 @@ TEST(FleetRouter, RoundRobinFallsBackInRotationOrder) {
   spec.fabrics.push_back(fleet::FabricSpec::compact("mini"));
   spec.fabrics.push_back(fleet::FabricSpec::standard("std"));
   spec.policy = fleet::RoutePolicy::kRoundRobin;
-  fleet::FleetController fc(spec);
+  fleet::ControlPlane fc(spec);
 
   // Rotation starts at fabric 0, which rejects ma8 (no PRR fit); the
   // router falls back to fabric 1.
@@ -126,7 +126,7 @@ TEST(FleetRouter, RoundRobinFallsBackInRotationOrder) {
 }
 
 TEST(FleetMigration, MovesAppAndAdoptsMasters) {
-  fleet::FleetController fc(fleet::FleetSpec::uniform(2));
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
   const fleet::RouteDecision d = fc.submit("t0", request("amp", {"gain_x2"}));
   ASSERT_TRUE(d.admitted);
   const int src = d.fabric;
@@ -146,7 +146,7 @@ TEST(FleetMigration, MovesAppAndAdoptsMasters) {
 }
 
 TEST(FleetMigration, RollsBackWhenDestinationAdmitFails) {
-  fleet::FleetController fc(fleet::FleetSpec::uniform(2));
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
   const fleet::RouteDecision d = fc.submit("t0", request("amp", {"gain_x2"}));
   ASSERT_TRUE(d.admitted);
   const int src = d.fabric;
@@ -239,7 +239,7 @@ TEST(FleetQuota, StarvedTenantPreemptsOverQuotaTenant) {
   spec.quota.initial_budget_prrs = 1;
   spec.quota.grow_observations = 100;  // keep budgets frozen for the test
   spec.quota.elastic_slack_prrs = 0;   // overshoot freely while PRRs are free
-  fleet::FleetController fc(spec);
+  fleet::ControlPlane fc(spec);
 
   // Tenant A soaks up every IOM channel pair (3 on a standard fabric),
   // ending far over its 1-PRR budget.
@@ -268,7 +268,7 @@ TEST(FleetQuota, OverQuotaTenantIsRefusedWithoutSlack) {
   spec.quota.initial_budget_prrs = 1;
   spec.quota.grow_observations = 100;
   spec.quota.elastic_slack_prrs = 64;  // no overshoot headroom, ever
-  fleet::FleetController fc(spec);
+  fleet::ControlPlane fc(spec);
 
   const fleet::RouteDecision first = fc.submit("a", request("a0", {"gain_x2"}));
   ASSERT_TRUE(first.admitted);
@@ -281,7 +281,7 @@ TEST(FleetQuota, OverQuotaTenantIsRefusedWithoutSlack) {
 }
 
 TEST(FleetInvariants, SweepsHoldPerFabricUnderMixedWorkload) {
-  fleet::FleetController fc(fleet::FleetSpec::heterogeneous());
+  fleet::ControlPlane fc(fleet::FleetSpec::heterogeneous());
   load::ScenarioSpec spec =
       load::ScenarioSpec::standard_fleet(7, 60, 3, fc.num_fabrics());
   load::ScenarioGenerator gen(spec);

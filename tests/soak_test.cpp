@@ -1,8 +1,8 @@
 // Fast soak smoke: the sustained-load harness (src/load/soak.*) at
 // ~10^3 lifetimes — the tier-1 slice of what bench_soak runs at
 // 10^4..10^6 — plus the fleet soak (src/load/fleet_soak.*) over a
-// 2-fabric FleetController with a migration-churn phase. ctest label:
-// soak.
+// 2-fabric ControlPlane with migration-churn and agent-crash-churn
+// phases. ctest label: soak.
 #include <gtest/gtest.h>
 
 #include "load/fleet_soak.hpp"
@@ -115,6 +115,34 @@ TEST(FleetSoak, DigestIsDeterministicPerSeed) {
   other.seed = 100;
   const load::FleetSoakResult c = load::run_fleet_soak(other);
   EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(FleetSoak, CrashChurnLosesNothingAndReplaysClean) {
+  load::FleetSoakOptions opt;
+  opt.seed = 0xC4A5;
+  opt.lifetimes = 300;
+  opt.num_tenants = 3;
+  opt.crash_churn_every = 10;
+
+  const load::FleetSoakResult res = load::run_fleet_soak(opt);
+  EXPECT_TRUE(res.invariants.ok()) << res.invariants.to_string();
+  EXPECT_GT(res.agent_kills, 0u);
+  EXPECT_GT(res.replay_checks, 0u);
+  EXPECT_EQ(res.reconcile_violations, 0u);
+  EXPECT_EQ(res.migrations_lost, 0u);
+  EXPECT_EQ(res.submitted, res.lifetimes_completed);
+
+  // Crash churn is itself deterministic per seed.
+  const load::FleetSoakResult again = load::run_fleet_soak(opt);
+  EXPECT_EQ(res.digest, again.digest);
+
+  // Restart recovery must not change routing decisions: the same seed
+  // without churn admits exactly the same population.
+  load::FleetSoakOptions calm = opt;
+  calm.crash_churn_every = 0;
+  const load::FleetSoakResult base = load::run_fleet_soak(calm);
+  EXPECT_EQ(res.admitted, base.admitted);
+  EXPECT_EQ(res.rejected, base.rejected);
 }
 
 }  // namespace

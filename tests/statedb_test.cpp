@@ -1,0 +1,232 @@
+// Control-plane state table: byte-deterministic journals, replay
+// equivalence across truncation, crash-at-every-journal-step migration
+// sweeps, router/quota restart reconvergence, and quota hysteresis
+// streak reconstruction. ctest label: fleet.
+#include <gtest/gtest.h>
+
+#include "fleet/controlplane.hpp"
+#include "load/scenario.hpp"
+
+namespace vapres {
+namespace {
+
+sched::AppRequest request(const std::string& name,
+                          std::vector<std::string> modules, int priority = 1,
+                          int interval = 8, std::uint64_t words = 64) {
+  sched::AppRequest r;
+  r.name = name;
+  r.modules = std::move(modules);
+  r.priority = priority;
+  r.source_interval_cycles = interval;
+  r.source_words = words;
+  return r;
+}
+
+/// Drives the same short mixed workload (submissions, one cross-fabric
+/// move, one stop) through a plane.
+void drive(fleet::ControlPlane& fc, std::uint64_t seed) {
+  load::ScenarioSpec spec =
+      load::ScenarioSpec::standard_fleet(seed, 25, 3, fc.num_fabrics());
+  load::ScenarioGenerator gen(spec);
+  while (auto ev = gen.next()) {
+    fc.advance_to(ev->at_cycle);
+    fc.submit("t" + std::to_string(ev->tenant), ev->request);
+    if (ev->migrate && !fc.running_ids().empty()) {
+      const int id = fc.running_ids().front();
+      fc.migrate(id, (fc.locate(id)->fabric + 1) % fc.num_fabrics());
+    }
+    if (ev->churn_stop && !fc.running_ids().empty()) {
+      fc.stop(fc.running_ids().front());
+    }
+  }
+}
+
+TEST(StateDb, SerializedRequestRoundTrips) {
+  const sched::AppRequest r = request("edge,case", {"gain_x2", "ma8"}, 3, 2, 99);
+  const sched::AppRequest back = fleet::parse_request(
+      fleet::serialize_request(r));
+  EXPECT_EQ(back.name, r.name);
+  EXPECT_EQ(back.modules, r.modules);
+  EXPECT_EQ(back.priority, r.priority);
+  EXPECT_EQ(back.source_interval_cycles, r.source_interval_cycles);
+  EXPECT_EQ(back.source_words, r.source_words);
+}
+
+TEST(StateDb, JournalBytesAreDeterministicPerIntentStream) {
+  fleet::ControlPlane a(fleet::FleetSpec::heterogeneous());
+  fleet::ControlPlane b(fleet::FleetSpec::heterogeneous());
+  drive(a, 42);
+  drive(b, 42);
+
+  // Same intent stream, byte-identical journal — the serialization has
+  // no map-order, pointer, or timing dependence.
+  EXPECT_GT(a.statedb().journal_depth(), 0u);
+  EXPECT_EQ(a.statedb().serialize_journal(), b.statedb().serialize_journal());
+  EXPECT_EQ(a.statedb().journal_digest(), b.statedb().journal_digest());
+  EXPECT_EQ(a.statedb().view_digest(), b.statedb().view_digest());
+
+  fleet::ControlPlane c(fleet::FleetSpec::heterogeneous());
+  drive(c, 43);
+  EXPECT_NE(a.statedb().journal_digest(), c.statedb().journal_digest());
+}
+
+TEST(StateDb, ReplayReproducesViewAcrossTruncation) {
+  fleet::ControlPlane fc(fleet::FleetSpec::heterogeneous());
+  drive(fc, 7);
+  EXPECT_EQ(fc.statedb().replayed_view_digest(), fc.statedb().view_digest());
+
+  // Truncation snapshots the view as the new replay base; the rolling
+  // journal digest is unaffected and replay still lands on the view.
+  const std::uint64_t rolling = fc.statedb().journal_digest();
+  fc.truncate_journal();
+  EXPECT_EQ(fc.statedb().journal_depth(), 0u);
+  EXPECT_EQ(fc.statedb().journal_digest(), rolling);
+  EXPECT_EQ(fc.statedb().replayed_view_digest(), fc.statedb().view_digest());
+
+  drive(fc, 8);
+  EXPECT_GT(fc.statedb().journal_depth(), 0u);
+  EXPECT_EQ(fc.statedb().replayed_view_digest(), fc.statedb().view_digest());
+}
+
+// The core crash-tolerance sweep: kill the MigrationAgent at *every*
+// journal version a migration can be mid-flight at. Whatever the step,
+// the restarted agent must finish the move — never lose the app.
+TEST(StateDb, MigrationSurvivesKillAtEveryJournalStep) {
+  for (std::uint64_t offset = 1; offset <= 10; ++offset) {
+    fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+    const fleet::RouteDecision d =
+        fc.submit("t0", request("amp", {"gain_x2"}));
+    ASSERT_TRUE(d.admitted);
+    const int dst = 1 - d.fabric;
+
+    fc.schedule_kill(fleet::AgentId::kMigration,
+                     fc.statedb().version() + offset);
+    const fleet::MigrateResult mr = fc.migrate(d.fleet_id, dst);
+    EXPECT_EQ(mr.outcome, fleet::MigrateOutcome::kMoved)
+        << "kill offset " << offset << ": "
+        << fleet::migrate_outcome_name(mr.outcome) << " (" << mr.reason
+        << ")";
+    EXPECT_TRUE(fc.running(d.fleet_id)) << "kill offset " << offset;
+    EXPECT_EQ(fc.locate(d.fleet_id)->fabric, dst) << "kill offset " << offset;
+    EXPECT_EQ(fc.counters().migrations_lost, 0u);
+    EXPECT_TRUE(fc.reconcile().empty());
+    EXPECT_EQ(fc.statedb().replayed_view_digest(),
+              fc.statedb().view_digest());
+  }
+}
+
+// Same sweep down the rollback path: the destination is saturated, so
+// the restarted agent must re-admit the app on its source fabric.
+TEST(StateDb, RollbackSurvivesKillAtEveryJournalStep) {
+  for (std::uint64_t offset = 1; offset <= 10; ++offset) {
+    fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+    const fleet::RouteDecision d =
+        fc.submit("t0", request("amp", {"gain_x2"}));
+    ASSERT_TRUE(d.admitted);
+    const int src = d.fabric;
+    const int dst = 1 - src;
+    for (int i = 0; i < 3; ++i) {
+      fc.scheduler(dst).submit(
+          request("fill" + std::to_string(i), {"gain_x2"}));
+    }
+    fc.scheduler(dst).run_admission();
+    ASSERT_EQ(fc.running_on(dst), 3);
+
+    fc.schedule_kill(fleet::AgentId::kMigration,
+                     fc.statedb().version() + offset);
+    const fleet::MigrateResult mr = fc.migrate(d.fleet_id, dst, false);
+    EXPECT_EQ(mr.outcome, fleet::MigrateOutcome::kRolledBack)
+        << "kill offset " << offset;
+    EXPECT_TRUE(fc.running(d.fleet_id)) << "kill offset " << offset;
+    EXPECT_EQ(fc.locate(d.fleet_id)->fabric, src) << "kill offset " << offset;
+    EXPECT_EQ(fc.counters().migrations_lost, 0u);
+    EXPECT_EQ(fc.statedb().replayed_view_digest(),
+              fc.statedb().view_digest());
+  }
+}
+
+// Killing the router mid-intent must not change where the submission
+// lands: the fresh router resumes from the journaled order and attempt
+// index.
+TEST(StateDb, RouterRestartResumesOpenIntent) {
+  fleet::ControlPlane undisturbed(fleet::FleetSpec::heterogeneous());
+  const fleet::RouteDecision want =
+      undisturbed.submit("t0", request("avg", {"ma8"}));
+  ASSERT_TRUE(want.admitted);
+
+  for (std::uint64_t offset = 1; offset <= 6; ++offset) {
+    fleet::ControlPlane fc(fleet::FleetSpec::heterogeneous());
+    fc.schedule_kill(fleet::AgentId::kRouter,
+                     fc.statedb().version() + offset);
+    const fleet::RouteDecision got = fc.submit("t0", request("avg", {"ma8"}));
+    EXPECT_EQ(got.admitted, want.admitted) << "kill offset " << offset;
+    EXPECT_EQ(got.fabric, want.fabric) << "kill offset " << offset;
+    EXPECT_EQ(got.order, want.order) << "kill offset " << offset;
+    EXPECT_EQ(fc.statedb().replayed_view_digest(),
+              fc.statedb().view_digest());
+  }
+}
+
+// A restarted QuotaAgent rebuilds its governor from the journaled
+// kTenantState rows: the grow streak resumes mid-count instead of
+// zeroing, so the third over-budget observation still triggers the
+// grow.
+TEST(StateDb, QuotaGrowStreakSurvivesRestart) {
+  fleet::FleetSpec spec = fleet::FleetSpec::uniform(1);
+  spec.quota.min_budget_prrs = 1;
+  spec.quota.initial_budget_prrs = 1;
+  spec.quota.max_budget_prrs = 8;
+  spec.quota.grow_observations = 3;
+  spec.quota.grow_step_prrs = 2;
+  spec.quota.elastic_slack_prrs = 0;  // overshoot freely while PRRs free
+  fleet::ControlPlane fc(spec);
+
+  // Three submissions: the first is within budget, the next two build
+  // the over-budget streak to 2 of 3.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        fc.submit("a", request("a" + std::to_string(i), {"gain_x2"}))
+            .admitted)
+        << i;
+  }
+  ASSERT_EQ(fc.governor().pressure("a"), 2);
+  ASSERT_EQ(fc.governor().budget("a"), 1);
+
+  EXPECT_TRUE(fc.restart_agent(fleet::AgentId::kQuota).empty());
+  EXPECT_EQ(fc.governor().pressure("a"), 2);  // restored, not zeroed
+  EXPECT_EQ(fc.governor().budget("a"), 1);
+  EXPECT_EQ(fc.governor().usage("a"), 3);
+
+  // The next over-budget observation completes the streak of 3.
+  fc.submit("a", request("a3", {"gain_x2"}));
+  EXPECT_EQ(fc.governor().budget("a"), 3);
+  EXPECT_EQ(fc.statedb().replayed_view_digest(), fc.statedb().view_digest());
+}
+
+TEST(StateDb, RestartsAreLedgeredPerAgent) {
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+  EXPECT_EQ(fc.agent_restarts(), 0u);
+  EXPECT_TRUE(fc.restart_agent(fleet::AgentId::kRouter).empty());
+  EXPECT_TRUE(fc.restart_agent(fleet::AgentId::kRouter).empty());
+  EXPECT_TRUE(fc.restart_agent(fleet::fabric_agent_id(1)).empty());
+  EXPECT_EQ(fc.agent_restarts(), 3u);
+  EXPECT_EQ(fc.statedb().restarts(fleet::AgentId::kRouter), 2u);
+  EXPECT_EQ(fc.statedb().restarts(fleet::fabric_agent_id(1)), 1u);
+  EXPECT_EQ(fc.statedb().restarts(fleet::AgentId::kQuota), 0u);
+}
+
+TEST(StateDb, FleetStatusReportsPlaneState) {
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+  ASSERT_TRUE(fc.submit("t0", request("amp", {"gain_x2"})).admitted);
+  fc.restart_agent(fleet::AgentId::kQuota);
+
+  const std::string s = fc.fleet_status();
+  EXPECT_NE(s.find("journal"), std::string::npos) << s;
+  EXPECT_NE(s.find("router"), std::string::npos) << s;
+  EXPECT_NE(s.find("quota"), std::string::npos) << s;
+  EXPECT_NE(s.find(fc.fabric_name(0)), std::string::npos) << s;
+  EXPECT_NE(s.find("t0"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace vapres
