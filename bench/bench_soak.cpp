@@ -19,7 +19,15 @@
 //     histories, never-retired records, leaked bitstream copies).
 //
 // --quick additionally replays the same seed and insists on a
-// bit-identical run digest (the determinism gate sized for tier-1).
+// bit-identical run digest (the determinism gate sized for tier-1), and
+// runs the snap checkpoint/restore gates (docs/SNAPSHOT.md):
+//
+//   - restore-mid-soak: for three seeds, a run checkpointed mid-stream,
+//     stopped, and resumed from the blob must finish with the same
+//     digest as the uninterrupted run, bit for bit;
+//   - checkpoint overhead: a run checkpointing every 256 submissions
+//     must spend <= 5% of its wall time inside checkpointing, and its
+//     digest must still match the checkpoint-free run.
 //
 // Usage: bench_soak [--lifetimes=N] [--seed=S] [--sweep=K] [--quick]
 // Emits BENCH_soak.json; exits non-zero on any gate failure.
@@ -111,6 +119,69 @@ RunOutcome run_one(std::uint64_t seed, std::uint64_t lifetimes,
   return out;
 }
 
+/// The snap subsystem's soak gates (docs/SNAPSHOT.md): restore-mid-soak
+/// digest equality over three seeds, plus the <= 5% checkpoint-overhead
+/// cap. `baseline_digest` is the plain quick run's digest for the same
+/// seed/lifetimes (the overhead run must reproduce it).
+struct SnapOutcome {
+  int restore_seeds_ok = 0;
+  double checkpoint_overhead_pct = 0.0;
+  std::vector<std::string> failures;
+};
+
+SnapOutcome run_snap_gates(std::uint64_t seed, std::uint64_t lifetimes,
+                           std::uint64_t baseline_digest) {
+  SnapOutcome out;
+  auto gate = [&out](bool ok, const std::string& what) {
+    if (!ok) out.failures.push_back(what);
+  };
+
+  for (std::uint64_t s = seed; s < seed + 3; ++s) {
+    load::SoakOptions base;
+    base.seed = s;
+    base.lifetimes = 600;
+    const load::SoakResult plain = load::run_soak(base);
+
+    load::SoakOptions crash = base;
+    std::string blob;
+    crash.snapshot_at = 300;
+    crash.snapshot_out = &blob;
+    crash.stop_at_snapshot = true;
+    load::run_soak(crash);
+
+    load::SoakOptions resume = base;
+    resume.resume_from = blob;
+    const load::SoakResult resumed = load::run_soak(resume);
+
+    const bool match =
+        resumed.digest == plain.digest && resumed.ok() && plain.ok();
+    if (match) ++out.restore_seeds_ok;
+    gate(match, "restore-mid-soak: seed " + std::to_string(s) +
+                    " resumed run diverged (plain " +
+                    std::to_string(plain.digest) + ", resumed " +
+                    std::to_string(resumed.digest) + ")");
+  }
+
+  load::SoakOptions oh;
+  oh.seed = seed;
+  oh.lifetimes = lifetimes;
+  oh.snapshot_every = 256;
+  const load::SoakResult ohr = load::run_soak(oh);
+  out.checkpoint_overhead_pct =
+      ohr.wall_seconds > 0.0
+          ? 100.0 * ohr.checkpoint_wall_seconds / ohr.wall_seconds
+          : 0.0;
+  gate(ohr.digest == baseline_digest,
+       "checkpointing perturbed the run: digest " +
+           std::to_string(ohr.digest) + " != baseline " +
+           std::to_string(baseline_digest));
+  gate(ohr.snapshots_taken > 0, "overhead run took no snapshots");
+  gate(out.checkpoint_overhead_pct <= 5.0,
+       "checkpoint overhead " + std::to_string(out.checkpoint_overhead_pct) +
+           "% of wall time exceeds the 5% cap");
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +226,20 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(out));
   }
 
+  SnapOutcome snap;
+  if (quick) {
+    std::printf("\n-- snap gates (restore-mid-soak + checkpoint "
+                "overhead) --\n");
+    snap = run_snap_gates(seed, lifetimes, runs.front().res.digest);
+    std::printf("restore-mid-soak: %d/3 seeds bit-identical; checkpoint "
+                "overhead %.2f%% of wall time\n",
+                snap.restore_seeds_ok, snap.checkpoint_overhead_pct);
+    for (const std::string& f : snap.failures) {
+      std::printf("GATE FAIL: %s\n", f.c_str());
+      pass = false;
+    }
+  }
+
   std::FILE* f = std::fopen("BENCH_soak.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"lifetimes\": %llu,\n  \"quick\": %s,\n",
@@ -186,8 +271,14 @@ int main(int argc, char** argv) {
           runs[i].deterministic ? "true" : "false", runs[i].failures.size(),
           i + 1 < runs.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n");
+    if (quick) {
+      std::fprintf(f,
+                   "  \"snap\": {\"restore_seeds_ok\": %d, "
+                   "\"checkpoint_overhead_pct\": %.2f},\n",
+                   snap.restore_seeds_ok, snap.checkpoint_overhead_pct);
+    }
     std::fprintf(f,
-                 "  ],\n"
                  "  \"thresholds\": {\"min_lifetimes_per_sec\": %.1f, "
                  "\"max_p99_submit_to_launch\": %llu, "
                  "\"rss_plateau_ratio\": %.2f, "

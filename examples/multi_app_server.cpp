@@ -28,6 +28,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
+#include "snap/system_snapshot.hpp"
 
 using namespace vapres;
 
@@ -97,6 +98,36 @@ int run_fleet_demo(std::uint64_t seed) {
   return 0;
 }
 
+/// --restore: rebuild the fabric and scheduler from a snapshot file
+/// written by --checkpoint (docs/SNAPSHOT.md), let the survivors stream
+/// on, and print the same closing report a fresh run would.
+int run_restored(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read snapshot file %s\n", path.c_str());
+    return 1;
+  }
+  const std::string blob((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  auto sys = snap::SystemSnapshot::restore_system(blob, load::server_params());
+  auto sched = snap::SystemSnapshot::restore_scheduler(blob, *sys);
+  std::printf("=== multi-app server: restored from %s (epoch %llu, "
+              "%zu running apps) ===\n\n",
+              path.c_str(),
+              static_cast<unsigned long long>(snap::SystemSnapshot::epoch(blob)),
+              sched->running_apps().size());
+
+  sys->run_system_cycles(5'000);
+  std::printf("%s\n", sched->accounting().to_string().c_str());
+  std::printf("fabric utilization now: %.1f%%  (free PRRs: %d/4)\n",
+              100.0 * sched->fabric_utilization(),
+              sched->fabric().free_count());
+  const auto stats = core::collect_stats(*sys);
+  std::printf("words discarded fabric-wide: %llu (hitless: must be 0)\n",
+              static_cast<unsigned long long>(stats.total_discarded()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,7 +137,13 @@ int main(int argc, char** argv) {
   // direct admissions, a defrag relocation, preemption, and rejection).
   // --fleet: route the workload through a 2-fabric control plane
   // instead and print its fleet_status() dump.
+  // --checkpoint=<file>: after the workload drains, write a full-system
+  // snapshot (fabric + scheduler, docs/SNAPSHOT.md) to <file>.
+  // --restore=<file>: skip the workload and resume from a snapshot
+  // written by an earlier --checkpoint run.
   std::string trace_path;
+  std::string checkpoint_path;
+  std::string restore_path;
   std::uint64_t seed = 5;
   bool fleet_mode = false;
   for (int i = 1; i < argc; ++i) {
@@ -116,9 +153,14 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[i] + 7, nullptr, 0);
     } else if (std::strcmp(argv[i], "--fleet") == 0) {
       fleet_mode = true;
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      checkpoint_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--restore=", 10) == 0) {
+      restore_path = argv[i] + 10;
     }
   }
   if (fleet_mode) return run_fleet_demo(seed);
+  if (!restore_path.empty()) return run_restored(restore_path);
   if (!trace_path.empty()) {
     // Everything except the kernel lane: a full server run emits tens
     // of thousands of domain sleep/wake instants, which would evict the
@@ -177,6 +219,30 @@ int main(int argc, char** argv) {
   const auto stats = core::collect_stats(sys);
   std::printf("words discarded fabric-wide: %llu (hitless: must be 0)\n",
               static_cast<unsigned long long>(stats.total_discarded()));
+
+  if (!checkpoint_path.empty()) {
+    // Reach the cold-snapshot barrier, then persist the whole system +
+    // scheduler; `--restore=<file>` resumes exactly here.
+    sys.drain_transfer_path();
+    while (sys.prefetch().pending() > 0 || sys.prefetch().staging()) {
+      sys.run_system_cycles(64);
+    }
+    const std::string blob = snap::SystemSnapshot::save(
+        sys, gen.spec().total_submissions(), &sched);
+    std::ofstream out(checkpoint_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write snapshot file %s\n",
+                   checkpoint_path.c_str());
+      return 1;
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    std::printf("\nwrote snapshot (%zu bytes, epoch %llu, %zu running "
+                "apps) to %s\n",
+                blob.size(),
+                static_cast<unsigned long long>(
+                    snap::SystemSnapshot::epoch(blob)),
+                sched.running_apps().size(), checkpoint_path.c_str());
+  }
 
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

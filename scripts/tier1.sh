@@ -49,9 +49,11 @@ echo "=== tier-1: sustained-load soak gate (bench_soak --quick) ==="
 # leaks, accounting drift, word loss, stream gaps), on throughput under
 # 20 lifetimes/s, p99 admission->launch over 32M MB cycles, an RSS
 # plateau breach, or a digest mismatch between the two runs
-# (determinism). Writes BENCH_soak.json in the build dir; the full
-# 10^5-lifetime sweep is `bench_soak --lifetimes=100000 --sweep=3`
-# (docs/LOADGEN.md).
+# (determinism). --quick also runs the snap checkpoint/restore gates:
+# restore-mid-soak digest equality over three seeds and the <= 5%
+# checkpoint-overhead cap (docs/SNAPSHOT.md). Writes BENCH_soak.json in
+# the build dir; the full 10^5-lifetime sweep is
+# `bench_soak --lifetimes=100000 --sweep=3` (docs/LOADGEN.md).
 cmake --build "$BUILD" -j --target bench_soak
 (cd "$BUILD" && ./bench/bench_soak --quick)
 
@@ -95,20 +97,23 @@ print(f"trace OK: {len(events)} events, all 9 switch steps present")
 EOF
 
 echo
-echo "=== tier-1: sched/soak/fleet-labeled tests under address,undefined ==="
+echo "=== tier-1: sched/soak/fleet/snap-labeled tests under address,undefined ==="
 # The soak smoke (soak_test, ~10^3 lifetimes, including the
 # agent-crash-churn fleet run), the fleet router tests (fleet_test:
-# cross-fabric migration rollback, master adoption, quota preemption),
-# and the control-plane state-table tests (statedb_test:
-# kill-at-every-journal-step migration sweeps, restart reconvergence)
-# ride along under ASan: sustained submit/stop churn, teardown-on-src +
-# replay-on-dst moves, and agent destroy/reconstruct cycles are the
-# workloads most likely to surface lifetime bugs the single-scenario
-# sched tests miss.
+# cross-fabric migration rollback, master adoption, quota preemption,
+# checkpoint/failover), the control-plane state-table tests
+# (statedb_test: kill-at-every-journal-step migration sweeps, restart
+# reconvergence), and the checkpoint/restore tests (snap_test: cold
+# restore byte-determinism, warm-restart reconciliation, switch
+# resume/rollback from every journaled step — docs/SNAPSHOT.md) ride
+# along under ASan: sustained submit/stop churn, teardown-on-src +
+# replay-on-dst moves, agent destroy/reconstruct cycles, and whole-
+# system serialize/reconstruct round-trips are the workloads most
+# likely to surface lifetime bugs the single-scenario sched tests miss.
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
 cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test soak_test \
-  fleet_test statedb_test
-ctest --test-dir "$SAN_BUILD" -L 'sched|soak|fleet' --output-on-failure
+  fleet_test statedb_test snap_test
+ctest --test-dir "$SAN_BUILD" -L 'sched|soak|fleet|snap' --output-on-failure
 
 echo
 echo "tier-1: all green"

@@ -36,6 +36,10 @@
 #include "bitstream/storage.hpp"
 #include "core/reconfig.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::bitman {
 
 class PrefetchEngine;
@@ -156,6 +160,11 @@ class BitstreamManager {
   }
 
  private:
+  // Checkpoint/restore overlays residency metadata (LRU ticks, pins,
+  // prefetched flags), stats, and the per-PRR predictor tables
+  // (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   struct Entry {
     std::uint64_t last_use = 0;
     int pins = 0;

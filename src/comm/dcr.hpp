@@ -13,6 +13,10 @@
 
 #include "sim/check.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::comm {
 
 using DcrAddress = std::uint32_t;
@@ -47,6 +51,10 @@ class DcrBus {
   std::uint64_t total_accesses() const { return accesses_; }
 
  private:
+  // Checkpoint/restore overlays the access counter, which restore-time
+  // socket writes would otherwise inflate (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   DcrSlave* find(DcrAddress address) const;
 
   std::map<DcrAddress, DcrSlave*> slaves_;

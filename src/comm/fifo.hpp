@@ -17,6 +17,10 @@
 #include "sim/check.hpp"
 #include "sim/component.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::comm {
 
 class Fifo {
@@ -68,6 +72,10 @@ class Fifo {
   std::uint64_t fault_duplicated() const { return fault_duplicated_; }
 
  private:
+  // Checkpoint/restore overlays contents and counters without waking
+  // targets or drawing fault opportunities (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   void wake_targets();
 
   std::string name_;

@@ -14,6 +14,10 @@
 
 #include "comm/fifo.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::comm {
 
 class FslLink {
@@ -48,6 +52,8 @@ class FslLink {
   std::uint64_t total_written() const { return fifo_.total_pushed(); }
 
  private:
+  friend class ::vapres::snap::SystemSnapshot;
+
   std::string name_;
   Fifo fifo_;
 };

@@ -26,6 +26,10 @@
 #include "comm/flit.hpp"
 #include "sim/component.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::comm {
 
 enum class BackpressurePolicy {
@@ -90,6 +94,8 @@ class ProducerInterface final : public sim::Clocked {
   int width_bits() const { return width_bits_; }
 
  private:
+  friend class ::vapres::snap::SystemSnapshot;
+
   std::string name_;
   Fifo fifo_;
   int width_bits_;
@@ -149,6 +155,8 @@ class ConsumerInterface final : public sim::Clocked {
   bool quiescent() const override;
 
  private:
+  friend class ::vapres::snap::SystemSnapshot;
+
   bool threshold_reached() const;
 
   std::string name_;

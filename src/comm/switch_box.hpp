@@ -24,6 +24,10 @@
 #include "comm/flit.hpp"
 #include "sim/component.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::comm {
 
 /// Lane-count parameters of one switch box.
@@ -88,6 +92,8 @@ class SwitchBox final : public sim::Clocked {
   bool quiescent() const override;
 
  private:
+  friend class ::vapres::snap::SystemSnapshot;
+
   void check_input(int port) const;
   void check_output(int port) const;
 

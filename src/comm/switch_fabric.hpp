@@ -24,6 +24,10 @@
 #include "comm/switch_box.hpp"
 #include "sim/clock.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::comm {
 
 /// A fully specified streaming-channel route: endpoints plus the lane to
@@ -81,6 +85,11 @@ class SwitchFabric {
   std::size_t active_routes() const { return routes_.size(); }
 
  private:
+  // Checkpoint/restore re-establishes routes under their original ids
+  // (forcing next_route_id_) and overlays feedback-pipeline stages
+  // (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   /// Backward shift register carrying the consumer's full signal to the
   /// producer with one register per traversed switch box.
   class FeedbackPipeline final : public sim::Clocked {
@@ -95,6 +104,8 @@ class SwitchFabric {
     std::string name() const override { return "feedback"; }
 
    private:
+    friend class ::vapres::snap::SystemSnapshot;
+
     const bool* source_;
     std::vector<bool> stages_;
     bool output_ = false;

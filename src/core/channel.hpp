@@ -18,6 +18,10 @@
 
 #include "comm/switch_fabric.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::core {
 
 struct ChannelEndpoint {
@@ -60,6 +64,12 @@ class ChannelManager {
   static int dcr_writes_for(const comm::RouteSpec& spec);
 
  private:
+  // Checkpoint/restore re-registers channels under their original ids
+  // with their exact saved route specs — replaying establish() could
+  // pick different lanes than the saved interleaving of establishes and
+  // releases did (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   struct Entry {
     comm::RouteId route = 0;
     comm::RouteSpec spec;

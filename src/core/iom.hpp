@@ -28,6 +28,10 @@
 #include "sim/clock.hpp"
 #include "sim/component.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::core {
 
 /// Message the IOM writes on its r-link when it sees the end-of-stream
@@ -113,6 +117,11 @@ class Iom final : public sim::Clocked {
   bool quiescent() const override;
 
  private:
+  // Checkpoint/restore overlays source/sink counters and re-installs
+  // generators without resetting pending/next_emit_cycle
+  // (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   struct Source {
     std::unique_ptr<comm::ProducerInterface> interface;
     std::function<std::optional<comm::Word>()> generator;

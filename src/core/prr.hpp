@@ -23,6 +23,10 @@
 #include "hwmodule/wrapper.hpp"
 #include "sim/simulator.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::core {
 
 class Prr {
@@ -73,6 +77,8 @@ class Prr {
   int reconfiguration_count() const { return reconfigurations_; }
 
  private:
+  friend class ::vapres::snap::SystemSnapshot;
+
   std::string name_;
   int index_;
   fabric::ClbRect rect_;

@@ -28,6 +28,10 @@
 #include "proc/microblaze.hpp"
 #include "sim/simulator.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::core {
 
 /// Cycle decomposition of one reconfiguration call, matching the paper's
@@ -135,6 +139,10 @@ class ReconfigManager {
   bool verify_after_write() const { return verify_; }
 
  private:
+  // Checkpoint/restore overlays the lifetime counters and last-breakdown
+  // record; snapshots require !busy() (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   /// One in-flight reconfiguration, surviving across retry attempts.
   struct Inflight {
     bitstream::PartialBitstream bs;

@@ -38,6 +38,10 @@
 #include "obs/bus.hpp"
 #include "proc/microblaze.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::core {
 
 struct SwitchRequest {
@@ -114,6 +118,10 @@ class ModuleSwitcher final : public proc::SoftwareTask {
   ChannelId new_downstream() const { return new_downstream_; }
 
  private:
+  // Warm restart journals the protocol state and rebuilds an equivalent
+  // in-flight switcher on a fresh controller (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   Rsb& rsb() { return sys_.rsb(req_.rsb_index); }
   void reroute(ChannelId old_channel, ChannelEndpoint new_producer,
                ChannelEndpoint new_consumer, ChannelId& out,

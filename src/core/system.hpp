@@ -25,6 +25,10 @@
 #include "proc/microblaze.hpp"
 #include "sim/simulator.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::core {
 
 /// Which storage a timed reconfiguration reads the bitstream from.
@@ -126,6 +130,10 @@ class VapresSystem {
   void drain_transfer_path();
 
  private:
+  // Checkpoint/restore walks every owned component to serialize and
+  // overlay raw state (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   std::vector<fabric::ClbRect> auto_floorplan() const;
 
   SystemParams params_;

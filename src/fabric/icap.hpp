@@ -21,6 +21,10 @@
 #include "sim/fault.hpp"
 #include "sim/time.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::fabric {
 
 /// Outcome of one ICAP transfer, as seen by the port's CRC/handshake
@@ -59,6 +63,10 @@ class IcapPort {
   int timed_out_transfers() const { return timed_out_; }
 
  private:
+  // Checkpoint/restore overlays the lifetime byte/transfer counters;
+  // snapshots require !busy() (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   double port_clock_mhz_;
   bool busy_ = false;
   std::int64_t inflight_bytes_ = 0;

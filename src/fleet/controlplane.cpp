@@ -6,6 +6,7 @@
 #include "obs/bus.hpp"
 #include "obs/metrics.hpp"
 #include "sim/check.hpp"
+#include "snap/system_snapshot.hpp"
 
 namespace vapres::fleet {
 
@@ -43,6 +44,7 @@ ControlPlane::ControlPlane(const FleetSpec& spec,
                                                              spec_.scheduler);
     fabrics_.push_back(std::move(f));
   }
+  checkpoints_.resize(fabrics_.size());
   for (int i = 0; i < num_fabrics(); ++i) {
     Fabric& f = *fabrics_[static_cast<std::size_t>(i)];
     fabric_agents_.push_back(std::make_unique<FabricAgent>(
@@ -352,12 +354,131 @@ std::vector<std::string> ControlPlane::restart_agent(AgentId agent) {
 }
 
 std::vector<std::string> ControlPlane::reconcile() {
+  ++reconciles_run_;
   std::vector<std::string> violations;
   for (const auto& fa : fabric_agents_) {
     std::vector<std::string> v = fa->reconcile();
     violations.insert(violations.end(), v.begin(), v.end());
   }
   return violations;
+}
+
+std::uint64_t ControlPlane::checkpoint_fabric(int index) {
+  Fabric& f = fabric(index);
+  // Cold-snapshot barrier (the same one load/soak.cpp reaches): no
+  // reconfiguration or prefetch in flight when the blob is cut.
+  f.sys->drain_transfer_path();
+  while (f.sys->prefetch().pending() > 0 || f.sys->prefetch().staging()) {
+    f.sys->run_system_cycles(64);
+  }
+  FabricCheckpoint cp;
+  cp.epoch = db_.version();
+  cp.blob = snap::SystemSnapshot::save(*f.sys, cp.epoch, f.sched.get());
+  cp.cycle = f.sys->system_clock().cycle_count();
+  cp.running = running_on(index);
+  const JournalEntry& e = db_.append(
+      AgentId::kOrchestrator, Op::kFabricCheckpoint, index,
+      {static_cast<std::int64_t>(cp.epoch),
+       static_cast<std::int64_t>(cp.blob.size()), cp.running, 0});
+  cp.version = e.version;
+  const std::uint64_t epoch = cp.epoch;
+  checkpoints_[static_cast<std::size_t>(index)] = std::move(cp);
+  ++checkpoints_taken_;
+  ctr("fleet.checkpoint.taken").add();
+  return epoch;
+}
+
+void ControlPlane::checkpoint_all() {
+  for (int i = 0; i < num_fabrics(); ++i) checkpoint_fabric(i);
+}
+
+const FabricCheckpoint* ControlPlane::last_checkpoint(int index) const {
+  VAPRES_REQUIRE(index >= 0 && index < num_fabrics(),
+                 "fabric out of range");
+  const auto& cp = checkpoints_[static_cast<std::size_t>(index)];
+  return cp ? &*cp : nullptr;
+}
+
+void ControlPlane::kill_fabric(int index) {
+  Fabric& f = fabric(index);
+  f.sched.reset();
+  f.sys = std::make_unique<core::VapresSystem>(
+      spec_.fabrics[static_cast<std::size_t>(index)].params);
+  f.sys->bring_up_all_sites();
+  f.sched = std::make_unique<sched::ApplicationScheduler>(*f.sys,
+                                                          spec_.scheduler);
+  fabric_agents_[static_cast<std::size_t>(index)] =
+      std::make_unique<FabricAgent>(
+          index, FabricHost{f.name, f.sys.get(), f.sched.get()}, db_,
+          counters_);
+  fabric_agents_[static_cast<std::size_t>(index)]->restart();
+}
+
+FailoverResult ControlPlane::failover(int crashed, int spare) {
+  VAPRES_REQUIRE(spare >= 0 && spare < num_fabrics() && crashed >= 0 &&
+                     crashed < num_fabrics(),
+                 "failover fabric out of range");
+  VAPRES_REQUIRE(crashed != spare, "failover needs a distinct spare");
+  const auto& cp = checkpoints_[static_cast<std::size_t>(crashed)];
+  VAPRES_REQUIRE(cp.has_value(), "failover: fabric '" +
+                                     fabric(crashed).name +
+                                     "' was never checkpointed");
+
+  FailoverResult r;
+  r.from_fabric = crashed;
+  r.to_fabric = spare;
+  r.epoch = cp->epoch;
+  db_.append(AgentId::kOrchestrator, Op::kFailover, crashed,
+             {spare, static_cast<std::int64_t>(cp->epoch)},
+             fabric(crashed).name + "->" + fabric(spare).name);
+
+  // Reconstruct the crashed fabric's checkpointed state off to the side
+  // — the blob is the only surviving truth — then seed the spare with
+  // the relocation masters the moved apps will need.
+  auto ghost_sys =
+      snap::SystemSnapshot::restore_system(
+          cp->blob, spec_.fabrics[static_cast<std::size_t>(crashed)].params);
+  auto ghost_sched = snap::SystemSnapshot::restore_scheduler(cp->blob,
+                                                             *ghost_sys);
+  fabric(spare).sched->adopt_masters(ghost_sched->store());
+
+  // Copy the rows first: the per-app journal appends mutate the view.
+  std::vector<std::pair<int, AppRow>> rows;
+  for (const auto& [id, row] : db_.apps()) {
+    if (row.fabric == crashed) rows.emplace_back(id, row);
+  }
+  for (const auto& [id, row] : rows) {
+    const sched::AppRecord& rec = ghost_sched->app(row.local);
+    if (!rec.running()) {
+      db_.append(AgentId::kOrchestrator, Op::kAppRemoved, id,
+                 {static_cast<std::int64_t>(RemoveCause::kRetired)});
+      ++r.apps_retired;
+      continue;
+    }
+    const FabricAgent::AdmitOutcome out =
+        fabric_agents_[static_cast<std::size_t>(spare)]->admit_raw(
+            rec.request);
+    if (out.running) {
+      db_.append(AgentId::kOrchestrator, Op::kAppLocation, id,
+                 {spare, out.local, row.tenant});
+      ++r.apps_restored;
+      r.restored_ids.push_back(id);
+      ctr("fleet.failover.apps_restored").add();
+    } else {
+      db_.append(AgentId::kOrchestrator, Op::kAppRemoved, id,
+                 {static_cast<std::int64_t>(RemoveCause::kLost)});
+      ++r.apps_lost;
+      ctr("fleet.failover.apps_lost").add();
+    }
+  }
+
+  ++failovers_;
+  failover_apps_restored_ += static_cast<std::uint64_t>(r.apps_restored);
+  failover_apps_lost_ += static_cast<std::uint64_t>(r.apps_lost);
+  ctr("fleet.failover.performed").add();
+  quota_->sync_usage();
+  refresh_gauges();
+  return r;
 }
 
 std::uint64_t ControlPlane::agent_restarts() const {
@@ -417,6 +538,24 @@ std::string ControlPlane::fleet_status() const {
          " rolled back, " + std::to_string(counters_.migrations_skipped) +
          " skipped, " + std::to_string(counters_.migrations_lost) +
          " lost\n";
+  for (int i = 0; i < num_fabrics(); ++i) {
+    const FabricCheckpoint* cp = last_checkpoint(i);
+    if (cp == nullptr) {
+      out += "  checkpoint " + fabric(i).name + ": none\n";
+    } else {
+      out += "  checkpoint " + fabric(i).name + ": epoch " +
+             std::to_string(cp->epoch) + " @v" +
+             std::to_string(cp->version) + ", " +
+             std::to_string(cp->blob.size()) + " bytes, " +
+             std::to_string(cp->running) + " running, cycle " +
+             std::to_string(cp->cycle) + "\n";
+    }
+  }
+  out += "  failovers: " + std::to_string(failovers_) + " performed, " +
+         std::to_string(failover_apps_restored_) + " apps restored, " +
+         std::to_string(failover_apps_lost_) + " lost; " +
+         std::to_string(checkpoints_taken_) + " checkpoints, " +
+         std::to_string(reconciles_run_) + " reconciles\n";
   return out;
 }
 

@@ -71,6 +71,27 @@ struct MigrateResult {
   std::string reason;
 };
 
+/// One fabric's most recent full-system checkpoint (snap subsystem,
+/// docs/SNAPSHOT.md): the system+scheduler blob plus capture metadata.
+struct FabricCheckpoint {
+  std::string blob;
+  std::uint64_t epoch = 0;    ///< journal version at capture (blob epoch)
+  std::uint64_t version = 0;  ///< version of the kFabricCheckpoint row
+  sim::Cycles cycle = 0;      ///< fabric system-clock cycle at capture
+  int running = 0;            ///< running apps captured in the blob
+};
+
+/// What failover(crashed, spare) did with the crashed fabric's apps.
+struct FailoverResult {
+  int from_fabric = -1;
+  int to_fabric = -1;
+  std::uint64_t epoch = 0;  ///< checkpoint epoch restored from
+  int apps_restored = 0;    ///< running on the spare under their fleet ids
+  int apps_retired = 0;     ///< already terminal in the checkpoint
+  int apps_lost = 0;        ///< spare refused admission (gated at zero)
+  std::vector<int> restored_ids;  ///< fleet ids restored, in table order
+};
+
 class ControlPlane {
  public:
   using Counters = FleetCounters;
@@ -158,9 +179,39 @@ class ControlPlane {
   /// Total agent restarts (from the table's restart ledger).
   std::uint64_t agent_restarts() const;
 
+  // ---- checkpoint / failover (snap subsystem, docs/SNAPSHOT.md) --------
+
+  /// Quiesces `fabric` to the cold-snapshot barrier and captures a full
+  /// system+scheduler checkpoint tagged with the current journal
+  /// version; journals kFabricCheckpoint. Returns the checkpoint epoch.
+  /// Call periodically (the fleet soak does so per sweep) so failover
+  /// always has a recent blob.
+  std::uint64_t checkpoint_fabric(int fabric);
+  /// checkpoint_fabric() over every fabric.
+  void checkpoint_all();
+  /// Most recent checkpoint of `fabric` (nullptr before the first).
+  const FabricCheckpoint* last_checkpoint(int fabric) const;
+
+  /// Simulated fabric loss: destroys the fabric's system, scheduler,
+  /// and agent, and brings up a blank replacement (journaling the agent
+  /// restart). Table rows still point at the dead fabric — call
+  /// failover() next; resolving those fleet ids in between is invalid.
+  void kill_fabric(int fabric);
+
+  /// Restores the crashed fabric's checkpointed apps onto `spare`:
+  /// reconstructs the last checkpoint off to the side, adopts its
+  /// relocation masters, replay-admits every running app on the spare
+  /// under its original fleet id, and journals every move
+  /// (kFailover + per-app kAppLocation/kAppRemoved rows).
+  FailoverResult failover(int crashed, int spare);
+
+  std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t reconciles_run() const { return reconciles_run_; }
+
   /// Operator-facing text dump: journal version/depth/digest, per-agent
-  /// restart counts, per-fabric occupancy from the table, tenants,
-  /// decision counters.
+  /// restart counts, per-fabric occupancy from the table, per-fabric
+  /// checkpoint epochs, tenants, decision/failover counters.
   std::string fleet_status() const;
 
  private:
@@ -186,6 +237,12 @@ class ControlPlane {
   std::unique_ptr<CostModel> model_;
   StateDb db_;
   FleetCounters counters_;
+  std::vector<std::optional<FabricCheckpoint>> checkpoints_;
+  std::uint64_t checkpoints_taken_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t failover_apps_restored_ = 0;
+  std::uint64_t failover_apps_lost_ = 0;
+  std::uint64_t reconciles_run_ = 0;
   std::vector<std::unique_ptr<FabricAgent>> fabric_agents_;
   std::unique_ptr<QuotaAgent> quota_;
   std::unique_ptr<RouterAgent> router_;

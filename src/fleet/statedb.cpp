@@ -72,6 +72,8 @@ const char* op_name(Op op) {
     case Op::kFabricState: return "fabric_state";
     case Op::kPreemption: return "preemption";
     case Op::kAgentRestart: return "agent_restart";
+    case Op::kFabricCheckpoint: return "fabric_checkpoint";
+    case Op::kFailover: return "failover";
   }
   return "?";
 }
@@ -335,7 +337,11 @@ void StateDb::apply(View& v, const JournalEntry& e) {
       }
       break;
     case Op::kAgentRestart:
-      break;  // audit-only entry; no view change
+    case Op::kFabricCheckpoint:
+    case Op::kFailover:
+      // Audit-only entries; the view moves via the kAppLocation /
+      // kAppRemoved rows a failover writes per app.
+      break;
   }
 }
 

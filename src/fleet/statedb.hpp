@@ -83,6 +83,16 @@ enum class Op : std::uint8_t {
   kPreemption = 13,
   /// key = (int) AgentId of the restarted agent.
   kAgentRestart = 14,
+  /// key = fabric; args = {checkpoint epoch (journal version at capture),
+  /// blob bytes, running apps captured, 0}. Audit row for one full-system
+  /// snap checkpoint of a fabric (docs/SNAPSHOT.md); the blob itself
+  /// lives in the ControlPlane, not the journal.
+  kFabricCheckpoint = 15,
+  /// key = crashed fabric; args = {spare fabric, checkpoint epoch
+  /// restored from, 0, 0}; note = "crashed->spare" names. Opens a
+  /// failover: the kAppLocation/kAppRemoved rows that follow move every
+  /// checkpointed app to the spare (or account for it explicitly).
+  kFailover = 16,
 };
 
 const char* op_name(Op op);

@@ -140,6 +140,33 @@ void CompositeBehavior::restore_state(std::span<const Word> state) {
                  type_id_ + ": trailing words in composite state");
 }
 
+std::vector<Word> CompositeBehavior::snapshot_extra() const {
+  std::vector<Word> out;
+  for (const auto& s : stages_) {
+    const auto extra = s->snapshot_extra();
+    out.push_back(static_cast<Word>(extra.size()));
+    out.insert(out.end(), extra.begin(), extra.end());
+  }
+  return out;
+}
+
+void CompositeBehavior::restore_extra(std::span<const Word> extra) {
+  std::size_t cursor = 0;
+  for (auto& s : stages_) {
+    VAPRES_REQUIRE(cursor < extra.size(),
+                   type_id_ + ": truncated composite extra frame");
+    const std::size_t len = extra[cursor++];
+    VAPRES_REQUIRE(cursor + len <= extra.size(),
+                   type_id_ + ": truncated composite extra frame");
+    if (len > 0 || !s->snapshot_extra().empty()) {
+      s->restore_extra(extra.subspan(cursor, len));
+    }
+    cursor += len;
+  }
+  VAPRES_REQUIRE(cursor == extra.size(),
+                 type_id_ + ": trailing words in composite extra frame");
+}
+
 void CompositeBehavior::reset() {
   for (auto& s : stages_) s->reset();
   for (auto& b : buffers_) b.clear();

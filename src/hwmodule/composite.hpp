@@ -33,6 +33,9 @@ class CompositeBehavior final : public ModuleBehavior {
   bool pipeline_empty() const override;
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
+  /// Concatenated per-stage extras, framed [count, words...] per stage.
+  std::vector<Word> snapshot_extra() const override;
+  void restore_extra(std::span<const Word> extra) override;
   void reset() override;
   /// Quiescent only when every stage is and the inter-stage buffers hold
   /// no words still advancing through the pipeline.

@@ -9,4 +9,9 @@ void ModuleBehavior::restore_state(std::span<const Word> state) {
                  type_id() + " does not accept state registers");
 }
 
+void ModuleBehavior::restore_extra(std::span<const Word> extra) {
+  VAPRES_REQUIRE(extra.empty(),
+                 type_id() + " does not carry extra snapshot registers");
+}
+
 }  // namespace vapres::hwmodule

@@ -76,6 +76,14 @@ class ModuleBehavior {
   virtual std::vector<Word> save_state() const { return {}; }
   virtual void restore_state(std::span<const Word> state);
 
+  /// Registers outside the paper's state-transfer protocol that a
+  /// bit-exact checkpoint must still carry (e.g. monitoring phase
+  /// counters the r-link frame deliberately omits). Never sent between
+  /// modules — only the snap subsystem reads/writes them, always paired
+  /// with save_state()/restore_state().
+  virtual std::vector<Word> snapshot_extra() const { return {}; }
+  virtual void restore_extra(std::span<const Word> extra);
+
   /// PRR_reset: return to the power-on state.
   virtual void reset() {}
 };

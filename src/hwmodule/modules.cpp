@@ -96,6 +96,18 @@ std::vector<Word> MovingAverage::save_state() const {
   return std::vector<Word>(line_.begin(), line_.end());
 }
 
+std::vector<Word> MovingAverage::snapshot_extra() const {
+  return {static_cast<Word>(samples_ & 0xFFFFFFFFu),
+          static_cast<Word>(samples_ >> 32)};
+}
+
+void MovingAverage::restore_extra(std::span<const Word> extra) {
+  VAPRES_REQUIRE(extra.size() == 2,
+                 type_id_ + ": expected 2 extra snapshot words");
+  samples_ = static_cast<std::uint64_t>(extra[0]) |
+             (static_cast<std::uint64_t>(extra[1]) << 32);
+}
+
 void MovingAverage::restore_state(std::span<const Word> state) {
   VAPRES_REQUIRE(static_cast<int>(state.size()) == window(),
                  type_id_ + ": state size must equal window length");

@@ -75,6 +75,11 @@ class MovingAverage final : public ModuleBehavior {
   void on_cycle(ModulePorts& ports) override;
   std::vector<Word> save_state() const override;
   void restore_state(std::span<const Word> state) override;
+  /// The monitoring phase counter, which the r-link state frame omits
+  /// (a replacement module restarts its monitor cadence) but a
+  /// bit-exact checkpoint must preserve.
+  std::vector<Word> snapshot_extra() const override;
+  void restore_extra(std::span<const Word> extra) override;
   void reset() override;
   bool quiescent() const override { return true; }
 

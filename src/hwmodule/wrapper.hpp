@@ -28,6 +28,10 @@
 #include "hwmodule/hw_module.hpp"
 #include "sim/component.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::hwmodule {
 
 /// Reserved FSL control words.
@@ -92,6 +96,10 @@ class ModuleWrapper final : public sim::Clocked, private ModulePorts {
   bool quiescent() const override;
 
  private:
+  // Checkpoint/restore overlays the protocol phase and in-flight
+  // state-frame buffers (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   // ModulePorts implementation (behaviour-facing).
   int num_inputs() const override;
   int num_outputs() const override;

@@ -149,6 +149,21 @@ class MonotoneClockCheck {
     seen_ = true;
   }
 
+  /// Raw observer state for checkpoint/restore (snap subsystem) — a
+  /// resumed soak keeps asserting monotonicity across the restore
+  /// boundary instead of restarting the window at zero.
+  struct State {
+    sim::Picoseconds last_ps = 0;
+    sim::Cycles last_cycle = 0;
+    bool seen = false;
+  };
+  State state() const { return State{last_ps_, last_cycle_, seen_}; }
+  void set_state(const State& s) {
+    last_ps_ = s.last_ps;
+    last_cycle_ = s.last_cycle;
+    seen_ = s.seen;
+  }
+
  private:
   sim::Picoseconds last_ps_ = 0;
   sim::Cycles last_cycle_ = 0;

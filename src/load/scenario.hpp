@@ -149,6 +149,36 @@ class ScenarioGenerator {
   /// Phase the *next* event will come from; nullptr when exhausted.
   const Phase* current_phase() const;
 
+  /// Raw generator state for checkpoint/restore (snap subsystem):
+  /// the two RNG streams plus the phase/arrival cursors. Restoring it
+  /// into a generator built from the same spec resumes the event
+  /// stream exactly where the checkpointed run left it.
+  struct State {
+    std::uint64_t rng = 0;
+    std::uint64_t side_rng = 0;
+    std::uint64_t phase = 0;
+    std::uint64_t emitted_in_phase = 0;
+    std::uint64_t sequence = 0;
+    double clock = 0.0;
+    std::uint64_t burst_left = 0;
+    std::uint64_t quiet_left = 0;
+  };
+  State state() const {
+    return State{rng_.state(),          side_rng_.state(), phase_,
+                 emitted_in_phase_,     sequence_,         clock_,
+                 burst_left_,           quiet_left_};
+  }
+  void set_state(const State& s) {
+    rng_.set_state(s.rng);
+    side_rng_.set_state(s.side_rng);
+    phase_ = static_cast<std::size_t>(s.phase);
+    emitted_in_phase_ = s.emitted_in_phase;
+    sequence_ = s.sequence;
+    clock_ = s.clock;
+    burst_left_ = s.burst_left;
+    quiet_left_ = s.quiet_left;
+  }
+
  private:
   double sample_interarrival(const Phase& ph);
   std::size_t pick_class(const Phase& ph);

@@ -12,6 +12,8 @@
 #include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/fault.hpp"
+#include "snap/format.hpp"
+#include "snap/system_snapshot.hpp"
 
 namespace vapres::load {
 
@@ -89,28 +91,13 @@ SoakResult run_soak(const SoakOptions& opt) {
   SoakResult res;
   res.digest = kFnvOffset;
 
-  // Per-run latency percentiles need a clean histogram; registrations
-  // survive, values zero.
-  obs::Registry::instance().reset();
-
-  core::VapresSystem sys(server_params());
-  sys.bring_up_all_sites();
-  core::Rsb& rsb = sys.rsb(0);
-  for (int i = 0; i < rsb.num_ioms(); ++i) {
-    rsb.iom(i).set_received_history_limit(opt.history_limit_words);
-  }
-  sched::ApplicationScheduler sched(sys);
-
   ScenarioSpec spec = opt.scenario ? *opt.scenario
                                    : ScenarioSpec::standard(opt.seed,
                                                             opt.lifetimes);
   spec.seed = opt.seed;
   ScenarioGenerator gen(std::move(spec));
 
-  sim::FaultInjector& injector = sim::FaultInjector::instance();
-  StormGuard storm_guard;
   bool storm_on = false;
-
   MonotoneClockCheck clock_check;
   std::vector<std::uint64_t> rss_samples;
   // Apps whose sink gap statistics were reset at launch (gap numbers
@@ -119,6 +106,76 @@ SoakResult run_soak(const SoakOptions& opt) {
   // Oldest id whose terminal word counts were already conservation
   // checked; records behind a long-running app get swept once.
   int conservation_watermark = 0;
+  std::size_t last_phase = static_cast<std::size_t>(-1);
+  // Departure schedule (see below); restored from a resume blob.
+  std::multimap<sim::Cycles, int> departures;
+
+  std::unique_ptr<core::VapresSystem> sys_owner;
+  std::unique_ptr<sched::ApplicationScheduler> sched_owner;
+  if (!opt.resume_from.empty()) {
+    // Resume a checkpointed run: restore the system + scheduler from the
+    // embedded snapshot (which also rewinds the metrics registry and the
+    // fault injector), then overlay the harness cursors so the event
+    // stream and the run digest continue exactly where they stopped.
+    const snap::SnapshotReader r(opt.resume_from);
+    r.open_section("soakharness");
+    ScenarioGenerator::State gs;
+    gs.rng = r.u64();
+    gs.side_rng = r.u64();
+    gs.phase = r.u64();
+    gs.emitted_in_phase = r.u64();
+    gs.sequence = r.u64();
+    gs.clock = r.f64();
+    gs.burst_left = r.u64();
+    gs.quiet_left = r.u64();
+    gen.set_state(gs);
+    res.digest = r.u64();
+    res.churn_stops = r.u64();
+    conservation_watermark = static_cast<int>(r.i64());
+    storm_on = r.boolean();
+    last_phase = static_cast<std::size_t>(r.u64());
+    MonotoneClockCheck::State cs;
+    cs.last_ps = r.u64();
+    cs.last_cycle = r.u64();
+    cs.seen = r.boolean();
+    clock_check.set_state(cs);
+    res.invariants.checks_run = r.u64();
+    const std::uint32_t n_violations = r.u32();
+    for (std::uint32_t i = 0; i < n_violations; ++i) {
+      res.invariants.violations.push_back(r.str());
+    }
+    const std::uint32_t n_departures = r.u32();
+    for (std::uint32_t i = 0; i < n_departures; ++i) {
+      const sim::Cycles at = r.u64();
+      departures.emplace(at, static_cast<int>(r.i64()));
+    }
+    const std::uint32_t n_armed = r.u32();
+    for (std::uint32_t i = 0; i < n_armed; ++i) {
+      gap_armed.insert(static_cast<int>(r.i64()));
+    }
+    const std::string sys_blob = r.str();
+    sys_owner = snap::SystemSnapshot::restore_system(sys_blob,
+                                                     server_params());
+    sched_owner =
+        snap::SystemSnapshot::restore_scheduler(sys_blob, *sys_owner);
+  } else {
+    // Per-run latency percentiles need a clean histogram; registrations
+    // survive, values zero.
+    obs::Registry::instance().reset();
+    sys_owner = std::make_unique<core::VapresSystem>(server_params());
+    sys_owner->bring_up_all_sites();
+    for (int i = 0; i < sys_owner->rsb(0).num_ioms(); ++i) {
+      sys_owner->rsb(0).iom(i).set_received_history_limit(
+          opt.history_limit_words);
+    }
+    sched_owner = std::make_unique<sched::ApplicationScheduler>(*sys_owner);
+  }
+  core::VapresSystem& sys = *sys_owner;
+  sched::ApplicationScheduler& sched = *sched_owner;
+  core::Rsb& rsb = sys.rsb(0);
+
+  sim::FaultInjector& injector = sim::FaultInjector::instance();
+  StormGuard storm_guard;
 
   // Pre-stop checks that need the app's channel still routed: read the
   // live sink gap, then stop.
@@ -139,8 +196,8 @@ SoakResult run_soak(const SoakOptions& opt) {
   // sit quiescent on the fabric (holding PRRs and IOM channels) until
   // their hold expires — that residency is what makes concurrent
   // arrivals contend. Entries for apps the scheduler already tore down
-  // (preempted) are dropped when popped.
-  std::multimap<sim::Cycles, int> departures;
+  // (preempted) are dropped when popped. (Declared above: a resumed run
+  // restores the schedule from the checkpoint blob.)
   auto stop_departed = [&]() {
     const sim::Cycles now = sys.system_clock().cycle_count();
     while (!departures.empty() && departures.begin()->first <= now) {
@@ -150,6 +207,62 @@ SoakResult run_soak(const SoakOptions& opt) {
         stop_checked(id);
       }
     }
+  };
+
+  // Full-system checkpoint: reach the cold-snapshot barrier (drain any
+  // in-flight reconfiguration and prefetch staging), then wrap the
+  // system+scheduler snapshot together with the harness cursors. The
+  // barrier's cycle advance is absorbed by the absolute-cycle arrival of
+  // the next workload event, so a resumed run replays the uninterrupted
+  // run's stream — and digest — exactly.
+  auto take_snapshot = [&](std::uint64_t processed) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.drain_transfer_path();
+    while (sys.prefetch().pending() > 0 || sys.prefetch().staging()) {
+      sys.run_system_cycles(64);
+    }
+    const std::string sys_blob =
+        snap::SystemSnapshot::save(sys, processed, &sched);
+    snap::SnapshotWriter w(processed);
+    w.begin_section("soakharness");
+    const ScenarioGenerator::State gs = gen.state();
+    w.u64(gs.rng);
+    w.u64(gs.side_rng);
+    w.u64(gs.phase);
+    w.u64(gs.emitted_in_phase);
+    w.u64(gs.sequence);
+    w.f64(gs.clock);
+    w.u64(gs.burst_left);
+    w.u64(gs.quiet_left);
+    w.u64(res.digest);
+    w.u64(res.churn_stops);
+    w.i64(conservation_watermark);
+    w.boolean(storm_on);
+    w.u64(static_cast<std::uint64_t>(last_phase));
+    const MonotoneClockCheck::State cs = clock_check.state();
+    w.u64(cs.last_ps);
+    w.u64(cs.last_cycle);
+    w.boolean(cs.seen);
+    w.u64(res.invariants.checks_run);
+    w.u32(static_cast<std::uint32_t>(res.invariants.violations.size()));
+    for (const std::string& v : res.invariants.violations) w.str(v);
+    w.u32(static_cast<std::uint32_t>(departures.size()));
+    for (const auto& [at, id] : departures) {
+      w.u64(at);
+      w.i64(id);
+    }
+    std::vector<int> armed(gap_armed.begin(), gap_armed.end());
+    std::sort(armed.begin(), armed.end());
+    w.u32(static_cast<std::uint32_t>(armed.size()));
+    for (const int id : armed) w.i64(id);
+    w.str(sys_blob);
+    w.end_section();
+    std::string blob = w.finish();
+    ++res.snapshots_taken;
+    res.checkpoint_wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (opt.snapshot_out != nullptr) *opt.snapshot_out = std::move(blob);
   };
 
   auto checkpoint = [&]() {
@@ -173,7 +286,46 @@ SoakResult run_soak(const SoakOptions& opt) {
     res.rss_kb_peak = std::max(res.rss_kb_peak, rss);
   };
 
-  std::size_t last_phase = static_cast<std::size_t>(-1);
+  // Shared tail: both the normal exit and the stop_at_snapshot early
+  // exit (simulated crash) fold accounting, latency percentiles, RSS and
+  // wall time into the result the same way.
+  auto finalize = [&]() {
+    const core::SchedulerAccounting acc = sched.accounting();
+    res.submitted = static_cast<std::uint64_t>(acc.submitted);
+    res.admitted = static_cast<std::uint64_t>(acc.admitted);
+    res.rejected = static_cast<std::uint64_t>(acc.rejected);
+    res.lifetimes_completed =
+        res.submitted -
+        static_cast<std::uint64_t>(sched.running_apps().size());
+    res.preemptions = static_cast<std::uint64_t>(acc.preemptions);
+    res.defrag_migrations = static_cast<std::uint64_t>(acc.defrag_migrations);
+    res.faults_injected =
+        injector.injected(sim::FaultSite::kIcapBitstreamCorruption);
+    res.fault_opportunities =
+        injector.opportunities(sim::FaultSite::kIcapBitstreamCorruption);
+    res.final_cycle = sys.system_clock().cycle_count();
+
+    const obs::Histogram& lat =
+        obs::Registry::instance().histogram("sched.submit_to_launch.cycles");
+    res.p50_submit_to_launch = lat.percentile(0.50);
+    res.p99_submit_to_launch = lat.percentile(0.99);
+
+    if (!rss_samples.empty()) {
+      res.rss_kb_start = rss_samples.front();
+      res.rss_kb_mid = rss_samples[rss_samples.size() / 2];
+      res.rss_kb_end = rss_samples.back();
+    }
+
+    res.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    res.lifetimes_per_second =
+        res.wall_seconds > 0.0
+            ? static_cast<double>(res.lifetimes_completed) / res.wall_seconds
+            : 0.0;
+  };
+
   while (std::optional<WorkloadEvent> ev = gen.next()) {
     const Phase& ph = gen.spec().phases[ev->phase_index];
     if (opt.verbose && ev->phase_index != last_phase) {
@@ -248,6 +400,25 @@ SoakResult run_soak(const SoakOptions& opt) {
     }
 
     if ((ev->sequence + 1) % opt.checkpoint_interval == 0) checkpoint();
+
+    // Checkpoint/restore hooks. Departed-but-unstopped tenants stay on
+    // the schedule: stopping them here (earlier than the uninterrupted
+    // run would, at the next event's stop_departed) would diverge the
+    // digest.
+    const std::uint64_t processed = ev->sequence + 1;
+    const bool named = opt.snapshot_at > 0 && processed == opt.snapshot_at;
+    if (named || (opt.snapshot_every > 0 &&
+                  processed % opt.snapshot_every == 0)) {
+      take_snapshot(processed);
+    }
+    if (named && opt.stop_at_snapshot) {
+      if (storm_on) {
+        injector.disable();
+        storm_on = false;
+      }
+      finalize();
+      return res;
+    }
   }
 
   // The storm ends with its phase's last submission; disarm before the
@@ -268,39 +439,7 @@ SoakResult run_soak(const SoakOptions& opt) {
   for (const int id : sched.running_apps()) stop_checked(id);
   checkpoint();
 
-  const core::SchedulerAccounting acc = sched.accounting();
-  res.submitted = static_cast<std::uint64_t>(acc.submitted);
-  res.admitted = static_cast<std::uint64_t>(acc.admitted);
-  res.rejected = static_cast<std::uint64_t>(acc.rejected);
-  res.lifetimes_completed =
-      res.submitted - static_cast<std::uint64_t>(sched.running_apps().size());
-  res.preemptions = static_cast<std::uint64_t>(acc.preemptions);
-  res.defrag_migrations = static_cast<std::uint64_t>(acc.defrag_migrations);
-  res.faults_injected =
-      injector.injected(sim::FaultSite::kIcapBitstreamCorruption);
-  res.fault_opportunities =
-      injector.opportunities(sim::FaultSite::kIcapBitstreamCorruption);
-  res.final_cycle = sys.system_clock().cycle_count();
-
-  const obs::Histogram& lat =
-      obs::Registry::instance().histogram("sched.submit_to_launch.cycles");
-  res.p50_submit_to_launch = lat.percentile(0.50);
-  res.p99_submit_to_launch = lat.percentile(0.99);
-
-  if (!rss_samples.empty()) {
-    res.rss_kb_start = rss_samples.front();
-    res.rss_kb_mid = rss_samples[rss_samples.size() / 2];
-    res.rss_kb_end = rss_samples.back();
-  }
-
-  res.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-  res.lifetimes_per_second =
-      res.wall_seconds > 0.0
-          ? static_cast<double>(res.lifetimes_completed) / res.wall_seconds
-          : 0.0;
+  finalize();
   return res;
 }
 

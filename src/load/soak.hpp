@@ -40,6 +40,24 @@ struct SoakOptions {
   /// Override the workload; default is ScenarioSpec::standard(seed,
   /// lifetimes).
   std::optional<ScenarioSpec> scenario;
+
+  // ---- checkpoint/restore (snap subsystem, docs/SNAPSHOT.md) ----------
+  /// Take one full-system checkpoint after this many submissions
+  /// (0 = never). The blob wraps the system+scheduler snapshot plus the
+  /// harness state (generator cursors, departure schedule, run digest).
+  std::uint64_t snapshot_at = 0;
+  /// Receives the most recent checkpoint blob when non-null.
+  std::string* snapshot_out = nullptr;
+  /// End the run right after the snapshot_at checkpoint (simulated
+  /// crash); the result is partial and resumable via resume_from.
+  bool stop_at_snapshot = false;
+  /// Resume from a soak checkpoint blob (empty = fresh run). The other
+  /// options must match the checkpointed run's; the final digest then
+  /// equals the uninterrupted run's bit for bit.
+  std::string resume_from;
+  /// Additionally checkpoint every N submissions (0 = off) — the
+  /// overhead-measurement knob bench_soak gates at <= 5% of wall time.
+  std::uint64_t snapshot_every = 0;
 };
 
 struct SoakResult {
@@ -77,6 +95,12 @@ struct SoakResult {
   /// FNV-1a fold of the workload stream and every terminal verdict and
   /// word count: equal options => equal digest, byte for byte.
   std::uint64_t digest = 0;
+
+  /// Checkpoints taken this run (snapshot_at + snapshot_every).
+  std::uint64_t snapshots_taken = 0;
+  /// Host wall-clock spent inside checkpointing (barrier + serialize) —
+  /// the numerator of bench_soak's <= 5% overhead gate.
+  double checkpoint_wall_seconds = 0.0;
 
   bool ok() const { return invariants.ok(); }
   std::string summary() const;

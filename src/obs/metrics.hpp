@@ -17,6 +17,10 @@
 #include <string>
 #include <vector>
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::obs {
 
 class Counter {
@@ -66,6 +70,11 @@ class Histogram {
   void reset();
 
  private:
+  // Checkpoint/restore overlays raw buckets and extrema — the public
+  // surface can only re-record, which loses min_/max_ exactness
+  // (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;

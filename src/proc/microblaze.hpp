@@ -26,6 +26,10 @@ namespace vapres::sim {
 class Simulator;
 }  // namespace vapres::sim
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::proc {
 
 class Microblaze;
@@ -134,6 +138,10 @@ class Microblaze final : public sim::Clocked {
   }
 
  private:
+  // Checkpoint/restore overlays the busy-span fields and re-arms the
+  // expiry wake event through arm_busy_wake() (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   /// Schedules (or reschedules) the wake event for the expiry edge.
   /// Called from commit(), so "now" is edge-aligned and the event lands
   /// exactly on the expiry edge — events run before coincident edges,

@@ -39,6 +39,10 @@
 #include "sched/placement.hpp"
 #include "sched/request.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::sched {
 
 class ApplicationScheduler {
@@ -167,6 +171,11 @@ class ApplicationScheduler {
   core::SchedulerAccounting accounting() const;
 
  private:
+  // Checkpoint/restore overlays app records, channel-busy tables, and
+  // aggregate counters, and re-installs running sources' generators with
+  // their remaining word budgets (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   /// Outcome of planning one chain onto a FabricMap copy.
   struct ChainPlan {
     bool ok = false;

@@ -20,6 +20,10 @@
 #include "sim/component.hpp"
 #include "sim/time.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::sim {
 
 /// Edge-delivery accounting, per domain and aggregated by the Simulator.
@@ -96,6 +100,10 @@ class ClockDomain {
  private:
   friend class Clocked;
   friend class Simulator;
+  // Checkpoint/restore overlays cycle_count_/anchor_ps_/stats_ directly
+  // (snap/system_snapshot.cpp); components are woken afterwards so the
+  // first post-restore tick re-evaluates every activity flag.
+  friend class ::vapres::snap::SystemSnapshot;
 
   /// Absolute time of the next rising edge, given current time `now`.
   Picoseconds next_edge(Picoseconds now) const;

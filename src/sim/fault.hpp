@@ -23,6 +23,10 @@
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::sim {
 
 /// Named fault sites, one per hook wired into the model.
@@ -94,6 +98,11 @@ class FaultInjector {
   std::string report() const;
 
  private:
+  // Checkpoint/restore overlays the RNG stream, per-site plans, and the
+  // recovery scoreboard so a mid-storm snapshot replays bit-identically
+  // (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   struct SitePlan {
     double probability = 0.0;
     std::uint64_t armed_at = 0;

@@ -36,6 +36,11 @@ class SplitMix64 {
   /// Bernoulli trial with probability p.
   bool chance(double p) { return next_double() < p; }
 
+  /// Raw generator state, for checkpoint/restore (snap subsystem): a
+  /// restored stream continues exactly where the saved one stopped.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

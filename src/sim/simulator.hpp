@@ -22,6 +22,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace vapres::snap {
+class SystemSnapshot;
+}
+
 namespace vapres::sim {
 
 class Simulator {
@@ -109,6 +113,10 @@ class Simulator {
   }
 
  private:
+  // Checkpoint/restore sets now_ directly once the event queue is empty
+  // (snap/system_snapshot.cpp).
+  friend class ::vapres::snap::SystemSnapshot;
+
   /// Time of the next schedulable activity (event or awake-domain edge),
   /// or Picoseconds max when there is none.
   Picoseconds next_activity() const;

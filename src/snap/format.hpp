@@ -1,0 +1,106 @@
+// Versioned, byte-deterministic snapshot container.
+//
+// A snapshot is a flat byte blob: a fixed header (magic, format version,
+// monotonic epoch) followed by named sections. Every section carries its
+// payload length and an FNV-1a digest of the payload, so truncation and
+// corruption are detected per section at open time rather than surfacing
+// as garbled component state deep inside a restore. All integers are
+// little-endian fixed-width; doubles travel as their IEEE-754 bit
+// patterns — two snapshots of identical system state are byte-identical.
+//
+// SnapshotWriter builds sections in order; SnapshotReader indexes them by
+// name and hands out bounded cursors. Readers and writers are dumb about
+// content — the schema of each section is owned by snap::SystemSnapshot
+// (and by the soak / fleet checkpoint code for their own sections).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vapres::snap {
+
+/// FNV-1a over a byte range (the same digest the soak harness folds its
+/// run digest with; see load/soak.cpp).
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+class SnapshotWriter {
+ public:
+  static constexpr std::uint32_t kMagic = 0x56534E50;  // "VSNP"
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// `epoch` is the caller-maintained monotonic snapshot counter; a
+  /// restored system's next checkpoint must use a strictly larger epoch.
+  explicit SnapshotWriter(std::uint64_t epoch);
+
+  /// Opens a named section; primitives append to it until end_section().
+  void begin_section(const std::string& name);
+  void end_section();
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s);
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Finalizes the blob. The writer must not be reused afterwards.
+  std::string finish();
+
+ private:
+  std::uint64_t epoch_;
+  std::string blob_;
+  std::string section_name_;
+  std::vector<std::uint8_t> payload_;
+  bool in_section_ = false;
+  bool finished_ = false;
+};
+
+class SnapshotReader {
+ public:
+  /// Parses and validates the header and the section index. Throws
+  /// vapres::ModelError on bad magic, unsupported version, truncation,
+  /// or a section whose digest does not match its payload.
+  explicit SnapshotReader(std::string blob);
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  bool has_section(const std::string& name) const;
+  std::vector<std::string> section_names() const;
+
+  /// Positions the cursor at the start of `name`'s payload. Throws if
+  /// the section is absent.
+  void open_section(const std::string& name) const;
+  /// Bytes left in the currently open section.
+  std::size_t remaining() const;
+
+  std::uint8_t u8() const;
+  std::uint32_t u32() const;
+  std::uint64_t u64() const;
+  std::int64_t i64() const;
+  double f64() const;
+  bool boolean() const { return u8() != 0; }
+  std::string str() const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::size_t offset = 0;  // payload start within blob_
+    std::size_t size = 0;
+  };
+  const Section& find(const std::string& name) const;
+  void need(std::size_t bytes) const;
+
+  std::string blob_;
+  std::uint64_t epoch_ = 0;
+  std::vector<Section> sections_;
+  // Cursor state is logically part of iteration, not of the snapshot.
+  mutable std::size_t cursor_ = 0;
+  mutable std::size_t cursor_end_ = 0;
+};
+
+}  // namespace vapres::snap

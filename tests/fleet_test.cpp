@@ -322,5 +322,89 @@ TEST(FleetInvariants, SweepsHoldPerFabricUnderMixedWorkload) {
   EXPECT_TRUE(after.ok()) << after.to_string();
 }
 
+TEST(FleetFailover, RestoresCrashedFabricAppsOntoSpare) {
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+  std::vector<fleet::RouteDecision> apps;
+  for (int i = 0; i < 3; ++i) {
+    apps.push_back(fc.submit("t" + std::to_string(i % 2),
+                             request("app" + std::to_string(i), {"gain_x2"},
+                                     1, 8, /*words=*/0)));
+    ASSERT_TRUE(apps.back().admitted);
+  }
+  fc.advance_to(fc.now() + 2000);
+
+  fc.checkpoint_all();
+  EXPECT_EQ(fc.checkpoints_taken(), 2u);
+  ASSERT_NE(fc.last_checkpoint(0), nullptr);
+  ASSERT_NE(fc.last_checkpoint(1), nullptr);
+  EXPECT_GT(fc.last_checkpoint(0)->blob.size(), 0u);
+
+  // Crash whichever fabric hosts the first app; the other is the spare.
+  const int crashed = fc.locate(apps[0].fleet_id)->fabric;
+  const int spare = 1 - crashed;
+  std::vector<int> victims;
+  for (const auto& d : apps) {
+    if (fc.locate(d.fleet_id)->fabric == crashed) victims.push_back(d.fleet_id);
+  }
+  ASSERT_FALSE(victims.empty());
+
+  fc.kill_fabric(crashed);
+  const fleet::FailoverResult fr = fc.failover(crashed, spare);
+
+  EXPECT_EQ(fr.from_fabric, crashed);
+  EXPECT_EQ(fr.to_fabric, spare);
+  EXPECT_EQ(fr.apps_lost, 0);  // the zero-loss acceptance gate
+  EXPECT_EQ(fr.apps_restored, static_cast<int>(victims.size()));
+  EXPECT_EQ(fr.epoch, fc.last_checkpoint(crashed)->epoch);
+
+  // Every victim is running again on the spare under its fleet id.
+  for (const int id : victims) {
+    EXPECT_TRUE(fc.running(id)) << "fleet id " << id;
+    EXPECT_EQ(fc.locate(id)->fabric, spare);
+  }
+  EXPECT_EQ(fc.running_on(spare), static_cast<int>(apps.size()));
+  EXPECT_EQ(fc.running_on(crashed), 0);
+
+  // The spare fabric keeps streaming and passes the ledger sweeps; the
+  // table replays to the same view it holds live.
+  fc.advance_to(fc.now() + 2000);
+  load::InvariantReport rep;
+  load::check_resource_ledger(fc.scheduler(spare), rep);
+  load::check_accounting(fc.scheduler(spare), rep);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(fc.statedb().view_digest(), fc.statedb().replayed_view_digest());
+
+  const std::string status = fc.fleet_status();
+  EXPECT_NE(status.find("checkpoint"), std::string::npos);
+  EXPECT_NE(status.find("failovers: 1 performed"), std::string::npos);
+}
+
+TEST(FleetFailover, RetiresAppsAlreadyTerminalInTheCheckpoint) {
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+  const fleet::RouteDecision d =
+      fc.submit("t0", request("dead", {"gain_x2"}, 1, 8, /*words=*/0));
+  ASSERT_TRUE(d.admitted);
+  const int crashed = d.fabric;
+  const int spare = 1 - crashed;
+  fc.stop(d.fleet_id);  // terminal before the checkpoint is cut
+
+  fc.checkpoint_fabric(crashed);
+  fc.kill_fabric(crashed);
+  const fleet::FailoverResult fr = fc.failover(crashed, spare);
+  EXPECT_EQ(fr.apps_restored, 0);
+  EXPECT_EQ(fr.apps_retired, 1);
+  EXPECT_EQ(fr.apps_lost, 0);
+  EXPECT_FALSE(fc.locate(d.fleet_id).has_value());
+}
+
+TEST(FleetFailover, RequiresCheckpointAndDistinctSpare) {
+  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+  EXPECT_THROW(fc.failover(0, 0), ModelError);   // no distinct spare
+  EXPECT_THROW(fc.failover(0, 1), ModelError);   // never checkpointed
+  fc.checkpoint_fabric(0);
+  EXPECT_NO_THROW(fc.failover(0, 1));            // nothing to restore: ok
+  EXPECT_EQ(fc.failovers(), 1u);
+}
+
 }  // namespace
 }  // namespace vapres
