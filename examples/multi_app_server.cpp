@@ -57,8 +57,14 @@ load::ScenarioSpec demo_spec(std::uint64_t seed) {
 /// and finishes with the operator-facing fleet_status() dump (journal
 /// version, per-agent restart ledger, per-fabric occupancy from the
 /// state table — docs/CONTROLPLANE.md).
-int run_fleet_demo(std::uint64_t seed) {
-  fleet::ControlPlane fc(fleet::FleetSpec::uniform(2));
+int run_fleet_demo(std::uint64_t seed, const std::string& flight_dir) {
+  fleet::FleetSpec fs = fleet::FleetSpec::uniform(2);
+  // Health monitoring on the standard rule set (docs/HEALTH.md); ticks
+  // are taken every few arrivals below.
+  fs.health.enabled = true;
+  fs.health.rules = fleet::standard_health_rules(fs);
+  fleet::ControlPlane fc(fs);
+  if (!flight_dir.empty()) fc.set_flight_dir(flight_dir);
   load::ScenarioSpec spec =
       load::ScenarioSpec::standard_fleet(seed, 24, 3, fc.num_fabrics());
   load::ScenarioGenerator gen(spec);
@@ -89,6 +95,14 @@ int run_fleet_demo(std::uint64_t seed) {
       std::printf("             fleet app %d (%s) leaves\n", gone,
                   fc.tenant_of(gone).c_str());
       fc.stop(gone);
+    }
+    if ((ev->sequence + 1) % 8 == 0) {
+      const std::uint64_t tripped = fc.health_tick();
+      if (tripped > 0) {
+        std::printf("             health tick %llu: %llu rule(s) tripped\n",
+                    static_cast<unsigned long long>(fc.health_ticks()),
+                    static_cast<unsigned long long>(tripped));
+      }
     }
   }
   fc.retire_terminal();
@@ -141,9 +155,12 @@ int main(int argc, char** argv) {
   // snapshot (fabric + scheduler, docs/SNAPSHOT.md) to <file>.
   // --restore=<file>: skip the workload and resume from a snapshot
   // written by an earlier --checkpoint run.
+  // --flight-dir=<dir>: arm the fleet's flight recorder — SLO breaches
+  // during --fleet write postmortem bundles there (docs/HEALTH.md).
   std::string trace_path;
   std::string checkpoint_path;
   std::string restore_path;
+  std::string flight_dir;
   std::uint64_t seed = 5;
   bool fleet_mode = false;
   for (int i = 1; i < argc; ++i) {
@@ -157,9 +174,11 @@ int main(int argc, char** argv) {
       checkpoint_path = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--restore=", 10) == 0) {
       restore_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--flight-dir=", 13) == 0) {
+      flight_dir = argv[i] + 13;
     }
   }
-  if (fleet_mode) return run_fleet_demo(seed);
+  if (fleet_mode) return run_fleet_demo(seed, flight_dir);
   if (!restore_path.empty()) return run_restored(restore_path);
   if (!trace_path.empty()) {
     // Everything except the kernel lane: a full server run emits tens

@@ -73,6 +73,19 @@ cmake --build "$BUILD" -j --target bench_fleet
 (cd "$BUILD" && ./bench/bench_fleet --quick)
 
 echo
+echo "=== tier-1: health monitor gate (bench_health --quick) ==="
+# The same storm workload (short dense ICAP fault-storm phase) through
+# monitor-off, observe-only, and remediating fleets: fails (non-zero
+# exit) on any invariant violation, when health_tick() wall time
+# exceeds 1% of the soak wall time, when the remediating fleet admits
+# fewer apps than the monitor-off baseline or loses an app to a drain,
+# when the storm injects no faults, or on a replay digest mismatch —
+# health ticks and remediation decisions fold into the digest
+# (docs/HEALTH.md). Writes BENCH_health.json in the build dir.
+cmake --build "$BUILD" -j --target bench_health
+(cd "$BUILD" && ./bench/bench_health --quick)
+
+echo
 echo "=== tier-1: Chrome trace export smoke (multi_app_server) ==="
 # The exported trace_event JSON must parse and contain events — the
 # format chrome://tracing / Perfetto loads (docs/OBSERVABILITY.md).
@@ -97,7 +110,7 @@ print(f"trace OK: {len(events)} events, all 9 switch steps present")
 EOF
 
 echo
-echo "=== tier-1: sched/soak/fleet/snap-labeled tests under address,undefined ==="
+echo "=== tier-1: sched/soak/fleet/snap/health tests under address,undefined ==="
 # The soak smoke (soak_test, ~10^3 lifetimes, including the
 # agent-crash-churn fleet run), the fleet router tests (fleet_test:
 # cross-fabric migration rollback, master adoption, quota preemption,
@@ -112,8 +125,9 @@ echo "=== tier-1: sched/soak/fleet/snap-labeled tests under address,undefined ==
 # likely to surface lifetime bugs the single-scenario sched tests miss.
 cmake -B "$SAN_BUILD" -S . -DVAPRES_SANITIZE=address,undefined
 cmake --build "$SAN_BUILD" -j --target scheduler_test defrag_test soak_test \
-  fleet_test statedb_test snap_test
-ctest --test-dir "$SAN_BUILD" -L 'sched|soak|fleet|snap' --output-on-failure
+  fleet_test statedb_test snap_test health_test
+ctest --test-dir "$SAN_BUILD" -L 'sched|soak|fleet|snap|health' \
+  --output-on-failure
 
 echo
 echo "tier-1: all green"

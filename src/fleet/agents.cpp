@@ -23,8 +23,11 @@ sim::Picoseconds fleet_now_ps(
   return t;
 }
 
-void note_restart(StateDb& db, AgentId a,
-                  const std::vector<std::unique_ptr<FabricAgent>>& fabrics) {
+}  // namespace
+
+void note_agent_restart(
+    StateDb& db, AgentId a,
+    const std::vector<std::unique_ptr<FabricAgent>>& fabrics) {
   db.append(a, Op::kAgentRestart, static_cast<std::int64_t>(a));
   ctr("fleet.agent.restarts").add();
   obs::EventBus& bus = obs::EventBus::instance();
@@ -32,8 +35,6 @@ void note_restart(StateDb& db, AgentId a,
               bus.track("fleet"), fleet_now_ps(fabrics),
               static_cast<std::uint64_t>(a), db.version());
 }
-
-}  // namespace
 
 // ---- FabricAgent -------------------------------------------------------
 
@@ -323,7 +324,7 @@ bool QuotaAgent::poll() {
 }
 
 void QuotaAgent::restart() {
-  note_restart(db_, AgentId::kQuota, fabrics_);
+  note_agent_restart(db_, AgentId::kQuota, fabrics_);
   governor_ = std::make_unique<QuotaGovernor>(spec_.quota,
                                               spec_.total_prrs());
   for (const TenantRow& t : db_.tenants()) {
@@ -355,18 +356,25 @@ std::vector<int> RouterAgent::plan_order(const std::string& tenant,
   const int n = static_cast<int>(fabrics_.size());
   std::vector<int> order;
   if (spec_.policy == RoutePolicy::kRoundRobin) {
-    // Blind rotation: no probes, no exclusion — the baseline the cost
-    // model is benchmarked against. The cursor lives in the table so a
-    // restarted router keeps rotating instead of restarting at 0.
+    // Blind rotation: no probes, no exclusion (isolation excepted) — the
+    // baseline the cost model is benchmarked against. The cursor lives
+    // in the table so a restarted router keeps rotating instead of
+    // restarting at 0.
     const int cursor = db_.rr_cursor();
     order.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) order.push_back((cursor + i) % n);
+    for (int i = 0; i < n; ++i) {
+      const int f = (cursor + i) % n;
+      if (!db_.isolated(f)) order.push_back(f);
+    }
     db_.append(AgentId::kRouter, Op::kRouterCursor, 0, {(cursor + 1) % n});
     return order;
   }
   const sim::Cycles slowest = slowest_cycle();
   std::vector<std::pair<double, int>> scored;
   for (int i = 0; i < n; ++i) {
+    // A health-isolated fabric scores +inf, exactly like a capability
+    // mismatch: it takes no new traffic until un-isolated.
+    if (db_.isolated(i)) continue;
     const double s = model_.score(
         fabrics_[static_cast<std::size_t>(i)]->snapshot(tenant, request,
                                                         slowest));
@@ -508,7 +516,7 @@ bool RouterAgent::poll() {
 }
 
 void RouterAgent::restart() {
-  note_restart(db_, AgentId::kRouter, fabrics_);
+  note_agent_restart(db_, AgentId::kRouter, fabrics_);
   reason_.clear();
   // Nothing else: round, try order, attempt index, and the rr cursor
   // all live in the table, so poll() resumes the open intent exactly
@@ -647,7 +655,7 @@ bool MigrationAgent::poll() {
 }
 
 void MigrationAgent::restart() {
-  note_restart(db_, AgentId::kMigration, fabrics_);
+  note_agent_restart(db_, AgentId::kMigration, fabrics_);
   request_.reset();  // re-derived from the source scheduler's record
   reason_.clear();
   span_.reset();

@@ -64,7 +64,23 @@ struct FleetCounters {
   std::uint64_t migrations_rolled_back = 0;
   std::uint64_t migrations_lost = 0;
   std::uint64_t migrations_skipped = 0;
+  // Health monitor decisions (fleet/health_agent.hpp):
+  std::uint64_t breaches_tripped = 0;
+  std::uint64_t breaches_cleared = 0;
+  std::uint64_t isolations = 0;
+  std::uint64_t unisolations = 0;
+  std::uint64_t drains_started = 0;
 };
+
+class FabricAgent;
+
+/// Journals the kAgentRestart marker for `a`, bumps the
+/// fleet.agent.restarts counter, and emits the bus instant — the shared
+/// tail of every agent's restart() (HealthAgent included,
+/// fleet/health_agent.cpp).
+void note_agent_restart(
+    StateDb& db, AgentId a,
+    const std::vector<std::unique_ptr<FabricAgent>>& fabrics);
 
 /// One fabric as the agents see it (owned by the ControlPlane).
 struct FabricHost {

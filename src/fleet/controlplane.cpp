@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/stats.hpp"
 #include "obs/bus.hpp"
 #include "obs/metrics.hpp"
 #include "sim/check.hpp"
@@ -56,6 +57,10 @@ ControlPlane::ControlPlane(const FleetSpec& spec,
                                           fabric_agents_, counters_);
   migration_ = std::make_unique<MigrationAgent>(db_, fabric_agents_,
                                                 counters_);
+  if (spec_.health.enabled) {
+    health_ = std::make_unique<HealthAgent>(db_, spec_, fabric_agents_,
+                                            counters_);
+  }
 }
 
 ControlPlane::Fabric& ControlPlane::fabric(int index) {
@@ -134,6 +139,8 @@ void ControlPlane::pump() {
     if (router_->poll()) progress = true;
     check_kill();
     if (migration_->poll()) progress = true;
+    check_kill();
+    if (health_ && health_->poll()) progress = true;
     check_kill();
     for (auto& fa : fabric_agents_) {
       if (fa->publish()) progress = true;
@@ -336,6 +343,13 @@ std::vector<std::string> ControlPlane::restart_agent(AgentId agent) {
     case AgentId::kOrchestrator:
       VAPRES_REQUIRE(false, "the orchestrator is not a restartable agent");
       return {};
+    case AgentId::kHealth:
+      VAPRES_REQUIRE(health_ != nullptr,
+                     "restart: health monitoring is not enabled");
+      health_ = std::make_unique<HealthAgent>(db_, spec_, fabric_agents_,
+                                              counters_);
+      health_->restart();
+      return {};
     default: {
       const int i = static_cast<int>(agent) -
                     static_cast<int>(AgentId::kFabric0);
@@ -486,8 +500,93 @@ std::uint64_t ControlPlane::agent_restarts() const {
   n += db_.restarts(AgentId::kRouter);
   n += db_.restarts(AgentId::kQuota);
   n += db_.restarts(AgentId::kMigration);
+  n += db_.restarts(AgentId::kHealth);
   for (int i = 0; i < num_fabrics(); ++i) n += db_.restarts(fabric_agent_id(i));
   return n;
+}
+
+HealthAgent& ControlPlane::health_agent() {
+  VAPRES_REQUIRE(health_ != nullptr, "health monitoring is not enabled");
+  return *health_;
+}
+
+const HealthAgent& ControlPlane::health_agent() const {
+  VAPRES_REQUIRE(health_ != nullptr, "health monitoring is not enabled");
+  return *health_;
+}
+
+void ControlPlane::refresh_health_gauges() {
+  obs::Registry& reg = obs::Registry::instance();
+  for (int i = 0; i < num_fabrics(); ++i) {
+    Fabric& f = fabric(i);
+    const core::SystemStats stats = core::collect_stats(*f.sys);
+    const std::string base = "fleet." + f.name;
+    reg.gauge(base + ".reconfig_retries")
+        .set(static_cast<std::int64_t>(stats.robustness.reconfig_retries));
+    reg.gauge(base + ".fault_recoveries")
+        .set(static_cast<std::int64_t>(stats.robustness.total_recoveries()));
+    reg.gauge(base + ".words_discarded")
+        .set(static_cast<std::int64_t>(stats.total_discarded()));
+    reg.gauge(base + ".reject_streak").set(f.sched->rejection_streak());
+  }
+}
+
+std::uint64_t ControlPlane::health_tick() {
+  VAPRES_REQUIRE(health_ != nullptr, "health monitoring is not enabled");
+  ++health_ticks_;
+  refresh_gauges();
+  refresh_health_gauges();
+  health_->sampler().sample(now());
+
+  const std::uint64_t mark = db_.version();
+  db_.append(AgentId::kOrchestrator, Op::kHealthTick, 0,
+             {static_cast<std::int64_t>(now()), 0, 0, 0});
+  pump();
+
+  std::uint64_t tripped = 0;
+  for (auto it = db_.journal().rbegin(); it != db_.journal().rend(); ++it) {
+    if (it->version <= mark) break;
+    if (it->op == Op::kHealthRuleState &&
+        ((static_cast<std::uint64_t>(it->args[0]) >> 41) & 1) != 0) {
+      ++tripped;
+    }
+  }
+  if (tripped > 0 && flight_) record_flight("slo_breach");
+  return tripped;
+}
+
+void ControlPlane::set_flight_dir(const std::string& dir,
+                                  std::size_t max_bundles) {
+  flight_ = std::make_unique<obs::health::FlightRecorder>(dir, max_bundles);
+}
+
+std::string ControlPlane::record_flight(const std::string& reason) {
+  if (!flight_) return {};
+  // Checkpoint the most suspect fabric (first one with active breaches,
+  // else fabric 0) so the bundle carries a restorable snapshot. The
+  // checkpoint journals — callers comparing replay digests across runs
+  // must record flights in both or neither.
+  int suspect = 0;
+  for (int i = 0; i < num_fabrics(); ++i) {
+    if (db_.active_breaches(i) > 0) {
+      suspect = i;
+      break;
+    }
+  }
+  checkpoint_fabric(suspect);
+  const FabricCheckpoint* cp = last_checkpoint(suspect);
+
+  const std::string path = flight_->record(
+      reason, now(), cp ? cp->blob : std::string{}, db_.serialize_journal(),
+      health_ ? &health_->sampler() : nullptr,
+      health_ ? health_->rules_to_string() : std::string{});
+  if (!path.empty()) {
+    ctr("fleet.flight.bundles").add();
+    obs::EventBus& bus = obs::EventBus::instance();
+    bus.instant(obs::Subsystem::kFleet, obs::ev::kFlightRecord,
+                bus.track("fleet"), now_ps(), flight_->bundles_written());
+  }
+  return path;
 }
 
 void ControlPlane::refresh_gauges() {
@@ -527,6 +626,7 @@ std::string ControlPlane::fleet_status() const {
   agent_line(AgentId::kQuota);
   agent_line(AgentId::kRouter);
   agent_line(AgentId::kMigration);
+  if (health_) agent_line(AgentId::kHealth);
   for (int i = 0; i < num_fabrics(); ++i) agent_line(fabric_agent_id(i));
   out += "  decisions: " + std::to_string(counters_.submissions) +
          " submitted, " + std::to_string(counters_.admitted) + " admitted, " +
@@ -538,6 +638,18 @@ std::string ControlPlane::fleet_status() const {
          " rolled back, " + std::to_string(counters_.migrations_skipped) +
          " skipped, " + std::to_string(counters_.migrations_lost) +
          " lost\n";
+  if (health_) {
+    out += "  health: " + std::to_string(health_ticks_) + " tick(s), " +
+           std::to_string(counters_.breaches_tripped) + " breach(es) (" +
+           std::to_string(counters_.breaches_cleared) + " cleared), " +
+           std::to_string(counters_.isolations) + " isolation(s) (" +
+           std::to_string(counters_.unisolations) + " lifted), " +
+           std::to_string(counters_.drains_started) + " drain(s)\n";
+  }
+  if (flight_) {
+    out += "  flight recorder: " + flight_->dir() + ", " +
+           std::to_string(flight_->bundles_written()) + " bundle(s)\n";
+  }
   for (int i = 0; i < num_fabrics(); ++i) {
     const FabricCheckpoint* cp = last_checkpoint(i);
     if (cp == nullptr) {

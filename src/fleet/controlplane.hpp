@@ -25,9 +25,11 @@
 #include "core/system.hpp"
 #include "fleet/agents.hpp"
 #include "fleet/cost.hpp"
+#include "fleet/health_agent.hpp"
 #include "fleet/quota.hpp"
 #include "fleet/spec.hpp"
 #include "fleet/statedb.hpp"
+#include "obs/health/flight.hpp"
 #include "sched/scheduler.hpp"
 
 namespace vapres::fleet {
@@ -209,6 +211,35 @@ class ControlPlane {
   std::uint64_t failovers() const { return failovers_; }
   std::uint64_t reconciles_run() const { return reconciles_run_; }
 
+  // ---- health monitor / flight recorder (docs/HEALTH.md) ---------------
+
+  /// Present when spec.health.enabled — the SLO monitor pumped next to
+  /// the other agents.
+  bool health_enabled() const { return health_ != nullptr; }
+  HealthAgent& health_agent();
+  const HealthAgent& health_agent() const;
+
+  /// One monitoring tick: refreshes the per-fabric health gauges,
+  /// freezes the sampler window, journals kHealthTick, and pumps the
+  /// agents (the HealthAgent evaluates every rule exactly once per tick
+  /// and remediates). Returns the number of rules that newly tripped.
+  /// When a flight directory is set, any trip records a bundle.
+  std::uint64_t health_tick();
+  std::uint64_t health_ticks() const { return health_ticks_; }
+
+  /// Arms the flight recorder: health_tick() breaches (and explicit
+  /// record_flight() calls) write postmortem bundles under `dir`.
+  void set_flight_dir(const std::string& dir, std::size_t max_bundles = 8);
+  /// Writes one bundle now (harnesses call this on invariant failures).
+  /// Returns the bundle path, or "" without an armed recorder / at cap.
+  std::string record_flight(const std::string& reason);
+  std::uint64_t flight_bundles() const {
+    return flight_ ? flight_->bundles_written() : 0;
+  }
+  const obs::health::FlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
+
   /// Operator-facing text dump: journal version/depth/digest, per-agent
   /// restart counts, per-fabric occupancy from the table, per-fabric
   /// checkpoint epochs, tenants, decision/failover counters.
@@ -230,6 +261,10 @@ class ControlPlane {
   void pump();
   void check_kill();
   void refresh_gauges();
+  /// Per-fabric health signal gauges (fleet.<name>.reconfig_retries /
+  /// .fault_recoveries / .words_discarded / .reject_streak) the standard
+  /// rules watch — refreshed at each health_tick() before sampling.
+  void refresh_health_gauges();
   RouteDecision assemble_decision(std::uint64_t since_version) const;
 
   FleetSpec spec_;
@@ -247,6 +282,9 @@ class ControlPlane {
   std::unique_ptr<QuotaAgent> quota_;
   std::unique_ptr<RouterAgent> router_;
   std::unique_ptr<MigrationAgent> migration_;
+  std::unique_ptr<HealthAgent> health_;
+  std::unique_ptr<obs::health::FlightRecorder> flight_;
+  std::uint64_t health_ticks_ = 0;
   std::int64_t submit_seq_ = 0;
 
   struct PendingKill {

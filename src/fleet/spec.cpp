@@ -111,4 +111,76 @@ FleetSpec FleetSpec::heterogeneous() {
   return spec;
 }
 
+std::vector<obs::health::HealthRuleSpec> standard_health_rules(
+    const FleetSpec& spec) {
+  using obs::health::HealthRuleSpec;
+  using obs::health::Source;
+  std::vector<HealthRuleSpec> rules;
+  for (std::size_t i = 0; i < spec.fabrics.size(); ++i) {
+    const std::string& n = spec.fabrics[i].name;
+    const int fab = static_cast<int>(i);
+
+    HealthRuleSpec retries;
+    retries.name = n + ".icap_retry_rate";
+    retries.source = Source::kGaugeRate;
+    retries.metric = "fleet." + n + ".reconfig_retries";
+    retries.fabric = fab;
+    retries.threshold = 8;  // retries per tick before the fabric is sick
+    retries.breach_observations = 2;
+    retries.clear_observations = 3;
+    rules.push_back(retries);
+
+    HealthRuleSpec recoveries;
+    recoveries.name = n + ".fault_recovery_rate";
+    recoveries.source = Source::kGaugeRate;
+    recoveries.metric = "fleet." + n + ".fault_recoveries";
+    recoveries.fabric = fab;
+    recoveries.threshold = 12;
+    recoveries.breach_observations = 2;
+    recoveries.clear_observations = 3;
+    rules.push_back(recoveries);
+
+    HealthRuleSpec gaps;
+    gaps.name = n + ".stream_gap_rate";
+    gaps.source = Source::kGaugeRate;
+    gaps.metric = "fleet." + n + ".words_discarded";
+    gaps.fabric = fab;
+    gaps.threshold = 0;  // hitless fabric: any discarded word is bad
+    gaps.breach_observations = 1;
+    gaps.clear_observations = 2;
+    rules.push_back(gaps);
+
+    HealthRuleSpec rejects;
+    rejects.name = n + ".reject_streak";
+    rejects.source = Source::kGauge;
+    rejects.metric = "fleet." + n + ".reject_streak";
+    rejects.fabric = fab;
+    rejects.threshold = 6;  // consecutive admission rejections
+    rejects.breach_observations = 2;
+    rejects.clear_observations = 3;
+    rules.push_back(rejects);
+
+    HealthRuleSpec latency;
+    latency.name = n + ".route_p99";
+    latency.source = Source::kHistogramP99;
+    latency.metric = "fleet.route." + n + ".first.cycles";
+    latency.fabric = fab;
+    latency.threshold = 32'000'000;  // the bench_soak p99 gate bound
+    latency.breach_observations = 3;
+    latency.clear_observations = 5;
+    rules.push_back(latency);
+  }
+
+  HealthRuleSpec reconcile;
+  reconcile.name = "fleet.reconcile_violations";
+  reconcile.source = Source::kCounterRate;
+  reconcile.metric = "fleet.reconcile.violations";
+  reconcile.fabric = -1;  // fleet-wide: observe + flight-record only
+  reconcile.threshold = 0;
+  reconcile.breach_observations = 1;
+  reconcile.clear_observations = 1;
+  rules.push_back(reconcile);
+  return rules;
+}
+
 }  // namespace vapres::fleet

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "obs/health/rules.hpp"
 #include "sched/scheduler.hpp"
 
 namespace vapres::fleet {
@@ -87,11 +88,26 @@ struct QuotaConfig {
   int elastic_slack_prrs = 2;
 };
 
+/// Fleet health monitoring / remediation knobs (docs/HEALTH.md). Off by
+/// default: an unconfigured fleet journals nothing health-related and
+/// its digests are untouched.
+struct HealthConfig {
+  bool enabled = false;
+  /// Retained samples per time-series ring in the HealthSampler.
+  std::size_t series_capacity = 256;
+  /// When false the monitor observes and journals rule state but never
+  /// isolates or drains (alerting-only mode; also the bench's
+  /// monitoring-overhead measurement mode).
+  bool remediate = true;
+  std::vector<obs::health::HealthRuleSpec> rules;
+};
+
 struct FleetSpec {
   std::vector<FabricSpec> fabrics;
   RoutePolicy policy = RoutePolicy::kCostBased;
   CostWeights weights;
   QuotaConfig quota;
+  HealthConfig health;
   /// Scheduler options applied to every fabric's ApplicationScheduler.
   sched::ApplicationScheduler::Options scheduler;
 
@@ -104,5 +120,13 @@ struct FleetSpec {
   /// 1 compact.
   static FleetSpec heterogeneous();
 };
+
+/// The canonical per-fabric rule set over the signals the ControlPlane
+/// publishes every health tick (ICAP retry rate, fault-recovery rate,
+/// stream-gap words, admission reject streak, first-choice
+/// submit->launch p99) plus a fleet-wide reconcile-violation watch.
+/// Thresholds are starting points; callers tune per workload.
+std::vector<obs::health::HealthRuleSpec> standard_health_rules(
+    const FleetSpec& spec);
 
 }  // namespace vapres::fleet

@@ -1,5 +1,6 @@
 #include "fleet/statedb.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "sim/check.hpp"
@@ -50,6 +51,7 @@ std::string agent_label(AgentId a) {
     case AgentId::kRouter: return "router";
     case AgentId::kQuota: return "quota";
     case AgentId::kMigration: return "migration";
+    case AgentId::kHealth: return "health";
     default:
       return "fabric" + std::to_string(static_cast<int>(a) -
                                        static_cast<int>(AgentId::kFabric0));
@@ -74,6 +76,9 @@ const char* op_name(Op op) {
     case Op::kAgentRestart: return "agent_restart";
     case Op::kFabricCheckpoint: return "fabric_checkpoint";
     case Op::kFailover: return "failover";
+    case Op::kHealthTick: return "health_tick";
+    case Op::kHealthRuleState: return "health_rule_state";
+    case Op::kIsolateFabric: return "isolate_fabric";
   }
   return "?";
 }
@@ -161,6 +166,7 @@ sched::AppRequest parse_request(const std::string& blob) {
 StateDb::StateDb(int num_fabrics) : journal_digest_(kFnvOffset) {
   VAPRES_REQUIRE(num_fabrics > 0, "state table needs at least one fabric");
   view_.fabrics.resize(static_cast<std::size_t>(num_fabrics));
+  view_.fabric_health.resize(static_cast<std::size_t>(num_fabrics));
   base_ = view_;
 }
 
@@ -288,6 +294,17 @@ void StateDb::apply(View& v, const JournalEntry& e) {
       row.probe_first = e.args[1] != 0;
       row.step = MigStep::kNone;
       v.migration = row;
+      // A health-authored intent is a drain: stamp the source fabric so
+      // the HealthAgent caps drains at one per fabric per tick.
+      if (e.agent == AgentId::kHealth) {
+        const auto it = v.apps.find(static_cast<int>(e.key));
+        if (it != v.apps.end() && it->second.fabric >= 0 &&
+            it->second.fabric <
+                static_cast<int>(v.fabric_health.size())) {
+          v.fabric_health[static_cast<std::size_t>(it->second.fabric)]
+              .last_drain_version = e.version;
+        }
+      }
       break;
     }
     case Op::kMigrateStep:
@@ -336,6 +353,47 @@ void StateDb::apply(View& v, const JournalEntry& e) {
         v.intent->next_try = 0;
       }
       break;
+    case Op::kHealthTick:
+      v.health_tick_cycle = static_cast<std::uint64_t>(e.args[0]);
+      v.health_tick_version = e.version;
+      break;
+    case Op::kHealthRuleState: {
+      const int id = static_cast<int>(e.key);
+      VAPRES_REQUIRE(id >= 0 && id < 4096, "health rule id out of range");
+      if (id >= static_cast<int>(v.health.size())) {
+        v.health.resize(static_cast<std::size_t>(id) + 1);
+      }
+      HealthRuleRow& row = v.health[static_cast<std::size_t>(id)];
+      if (!e.note.empty()) row.name = e.note;
+      const auto packed = static_cast<std::uint64_t>(e.args[0]);
+      row.bad_streak = static_cast<int>(packed & 0xfffffu);
+      row.good_streak = static_cast<int>((packed >> 20) & 0xfffffu);
+      row.breached = (packed & (1ull << 40)) != 0;
+      row.primed = (packed & (1ull << 43)) != 0;
+      row.fabric = static_cast<int>((packed >> 48) & 0xffffu) - 1;
+      row.last_raw = e.args[1];
+      row.last_eval_version = static_cast<std::uint64_t>(e.args[2]);
+      row.breaches = static_cast<std::uint64_t>(e.args[3]);
+      const bool tripped = (packed & (1ull << 41)) != 0;
+      if (tripped && row.fabric >= 0 &&
+          row.fabric < static_cast<int>(v.fabric_health.size())) {
+        FabricHealthRow& fh =
+            v.fabric_health[static_cast<std::size_t>(row.fabric)];
+        fh.last_breach_version = e.version;
+        fh.last_breach_cycle = v.health_tick_cycle;
+      }
+      break;
+    }
+    case Op::kIsolateFabric: {
+      const int f = static_cast<int>(e.key);
+      VAPRES_REQUIRE(f >= 0 && f < static_cast<int>(v.fabric_health.size()),
+                     "isolation for unknown fabric");
+      FabricHealthRow& fh = v.fabric_health[static_cast<std::size_t>(f)];
+      const bool on = e.args[0] != 0;
+      if (on && !fh.isolated) ++fh.isolations;
+      fh.isolated = on;
+      break;
+    }
     case Op::kAgentRestart:
     case Op::kFabricCheckpoint:
     case Op::kFailover:
@@ -395,6 +453,28 @@ std::uint64_t StateDb::digest_view(const View& v) {
     fold_u64(h, static_cast<std::uint64_t>(v.migration->src));
     fold_u64(h, static_cast<std::uint64_t>(v.migration->dst));
   }
+  fold_u64(h, v.health_tick_cycle);
+  fold_u64(h, v.health_tick_version);
+  fold_u64(h, v.health.size());
+  for (const HealthRuleRow& r : v.health) {
+    fold_str(h, r.name);
+    fold_u64(h, static_cast<std::uint64_t>(r.fabric));
+    fold_u64(h, static_cast<std::uint64_t>(r.bad_streak));
+    fold_u64(h, static_cast<std::uint64_t>(r.good_streak));
+    fold_u64(h, r.breached ? 1u : 0u);
+    fold_u64(h, r.primed ? 1u : 0u);
+    fold_u64(h, static_cast<std::uint64_t>(r.last_raw));
+    fold_u64(h, r.last_eval_version);
+    fold_u64(h, r.breaches);
+  }
+  fold_u64(h, v.fabric_health.size());
+  for (const FabricHealthRow& fh : v.fabric_health) {
+    fold_u64(h, fh.isolated ? 1u : 0u);
+    fold_u64(h, fh.isolations);
+    fold_u64(h, fh.last_breach_version);
+    fold_u64(h, fh.last_breach_cycle);
+    fold_u64(h, fh.last_drain_version);
+  }
   return h;
 }
 
@@ -438,6 +518,32 @@ const IntentRow* StateDb::open_intent() const {
 
 const MigrationRow* StateDb::inflight_migration() const {
   return view_.migration ? &*view_.migration : nullptr;
+}
+
+const FabricHealthRow& StateDb::fabric_health(int index) const {
+  VAPRES_REQUIRE(index >= 0 && index < num_fabrics(),
+                 "fabric index out of range");
+  return view_.fabric_health[static_cast<std::size_t>(index)];
+}
+
+bool StateDb::isolated(int fabric) const {
+  return fabric_health(fabric).isolated;
+}
+
+int StateDb::available_fabrics() const {
+  int n = 0;
+  for (const FabricHealthRow& fh : view_.fabric_health) {
+    if (!fh.isolated) ++n;
+  }
+  return n;
+}
+
+int StateDb::active_breaches(int fabric) const {
+  int n = 0;
+  for (const HealthRuleRow& r : view_.health) {
+    if (r.breached && r.fabric == fabric) ++n;
+  }
+  return n;
 }
 
 std::uint64_t StateDb::restarts(AgentId a) const {
@@ -487,6 +593,37 @@ std::string StateDb::to_string(
                   view_.migration->fleet_id, view_.migration->src,
                   view_.migration->dst, mig_step_name(view_.migration->step));
     out += buf;
+  }
+  if (!view_.health.empty()) {
+    for (std::size_t i = 0; i < view_.fabric_health.size(); ++i) {
+      const FabricHealthRow& fh = view_.fabric_health[i];
+      const int breaches = active_breaches(static_cast<int>(i));
+      const int score =
+          std::max(0, 1000 - 250 * breaches - (fh.isolated ? 100 : 0));
+      const std::string label =
+          fabric_names != nullptr && i < fabric_names->size()
+              ? (*fabric_names)[i]
+              : std::to_string(i);
+      std::snprintf(buf, sizeof(buf),
+                    "  health %s: score %4d, %s, %d active breach(es), "
+                    "last breach @v%llu, %llu isolation(s)\n",
+                    label.c_str(), score,
+                    fh.isolated ? "ISOLATED" : "serving", breaches,
+                    static_cast<unsigned long long>(fh.last_breach_version),
+                    static_cast<unsigned long long>(fh.isolations));
+      out += buf;
+    }
+    for (std::size_t i = 0; i < view_.health.size(); ++i) {
+      const HealthRuleRow& r = view_.health[i];
+      if (!r.breached) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "    breached rule %zu (%s): streaks +%d/-%d, "
+                    "%llu trip(s), last eval @v%llu\n",
+                    i, r.name.c_str(), r.bad_streak, r.good_streak,
+                    static_cast<unsigned long long>(r.breaches),
+                    static_cast<unsigned long long>(r.last_eval_version));
+      out += buf;
+    }
   }
   return out;
 }

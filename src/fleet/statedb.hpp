@@ -34,13 +34,16 @@
 
 namespace vapres::fleet {
 
-/// Journal authorship. Fabric agent i writes as kFabric0 + i.
+/// Journal authorship. Fabric agent i writes as kFabric0 + i; the
+/// health monitor sits at the top of the id space so fabric ids can
+/// keep growing from kFabric0.
 enum class AgentId : std::uint8_t {
   kOrchestrator = 0,  ///< the ControlPlane facade (intent ingress)
   kRouter = 1,
   kQuota = 2,
   kMigration = 3,
   kFabric0 = 4,
+  kHealth = 255,  ///< SLO monitor / remediation agent (docs/HEALTH.md)
 };
 
 AgentId fabric_agent_id(int fabric);
@@ -93,6 +96,22 @@ enum class Op : std::uint8_t {
   /// failover: the kAppLocation/kAppRemoved rows that follow move every
   /// checkpointed app to the spare (or account for it explicitly).
   kFailover = 16,
+  /// key = 0; args = {sim cycle, 0, 0, 0}. Orchestrator-authored start
+  /// of one health evaluation round: every rule whose row's eval cycle
+  /// is older than this tick is pending, so a HealthAgent killed
+  /// mid-round resumes at the exact rule it stopped at.
+  kHealthTick = 17,
+  /// key = rule id; args[0] packs the hysteresis state (bits 0..19 bad
+  /// streak, 20..39 good streak, 40 breached, 41 tripped-this-eval,
+  /// 42 cleared-this-eval, 43 primed, 48..63 fabric+1); args[1] = last
+  /// raw reading, args[2] = kHealthTick version this evaluation belongs
+  /// to, args[3] = lifetime trips.
+  /// note = rule name on first publication. One entry carries a
+  /// complete evaluation — streak update and breach transition are
+  /// never split across journal versions.
+  kHealthRuleState = 18,
+  /// key = fabric; args = {1 isolate / 0 restore, active breaches, 0, 0}.
+  kIsolateFabric = 19,
 };
 
 const char* op_name(Op op);
@@ -179,6 +198,35 @@ struct IntentRow {
   bool preempted_for = false;
 };
 
+/// Journaled hysteresis state of one health rule — everything a
+/// restarted HealthAgent needs to resume its streaks mid-count
+/// (obs/health/rules.hpp RuleState plus attribution).
+struct HealthRuleRow {
+  std::string name;
+  int fabric = -1;  ///< fabric this rule indicts; -1 = fleet-wide
+  int bad_streak = 0;
+  int good_streak = 0;
+  bool breached = false;
+  bool primed = false;
+  std::int64_t last_raw = 0;
+  /// Journal version of the kHealthTick this rule was last evaluated
+  /// under (0 = never): the pending-rule detector a restarted
+  /// HealthAgent resumes a half-finished evaluation round from.
+  std::uint64_t last_eval_version = 0;
+  std::uint64_t breaches = 0;  ///< lifetime trips
+};
+
+/// Per-fabric remediation state.
+struct FabricHealthRow {
+  bool isolated = false;
+  std::uint64_t isolations = 0;          ///< lifetime isolate transitions
+  std::uint64_t last_breach_version = 0; ///< journal version of last trip
+  std::uint64_t last_breach_cycle = 0;
+  /// Version of the last health-authored drain intent — caps drains at
+  /// one per fabric per tick (compared against health_tick_version()).
+  std::uint64_t last_drain_version = 0;
+};
+
 /// In-flight migration row; at most one migration runs at a time.
 struct MigrationRow {
   int fleet_id = -1;
@@ -248,6 +296,21 @@ class StateDb {
   const IntentRow* open_intent() const;
   const MigrationRow* inflight_migration() const;
 
+  // ---- health view -----------------------------------------------------
+  const std::vector<HealthRuleRow>& health_rules() const {
+    return view_.health;
+  }
+  const FabricHealthRow& fabric_health(int index) const;
+  bool isolated(int fabric) const;
+  /// Fabrics currently not isolated.
+  int available_fabrics() const;
+  /// Breached rules currently indicting `fabric`.
+  int active_breaches(int fabric) const;
+  std::uint64_t health_tick_cycle() const { return view_.health_tick_cycle; }
+  std::uint64_t health_tick_version() const {
+    return view_.health_tick_version;
+  }
+
   std::uint64_t restarts(AgentId a) const;
 
   /// Human-readable table dump (fleet_status building block). Fabric
@@ -266,6 +329,10 @@ class StateDb {
     std::optional<MigrationRow> migration;
     int rr_cursor = 0;
     int next_fleet_id = 0;
+    std::vector<HealthRuleRow> health;  ///< dense by rule id
+    std::vector<FabricHealthRow> fabric_health;
+    std::uint64_t health_tick_cycle = 0;
+    std::uint64_t health_tick_version = 0;
   };
 
   static void apply(View& v, const JournalEntry& e);

@@ -8,6 +8,7 @@
 #include "fleet/controlplane.hpp"
 #include "load/soak.hpp"
 #include "obs/metrics.hpp"
+#include "sim/fault.hpp"
 #include "sim/random.hpp"
 
 namespace vapres::load {
@@ -28,6 +29,12 @@ std::string route_hist_name(const std::string& fabric, bool first_choice) {
   return "fleet.route." + fabric +
          (first_choice ? ".first.cycles" : ".fallback.cycles");
 }
+
+/// The FaultInjector is process-global; never leak an enabled storm
+/// into whatever runs after the soak (other tests in the same binary).
+struct StormGuard {
+  ~StormGuard() { sim::FaultInjector::instance().disable(); }
+};
 
 }  // namespace
 
@@ -66,6 +73,22 @@ std::string FleetSoakResult::summary() const {
                 static_cast<unsigned long long>(replay_checks),
                 static_cast<unsigned long long>(reconcile_violations));
   out += buf;
+  if (health_ticks > 0 || breaches > 0 || flight_bundles > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  health: %llu ticks (%.3fs), %llu breaches (%llu cleared), "
+        "%llu isolations (%llu lifted), %llu drains, %llu flight "
+        "bundles, %llu faults\n",
+        static_cast<unsigned long long>(health_ticks), health_wall_seconds,
+        static_cast<unsigned long long>(breaches),
+        static_cast<unsigned long long>(breaches_cleared),
+        static_cast<unsigned long long>(isolations),
+        static_cast<unsigned long long>(unisolations),
+        static_cast<unsigned long long>(drains),
+        static_cast<unsigned long long>(flight_bundles),
+        static_cast<unsigned long long>(faults_injected));
+    out += buf;
+  }
   for (const RouteLatency& rl : route_latency) {
     std::snprintf(buf, sizeof(buf),
                   "  route latency %s: first-choice p50/p99 %llu/%llu "
@@ -103,9 +126,16 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
 
   obs::Registry::instance().reset();
 
-  const fleet::FleetSpec fleet_spec =
+  fleet::FleetSpec fleet_spec =
       opt.fleet ? *opt.fleet : fleet::FleetSpec::uniform(2);
+  if (opt.health) {
+    fleet_spec.health = *opt.health;
+    if (fleet_spec.health.enabled && fleet_spec.health.rules.empty()) {
+      fleet_spec.health.rules = fleet::standard_health_rules(fleet_spec);
+    }
+  }
   fleet::ControlPlane fc(fleet_spec);
+  if (!opt.flight_dir.empty()) fc.set_flight_dir(opt.flight_dir);
   const int nf = fc.num_fabrics();
   for (int i = 0; i < nf; ++i) {
     core::Rsb& rsb = fc.system(i).rsb(0);
@@ -147,15 +177,22 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
     if (opt.crash_churn_every == 0) return;
     if (++since_kill < opt.crash_churn_every) return;
     since_kill = 0;
+    // With the health monitor enabled it joins the kill lottery; the
+    // modulus stays 3 + nf otherwise so monitor-off baselines keep
+    // their historical kill draws.
+    const int named = fc.health_enabled() ? 4 : 3;
     const std::uint64_t pick =
-        kill_rng.next() % static_cast<std::uint64_t>(3 + nf);
+        kill_rng.next() % static_cast<std::uint64_t>(named + nf);
     fleet::AgentId agent = fleet::AgentId::kRouter;
     if (pick == 1) {
       agent = fleet::AgentId::kQuota;
     } else if (pick == 2) {
       agent = fleet::AgentId::kMigration;
-    } else if (pick >= 3) {
-      agent = fleet::fabric_agent_id(static_cast<int>(pick - 3));
+    } else if (fc.health_enabled() && pick == 3) {
+      agent = fleet::AgentId::kHealth;
+    } else if (pick >= static_cast<std::uint64_t>(named)) {
+      agent = fleet::fabric_agent_id(static_cast<int>(
+          pick - static_cast<std::uint64_t>(named)));
     }
     const std::uint64_t offset = 1 + kill_rng.next() % 8;
     fc.schedule_kill(agent, fc.statedb().version() + offset);
@@ -261,6 +298,10 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
     fc.truncate_journal();
   };
 
+  sim::FaultInjector& injector = sim::FaultInjector::instance();
+  StormGuard storm_guard;
+  bool storm_on = false;
+
   std::size_t last_phase = static_cast<std::size_t>(-1);
   while (std::optional<WorkloadEvent> ev = gen.next()) {
     const Phase& ph = gen.spec().phases[ev->phase_index];
@@ -269,6 +310,20 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
                   ph.name.c_str(),
                   static_cast<unsigned long long>(ph.submissions));
       last_phase = ev->phase_index;
+    }
+
+    // Fault-storm phases drive the ICAP corruption site fleet-wide (the
+    // reconfig layer self-heals; the health monitor sees the retry and
+    // recovery rates climb).
+    const bool want_storm = ph.icap_fault_probability > 0.0;
+    if (want_storm && !storm_on) {
+      injector.enable(opt.seed ^ 0x5107A1C0FFEEULL);
+      injector.set_probability(sim::FaultSite::kIcapBitstreamCorruption,
+                               ph.icap_fault_probability);
+      storm_on = true;
+    } else if (!want_storm && storm_on) {
+      injector.disable();
+      storm_on = false;
     }
 
     fc.advance_to(ev->at_cycle);
@@ -368,7 +423,31 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
       }
     }
 
+    // Health tick: refresh signal gauges, freeze the sampler window,
+    // and let the HealthAgent evaluate + remediate. Trips fold into the
+    // digest, so remediation itself is part of the determinism gate.
+    if (fc.health_enabled() && opt.health_tick_every > 0 &&
+        (ev->sequence + 1) % opt.health_tick_every == 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::uint64_t tripped = fc.health_tick();
+      res.health_wall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      absorb_restarts();
+      fold(res.digest, tripped);
+      fold(res.digest,
+           static_cast<std::uint64_t>(fc.statedb().available_fabrics()));
+    }
+
     if ((ev->sequence + 1) % opt.checkpoint_interval == 0) checkpoint();
+  }
+
+  // The storm ends with its phase's last submission; disarm before the
+  // multi-M-cycle drain advances.
+  if (storm_on) {
+    injector.disable();
+    storm_on = false;
   }
 
   // Drain: advance the fleet to each remaining departure.
@@ -379,6 +458,13 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
   }
   for (const int id : fc.running_ids()) stop_checked(id);
   checkpoint();
+
+  // Black-box: any invariant violation leaves a postmortem bundle when
+  // the recorder is armed (SLO breaches already recorded theirs inside
+  // health_tick()).
+  if (!res.invariants.ok()) {
+    fc.record_flight("fleet_invariant_failure");
+  }
 
   const fleet::ControlPlane::Counters& c = fc.counters();
   res.submitted = c.submissions;
@@ -394,6 +480,15 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
   res.quota_grows = fc.governor().grows();
   res.quota_shrinks = fc.governor().shrinks();
   res.agent_kills = fc.agent_restarts();
+  res.health_ticks = fc.health_ticks();
+  res.breaches = c.breaches_tripped;
+  res.breaches_cleared = c.breaches_cleared;
+  res.isolations = c.isolations;
+  res.unisolations = c.unisolations;
+  res.drains = c.drains_started;
+  res.flight_bundles = fc.flight_bundles();
+  res.faults_injected =
+      injector.injected(sim::FaultSite::kIcapBitstreamCorruption);
   res.lifetimes_completed =
       res.submitted - static_cast<std::uint64_t>(fc.running_ids().size());
   res.final_cycle = fc.now();
@@ -407,26 +502,28 @@ FleetSoakResult run_fleet_soak(const FleetSoakOptions& opt) {
             : 0.0;
   }
 
+  // One percentile implementation fleet-wide: Registry::summary routes
+  // through obs::summarize (docs/OBSERVABILITY.md).
   for (int i = 0; i < nf; ++i) {
-    const obs::Histogram& first = obs::Registry::instance().histogram(
+    const obs::HistogramSummary first = obs::Registry::instance().summary(
         route_hist_name(fc.fabric_name(i), true));
-    const obs::Histogram& fb = obs::Registry::instance().histogram(
+    const obs::HistogramSummary fb = obs::Registry::instance().summary(
         route_hist_name(fc.fabric_name(i), false));
     RouteLatency rl;
     rl.fabric = fc.fabric_name(i);
-    rl.first_count = first.count();
-    rl.first_p50 = first.percentile(0.50);
-    rl.first_p99 = first.percentile(0.99);
-    rl.fallback_count = fb.count();
-    rl.fallback_p50 = fb.percentile(0.50);
-    rl.fallback_p99 = fb.percentile(0.99);
+    rl.first_count = first.count;
+    rl.first_p50 = first.p50;
+    rl.first_p99 = first.p99;
+    rl.fallback_count = fb.count;
+    rl.fallback_p50 = fb.p50;
+    rl.fallback_p99 = fb.p99;
     res.route_latency.push_back(rl);
   }
 
-  const obs::Histogram& lat =
-      obs::Registry::instance().histogram("sched.submit_to_launch.cycles");
-  res.p50_submit_to_launch = lat.percentile(0.50);
-  res.p99_submit_to_launch = lat.percentile(0.99);
+  const obs::HistogramSummary lat =
+      obs::Registry::instance().summary("sched.submit_to_launch.cycles");
+  res.p50_submit_to_launch = lat.p50;
+  res.p99_submit_to_launch = lat.p99;
 
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -43,10 +43,24 @@ struct FleetSoakOptions {
   /// enabling churn never perturbs the workload stream itself.
   std::uint64_t crash_churn_every = 0;
   /// Override the workload; default is ScenarioSpec::standard_fleet(
-  /// seed, lifetimes, num_tenants, num_fabrics).
+  /// seed, lifetimes, num_tenants, num_fabrics). Phases with
+  /// icap_fault_probability > 0 arm the FaultInjector fleet-wide for
+  /// their duration (the bench_health fault-storm knob), exactly like
+  /// run_soak's storm phases.
   std::optional<ScenarioSpec> scenario;
   /// Override the fleet; default is FleetSpec::uniform(2).
   std::optional<fleet::FleetSpec> fleet;
+
+  // ---- health monitor / flight recorder (docs/HEALTH.md) --------------
+  /// Overrides the fleet spec's health config when set. An enabled
+  /// override with no rules gets standard_health_rules(fleet).
+  std::optional<fleet::HealthConfig> health;
+  /// Submissions between ControlPlane::health_tick() calls when health
+  /// monitoring is enabled.
+  std::uint64_t health_tick_every = 64;
+  /// When non-empty, arms the flight recorder: SLO breaches and final
+  /// invariant violations write postmortem bundles under this directory.
+  std::string flight_dir;
 };
 
 /// Per-fabric submit->launch latency split by route order: apps the
@@ -87,6 +101,20 @@ struct FleetSoakResult {
   std::uint64_t agent_kills = 0;
   std::uint64_t replay_checks = 0;
   std::uint64_t reconcile_violations = 0;
+
+  /// Health-monitor ledger (zeros when monitoring is off).
+  std::uint64_t health_ticks = 0;
+  std::uint64_t breaches = 0;
+  std::uint64_t breaches_cleared = 0;
+  std::uint64_t isolations = 0;
+  std::uint64_t unisolations = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t flight_bundles = 0;
+  /// Host wall-clock spent inside health_tick() — the numerator of
+  /// bench_health's <= 1% monitoring-overhead gate.
+  double health_wall_seconds = 0.0;
+  /// ICAP faults injected by storm phases (0 without one).
+  std::uint64_t faults_injected = 0;
 
   /// Mean fabric utilization over checkpoints, one entry per fabric —
   /// the load-spread signal bench_fleet reports.

@@ -9,6 +9,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "obs/health/flight.hpp"
 #include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/fault.hpp"
@@ -305,10 +306,26 @@ SoakResult run_soak(const SoakOptions& opt) {
         injector.opportunities(sim::FaultSite::kIcapBitstreamCorruption);
     res.final_cycle = sys.system_clock().cycle_count();
 
-    const obs::Histogram& lat =
-        obs::Registry::instance().histogram("sched.submit_to_launch.cycles");
-    res.p50_submit_to_launch = lat.percentile(0.50);
-    res.p99_submit_to_launch = lat.percentile(0.99);
+    // One percentile implementation fleet-wide: Registry::summary routes
+    // through obs::summarize (docs/OBSERVABILITY.md).
+    const obs::HistogramSummary lat =
+        obs::Registry::instance().summary("sched.submit_to_launch.cycles");
+    res.p50_submit_to_launch = lat.p50;
+    res.p99_submit_to_launch = lat.p99;
+
+    // Black-box: a dirty invariant sweep writes a postmortem bundle with
+    // the final system snapshot, trace ring, and metrics.
+    if (!opt.flight_dir.empty() && !res.invariants.ok()) {
+      obs::health::FlightRecorder rec(opt.flight_dir);
+      const std::string blob =
+          snap::SystemSnapshot::save(sys, res.submitted, &sched);
+      if (!rec.record("soak_invariant_failure",
+                      sys.system_clock().cycle_count(), blob, std::string{},
+                      nullptr, res.invariants.to_string())
+               .empty()) {
+        ++res.flight_bundles;
+      }
+    }
 
     if (!rss_samples.empty()) {
       res.rss_kb_start = rss_samples.front();

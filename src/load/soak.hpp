@@ -58,6 +58,11 @@ struct SoakOptions {
   /// Additionally checkpoint every N submissions (0 = off) — the
   /// overhead-measurement knob bench_soak gates at <= 5% of wall time.
   std::uint64_t snapshot_every = 0;
+
+  /// Black-box flight recorder (docs/HEALTH.md): when non-empty, any
+  /// invariant violation detected by the final sweep writes a postmortem
+  /// bundle (system snapshot + trace + metrics) under this directory.
+  std::string flight_dir;
 };
 
 struct SoakResult {
@@ -95,6 +100,10 @@ struct SoakResult {
   /// FNV-1a fold of the workload stream and every terminal verdict and
   /// word count: equal options => equal digest, byte for byte.
   std::uint64_t digest = 0;
+
+  /// Flight-recorder bundles written (0 without flight_dir / on a clean
+  /// run).
+  std::uint64_t flight_bundles = 0;
 
   /// Checkpoints taken this run (snapshot_at + snapshot_every).
   std::uint64_t snapshots_taken = 0;

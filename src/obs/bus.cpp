@@ -111,6 +111,10 @@ const char* event_name(Subsystem s, std::uint16_t code) {
         case ev::kQuotaShrink: return "quota_shrink";
         case ev::kAgentRestart: return "agent_restart";
         case ev::kReconcile: return "reconcile";
+        case ev::kHealthBreach: return "health_breach";
+        case ev::kHealthClear: return "health_clear";
+        case ev::kHealthIsolate: return "health_isolate";
+        case ev::kFlightRecord: return "flight_record";
       }
       break;
     case Subsystem::kCount:
@@ -169,6 +173,15 @@ std::vector<Event> EventBus::snapshot() const {
 }
 
 void EventBus::clear() { head_ = 0; }
+
+void EventBus::publish_gauges() const {
+  Registry& reg = Registry::instance();
+  reg.gauge("obs.bus.dropped").set(static_cast<std::int64_t>(dropped()));
+  reg.gauge("obs.bus.retained").set(static_cast<std::int64_t>(size()));
+  reg.gauge("obs.bus.capacity").set(static_cast<std::int64_t>(capacity()));
+  reg.gauge("obs.bus.total_emitted").set(
+      static_cast<std::int64_t>(total_emitted()));
+}
 
 Span Span::begin(Subsystem s, std::uint16_t code, std::uint32_t track,
                  sim::Picoseconds now, std::uint64_t arg0) {

@@ -94,6 +94,13 @@ class EventBus {
   /// Drops captured events and the drop counter; keeps mask and tracks.
   void clear();
 
+  /// Publishes ring occupancy and trace loss as Registry gauges
+  /// (obs.bus.dropped / retained / capacity / total_emitted), so a
+  /// metrics snapshot shows whether the trace window is complete.
+  /// Called off the hot path: by the health sampler, exporters, and
+  /// harness reports.
+  void publish_gauges() const;
+
  private:
   EventBus();
 

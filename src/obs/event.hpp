@@ -135,6 +135,13 @@ enum : std::uint16_t {
                       ///< (arg0 = AgentId, arg1 = journal version)
   kReconcile = 9,     ///< instant: table-vs-scheduler reconcile sweep
                       ///< (arg0 = checks, arg1 = violations)
+  kHealthBreach = 10,  ///< instant: an SLO rule tripped (arg0 = rule id,
+                       ///< arg1 = evaluated value)
+  kHealthClear = 11,   ///< instant: a breached rule cleared (arg0 = rule id)
+  kHealthIsolate = 12, ///< instant: fabric isolation toggled
+                       ///< (arg0 = fabric, arg1 = 1 isolate / 0 restore)
+  kFlightRecord = 13,  ///< instant: flight-recorder bundle written
+                       ///< (arg0 = bundle seq)
 };
 
 }  // namespace ev

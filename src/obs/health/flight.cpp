@@ -1,0 +1,77 @@
+#include "obs/health/flight.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/health/series.hpp"
+#include "obs/metrics.hpp"
+#include "snap/format.hpp"
+
+namespace vapres::obs::health {
+
+FlightRecorder::FlightRecorder(std::string dir, std::size_t max_bundles)
+    : dir_(std::move(dir)), max_bundles_(max_bundles) {}
+
+std::string FlightRecorder::record(const std::string& reason,
+                                   sim::Cycles cycle,
+                                   const std::string& snapshot_blob,
+                                   const std::string& journal_tail,
+                                   const HealthSampler* sampler,
+                                   const std::string& rule_dump) {
+  if (dir_.empty() || seq_ >= max_bundles_) return "";
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return "";
+
+  snap::SnapshotWriter w(seq_);
+  w.begin_section("flight.meta");
+  w.str(reason);
+  w.u64(cycle);
+  w.u64(seq_);
+  w.end_section();
+
+  w.begin_section("flight.snapshot");
+  w.str(snapshot_blob);
+  w.end_section();
+
+  w.begin_section("flight.trace");
+  std::ostringstream trace;
+  write_chrome_trace(trace);
+  w.str(trace.str());
+  w.end_section();
+
+  w.begin_section("flight.journal");
+  w.str(journal_tail);
+  w.end_section();
+
+  w.begin_section("flight.metrics");
+  w.str(Registry::instance().to_string());
+  w.end_section();
+
+  w.begin_section("flight.health");
+  if (sampler != nullptr) {
+    w.boolean(true);
+    sampler->write_to(w);
+  } else {
+    w.boolean(false);
+  }
+  w.str(rule_dump);
+  w.end_section();
+
+  const std::string blob = w.finish();
+  const std::string path =
+      (std::filesystem::path(dir_) /
+       ("flight_" + std::to_string(seq_) + ".vsnp")).string();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return "";
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.close();
+  ++seq_;
+  paths_.push_back(path);
+  return path;
+}
+
+}  // namespace vapres::obs::health

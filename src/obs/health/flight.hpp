@@ -1,0 +1,57 @@
+// Black-box flight recorder: postmortem bundles on SLO breach or
+// invariant failure.
+//
+// One bundle is one snap-format blob (magic "VSNP", per-section FNV
+// digests — snap/format.hpp) written to <dir>/flight_<seq>.vsnp:
+//
+//   flight.meta      reason string, simulated cycle, bundle sequence
+//   flight.snapshot  full-system snapshot blob (snap::SystemSnapshot;
+//                    may be empty when no fabric was quiesced)
+//   flight.trace     Chrome trace_event JSON of the EventBus ring
+//   flight.journal   serialized fleet journal tail (may be empty)
+//   flight.metrics   Registry text snapshot
+//   flight.health    HealthSampler window + rule-state dump
+//
+// Everything in a bundle is a function of simulated state — no wall
+// clock, no hostnames — so the bundle a deterministic rerun writes is
+// byte-identical. A cap on bundles per recorder keeps a breach storm
+// from filling the disk (docs/HEALTH.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vapres::obs::health {
+
+class HealthSampler;
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::string dir, std::size_t max_bundles = 8);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t bundles_written() const { return seq_; }
+  const std::vector<std::string>& paths() const { return paths_; }
+
+  /// Writes one bundle and returns its path ("" once the cap is hit or
+  /// when the directory cannot be created). `snapshot_blob` and
+  /// `journal_tail` may be empty; `sampler` and `rule_dump` are
+  /// optional. The trace and metrics sections are captured here, from
+  /// the process-wide bus and registry.
+  std::string record(const std::string& reason, sim::Cycles cycle,
+                     const std::string& snapshot_blob,
+                     const std::string& journal_tail,
+                     const HealthSampler* sampler,
+                     const std::string& rule_dump);
+
+ private:
+  std::string dir_;
+  std::size_t max_bundles_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::string> paths_;
+};
+
+}  // namespace vapres::obs::health

@@ -1,0 +1,84 @@
+#include "obs/health/rules.hpp"
+
+#include "obs/health/series.hpp"
+#include "obs/metrics.hpp"
+
+namespace vapres::obs::health {
+
+const char* source_name(Source s) {
+  switch (s) {
+    case Source::kCounterRate: return "counter_rate";
+    case Source::kGauge: return "gauge";
+    case Source::kGaugeRate: return "gauge_rate";
+    case Source::kHistogramP99: return "histogram_p99";
+    case Source::kHistogramP50: return "histogram_p50";
+  }
+  return "?";
+}
+
+RuleEngine::RuleEngine(std::vector<HealthRuleSpec> rules)
+    : rules_(std::move(rules)) {}
+
+std::int64_t RuleEngine::read_raw(const HealthRuleSpec& r) {
+  Registry& reg = Registry::instance();
+  switch (r.source) {
+    case Source::kCounterRate:
+      return static_cast<std::int64_t>(reg.counter(r.metric).value());
+    case Source::kGauge:
+    case Source::kGaugeRate:
+      return reg.gauge(r.metric).value();
+    case Source::kHistogramP99:
+      return static_cast<std::int64_t>(reg.histogram(r.metric).percentile(0.99));
+    case Source::kHistogramP50:
+      return static_cast<std::int64_t>(reg.histogram(r.metric).percentile(0.50));
+  }
+  return 0;
+}
+
+RuleOutcome RuleEngine::evaluate(const HealthRuleSpec& r, std::int64_t raw,
+                                 RuleState state) {
+  RuleOutcome out;
+  const bool rate = r.source == Source::kCounterRate ||
+                    r.source == Source::kGaugeRate;
+  if (rate) {
+    if (!state.primed) {
+      // First reading of a rate source: prime only. Not bad, not good —
+      // streaks untouched, so a monitor brought up mid-incident neither
+      // trips early nor eats into an existing clear streak.
+      state.primed = true;
+      state.last_raw = raw;
+      out.state = state;
+      return out;
+    }
+    out.value = static_cast<std::int64_t>(
+        counter_delta(static_cast<std::uint64_t>(state.last_raw),
+                      static_cast<std::uint64_t>(raw)));
+    state.last_raw = raw;
+  } else {
+    state.primed = true;
+    out.value = raw;
+  }
+
+  out.bad = r.breach_above ? out.value > r.threshold
+                           : out.value < r.threshold;
+  if (out.bad) {
+    ++state.bad_streak;
+    state.good_streak = 0;
+    if (!state.breached && state.bad_streak >= r.breach_observations) {
+      state.breached = true;
+      ++state.breaches;
+      out.tripped = true;
+    }
+  } else {
+    ++state.good_streak;
+    state.bad_streak = 0;
+    if (state.breached && state.good_streak >= r.clear_observations) {
+      state.breached = false;
+      out.cleared = true;
+    }
+  }
+  out.state = state;
+  return out;
+}
+
+}  // namespace vapres::obs::health

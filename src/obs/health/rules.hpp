@@ -1,0 +1,89 @@
+// SLO / health rule engine: threshold checks with hysteresis streaks.
+//
+// A rule reads one metric (counter rate, gauge level, gauge delta, or a
+// histogram quantile), compares it against a threshold, and folds the
+// verdict into a streak pair in the QuotaGovernor style: only
+// `breach_observations` consecutive bad readings trip the rule, and
+// only `clear_observations` consecutive good readings clear it again —
+// a flapping signal cannot flap the remediation machinery.
+//
+// evaluate() is a pure function of (spec, raw reading, prior state), so
+// the same state can live anywhere: tests drive it standalone, and the
+// fleet HealthAgent persists RuleState inside journaled StateDb rows so
+// a killed-and-restarted monitor resumes its streaks mid-count
+// (docs/HEALTH.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vapres::obs::health {
+
+enum class Source : std::uint8_t {
+  kCounterRate = 0,   ///< wrap-aware delta of a Counter between evals
+  kGauge = 1,         ///< Gauge level as-is
+  kGaugeRate = 2,     ///< wrap-aware delta of a (monotone) Gauge
+  kHistogramP99 = 3,  ///< Histogram::percentile(0.99)
+  kHistogramP50 = 4,  ///< Histogram::percentile(0.50)
+};
+
+const char* source_name(Source s);
+
+struct HealthRuleSpec {
+  std::string name;    ///< unique within the rule set
+  Source source = Source::kCounterRate;
+  std::string metric;  ///< Registry metric name
+  /// Fabric this rule indicts (drives isolate/drain); -1 = fleet-wide,
+  /// observe-only.
+  int fabric = -1;
+  std::int64_t threshold = 0;
+  /// true: reading > threshold is bad; false: reading < threshold is bad.
+  bool breach_above = true;
+  int breach_observations = 3;  ///< consecutive bad evals to trip
+  int clear_observations = 5;   ///< consecutive good evals to clear
+};
+
+/// The complete per-rule evaluation state. Small and integer-only on
+/// purpose: the HealthAgent packs it into one journal entry per eval.
+struct RuleState {
+  std::int64_t last_raw = 0;  ///< previous raw reading (rate sources)
+  bool primed = false;        ///< first reading only primes last_raw
+  int bad_streak = 0;
+  int good_streak = 0;
+  bool breached = false;
+  std::uint64_t breaches = 0;  ///< lifetime trips
+};
+
+struct RuleOutcome {
+  std::int64_t value = 0;  ///< the evaluated rate/level/quantile
+  bool bad = false;
+  bool tripped = false;  ///< healthy -> breached this eval
+  bool cleared = false;  ///< breached -> healthy this eval
+  RuleState state;       ///< post-eval state
+};
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(std::vector<HealthRuleSpec> rules);
+
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  const HealthRuleSpec& rule(int id) const { return rules_[id]; }
+  const std::vector<HealthRuleSpec>& rules() const { return rules_; }
+
+  /// Raw reading for `r` from the process-wide Registry (counter value,
+  /// gauge level, or histogram quantile — rate conversion happens in
+  /// evaluate(), against state.last_raw).
+  static std::int64_t read_raw(const HealthRuleSpec& r);
+
+  /// Folds one raw reading into `state`. Pure: no registry access, no
+  /// side effects. The first reading of a rate source only primes
+  /// last_raw and is never counted bad.
+  static RuleOutcome evaluate(const HealthRuleSpec& r, std::int64_t raw,
+                              RuleState state);
+
+ private:
+  std::vector<HealthRuleSpec> rules_;
+};
+
+}  // namespace vapres::obs::health

@@ -53,6 +53,20 @@ void Histogram::reset() {
   max_ = 0;
 }
 
+HistogramSummary summarize(const std::string& name, const Histogram& h) {
+  HistogramSummary s;
+  s.name = name;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.mean = h.mean();
+  s.p50 = h.percentile(0.50);
+  s.p90 = h.percentile(0.90);
+  s.p99 = h.percentile(0.99);
+  return s;
+}
+
 std::string MetricsSnapshot::to_string() const {
   std::ostringstream os;
   os << "=== metrics registry ===\n";
@@ -102,19 +116,19 @@ MetricsSnapshot Registry::snapshot() const {
     snap.gauges.emplace_back(name, g->value());
   }
   for (const auto& [name, h] : histograms_) {
-    HistogramSummary s;
-    s.name = name;
-    s.count = h->count();
-    s.sum = h->sum();
-    s.min = h->min();
-    s.max = h->max();
-    s.mean = h->mean();
-    s.p50 = h->percentile(0.50);
-    s.p90 = h->percentile(0.90);
-    s.p99 = h->percentile(0.99);
-    snap.histograms.push_back(std::move(s));
+    snap.histograms.push_back(summarize(name, *h));
   }
   return snap;
+}
+
+HistogramSummary Registry::summary(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramSummary s;
+    s.name = name;
+    return s;
+  }
+  return summarize(name, *it->second);
 }
 
 void Registry::reset() {

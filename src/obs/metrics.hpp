@@ -95,6 +95,12 @@ struct HistogramSummary {
   std::uint64_t p99 = 0;
 };
 
+/// THE percentile convention. Every p50/p99 the harnesses, benches, and
+/// health rules report comes through here (Histogram::percentile's
+/// nearest-rank-over-log2-buckets rounding) — one implementation, one
+/// rounding convention.
+HistogramSummary summarize(const std::string& name, const Histogram& h);
+
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
@@ -115,6 +121,11 @@ class Registry {
 
   MetricsSnapshot snapshot() const;
   std::string to_string() const { return snapshot().to_string(); }
+
+  /// Summary of one histogram by name without registering it: a
+  /// zero-count summary when the name was never recorded. Const —
+  /// usable on a registry snapshot path that must not mutate.
+  HistogramSummary summary(const std::string& name) const;
 
   /// Zeroes every metric (registrations and references survive). Tests
   /// and benches call this between scenarios; the registry is

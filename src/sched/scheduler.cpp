@@ -326,6 +326,7 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
                 sys_.sim().now(), static_cast<std::uint64_t>(app.id),
                 static_cast<std::uint64_t>(v));
     obs::Registry::instance().counter("sched.rejected").add();
+    ++rejection_streak_;
     return false;
   };
 
@@ -403,6 +404,7 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
                       sys_.sim().now(), static_cast<std::uint64_t>(app.id),
                       static_cast<std::uint64_t>(app.verdict));
           obs::Registry::instance().counter("sched.rejected").add();
+          ++rejection_streak_;
           return false;  // verdict + reason set by launch()
         }
         app.state = AppState::kRunning;
@@ -413,6 +415,7 @@ bool ApplicationScheduler::try_admit(AppRecord& app) {
                                  : AdmissionVerdict::kAdmittedAfterDefrag);
         app.launched_at = sys_.mb().cycle();
         app.admission_mb_cycles = app.launched_at - t0;
+        rejection_streak_ = 0;
         // Queue wait + decision + launch, end to end — the latency an
         // external submitter observes (soak gates its p99).
         obs::Registry::instance()

@@ -170,6 +170,13 @@ class ApplicationScheduler {
 
   core::SchedulerAccounting accounting() const;
 
+  /// Consecutive admission rejections with no successful launch in
+  /// between (zeroed by every launch). The fleet health monitor exports
+  /// this as the per-fabric "fleet.<name>.reject_streak" gauge — a
+  /// sustained streak is the capacity-exhaustion/degradation signal the
+  /// reject-streak SLO rule watches (docs/HEALTH.md).
+  int rejection_streak() const { return rejection_streak_; }
+
  private:
   // Checkpoint/restore overlays app records, channel-busy tables, and
   // aggregate counters, and re-installs running sources' generators with
@@ -246,6 +253,7 @@ class ApplicationScheduler {
 
   int preemptions_ = 0;
   int defrag_migrations_ = 0;
+  int rejection_streak_ = 0;
   int migration_rollbacks_ = 0;
   // Aggregate verdicts of retired records (accounting() totals stay
   // exact after retirement; only the per-app rows are dropped).
